@@ -1,0 +1,100 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): event
+// kernel throughput, uncached word transactions, MPB transfers, bulk
+// copies, and barrier episodes.
+#include <benchmark/benchmark.h>
+
+#include "rcce/rcce.h"
+#include "sim/machine.h"
+
+namespace {
+
+using namespace hsm;
+
+sim::SimTask spinner(sim::CoreContext& ctx, int iterations) {
+  for (int i = 0; i < iterations; ++i) co_await ctx.compute(1);
+}
+
+void BM_EventKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SccMachine machine;
+    machine.launch(8, [&](sim::CoreContext& ctx) { return spinner(ctx, 1000); });
+    benchmark::DoNotOptimize(machine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 1000);
+}
+BENCHMARK(BM_EventKernel);
+
+sim::SimTask shmReader(sim::CoreContext& ctx, std::uint64_t base, int words) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < words; ++i) {
+    co_await ctx.shmRead(base + static_cast<std::uint64_t>(i) * 8, &value, 8);
+  }
+}
+
+void BM_UncachedWords(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SccMachine machine;
+    const std::uint64_t base = machine.shmalloc(1 << 16);
+    machine.launch(8, [&](sim::CoreContext& ctx) { return shmReader(ctx, base, 512); });
+    benchmark::DoNotOptimize(machine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 512);
+}
+BENCHMARK(BM_UncachedWords);
+
+sim::SimTask mpbPingPong(sim::CoreContext& ctx, std::uint64_t off, int rounds) {
+  std::uint8_t buf[64] = {};
+  const int peer = ctx.ue() == 0 ? 1 : 0;
+  for (int i = 0; i < rounds; ++i) {
+    co_await rcce::put(ctx, peer, off, buf, sizeof(buf));
+    co_await rcce::get(ctx, peer, off, buf, sizeof(buf));
+  }
+}
+
+void BM_MpbPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SccMachine machine;
+    rcce::RcceEnv env(machine);
+    const std::uint64_t off = env.mpbMallocSymmetric(2, 64);
+    machine.launch(2, [&](sim::CoreContext& ctx) { return mpbPingPong(ctx, off, 256); });
+    benchmark::DoNotOptimize(machine.run());
+  }
+}
+BENCHMARK(BM_MpbPingPong);
+
+sim::SimTask barrierLoop(sim::CoreContext& ctx, int rounds) {
+  for (int i = 0; i < rounds; ++i) co_await ctx.barrier();
+}
+
+void BM_Barrier32(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SccMachine machine;
+    machine.launch(32, [&](sim::CoreContext& ctx) { return barrierLoop(ctx, 64); });
+    benchmark::DoNotOptimize(machine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Barrier32);
+
+sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
+  std::vector<std::uint8_t> buf(2048);
+  for (int i = 0; i < blocks; ++i) {
+    co_await ctx.shmReadBulk(base + static_cast<std::uint64_t>(i) * 2048, buf.data(),
+                             buf.size());
+  }
+}
+
+void BM_BulkCopy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SccMachine machine;
+    const std::uint64_t base = machine.shmalloc(1 << 20);
+    machine.launch(8, [&](sim::CoreContext& ctx) { return bulkReader(ctx, base, 64); });
+    benchmark::DoNotOptimize(machine.run());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 64 * 2048);
+}
+BENCHMARK(BM_BulkCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

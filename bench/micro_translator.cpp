@@ -1,0 +1,69 @@
+// Microbenchmarks of the translation pipeline (google-benchmark): lexing,
+// parsing, the three analysis stages, and full translation throughput on
+// the benchmark suite's pthread sources.
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.h"
+#include "lex/lexer.h"
+#include "parse/parser.h"
+#include "sema/resolver.h"
+#include "translator/translator.h"
+#include "workloads/benchmark.h"
+
+namespace {
+
+const std::string& bigSource() {
+  static const std::string source = [] {
+    std::string s;
+    for (const std::string& name : hsm::workloads::pthreadSourceNames()) {
+      if (name == "PiApprox") continue;  // keep one mutex user only
+      s += hsm::workloads::pthreadSource(name);
+    }
+    return s;
+  }();
+  return source;
+}
+
+void BM_Lex(benchmark::State& state) {
+  const hsm::SourceBuffer buffer("bench.c", bigSource());
+  for (auto _ : state) {
+    hsm::DiagnosticEngine diags;
+    hsm::lex::Lexer lexer(buffer, diags);
+    benchmark::DoNotOptimize(lexer.lexAll());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bigSource().size()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  const hsm::SourceBuffer buffer("bench.c", bigSource());
+  for (auto _ : state) {
+    hsm::DiagnosticEngine diags;
+    hsm::ast::ASTContext context;
+    benchmark::DoNotOptimize(hsm::parse::parseSource(buffer, context, diags));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_AnalyzeStages(benchmark::State& state) {
+  const std::string& source = hsm::workloads::pthreadSource("LU");
+  for (auto _ : state) {
+    hsm::translator::Translator translator;
+    benchmark::DoNotOptimize(translator.analyzeOnly(source, "lu.c"));
+  }
+}
+BENCHMARK(BM_AnalyzeStages);
+
+void BM_FullTranslation(benchmark::State& state) {
+  const std::string& source = hsm::workloads::pthreadSource("Stream");
+  for (auto _ : state) {
+    hsm::translator::Translator translator;
+    benchmark::DoNotOptimize(translator.translate(source, "stream.c"));
+  }
+}
+BENCHMARK(BM_FullTranslation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

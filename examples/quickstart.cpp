@@ -1,0 +1,67 @@
+// Quickstart: translate the paper's Example Code 4.1 (a Pthreads program
+// that stores thread-ID sums plus a locally-defined shared variable) into
+// the RCCE program of Example Code 4.2, and print the analysis tables the
+// paper reports (Tables 4.1 and 4.2) along with the Stage 4 memory plan.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "translator/translator.h"
+
+namespace {
+
+// Paper Example Code 4.1, verbatim modulo formatting.
+const char* const kExample41 = R"(#include <stdio.h>
+#include <pthread.h>
+
+int global;
+int *ptr;
+int sum[3] = {0};
+
+void *tf(void *tid) {
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t threads[3];
+    int rc;
+    for (local = 0; local < 3; local++) {
+        rc = pthread_create(&threads[local], NULL, tf, (void *)local);
+    }
+    for (local = 0; local < 3; local++) {
+        pthread_join(threads[local], NULL);
+        printf("Sum Array: %d\n", sum[local]);
+    }
+    return 0;
+}
+)";
+
+}  // namespace
+
+int main() {
+  hsm::translator::Translator translator;
+  const hsm::translator::TranslationResult result =
+      translator.translate(kExample41, "example_4_1.c");
+
+  if (!result.ok) {
+    std::printf("translation failed:\n%s\n", result.diagnostics.c_str());
+    return 1;
+  }
+
+  std::printf("=== Table 4.1: information extracted per variable ===\n%s\n",
+              result.variableTable().c_str());
+  std::printf("=== Table 4.2: variable sharing status per stage ===\n%s\n",
+              result.sharingTable().c_str());
+  std::printf("=== Stage 4: memory plan ===\n%s\n", result.plan.format().c_str());
+  std::printf("=== Translated RCCE source (paper Example Code 4.2) ===\n%s",
+              result.output_source.c_str());
+  return 0;
+}

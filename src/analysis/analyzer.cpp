@@ -1,0 +1,20 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/points_to.h"
+#include "analysis/scope_analysis.h"
+#include "analysis/thread_analysis.h"
+
+namespace hsm::analysis {
+
+AnalysisResult Analyzer::analyze(ast::ASTContext& context) {
+  AnalysisResult result;
+  ScopeAnalysis stage1;
+  const ScopeAnalysisExtra extra = stage1.run(context, result);
+  ThreadAnalysis stage2;
+  stage2.run(context, result);
+  PointsToAnalysis stage3;
+  stage3.run(context, result, extra);
+  return result;
+}
+
+}  // namespace hsm::analysis

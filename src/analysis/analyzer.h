@@ -1,0 +1,17 @@
+// Driver for the analysis phase: Stage 1 (scope) → Stage 2 (inter-thread)
+// → Stage 3 (points-to), producing the AnalysisResult consumed by the
+// Stage 4 partitioner and the Stage 5 translator.
+#pragma once
+
+#include "analysis/variable_info.h"
+#include "ast/context.h"
+
+namespace hsm::analysis {
+
+class Analyzer {
+ public:
+  /// Run all three analysis stages on a resolved AST.
+  [[nodiscard]] AnalysisResult analyze(ast::ASTContext& context);
+};
+
+}  // namespace hsm::analysis

@@ -1,0 +1,273 @@
+#include "analysis/points_to.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ast/visitor.h"
+
+namespace hsm::analysis {
+namespace {
+
+const ast::Expr* stripCasts(const ast::Expr* e) {
+  while (e != nullptr && e->kind() == ast::ExprKind::Cast) {
+    e = static_cast<const ast::CastExpr*>(e)->operand();
+  }
+  return e;
+}
+
+ast::VarDecl* asVarDecl(const ast::Expr* e) {
+  e = stripCasts(e);
+  if (e == nullptr || e->kind() != ast::ExprKind::DeclRef) return nullptr;
+  return dynamic_cast<ast::VarDecl*>(static_cast<const ast::DeclRefExpr*>(e)->decl());
+}
+
+struct DirectConstraint {
+  std::uint32_t pointer;   ///< decl id of the pointer
+  ast::VarDecl* target;    ///< object whose address flows into the pointer
+  bool conditional;
+};
+
+struct CopyConstraint {
+  std::uint32_t dst;
+  std::uint32_t src;
+  bool conditional;
+};
+
+/// The pointer-typed sources found in an rvalue expression.
+struct RhsSources {
+  std::vector<ast::VarDecl*> direct;      ///< from &x or array names
+  std::vector<ast::VarDecl*> copies;      ///< from pointer-typed variables
+  bool conditional = false;               ///< involves a ?: merge
+};
+
+void collectRhsSources(const ast::Expr* e, RhsSources& out) {
+  e = stripCasts(e);
+  if (e == nullptr) return;
+  switch (e->kind()) {
+    case ast::ExprKind::Unary: {
+      const auto& unary = static_cast<const ast::UnaryExpr&>(*e);
+      if (unary.op() == ast::UnaryOp::AddrOf) {
+        const ast::Expr* operand = stripCasts(unary.operand());
+        // &x and &x[i] both expose x.
+        if (operand != nullptr && operand->kind() == ast::ExprKind::Index) {
+          operand = static_cast<const ast::IndexExpr*>(operand)->base();
+        }
+        if (ast::VarDecl* var = asVarDecl(operand)) out.direct.push_back(var);
+      }
+      return;
+    }
+    case ast::ExprKind::DeclRef: {
+      ast::VarDecl* var = asVarDecl(e);
+      if (var == nullptr || var->type() == nullptr) return;
+      if (var->type()->isArray()) {
+        out.direct.push_back(var);  // array name decays to its own storage
+      } else if (var->type()->isPointer() || var->type()->isNamed()) {
+        out.copies.push_back(var);
+      }
+      return;
+    }
+    case ast::ExprKind::Binary: {
+      const auto& bin = static_cast<const ast::BinaryExpr&>(*e);
+      if (bin.op() == ast::BinaryOp::Add || bin.op() == ast::BinaryOp::Sub) {
+        collectRhsSources(bin.lhs(), out);
+        collectRhsSources(bin.rhs(), out);
+      }
+      return;
+    }
+    case ast::ExprKind::Conditional: {
+      const auto& cond = static_cast<const ast::ConditionalExpr&>(*e);
+      out.conditional = true;
+      collectRhsSources(cond.thenExpr(), out);
+      collectRhsSources(cond.elseExpr(), out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+class ConstraintCollector final : public ast::RecursiveVisitor {
+ public:
+  ConstraintCollector(ast::ASTContext& ctx, std::vector<DirectConstraint>& direct,
+                      std::vector<CopyConstraint>& copies)
+      : ctx_(ctx), direct_(direct), copies_(copies) {}
+
+  void collect(ast::TranslationUnit& unit) {
+    // Global initializers first.
+    for (ast::VarDecl* g : unit.globals()) {
+      if (g->init() != nullptr) addAssignment(g, g->init(), /*conditional=*/false);
+    }
+    traverseUnit(unit);
+  }
+
+ private:
+  void visitExpr(ast::Expr& expr, ast::AccessContext) override {
+    if (expr.kind() == ast::ExprKind::Binary) {
+      const auto& bin = static_cast<const ast::BinaryExpr&>(expr);
+      if (bin.op() == ast::BinaryOp::Assign) {
+        if (ast::VarDecl* lhs = asVarDecl(bin.lhs())) {
+          if (lhs->type() != nullptr && lhs->type()->isPointer()) {
+            addAssignment(lhs, bin.rhs(), if_depth_ > 0);
+          }
+        }
+      }
+    }
+  }
+
+  void visitVarDecl(ast::VarDecl& var) override {
+    if (var.init() != nullptr && var.type() != nullptr && var.type()->isPointer()) {
+      addAssignment(&var, var.init(), if_depth_ > 0);
+    }
+  }
+
+  void visitCall(ast::CallExpr& call) override {
+    const std::string name = call.calleeName();
+    if (name == "pthread_create") {
+      // Bind the 4th argument to the thread routine's only parameter.
+      if (call.args().size() >= 4) {
+        const ast::Expr* routine = stripCasts(call.args()[2]);
+        if (routine != nullptr && routine->kind() == ast::ExprKind::Unary) {
+          routine = stripCasts(static_cast<const ast::UnaryExpr*>(routine)->operand());
+        }
+        if (routine != nullptr && routine->kind() == ast::ExprKind::DeclRef) {
+          ast::FunctionDecl* fn =
+              ctx_.unit().findFunction(static_cast<const ast::DeclRefExpr*>(routine)->name());
+          if (fn != nullptr && !fn->params().empty()) {
+            addFlow(fn->params().front(), call.args()[3], if_depth_ > 0);
+          }
+        }
+      }
+      return;
+    }
+    ast::FunctionDecl* callee = ctx_.unit().findFunction(name);
+    if (callee == nullptr) return;
+    const std::size_t n = std::min(callee->params().size(), call.args().size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ast::ParamDecl* param = callee->params()[i];
+      if (param != nullptr && param->type() != nullptr &&
+          (param->type()->isPointer() || param->type()->isNamed())) {
+        addFlow(param, call.args()[i], if_depth_ > 0);
+      }
+    }
+  }
+
+  // Assignments under an if/else branch are only "possibly" performed — the
+  // paper's possible relation, which Algorithm 2 ignores.
+  void enterIfBranch(ast::IfStmt&) override { ++if_depth_; }
+  void exitIfBranch(ast::IfStmt&) override { --if_depth_; }
+
+  void addAssignment(ast::VarDecl* lhs, const ast::Expr* rhs, bool conditional) {
+    RhsSources sources;
+    collectRhsSources(rhs, sources);
+    conditional = conditional || sources.conditional;
+    for (ast::VarDecl* t : sources.direct) {
+      direct_.push_back(DirectConstraint{lhs->id(), t, conditional});
+    }
+    for (ast::VarDecl* s : sources.copies) {
+      copies_.push_back(CopyConstraint{lhs->id(), s->id(), conditional});
+    }
+  }
+
+  void addFlow(ast::VarDecl* dst, const ast::Expr* rhs, bool conditional) {
+    addAssignment(dst, rhs, conditional);
+  }
+
+  ast::ASTContext& ctx_;
+  std::vector<DirectConstraint>& direct_;
+  std::vector<CopyConstraint>& copies_;
+  int if_depth_ = 0;
+};
+
+}  // namespace
+
+void PointsToAnalysis::run(ast::ASTContext& context, AnalysisResult& result,
+                           const ScopeAnalysisExtra& stage1_extra) {
+  std::vector<DirectConstraint> direct;
+  std::vector<CopyConstraint> copies;
+  ConstraintCollector collector(context, direct, copies);
+  collector.collect(context.unit());
+
+  // Fixed point over inclusion constraints.
+  std::unordered_map<std::uint32_t, std::set<ast::VarDecl*>> pts;
+  std::unordered_map<std::uint32_t, bool> has_conditional;
+  for (const DirectConstraint& c : direct) {
+    pts[c.pointer].insert(c.target);
+    if (c.conditional) has_conditional[c.pointer] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CopyConstraint& c : copies) {
+      auto src_it = pts.find(c.src);
+      if (src_it == pts.end()) continue;
+      std::set<ast::VarDecl*>& dst = pts[c.dst];
+      const std::size_t before = dst.size();
+      dst.insert(src_it->second.begin(), src_it->second.end());
+      if (dst.size() != before) changed = true;
+      if (c.conditional || has_conditional[c.src]) {
+        if (!has_conditional[c.dst]) {
+          has_conditional[c.dst] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Publish the relation map (deterministic target order).
+  for (const auto& [pointer_id, targets] : pts) {
+    PointsToInfo info;
+    info.targets.assign(targets.begin(), targets.end());
+    std::sort(info.targets.begin(), info.targets.end(),
+              [](const ast::VarDecl* a, const ast::VarDecl* b) { return a->id() < b->id(); });
+    info.definite = targets.size() == 1 && !has_conditional[pointer_id];
+    result.points_to[pointer_id] = std::move(info);
+  }
+
+  // Algorithm 2: a shared pointer's definite pointee becomes shared.
+  // Iterate: newly-shared pointers can expose further pointees.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [pointer_id, info] : result.points_to) {
+      if (!info.definite) continue;
+      VariableInfo* pointer_info = nullptr;
+      const auto it = result.variables.find(pointer_id);
+      if (it != result.variables.end()) pointer_info = &it->second;
+      if (pointer_info == nullptr || !pointer_info->isShared()) continue;
+      for (ast::VarDecl* target : info.targets) {
+        VariableInfo* target_info = result.find(target);
+        if (target_info != nullptr && !target_info->isShared()) {
+          if (target_info->refine(Sharing::Shared)) changed = true;
+        }
+      }
+    }
+  }
+
+  // Attribute dereference accesses through definite pointers to the pointee
+  // (this is how `tmp` earns its read count in Table 4.1).
+  for (const auto& [pointer_id, accesses] : stage1_extra.deref) {
+    const auto rel = result.points_to.find(pointer_id);
+    if (rel == result.points_to.end() || !rel->second.definite) continue;
+    VariableInfo* target_info = result.find(rel->second.targets.front());
+    if (target_info == nullptr) continue;
+    target_info->reads += accesses.reads;
+    target_info->writes += accesses.writes;
+    target_info->weighted_reads += accesses.weighted_reads;
+    target_info->weighted_writes += accesses.weighted_writes;
+    target_info->use_in.insert(accesses.use_in.begin(), accesses.use_in.end());
+    target_info->def_in.insert(accesses.def_in.begin(), accesses.def_in.end());
+  }
+
+  // Post-processing: globals that are never read, written, or touched by a
+  // thread are demoted to private (paper: `global` may even be removed).
+  for (auto& [id, info] : result.variables) {
+    if (info.is_global && info.reads == 0 && info.writes == 0 &&
+        info.presence == ThreadPresence::NotInThread) {
+      info.refine(Sharing::Private);
+    }
+    info.after_stage3 = info.status;
+  }
+}
+
+}  // namespace hsm::analysis

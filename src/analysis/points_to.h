@@ -1,0 +1,34 @@
+// Stage 3: alias and pointer ("points-to") analysis — the paper's
+// Algorithm 2 plus the dataflow that feeds it.
+//
+// A flow-insensitive, interprocedural inclusion-based (Andersen-style)
+// analysis over the variables of one translation unit:
+//   * `p = &x`            adds x to pts(p)        (direct constraint)
+//   * `p = q` / `p = q+k` adds pts(q) to pts(p)   (copy constraint)
+//   * f(..., arg_i, ...)  adds arg_i's sources to pts(param_i) for defined f
+//   * pthread_create(..., tf, arg) binds arg to tf's parameter
+// Constraints gathered under an if/else or ?: are flagged; a pointer whose
+// relation involves any flagged constraint (or more than one target) is only
+// "possibly" pointing — Algorithm 2 acts on *definite* relations only:
+// if a shared pointer definitely points at an object, that object becomes
+// shared (Table 4.2: `tmp` flips to shared via `ptr`). Dereference accesses
+// recorded in Stage 1 are attributed to definite pointees, and globals that
+// remain untouched are demoted to private (the paper's `global`).
+#pragma once
+
+#include "analysis/scope_analysis.h"
+#include "analysis/variable_info.h"
+#include "ast/context.h"
+
+namespace hsm::analysis {
+
+class PointsToAnalysis {
+ public:
+  /// Requires Stages 1 and 2. Populates `result.points_to`, refines sharing
+  /// statuses per Algorithm 2, attributes deref accesses, and demotes unused
+  /// globals. Snapshots the Table 4.2 "Stage 3" column.
+  void run(ast::ASTContext& context, AnalysisResult& result,
+           const ScopeAnalysisExtra& stage1_extra);
+};
+
+}  // namespace hsm::analysis

@@ -1,0 +1,247 @@
+#include "analysis/scope_analysis.h"
+
+#include <vector>
+
+#include "ast/visitor.h"
+
+namespace hsm::analysis {
+namespace {
+
+/// Unwrap casts: `(int*)p` behaves like `p` for access analysis.
+const ast::Expr* stripCasts(const ast::Expr* e) {
+  while (e != nullptr && e->kind() == ast::ExprKind::Cast) {
+    e = static_cast<const ast::CastExpr*>(e)->operand();
+  }
+  return e;
+}
+
+const ast::DeclRefExpr* asDeclRef(const ast::Expr* e) {
+  e = stripCasts(e);
+  if (e == nullptr || e->kind() != ast::ExprKind::DeclRef) return nullptr;
+  return static_cast<const ast::DeclRefExpr*>(e);
+}
+
+class Stage1Visitor final : public ast::RecursiveVisitor {
+ public:
+  Stage1Visitor(ast::ASTContext& ctx, AnalysisResult& result, ScopeAnalysisExtra& extra)
+      : ctx_(ctx), result_(result), extra_(extra) {}
+
+ private:
+  void visitVarDecl(ast::VarDecl& var) override {
+    VariableInfo& info = infoFor(var);
+    // A scalar initializer is a definition site; the paper does not count
+    // aggregate initializer lists as writes (Table 4.1: `sum` wr=2 despite
+    // `int sum[3] = {0}`).
+    if (var.init() != nullptr && var.init()->kind() != ast::ExprKind::InitList) {
+      ++info.writes;
+      info.weighted_writes += weight_;
+      noteDef(info);
+    }
+  }
+
+  void visitDeclRef(ast::DeclRefExpr& ref, ast::AccessContext ctx) override {
+    auto* var = dynamic_cast<ast::VarDecl*>(ref.decl());
+    if (var == nullptr) return;  // function names, unresolved library names
+    VariableInfo& info = infoFor(*var);
+    switch (ctx) {
+      case ast::AccessContext::Read:
+        ++info.reads;
+        info.weighted_reads += weight_;
+        noteUse(info);
+        break;
+      case ast::AccessContext::Write:
+        ++info.writes;
+        info.weighted_writes += weight_;
+        noteDef(info);
+        break;
+      case ast::AccessContext::ReadWrite:
+        ++info.reads;
+        ++info.writes;
+        info.weighted_reads += weight_;
+        info.weighted_writes += weight_;
+        noteUse(info);
+        noteDef(info);
+        break;
+      case ast::AccessContext::AddressOf:
+        // Taking an address is neither a read nor a write of the object;
+        // the paper's `ptr = &tmp` does not count as a read of tmp.
+        break;
+    }
+  }
+
+  void visitExpr(ast::Expr& expr, ast::AccessContext ctx) override {
+    // Record dereference sites `*p` and `p[i]` (pointer-typed base) so that
+    // Stage 3 can attribute the access to the definite pointee.
+    const ast::DeclRefExpr* pointer_ref = nullptr;
+    if (expr.kind() == ast::ExprKind::Unary) {
+      const auto& unary = static_cast<const ast::UnaryExpr&>(expr);
+      if (unary.op() == ast::UnaryOp::Deref) pointer_ref = asDeclRef(unary.operand());
+    } else if (expr.kind() == ast::ExprKind::Index) {
+      const auto& index = static_cast<const ast::IndexExpr&>(expr);
+      const ast::DeclRefExpr* base = asDeclRef(index.base());
+      if (base != nullptr) {
+        const auto* var = dynamic_cast<const ast::VarDecl*>(base->decl());
+        if (var != nullptr && var->type() != nullptr && var->type()->isPointer()) {
+          pointer_ref = base;
+        }
+      }
+    }
+    if (pointer_ref == nullptr) return;
+    const auto* pointer_var = dynamic_cast<const ast::VarDecl*>(pointer_ref->decl());
+    if (pointer_var == nullptr) return;
+    DerefAccesses& d = extra_.deref[pointer_var->id()];
+    const std::string fn = currentFunction() != nullptr ? currentFunction()->name() : "";
+    const bool reads = ctx == ast::AccessContext::Read || ctx == ast::AccessContext::ReadWrite;
+    const bool writes = ctx == ast::AccessContext::Write || ctx == ast::AccessContext::ReadWrite;
+    if (reads) {
+      ++d.reads;
+      d.weighted_reads += weight_;
+      if (!fn.empty()) d.use_in.insert(fn);
+    }
+    if (writes) {
+      ++d.writes;
+      d.weighted_writes += weight_;
+      if (!fn.empty()) d.def_in.insert(fn);
+    }
+  }
+
+  void enterLoopBody(ast::Stmt& loop) override {
+    double trip = ScopeAnalysis::kUnknownTripFactor;
+    if (loop.kind() == ast::StmtKind::For) {
+      const double constant = constantTripCount(static_cast<const ast::ForStmt&>(loop));
+      if (constant > 0) trip = constant;
+    }
+    weight_stack_.push_back(weight_);
+    weight_ *= trip;
+  }
+
+  void exitLoopBody(ast::Stmt&) override {
+    weight_ = weight_stack_.back();
+    weight_stack_.pop_back();
+  }
+
+  VariableInfo& infoFor(ast::VarDecl& var) {
+    auto [it, inserted] = result_.variables.try_emplace(var.id());
+    VariableInfo& info = it->second;
+    if (inserted) {
+      info.decl = &var;
+      info.name = var.name();
+      info.type = var.type();
+      info.is_global = var.isGlobal();
+      info.is_param = var.kind() == ast::DeclKind::Param;
+      if (var.type() != nullptr) {
+        info.element_count = var.type()->isArray() ? var.type()->arrayLength() : 1;
+        info.byte_size = ctx_.types().sizeOf(var.type());
+      }
+      if (info.is_global) {
+        // Stage 1 rule: globals are initially classified shared.
+        info.refine(Sharing::Shared);
+      }
+    }
+    return info;
+  }
+
+  void noteUse(VariableInfo& info) {
+    if (currentFunction() != nullptr) info.use_in.insert(currentFunction()->name());
+  }
+  void noteDef(VariableInfo& info) {
+    if (currentFunction() != nullptr) info.def_in.insert(currentFunction()->name());
+  }
+
+  ast::ASTContext& ctx_;
+  AnalysisResult& result_;
+  ScopeAnalysisExtra& extra_;
+  double weight_ = 1.0;
+  std::vector<double> weight_stack_;
+};
+
+/// Extract the integer value of a literal (possibly parenthesized/cast).
+bool constantValue(const ast::Expr* e, long long* out) {
+  e = stripCasts(e);
+  if (e == nullptr) return false;
+  if (e->kind() == ast::ExprKind::IntLiteral) {
+    *out = static_cast<const ast::IntLiteralExpr*>(e)->value();
+    return true;
+  }
+  if (e->kind() == ast::ExprKind::Unary) {
+    const auto& unary = static_cast<const ast::UnaryExpr&>(*e);
+    long long inner = 0;
+    if (unary.op() == ast::UnaryOp::Minus && constantValue(unary.operand(), &inner)) {
+      *out = -inner;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double constantTripCount(const ast::ForStmt& loop) {
+  // init: `i = c0` (ExprStmt) or `int i = c0` (DeclStmt with one var)
+  long long c0 = 0;
+  const ast::Decl* induction = nullptr;
+  if (loop.init() != nullptr && loop.init()->kind() == ast::StmtKind::Expr) {
+    const auto* init = static_cast<const ast::ExprStmt*>(loop.init());
+    if (init->expr() == nullptr || init->expr()->kind() != ast::ExprKind::Binary) return 0;
+    const auto& assign = static_cast<const ast::BinaryExpr&>(*init->expr());
+    if (assign.op() != ast::BinaryOp::Assign) return 0;
+    const ast::DeclRefExpr* lhs = asDeclRef(assign.lhs());
+    if (lhs == nullptr || !constantValue(assign.rhs(), &c0)) return 0;
+    induction = lhs->decl();
+  } else if (loop.init() != nullptr && loop.init()->kind() == ast::StmtKind::Decl) {
+    const auto* init = static_cast<const ast::DeclStmt*>(loop.init());
+    if (init->decls().size() != 1) return 0;
+    const ast::VarDecl* var = init->decls().front();
+    if (var->init() == nullptr || !constantValue(var->init(), &c0)) return 0;
+    induction = var;
+  } else {
+    return 0;
+  }
+
+  // cond: `i < c1` or `i <= c1`
+  if (loop.cond() == nullptr || loop.cond()->kind() != ast::ExprKind::Binary) return 0;
+  const auto& cond = static_cast<const ast::BinaryExpr&>(*loop.cond());
+  if (cond.op() != ast::BinaryOp::Lt && cond.op() != ast::BinaryOp::Le) return 0;
+  const ast::DeclRefExpr* cond_lhs = asDeclRef(cond.lhs());
+  long long c1 = 0;
+  if (cond_lhs == nullptr || cond_lhs->decl() != induction || induction == nullptr ||
+      !constantValue(cond.rhs(), &c1)) {
+    return 0;
+  }
+
+  // step: `i++`, `++i`, or `i += c`
+  long long stride = 0;
+  if (loop.step() == nullptr) return 0;
+  if (loop.step()->kind() == ast::ExprKind::Unary) {
+    const auto& step = static_cast<const ast::UnaryExpr&>(*loop.step());
+    if (step.op() != ast::UnaryOp::PostInc && step.op() != ast::UnaryOp::PreInc) return 0;
+    const ast::DeclRefExpr* target = asDeclRef(step.operand());
+    if (target == nullptr || target->decl() != induction) return 0;
+    stride = 1;
+  } else if (loop.step()->kind() == ast::ExprKind::Binary) {
+    const auto& step = static_cast<const ast::BinaryExpr&>(*loop.step());
+    if (step.op() != ast::BinaryOp::AddAssign) return 0;
+    const ast::DeclRefExpr* target = asDeclRef(step.lhs());
+    if (target == nullptr || target->decl() != induction || !constantValue(step.rhs(), &stride)) {
+      return 0;
+    }
+  } else {
+    return 0;
+  }
+  if (stride <= 0) return 0;
+
+  const long long upper = cond.op() == ast::BinaryOp::Le ? c1 + 1 : c1;
+  if (upper <= c0) return 0;
+  return static_cast<double>((upper - c0 + stride - 1) / stride);
+}
+
+ScopeAnalysisExtra ScopeAnalysis::run(ast::ASTContext& context, AnalysisResult& result) {
+  ScopeAnalysisExtra extra;
+  Stage1Visitor visitor(context, result, extra);
+  visitor.traverseUnit(context.unit());
+  // Snapshot the Table 4.2 "Stage 1" column.
+  for (auto& [id, info] : result.variables) info.after_stage1 = info.status;
+  return extra;
+}
+
+}  // namespace hsm::analysis

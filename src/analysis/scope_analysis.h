@@ -1,0 +1,46 @@
+// Stage 1: variable scope analysis.
+//
+// Builds the per-variable records of the paper's Table 4.1: name, type,
+// size (element count), static read/write counts, loop-trip-weighted access
+// estimates, and the functions each variable is used/defined in. Globals
+// receive an initial sharing status of Shared; everything else stays Unknown
+// until Stage 2 (exactly the paper's Table 4.2 "Stage 1" column).
+#pragma once
+
+#include <unordered_map>
+
+#include "analysis/variable_info.h"
+#include "ast/context.h"
+
+namespace hsm::analysis {
+
+/// Pointer-dereference accesses recorded per pointer variable, consumed by
+/// Stage 3 to attribute the access to the definite pointee.
+struct DerefAccesses {
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  double weighted_reads = 0;
+  double weighted_writes = 0;
+  std::set<std::string> use_in;
+  std::set<std::string> def_in;
+};
+
+struct ScopeAnalysisExtra {
+  std::unordered_map<std::uint32_t, DerefAccesses> deref;  ///< by pointer decl id
+};
+
+class ScopeAnalysis {
+ public:
+  /// Default access-estimate multiplier for loops whose trip count is not a
+  /// compile-time constant.
+  static constexpr double kUnknownTripFactor = 16.0;
+
+  /// Populate `result.variables`. Returns auxiliary deref-site data.
+  ScopeAnalysisExtra run(ast::ASTContext& context, AnalysisResult& result);
+};
+
+/// Best-effort constant trip count of a for-loop of the canonical shape
+/// `for (i = c0; i < c1; i++)` / `i <= c1` / `i += c`. Returns 0 if unknown.
+[[nodiscard]] double constantTripCount(const ast::ForStmt& loop);
+
+}  // namespace hsm::analysis

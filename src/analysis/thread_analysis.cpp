@@ -1,0 +1,179 @@
+#include "analysis/thread_analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ast/visitor.h"
+
+namespace hsm::analysis {
+namespace {
+
+const ast::Expr* stripCasts(const ast::Expr* e) {
+  while (e != nullptr && e->kind() == ast::ExprKind::Cast) {
+    e = static_cast<const ast::CastExpr*>(e)->operand();
+  }
+  return e;
+}
+
+/// The thread-routine argument of pthread_create may be `tf` or `&tf`.
+const ast::DeclRefExpr* threadRoutineRef(const ast::Expr* arg) {
+  arg = stripCasts(arg);
+  if (arg == nullptr) return nullptr;
+  if (arg->kind() == ast::ExprKind::Unary) {
+    const auto& unary = static_cast<const ast::UnaryExpr&>(*arg);
+    if (unary.op() == ast::UnaryOp::AddrOf) arg = stripCasts(unary.operand());
+  }
+  if (arg == nullptr || arg->kind() != ast::ExprKind::DeclRef) return nullptr;
+  return static_cast<const ast::DeclRefExpr*>(arg);
+}
+
+/// Does `expr` reference declaration `target` anywhere?
+bool referencesDecl(const ast::Expr* expr, const ast::Decl* target) {
+  if (expr == nullptr || target == nullptr) return false;
+  switch (expr->kind()) {
+    case ast::ExprKind::DeclRef:
+      return static_cast<const ast::DeclRefExpr*>(expr)->decl() == target;
+    case ast::ExprKind::Unary:
+      return referencesDecl(static_cast<const ast::UnaryExpr*>(expr)->operand(), target);
+    case ast::ExprKind::Binary: {
+      const auto* b = static_cast<const ast::BinaryExpr*>(expr);
+      return referencesDecl(b->lhs(), target) || referencesDecl(b->rhs(), target);
+    }
+    case ast::ExprKind::Cast:
+      return referencesDecl(static_cast<const ast::CastExpr*>(expr)->operand(), target);
+    case ast::ExprKind::Index: {
+      const auto* i = static_cast<const ast::IndexExpr*>(expr);
+      return referencesDecl(i->base(), target) || referencesDecl(i->index(), target);
+    }
+    case ast::ExprKind::Call: {
+      const auto* c = static_cast<const ast::CallExpr*>(expr);
+      return std::any_of(c->args().begin(), c->args().end(),
+                         [&](const ast::Expr* a) { return referencesDecl(a, target); });
+    }
+    default:
+      return false;
+  }
+}
+
+/// Finds pthread_create call sites, tracking loop nesting and the enclosing
+/// for-loop induction variables so "thread id" arguments can be recognized.
+class LaunchSiteVisitor final : public ast::RecursiveVisitor {
+ public:
+  LaunchSiteVisitor(ast::ASTContext& ctx, AnalysisResult& result)
+      : ctx_(ctx), result_(result) {}
+
+ private:
+  void visitCall(ast::CallExpr& call) override {
+    if (call.calleeName() != "pthread_create") return;
+    ThreadLaunchSite site;
+    site.call = &call;
+    site.caller = currentFunction();
+    site.in_loop = loopDepth() > 0;
+    if (call.args().size() >= 1) site.thread_handle = call.args()[0];
+    if (call.args().size() >= 3) {
+      if (const ast::DeclRefExpr* fn_ref = threadRoutineRef(call.args()[2])) {
+        site.thread_fn_name = fn_ref->name();
+        site.thread_fn = ctx_.unit().findFunction(fn_ref->name());
+      }
+    }
+    if (call.args().size() >= 4) {
+      site.thread_arg = call.args()[3];
+      // A "thread id" argument references the induction variable of an
+      // enclosing loop — the per-thread index in the divide-and-conquer
+      // pattern (paper ch. 3).
+      for (const ast::Decl* induction : induction_stack_) {
+        if (referencesDecl(site.thread_arg, induction)) {
+          site.arg_is_thread_id = true;
+          break;
+        }
+      }
+    }
+    result_.launches.push_back(site);
+  }
+
+  void enterLoopBody(ast::Stmt& loop) override {
+    const ast::Decl* induction = nullptr;
+    if (loop.kind() == ast::StmtKind::For) {
+      const auto& for_stmt = static_cast<const ast::ForStmt&>(loop);
+      if (for_stmt.init() != nullptr) {
+        if (for_stmt.init()->kind() == ast::StmtKind::Decl) {
+          const auto* decl = static_cast<const ast::DeclStmt*>(for_stmt.init());
+          if (!decl->decls().empty()) induction = decl->decls().front();
+        } else if (for_stmt.init()->kind() == ast::StmtKind::Expr) {
+          const auto* expr_stmt = static_cast<const ast::ExprStmt*>(for_stmt.init());
+          if (expr_stmt->expr() != nullptr &&
+              expr_stmt->expr()->kind() == ast::ExprKind::Binary) {
+            const auto& assign = static_cast<const ast::BinaryExpr&>(*expr_stmt->expr());
+            const ast::Expr* lhs = stripCasts(assign.lhs());
+            if (ast::isAssignmentOp(assign.op()) && lhs != nullptr &&
+                lhs->kind() == ast::ExprKind::DeclRef) {
+              induction = static_cast<const ast::DeclRefExpr*>(lhs)->decl();
+            }
+          }
+        }
+      }
+    }
+    induction_stack_.push_back(induction);
+  }
+
+  void exitLoopBody(ast::Stmt&) override { induction_stack_.pop_back(); }
+
+  ast::ASTContext& ctx_;
+  AnalysisResult& result_;
+  std::vector<const ast::Decl*> induction_stack_;
+};
+
+}  // namespace
+
+ThreadPresence variableInThread(const VariableInfo& info, const AnalysisResult& result) {
+  // Collect the functions that contain the variable: where it is used or
+  // defined, plus (for locals/params) the declaring function itself.
+  std::set<std::string> containing = info.use_in;
+  containing.insert(info.def_in.begin(), info.def_in.end());
+  if (info.decl != nullptr && info.decl->owner() != nullptr) {
+    containing.insert(info.decl->owner()->name());
+  }
+
+  ThreadPresence presence = ThreadPresence::NotInThread;
+  for (const ast::FunctionDecl* thread_fn : result.thread_functions) {
+    if (containing.count(thread_fn->name()) == 0) continue;
+    // The variable appears inside a launched procedure. Algorithm 1: if any
+    // launch of this procedure sits in a loop, or the procedure is launched
+    // more than once, the variable is in multiple threads.
+    std::size_t seen = 0;
+    bool in_loop = false;
+    for (const ThreadLaunchSite& site : result.launches) {
+      if (site.thread_fn_name != thread_fn->name()) continue;
+      ++seen;
+      in_loop = in_loop || site.in_loop;
+    }
+    if (in_loop || seen > 1) return ThreadPresence::MultipleThreads;
+    presence = ThreadPresence::SingleThread;
+  }
+  return presence;
+}
+
+void ThreadAnalysis::run(ast::ASTContext& context, AnalysisResult& result) {
+  LaunchSiteVisitor visitor(context, result);
+  visitor.traverseUnit(context.unit());
+
+  // The paper's set F: functions called through pthread_create.
+  for (const ThreadLaunchSite& site : result.launches) {
+    if (site.thread_fn != nullptr &&
+        std::find(result.thread_functions.begin(), result.thread_functions.end(),
+                  site.thread_fn) == result.thread_functions.end()) {
+      result.thread_functions.push_back(site.thread_fn);
+    }
+  }
+
+  for (auto& [id, info] : result.variables) {
+    info.presence = variableInThread(info, result);
+    // Stage 2 refinement: function-scope variables and parameters are
+    // private (each translated process gets its own copy); globals keep the
+    // shared status assigned in Stage 1.
+    if (!info.is_global) info.refine(Sharing::Private);
+    info.after_stage2 = info.status;
+  }
+}
+
+}  // namespace hsm::analysis

@@ -1,0 +1,27 @@
+// Stage 2: inter-thread analysis (the paper's Algorithm 1).
+//
+// Discovers every pthread_create launch site, resolves the launched thread
+// functions (the paper's set F), classifies each variable's thread presence
+// (in single thread / in multiple threads / not in a thread), and refines
+// sharing statuses: globals stay shared, everything declared inside a
+// function or parameter list becomes private (Table 4.2 "Stage 2" column).
+#pragma once
+
+#include "analysis/variable_info.h"
+#include "ast/context.h"
+
+namespace hsm::analysis {
+
+class ThreadAnalysis {
+ public:
+  /// Requires Stage 1 to have populated `result.variables`.
+  void run(ast::ASTContext& context, AnalysisResult& result);
+};
+
+/// Algorithm 1 ("Variable in Thread") for one variable, given the launch
+/// sites discovered in `result`. Exposed for direct testing against the
+/// paper's pseudocode.
+[[nodiscard]] ThreadPresence variableInThread(const VariableInfo& info,
+                                              const AnalysisResult& result);
+
+}  // namespace hsm::analysis

@@ -1,0 +1,98 @@
+#include "analysis/variable_info.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hsm::analysis {
+namespace {
+
+std::string joinSet(const std::set<std::string>& names) {
+  if (names.empty()) return "null";
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* sharingName(Sharing s) {
+  switch (s) {
+    case Sharing::Unknown: return "null";
+    case Sharing::Shared: return "true";
+    case Sharing::Private: return "false";
+  }
+  return "?";
+}
+
+const char* threadPresenceName(ThreadPresence p) {
+  switch (p) {
+    case ThreadPresence::NotInThread: return "Not in Thread";
+    case ThreadPresence::SingleThread: return "In Single Thread";
+    case ThreadPresence::MultipleThreads: return "In Multiple Threads";
+  }
+  return "?";
+}
+
+std::vector<const VariableInfo*> AnalysisResult::ordered() const {
+  std::vector<const VariableInfo*> out;
+  out.reserve(variables.size());
+  for (const auto& [id, info] : variables) out.push_back(&info);
+  std::sort(out.begin(), out.end(), [](const VariableInfo* a, const VariableInfo* b) {
+    return a->decl->id() < b->decl->id();
+  });
+  return out;
+}
+
+std::vector<const VariableInfo*> AnalysisResult::sharedVariables() const {
+  std::vector<const VariableInfo*> out;
+  for (const VariableInfo* info : ordered()) {
+    if (info->isShared()) out.push_back(info);
+  }
+  return out;
+}
+
+bool AnalysisResult::isThreadFunction(const ast::FunctionDecl* fn) const {
+  return fn != nullptr &&
+         std::find(thread_functions.begin(), thread_functions.end(), fn) !=
+             thread_functions.end();
+}
+
+std::string AnalysisResult::formatVariableTable() const {
+  std::ostringstream os;
+  os << std::left << std::setw(12) << "Name" << std::setw(12) << "Type"
+     << std::setw(6) << "Size" << std::setw(5) << "Rd" << std::setw(5) << "Wr"
+     << std::setw(16) << "Use In" << std::setw(16) << "Def In" << '\n';
+  os << std::string(72, '-') << '\n';
+  for (const VariableInfo* v : ordered()) {
+    std::string type_name = v->type != nullptr ? v->type->spelling() : "n/a";
+    // Arrays decay in the table, matching the paper ("sum int* 3").
+    if (v->type != nullptr && v->type->isArray()) {
+      type_name = v->type->element()->spelling() + "*";
+    }
+    os << std::left << std::setw(12) << v->name << std::setw(12) << type_name
+       << std::setw(6) << v->element_count << std::setw(5) << v->reads
+       << std::setw(5) << v->writes << std::setw(16) << joinSet(v->use_in)
+       << std::setw(16) << joinSet(v->def_in) << '\n';
+  }
+  return os.str();
+}
+
+std::string AnalysisResult::formatSharingTable() const {
+  std::ostringstream os;
+  os << std::left << std::setw(12) << "Variable" << std::setw(10) << "Stage 1"
+     << std::setw(10) << "Stage 2" << std::setw(10) << "Stage 3" << '\n';
+  os << std::string(42, '-') << '\n';
+  for (const VariableInfo* v : ordered()) {
+    os << std::left << std::setw(12) << v->name << std::setw(10)
+       << sharingName(v->after_stage1) << std::setw(10)
+       << sharingName(v->after_stage2) << std::setw(10)
+       << sharingName(v->after_stage3) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hsm::analysis

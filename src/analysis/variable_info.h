@@ -1,0 +1,148 @@
+// Per-variable analysis records — the data behind the paper's Table 4.1
+// (name/type/size/reads/writes/use-in/def-in) and Table 4.2 (sharing status
+// after each stage).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace hsm::analysis {
+
+/// Tri-state sharing status. `Unknown` is the paper's "null".
+enum class Sharing : std::uint8_t { Unknown, Shared, Private };
+
+[[nodiscard]] const char* sharingName(Sharing s);
+
+/// Result of Algorithm 1 ("Variable in Thread").
+enum class ThreadPresence : std::uint8_t { NotInThread, SingleThread, MultipleThreads };
+
+[[nodiscard]] const char* threadPresenceName(ThreadPresence p);
+
+struct VariableInfo {
+  ast::VarDecl* decl = nullptr;
+  std::string name;
+  const ast::Type* type = nullptr;
+
+  /// Element count (the paper's "Size" column: 3 for `int sum[3]`, 1 for a
+  /// scalar or pointer).
+  std::size_t element_count = 1;
+  /// Total footprint in bytes on the IA-32 target (Size x Type in Alg. 3).
+  std::size_t byte_size = 0;
+
+  /// Static access counts (occurrences in the source).
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  /// Loop-trip-weighted access estimates, used by the Stage 4 partitioner
+  /// ("estimates the number of accesses to program variables", ch. 1). A
+  /// loop with a known constant trip count multiplies by that count; an
+  /// unknown loop multiplies by a fixed factor.
+  double weighted_reads = 0;
+  double weighted_writes = 0;
+
+  /// Function names the variable is used (read) / defined (written) in;
+  /// empty set renders as "null" like the paper's table.
+  std::set<std::string> use_in;
+  std::set<std::string> def_in;
+
+  bool is_global = false;
+  bool is_param = false;
+
+  ThreadPresence presence = ThreadPresence::NotInThread;
+
+  /// Sharing status as of the end of each analysis stage (Table 4.2).
+  Sharing after_stage1 = Sharing::Unknown;
+  Sharing after_stage2 = Sharing::Unknown;
+  Sharing after_stage3 = Sharing::Unknown;
+
+  /// Current status, updated by the stages via `refine`.
+  Sharing status = Sharing::Unknown;
+
+  /// The paper's refinement rule: a change away from Unknown is always
+  /// accepted; afterwards the status may be refined exactly once more and
+  /// then never reverts. Returns true if the status changed.
+  bool refine(Sharing next) {
+    if (next == status) return false;
+    if (status == Sharing::Unknown) {
+      status = next;
+      return true;
+    }
+    if (refined_) return false;
+    refined_ = true;
+    status = next;
+    return true;
+  }
+
+  [[nodiscard]] bool isShared() const { return status == Sharing::Shared; }
+  [[nodiscard]] double totalWeightedAccesses() const {
+    return weighted_reads + weighted_writes;
+  }
+
+ private:
+  bool refined_ = false;
+};
+
+/// One pthread_create launch site discovered by Stage 2.
+struct ThreadLaunchSite {
+  ast::CallExpr* call = nullptr;
+  ast::FunctionDecl* caller = nullptr;   ///< function containing the call
+  ast::FunctionDecl* thread_fn = nullptr;  ///< resolved from argument 3
+  std::string thread_fn_name;
+  ast::Expr* thread_handle = nullptr;   ///< argument 1
+  ast::Expr* thread_arg = nullptr;      ///< argument 4
+  bool in_loop = false;
+  /// Induction variable of the enclosing loop if the 4th argument
+  /// references it — the signature of a "thread id" argument (Alg. 4's T).
+  bool arg_is_thread_id = false;
+};
+
+/// Points-to relation of one pointer variable (Stage 3 output). A relation
+/// is "definite" when the pointer has exactly one target and no assignment
+/// to it was control-dependent (the paper's definite/possibly distinction).
+struct PointsToInfo {
+  std::vector<ast::VarDecl*> targets;
+  bool definite = false;
+};
+
+/// Full analysis result for one translation unit, keyed by Decl id.
+struct AnalysisResult {
+  std::unordered_map<std::uint32_t, VariableInfo> variables;
+  std::vector<ThreadLaunchSite> launches;
+  std::vector<ast::FunctionDecl*> thread_functions;  ///< the paper's set F
+  std::unordered_map<std::uint32_t, PointsToInfo> points_to;  ///< by pointer decl id
+
+  [[nodiscard]] VariableInfo* find(const ast::VarDecl* decl) {
+    if (decl == nullptr) return nullptr;
+    const auto it = variables.find(decl->id());
+    return it != variables.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] const VariableInfo* find(const ast::VarDecl* decl) const {
+    if (decl == nullptr) return nullptr;
+    const auto it = variables.find(decl->id());
+    return it != variables.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] VariableInfo* findByName(const std::string& name) {
+    for (auto& [id, info] : variables) {
+      if (info.name == name) return &info;
+    }
+    return nullptr;
+  }
+
+  /// Variables in deterministic (declaration id) order.
+  [[nodiscard]] std::vector<const VariableInfo*> ordered() const;
+  /// All variables currently classified shared, in declaration order.
+  [[nodiscard]] std::vector<const VariableInfo*> sharedVariables() const;
+
+  [[nodiscard]] bool isThreadFunction(const ast::FunctionDecl* fn) const;
+
+  /// Render the paper's Table 4.1 ("Information Extracted Per Variable").
+  [[nodiscard]] std::string formatVariableTable() const;
+  /// Render the paper's Table 4.2 ("Variables Sharing Status").
+  [[nodiscard]] std::string formatSharingTable() const;
+};
+
+}  // namespace hsm::analysis

@@ -1,0 +1,41 @@
+#include "ast/ast.h"
+
+namespace hsm::ast {
+
+std::string CallExpr::calleeName() const {
+  if (callee_ == nullptr || callee_->kind() != ExprKind::DeclRef) return "";
+  return static_cast<const DeclRefExpr*>(callee_)->name();
+}
+
+std::vector<FunctionDecl*> TranslationUnit::functions() const {
+  std::vector<FunctionDecl*> out;
+  for (const TopLevel& tl : top_levels_) {
+    if (tl.kind == TopLevel::Kind::Function && tl.function != nullptr) {
+      out.push_back(tl.function);
+    }
+  }
+  return out;
+}
+
+std::vector<VarDecl*> TranslationUnit::globals() const {
+  std::vector<VarDecl*> out;
+  for (const TopLevel& tl : top_levels_) {
+    if (tl.kind == TopLevel::Kind::Vars) {
+      out.insert(out.end(), tl.vars.begin(), tl.vars.end());
+    }
+  }
+  return out;
+}
+
+FunctionDecl* TranslationUnit::findFunction(const std::string& name) const {
+  FunctionDecl* found = nullptr;
+  for (const TopLevel& tl : top_levels_) {
+    if (tl.kind != TopLevel::Kind::Function || tl.function == nullptr) continue;
+    if (tl.function->name() != name) continue;
+    if (tl.function->isDefinition()) return tl.function;
+    if (found == nullptr) found = tl.function;
+  }
+  return found;
+}
+
+}  // namespace hsm::ast

@@ -1,0 +1,567 @@
+// AST node definitions for the C-subset IR (the analogue of the CETUS IR
+// the paper's translator is built on).
+//
+// Ownership model: ASTContext (see context.h) is the arena that owns every
+// node; the tree links are non-owning raw pointers. Transform passes mutate
+// the tree in place (insert/remove statements, rewrite expressions), which
+// mirrors how the paper's CETUS passes reshape the IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/type.h"
+#include "lex/token.h"
+#include "support/source.h"
+
+namespace hsm::ast {
+
+class Expr;
+class Stmt;
+class Decl;
+class VarDecl;
+class FunctionDecl;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  DeclRef,
+  Unary,
+  Binary,
+  Conditional,
+  Call,
+  Index,
+  Member,
+  Cast,
+  Sizeof,
+  InitList,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Plus, Minus, LogicalNot, BitNot, Deref, AddrOf,
+  PreInc, PreDec, PostInc, PostDec,
+};
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  BitAnd, BitOr, BitXor,
+  LogicalAnd, LogicalOr,
+  Assign, AddAssign, SubAssign, MulAssign, DivAssign, RemAssign,
+  AndAssign, OrAssign, XorAssign, ShlAssign, ShrAssign,
+  Comma,
+};
+
+[[nodiscard]] constexpr bool isAssignmentOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Assign:
+    case BinaryOp::AddAssign:
+    case BinaryOp::SubAssign:
+    case BinaryOp::MulAssign:
+    case BinaryOp::DivAssign:
+    case BinaryOp::RemAssign:
+    case BinaryOp::AndAssign:
+    case BinaryOp::OrAssign:
+    case BinaryOp::XorAssign:
+    case BinaryOp::ShlAssign:
+    case BinaryOp::ShrAssign:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for compound assignments (which both read and write their LHS).
+[[nodiscard]] constexpr bool isCompoundAssignmentOp(BinaryOp op) {
+  return isAssignmentOp(op) && op != BinaryOp::Assign;
+}
+
+class Expr {
+ public:
+  Expr(ExprKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  ExprKind kind_;
+  SourceLoc loc_;
+};
+
+class IntLiteralExpr final : public Expr {
+ public:
+  IntLiteralExpr(long long value, std::string spelling, SourceLoc loc)
+      : Expr(ExprKind::IntLiteral, loc), value_(value), spelling_(std::move(spelling)) {}
+  [[nodiscard]] long long value() const { return value_; }
+  [[nodiscard]] const std::string& spelling() const { return spelling_; }
+
+ private:
+  long long value_;
+  std::string spelling_;
+};
+
+class FloatLiteralExpr final : public Expr {
+ public:
+  FloatLiteralExpr(double value, std::string spelling, SourceLoc loc)
+      : Expr(ExprKind::FloatLiteral, loc), value_(value), spelling_(std::move(spelling)) {}
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const std::string& spelling() const { return spelling_; }
+
+ private:
+  double value_;
+  std::string spelling_;
+};
+
+class CharLiteralExpr final : public Expr {
+ public:
+  CharLiteralExpr(std::string spelling, SourceLoc loc)
+      : Expr(ExprKind::CharLiteral, loc), spelling_(std::move(spelling)) {}
+  /// Spelling includes the quotes, e.g. "'a'".
+  [[nodiscard]] const std::string& spelling() const { return spelling_; }
+
+ private:
+  std::string spelling_;
+};
+
+class StringLiteralExpr final : public Expr {
+ public:
+  StringLiteralExpr(std::string spelling, SourceLoc loc)
+      : Expr(ExprKind::StringLiteral, loc), spelling_(std::move(spelling)) {}
+  /// Spelling includes the quotes, e.g. "\"hi\\n\"".
+  [[nodiscard]] const std::string& spelling() const { return spelling_; }
+
+ private:
+  std::string spelling_;
+};
+
+/// A use of a declared name. `decl()` is resolved by sema; it stays null for
+/// names we never see a declaration of (library functions like `printf`).
+class DeclRefExpr final : public Expr {
+ public:
+  DeclRefExpr(std::string name, SourceLoc loc)
+      : Expr(ExprKind::DeclRef, loc), name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Decl* decl() const { return decl_; }
+  void setDecl(Decl* d) { decl_ = d; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  Decl* decl_ = nullptr;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, Expr* operand, SourceLoc loc)
+      : Expr(ExprKind::Unary, loc), op_(op), operand_(operand) {}
+  [[nodiscard]] UnaryOp op() const { return op_; }
+  [[nodiscard]] Expr* operand() const { return operand_; }
+  void setOperand(Expr* e) { operand_ = e; }
+
+ private:
+  UnaryOp op_;
+  Expr* operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, Expr* lhs, Expr* rhs, SourceLoc loc)
+      : Expr(ExprKind::Binary, loc), op_(op), lhs_(lhs), rhs_(rhs) {}
+  [[nodiscard]] BinaryOp op() const { return op_; }
+  [[nodiscard]] Expr* lhs() const { return lhs_; }
+  [[nodiscard]] Expr* rhs() const { return rhs_; }
+  void setLhs(Expr* e) { lhs_ = e; }
+  void setRhs(Expr* e) { rhs_ = e; }
+
+ private:
+  BinaryOp op_;
+  Expr* lhs_;
+  Expr* rhs_;
+};
+
+class ConditionalExpr final : public Expr {
+ public:
+  ConditionalExpr(Expr* cond, Expr* then_expr, Expr* else_expr, SourceLoc loc)
+      : Expr(ExprKind::Conditional, loc), cond_(cond), then_(then_expr), else_(else_expr) {}
+  [[nodiscard]] Expr* cond() const { return cond_; }
+  [[nodiscard]] Expr* thenExpr() const { return then_; }
+  [[nodiscard]] Expr* elseExpr() const { return else_; }
+  void setCond(Expr* e) { cond_ = e; }
+  void setThenExpr(Expr* e) { then_ = e; }
+  void setElseExpr(Expr* e) { else_ = e; }
+
+ private:
+  Expr* cond_;
+  Expr* then_;
+  Expr* else_;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(Expr* callee, std::vector<Expr*> args, SourceLoc loc)
+      : Expr(ExprKind::Call, loc), callee_(callee), args_(std::move(args)) {}
+  [[nodiscard]] Expr* callee() const { return callee_; }
+  [[nodiscard]] const std::vector<Expr*>& args() const { return args_; }
+  [[nodiscard]] std::vector<Expr*>& args() { return args_; }
+  void setCallee(Expr* e) { callee_ = e; }
+
+  /// The called function's name if the callee is a plain identifier,
+  /// else "". This is the lookup key for the pthread/RCCE API tables.
+  [[nodiscard]] std::string calleeName() const;
+
+ private:
+  Expr* callee_;
+  std::vector<Expr*> args_;
+};
+
+class IndexExpr final : public Expr {
+ public:
+  IndexExpr(Expr* base, Expr* index, SourceLoc loc)
+      : Expr(ExprKind::Index, loc), base_(base), index_(index) {}
+  [[nodiscard]] Expr* base() const { return base_; }
+  [[nodiscard]] Expr* index() const { return index_; }
+  void setBase(Expr* e) { base_ = e; }
+  void setIndex(Expr* e) { index_ = e; }
+
+ private:
+  Expr* base_;
+  Expr* index_;
+};
+
+class MemberExpr final : public Expr {
+ public:
+  MemberExpr(Expr* base, std::string member, bool is_arrow, SourceLoc loc)
+      : Expr(ExprKind::Member, loc), base_(base), member_(std::move(member)),
+        is_arrow_(is_arrow) {}
+  [[nodiscard]] Expr* base() const { return base_; }
+  [[nodiscard]] const std::string& member() const { return member_; }
+  [[nodiscard]] bool isArrow() const { return is_arrow_; }
+  void setBase(Expr* e) { base_ = e; }
+
+ private:
+  Expr* base_;
+  std::string member_;
+  bool is_arrow_;
+};
+
+class CastExpr final : public Expr {
+ public:
+  CastExpr(const Type* target, Expr* operand, SourceLoc loc)
+      : Expr(ExprKind::Cast, loc), target_(target), operand_(operand) {}
+  [[nodiscard]] const Type* target() const { return target_; }
+  [[nodiscard]] Expr* operand() const { return operand_; }
+  void setOperand(Expr* e) { operand_ = e; }
+
+ private:
+  const Type* target_;
+  Expr* operand_;
+};
+
+class SizeofExpr final : public Expr {
+ public:
+  /// sizeof(type) form; `operand` null.
+  SizeofExpr(const Type* type, SourceLoc loc)
+      : Expr(ExprKind::Sizeof, loc), type_(type), operand_(nullptr) {}
+  /// sizeof expr form; `type` null.
+  SizeofExpr(Expr* operand, SourceLoc loc)
+      : Expr(ExprKind::Sizeof, loc), type_(nullptr), operand_(operand) {}
+  [[nodiscard]] const Type* typeOperand() const { return type_; }
+  [[nodiscard]] Expr* exprOperand() const { return operand_; }
+
+ private:
+  const Type* type_;
+  Expr* operand_;
+};
+
+class InitListExpr final : public Expr {
+ public:
+  InitListExpr(std::vector<Expr*> inits, SourceLoc loc)
+      : Expr(ExprKind::InitList, loc), inits_(std::move(inits)) {}
+  [[nodiscard]] const std::vector<Expr*>& inits() const { return inits_; }
+
+ private:
+  std::vector<Expr*> inits_;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Compound,
+  Decl,
+  Expr,
+  If,
+  For,
+  While,
+  Do,
+  Return,
+  Break,
+  Continue,
+  Null,
+};
+
+class Stmt {
+ public:
+  Stmt(StmtKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  StmtKind kind_;
+  SourceLoc loc_;
+};
+
+class CompoundStmt final : public Stmt {
+ public:
+  explicit CompoundStmt(SourceLoc loc) : Stmt(StmtKind::Compound, loc) {}
+  [[nodiscard]] const std::vector<Stmt*>& body() const { return body_; }
+  [[nodiscard]] std::vector<Stmt*>& body() { return body_; }
+  void append(Stmt* s) { body_.push_back(s); }
+
+ private:
+  std::vector<Stmt*> body_;
+};
+
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt(std::vector<VarDecl*> decls, SourceLoc loc)
+      : Stmt(StmtKind::Decl, loc), decls_(std::move(decls)) {}
+  [[nodiscard]] const std::vector<VarDecl*>& decls() const { return decls_; }
+  [[nodiscard]] std::vector<VarDecl*>& decls() { return decls_; }
+
+ private:
+  std::vector<VarDecl*> decls_;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  ExprStmt(Expr* expr, SourceLoc loc) : Stmt(StmtKind::Expr, loc), expr_(expr) {}
+  [[nodiscard]] Expr* expr() const { return expr_; }
+  void setExpr(Expr* e) { expr_ = e; }
+
+ private:
+  Expr* expr_;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(Expr* cond, Stmt* then_stmt, Stmt* else_stmt, SourceLoc loc)
+      : Stmt(StmtKind::If, loc), cond_(cond), then_(then_stmt), else_(else_stmt) {}
+  [[nodiscard]] Expr* cond() const { return cond_; }
+  [[nodiscard]] Stmt* thenStmt() const { return then_; }
+  [[nodiscard]] Stmt* elseStmt() const { return else_; }
+  void setCond(Expr* e) { cond_ = e; }
+
+ private:
+  Expr* cond_;
+  Stmt* then_;
+  Stmt* else_;
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(Stmt* init, Expr* cond, Expr* step, Stmt* body, SourceLoc loc)
+      : Stmt(StmtKind::For, loc), init_(init), cond_(cond), step_(step), body_(body) {}
+  [[nodiscard]] Stmt* init() const { return init_; }  ///< DeclStmt, ExprStmt, or NullStmt
+  [[nodiscard]] Expr* cond() const { return cond_; }  ///< may be null
+  [[nodiscard]] Expr* step() const { return step_; }  ///< may be null
+  [[nodiscard]] Stmt* body() const { return body_; }
+  void setBody(Stmt* s) { body_ = s; }
+  void setCond(Expr* e) { cond_ = e; }
+  void setStep(Expr* e) { step_ = e; }
+
+ private:
+  Stmt* init_;
+  Expr* cond_;
+  Expr* step_;
+  Stmt* body_;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(Expr* cond, Stmt* body, SourceLoc loc)
+      : Stmt(StmtKind::While, loc), cond_(cond), body_(body) {}
+  [[nodiscard]] Expr* cond() const { return cond_; }
+  [[nodiscard]] Stmt* body() const { return body_; }
+  void setCond(Expr* e) { cond_ = e; }
+
+ private:
+  Expr* cond_;
+  Stmt* body_;
+};
+
+class DoStmt final : public Stmt {
+ public:
+  DoStmt(Stmt* body, Expr* cond, SourceLoc loc)
+      : Stmt(StmtKind::Do, loc), body_(body), cond_(cond) {}
+  [[nodiscard]] Stmt* body() const { return body_; }
+  [[nodiscard]] Expr* cond() const { return cond_; }
+  void setCond(Expr* e) { cond_ = e; }
+
+ private:
+  Stmt* body_;
+  Expr* cond_;
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  ReturnStmt(Expr* value, SourceLoc loc) : Stmt(StmtKind::Return, loc), value_(value) {}
+  [[nodiscard]] Expr* value() const { return value_; }  ///< may be null
+  void setValue(Expr* e) { value_ = e; }
+
+ private:
+  Expr* value_;
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  explicit BreakStmt(SourceLoc loc) : Stmt(StmtKind::Break, loc) {}
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  explicit ContinueStmt(SourceLoc loc) : Stmt(StmtKind::Continue, loc) {}
+};
+
+class NullStmt final : public Stmt {
+ public:
+  explicit NullStmt(SourceLoc loc) : Stmt(StmtKind::Null, loc) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+enum class DeclKind : std::uint8_t { Var, Param, Function };
+
+enum class StorageClass : std::uint8_t { None, Static, Extern };
+
+class Decl {
+ public:
+  Decl(DeclKind kind, std::string name, SourceLoc loc)
+      : kind_(kind), name_(std::move(name)), loc_(loc) {}
+  virtual ~Decl() = default;
+  Decl(const Decl&) = delete;
+  Decl& operator=(const Decl&) = delete;
+
+  [[nodiscard]] DeclKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+  void rename(std::string name) { name_ = std::move(name); }
+
+  /// Stable unique id assigned by ASTContext; key for analysis-side maps.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  void setId(std::uint32_t id) { id_ = id; }
+
+ private:
+  DeclKind kind_;
+  std::string name_;
+  SourceLoc loc_;
+  std::uint32_t id_ = 0;
+};
+
+class VarDecl : public Decl {
+ public:
+  VarDecl(std::string name, const Type* type, SourceLoc loc)
+      : Decl(DeclKind::Var, std::move(name), loc), type_(type) {}
+  VarDecl(DeclKind kind, std::string name, const Type* type, SourceLoc loc)
+      : Decl(kind, std::move(name), loc), type_(type) {}
+
+  [[nodiscard]] const Type* type() const { return type_; }
+  void setType(const Type* t) { type_ = t; }
+
+  [[nodiscard]] Expr* init() const { return init_; }
+  void setInit(Expr* e) { init_ = e; }
+
+  [[nodiscard]] StorageClass storage() const { return storage_; }
+  void setStorage(StorageClass sc) { storage_ = sc; }
+
+  /// True for file-scope variables (set by the parser).
+  [[nodiscard]] bool isGlobal() const { return is_global_; }
+  void setGlobal(bool g) { is_global_ = g; }
+
+  /// The function whose scope declares this variable (null for globals).
+  [[nodiscard]] FunctionDecl* owner() const { return owner_; }
+  void setOwner(FunctionDecl* f) { owner_ = f; }
+
+ private:
+  const Type* type_;
+  Expr* init_ = nullptr;
+  StorageClass storage_ = StorageClass::None;
+  bool is_global_ = false;
+  FunctionDecl* owner_ = nullptr;
+};
+
+class ParamDecl final : public VarDecl {
+ public:
+  ParamDecl(std::string name, const Type* type, SourceLoc loc)
+      : VarDecl(DeclKind::Param, std::move(name), type, loc) {}
+};
+
+class FunctionDecl final : public Decl {
+ public:
+  FunctionDecl(std::string name, const Type* return_type, SourceLoc loc)
+      : Decl(DeclKind::Function, std::move(name), loc), return_type_(return_type) {}
+
+  [[nodiscard]] const Type* returnType() const { return return_type_; }
+  [[nodiscard]] const std::vector<ParamDecl*>& params() const { return params_; }
+  [[nodiscard]] std::vector<ParamDecl*>& params() { return params_; }
+  [[nodiscard]] CompoundStmt* body() const { return body_; }
+  void setBody(CompoundStmt* b) { body_ = b; }
+  [[nodiscard]] bool isDefinition() const { return body_ != nullptr; }
+
+ private:
+  const Type* return_type_;
+  std::vector<ParamDecl*> params_;
+  CompoundStmt* body_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Translation unit
+// ---------------------------------------------------------------------------
+
+/// A top-level entity: either a group of variable declarations (one source
+/// declaration statement) or a function.
+struct TopLevel {
+  enum class Kind { Vars, Function } kind = Kind::Vars;
+  std::vector<VarDecl*> vars;
+  FunctionDecl* function = nullptr;
+};
+
+class TranslationUnit {
+ public:
+  [[nodiscard]] std::vector<TopLevel>& topLevels() { return top_levels_; }
+  [[nodiscard]] const std::vector<TopLevel>& topLevels() const { return top_levels_; }
+
+  [[nodiscard]] std::vector<lex::Directive>& directives() { return directives_; }
+  [[nodiscard]] const std::vector<lex::Directive>& directives() const { return directives_; }
+
+  /// All function definitions, in source order.
+  [[nodiscard]] std::vector<FunctionDecl*> functions() const;
+  /// All file-scope variables, in source order.
+  [[nodiscard]] std::vector<VarDecl*> globals() const;
+  /// Find a function by name (definition preferred); null if absent.
+  [[nodiscard]] FunctionDecl* findFunction(const std::string& name) const;
+
+ private:
+  std::vector<TopLevel> top_levels_;
+  std::vector<lex::Directive> directives_;
+};
+
+}  // namespace hsm::ast

@@ -1,0 +1,65 @@
+// ASTContext: the arena that owns every AST node plus the type table.
+//
+// Factory functions hand out non-owning pointers; the context outlives the
+// tree and all passes. Each Decl receives a stable unique id used as the key
+// in analysis-side maps (VariableInfo tables, points-to graphs, plans).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ast/ast.h"
+#include "ast/type.h"
+
+namespace hsm::ast {
+
+class ASTContext {
+ public:
+  ASTContext() = default;
+  ASTContext(const ASTContext&) = delete;
+  ASTContext& operator=(const ASTContext&) = delete;
+
+  [[nodiscard]] TypeTable& types() { return types_; }
+  [[nodiscard]] const TypeTable& types() const { return types_; }
+
+  [[nodiscard]] TranslationUnit& unit() { return unit_; }
+  [[nodiscard]] const TranslationUnit& unit() const { return unit_; }
+
+  template <typename T, typename... Args>
+  T* makeExpr(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    exprs_.push_back(std::move(node));
+    return raw;
+  }
+
+  template <typename T, typename... Args>
+  T* makeStmt(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    stmts_.push_back(std::move(node));
+    return raw;
+  }
+
+  template <typename T, typename... Args>
+  T* makeDecl(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    raw->setId(next_decl_id_++);
+    decls_.push_back(std::move(node));
+    return raw;
+  }
+
+  [[nodiscard]] std::uint32_t declCount() const { return next_decl_id_; }
+
+ private:
+  TypeTable types_;
+  TranslationUnit unit_;
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::vector<std::unique_ptr<Stmt>> stmts_;
+  std::vector<std::unique_ptr<Decl>> decls_;
+  std::uint32_t next_decl_id_ = 0;
+};
+
+}  // namespace hsm::ast

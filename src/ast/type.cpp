@@ -1,0 +1,109 @@
+#include "ast/type.h"
+
+namespace hsm::ast {
+
+std::string Type::spelling() const {
+  switch (kind_) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Char: return "char";
+    case TypeKind::Short: return "short";
+    case TypeKind::Int: return "int";
+    case TypeKind::Long: return "long";
+    case TypeKind::UnsignedChar: return "unsigned char";
+    case TypeKind::UnsignedShort: return "unsigned short";
+    case TypeKind::UnsignedInt: return "unsigned int";
+    case TypeKind::UnsignedLong: return "unsigned long";
+    case TypeKind::Float: return "float";
+    case TypeKind::Double: return "double";
+    case TypeKind::Pointer: return element_->spelling() + "*";
+    case TypeKind::Array:
+      return element_->spelling() + "[" + std::to_string(array_length_) + "]";
+    case TypeKind::Named: return name_;
+  }
+  return "<invalid>";
+}
+
+TypeTable::TypeTable() {
+  const TypeKind builtin_kinds[] = {
+      TypeKind::Void,         TypeKind::Char,          TypeKind::Short,
+      TypeKind::Int,          TypeKind::Long,          TypeKind::UnsignedChar,
+      TypeKind::UnsignedShort, TypeKind::UnsignedInt,  TypeKind::UnsignedLong,
+      TypeKind::Float,        TypeKind::Double,
+  };
+  for (TypeKind kind : builtin_kinds) {
+    storage_.push_back(std::make_unique<Type>(kind, nullptr, 0, ""));
+    builtins_[kind] = storage_.back().get();
+  }
+  // Pthread opaque types on IA-32 Linux (NPTL); sizes used by the partitioner
+  // when such a type survives analysis (normally the translator removes them).
+  setNamedTypeSize("pthread_t", 4);
+  setNamedTypeSize("pthread_attr_t", 36);
+  setNamedTypeSize("pthread_mutex_t", 24);
+  setNamedTypeSize("pthread_mutexattr_t", 4);
+  setNamedTypeSize("pthread_cond_t", 48);
+  setNamedTypeSize("pthread_barrier_t", 20);
+  setNamedTypeSize("size_t", 4);
+  // RCCE target types.
+  setNamedTypeSize("RCCE_FLAG", 4);
+  setNamedTypeSize("RCCE_COMM", 64);
+}
+
+const Type* TypeTable::builtin(TypeKind kind) const {
+  const auto it = builtins_.find(kind);
+  return it != builtins_.end() ? it->second : nullptr;
+}
+
+const Type* TypeTable::pointerTo(const Type* pointee) {
+  const auto it = pointer_cache_.find(pointee);
+  if (it != pointer_cache_.end()) return it->second;
+  storage_.push_back(std::make_unique<Type>(TypeKind::Pointer, pointee, 0, ""));
+  const Type* result = storage_.back().get();
+  pointer_cache_[pointee] = result;
+  return result;
+}
+
+const Type* TypeTable::arrayOf(const Type* element, std::size_t length) {
+  // Arrays are not interned (length differs per declaration); ownership is
+  // still centralized here.
+  storage_.push_back(std::make_unique<Type>(TypeKind::Array, element, length, ""));
+  return storage_.back().get();
+}
+
+const Type* TypeTable::named(const std::string& name) {
+  const auto it = named_cache_.find(name);
+  if (it != named_cache_.end()) return it->second;
+  storage_.push_back(std::make_unique<Type>(TypeKind::Named, nullptr, 0, name));
+  const Type* result = storage_.back().get();
+  named_cache_[name] = result;
+  return result;
+}
+
+std::size_t TypeTable::sizeOf(const Type* type) const {
+  if (type == nullptr) return 0;
+  switch (type->kind()) {
+    case TypeKind::Void: return 0;
+    case TypeKind::Char:
+    case TypeKind::UnsignedChar: return 1;
+    case TypeKind::Short:
+    case TypeKind::UnsignedShort: return 2;
+    case TypeKind::Int:
+    case TypeKind::UnsignedInt:
+    case TypeKind::Long:
+    case TypeKind::UnsignedLong:
+    case TypeKind::Float: return 4;  // IA-32: long is 4 bytes
+    case TypeKind::Double: return 8;
+    case TypeKind::Pointer: return 4;  // IA-32 pointers
+    case TypeKind::Array: return type->arrayLength() * sizeOf(type->element());
+    case TypeKind::Named: {
+      const auto it = named_sizes_.find(type->name());
+      return it != named_sizes_.end() ? it->second : 4;
+    }
+  }
+  return 0;
+}
+
+void TypeTable::setNamedTypeSize(const std::string& name, std::size_t bytes) {
+  named_sizes_[name] = bytes;
+}
+
+}  // namespace hsm::ast

@@ -1,0 +1,114 @@
+// The type system for the C-subset IR.
+//
+// Types are immutable and interned: TypeTable owns every Type instance and
+// returns stable, non-owning `const Type*` handles, so pointer equality is
+// type equality. Sizes follow the IA-32 (SCC / P54C) data model the paper
+// targets: 32-bit int, 32-bit pointers, 64-bit double.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hsm::ast {
+
+enum class TypeKind : std::uint8_t {
+  Void,
+  Char,
+  Short,
+  Int,
+  Long,
+  UnsignedChar,
+  UnsignedShort,
+  UnsignedInt,
+  UnsignedLong,
+  Float,
+  Double,
+  Pointer,
+  Array,
+  Named,  ///< An opaque named type, e.g. `pthread_t` or `RCCE_FLAG`.
+};
+
+class Type {
+ public:
+  Type(TypeKind kind, const Type* element, std::size_t array_length, std::string name)
+      : kind_(kind), element_(element), array_length_(array_length), name_(std::move(name)) {}
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool isPointer() const { return kind_ == TypeKind::Pointer; }
+  [[nodiscard]] bool isArray() const { return kind_ == TypeKind::Array; }
+  [[nodiscard]] bool isNamed() const { return kind_ == TypeKind::Named; }
+  [[nodiscard]] bool isVoid() const { return kind_ == TypeKind::Void; }
+  [[nodiscard]] bool isInteger() const {
+    switch (kind_) {
+      case TypeKind::Char:
+      case TypeKind::Short:
+      case TypeKind::Int:
+      case TypeKind::Long:
+      case TypeKind::UnsignedChar:
+      case TypeKind::UnsignedShort:
+      case TypeKind::UnsignedInt:
+      case TypeKind::UnsignedLong:
+        return true;
+      default:
+        return false;
+    }
+  }
+  [[nodiscard]] bool isFloating() const {
+    return kind_ == TypeKind::Float || kind_ == TypeKind::Double;
+  }
+
+  /// Pointee for pointers, element for arrays; nullptr otherwise.
+  [[nodiscard]] const Type* element() const { return element_; }
+  /// Array length in elements (0 for incomplete arrays / non-arrays).
+  [[nodiscard]] std::size_t arrayLength() const { return array_length_; }
+  /// Name of a Named type; empty otherwise.
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// C spelling of this type, e.g. "int *", "double [16]", "pthread_t".
+  [[nodiscard]] std::string spelling() const;
+
+ private:
+  TypeKind kind_;
+  const Type* element_;
+  std::size_t array_length_;
+  std::string name_;
+};
+
+/// Owns and interns all Type instances for one translation unit.
+class TypeTable {
+ public:
+  TypeTable();
+  TypeTable(const TypeTable&) = delete;
+  TypeTable& operator=(const TypeTable&) = delete;
+
+  [[nodiscard]] const Type* builtin(TypeKind kind) const;
+  [[nodiscard]] const Type* voidType() const { return builtin(TypeKind::Void); }
+  [[nodiscard]] const Type* intType() const { return builtin(TypeKind::Int); }
+  [[nodiscard]] const Type* doubleType() const { return builtin(TypeKind::Double); }
+  [[nodiscard]] const Type* charType() const { return builtin(TypeKind::Char); }
+
+  const Type* pointerTo(const Type* pointee);
+  const Type* arrayOf(const Type* element, std::size_t length);
+  const Type* named(const std::string& name);
+
+  /// Size in bytes on the target (IA-32). Named types consult the size
+  /// registry (which knows pthread/RCCE types); unknown named types are
+  /// assumed pointer-sized — a conservative choice for partitioning.
+  [[nodiscard]] std::size_t sizeOf(const Type* type) const;
+
+  /// Register (or override) the byte size of a named type.
+  void setNamedTypeSize(const std::string& name, std::size_t bytes);
+
+ private:
+  std::vector<std::unique_ptr<Type>> storage_;
+  std::unordered_map<TypeKind, const Type*> builtins_;
+  std::unordered_map<const Type*, const Type*> pointer_cache_;
+  std::unordered_map<std::string, const Type*> named_cache_;
+  std::unordered_map<std::string, std::size_t> named_sizes_;
+};
+
+}  // namespace hsm::ast

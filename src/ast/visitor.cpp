@@ -1,0 +1,199 @@
+#include "ast/visitor.h"
+
+namespace hsm::ast {
+
+void RecursiveVisitor::traverseUnit(TranslationUnit& unit) {
+  for (TopLevel& tl : unit.topLevels()) {
+    if (tl.kind == TopLevel::Kind::Vars) {
+      for (VarDecl* var : tl.vars) traverseVarDecl(var);
+    } else if (tl.function != nullptr) {
+      traverseFunction(*tl.function);
+    }
+  }
+}
+
+void RecursiveVisitor::traverseFunction(FunctionDecl& fn) {
+  visitFunctionDecl(fn);
+  FunctionDecl* const saved = current_function_;
+  current_function_ = &fn;
+  for (ParamDecl* p : fn.params()) {
+    if (p != nullptr) visitVarDecl(*p);
+  }
+  if (fn.body() != nullptr) traverseStmt(fn.body());
+  current_function_ = saved;
+}
+
+void RecursiveVisitor::traverseVarDecl(VarDecl* var) {
+  if (var == nullptr) return;
+  visitVarDecl(*var);
+  if (var->init() != nullptr) traverseExpr(var->init(), AccessContext::Read);
+}
+
+void RecursiveVisitor::traverseStmt(Stmt* stmt) {
+  if (stmt == nullptr) return;
+  visitStmt(*stmt);
+  switch (stmt->kind()) {
+    case StmtKind::Compound: {
+      auto& compound = static_cast<CompoundStmt&>(*stmt);
+      // Copy: transform passes may edit the body while another visitor runs.
+      const std::vector<Stmt*> body = compound.body();
+      for (Stmt* s : body) traverseStmt(s);
+      break;
+    }
+    case StmtKind::Decl: {
+      auto& decl_stmt = static_cast<DeclStmt&>(*stmt);
+      for (VarDecl* var : decl_stmt.decls()) traverseVarDecl(var);
+      break;
+    }
+    case StmtKind::Expr:
+      traverseExpr(static_cast<ExprStmt&>(*stmt).expr());
+      break;
+    case StmtKind::If: {
+      auto& if_stmt = static_cast<IfStmt&>(*stmt);
+      traverseExpr(if_stmt.cond());
+      enterIfBranch(if_stmt);
+      traverseStmt(if_stmt.thenStmt());
+      traverseStmt(if_stmt.elseStmt());
+      exitIfBranch(if_stmt);
+      break;
+    }
+    case StmtKind::For: {
+      auto& for_stmt = static_cast<ForStmt&>(*stmt);
+      traverseStmt(for_stmt.init());
+      if (for_stmt.cond() != nullptr) traverseExpr(for_stmt.cond());
+      if (for_stmt.step() != nullptr) traverseExpr(for_stmt.step());
+      ++loop_depth_;
+      enterLoopBody(for_stmt);
+      traverseStmt(for_stmt.body());
+      exitLoopBody(for_stmt);
+      --loop_depth_;
+      break;
+    }
+    case StmtKind::While: {
+      auto& while_stmt = static_cast<WhileStmt&>(*stmt);
+      traverseExpr(while_stmt.cond());
+      ++loop_depth_;
+      enterLoopBody(while_stmt);
+      traverseStmt(while_stmt.body());
+      exitLoopBody(while_stmt);
+      --loop_depth_;
+      break;
+    }
+    case StmtKind::Do: {
+      auto& do_stmt = static_cast<DoStmt&>(*stmt);
+      ++loop_depth_;
+      enterLoopBody(do_stmt);
+      traverseStmt(do_stmt.body());
+      exitLoopBody(do_stmt);
+      --loop_depth_;
+      traverseExpr(do_stmt.cond());
+      break;
+    }
+    case StmtKind::Return: {
+      auto& ret = static_cast<ReturnStmt&>(*stmt);
+      if (ret.value() != nullptr) traverseExpr(ret.value());
+      break;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Null:
+      break;
+  }
+}
+
+void RecursiveVisitor::traverseExpr(Expr* expr, AccessContext ctx) {
+  if (expr == nullptr) return;
+  visitExpr(*expr, ctx);
+  switch (expr->kind()) {
+    case ExprKind::IntLiteral:
+    case ExprKind::FloatLiteral:
+    case ExprKind::CharLiteral:
+    case ExprKind::StringLiteral:
+      break;
+    case ExprKind::DeclRef:
+      visitDeclRef(static_cast<DeclRefExpr&>(*expr), ctx);
+      break;
+    case ExprKind::Unary: {
+      auto& unary = static_cast<UnaryExpr&>(*expr);
+      switch (unary.op()) {
+        case UnaryOp::AddrOf:
+          traverseExpr(unary.operand(), AccessContext::AddressOf);
+          break;
+        case UnaryOp::PreInc:
+        case UnaryOp::PreDec:
+        case UnaryOp::PostInc:
+        case UnaryOp::PostDec:
+          traverseExpr(unary.operand(), AccessContext::ReadWrite);
+          break;
+        case UnaryOp::Deref:
+          // The pointer itself is read; the pointed-to object inherits the
+          // surrounding context, which analysis handles at the DeclRef level.
+          traverseExpr(unary.operand(), AccessContext::Read);
+          break;
+        default:
+          traverseExpr(unary.operand(), AccessContext::Read);
+          break;
+      }
+      break;
+    }
+    case ExprKind::Binary: {
+      auto& binary = static_cast<BinaryExpr&>(*expr);
+      if (isAssignmentOp(binary.op())) {
+        traverseExpr(binary.lhs(), isCompoundAssignmentOp(binary.op())
+                                       ? AccessContext::ReadWrite
+                                       : AccessContext::Write);
+        traverseExpr(binary.rhs(), AccessContext::Read);
+      } else {
+        traverseExpr(binary.lhs(), AccessContext::Read);
+        traverseExpr(binary.rhs(), AccessContext::Read);
+      }
+      break;
+    }
+    case ExprKind::Conditional: {
+      auto& cond = static_cast<ConditionalExpr&>(*expr);
+      traverseExpr(cond.cond(), AccessContext::Read);
+      traverseExpr(cond.thenExpr(), ctx);
+      traverseExpr(cond.elseExpr(), ctx);
+      break;
+    }
+    case ExprKind::Call: {
+      auto& call = static_cast<CallExpr&>(*expr);
+      // Deliberately do not traverse the callee as a value read; the callee
+      // name is reported through visitCall.
+      for (Expr* arg : call.args()) traverseExpr(arg, AccessContext::Read);
+      visitCall(call);
+      break;
+    }
+    case ExprKind::Index: {
+      auto& index = static_cast<IndexExpr&>(*expr);
+      // `a[i] = x` writes a's element but reads the index; the base array
+      // reference carries the surrounding access context. Taking the address
+      // of an element (&a[i]) still *reads* the base binding to compute the
+      // address — the paper counts `&threads[local]` as a read of `threads`.
+      traverseExpr(index.base(),
+                   ctx == AccessContext::AddressOf ? AccessContext::Read : ctx);
+      traverseExpr(index.index(), AccessContext::Read);
+      break;
+    }
+    case ExprKind::Member:
+      traverseExpr(static_cast<MemberExpr&>(*expr).base(), ctx);
+      break;
+    case ExprKind::Cast:
+      traverseExpr(static_cast<CastExpr&>(*expr).operand(), ctx);
+      break;
+    case ExprKind::Sizeof: {
+      auto& size_of = static_cast<SizeofExpr&>(*expr);
+      // sizeof does not evaluate its operand; skip traversal to keep
+      // read/write counts faithful.
+      (void)size_of;
+      break;
+    }
+    case ExprKind::InitList:
+      for (Expr* e : static_cast<InitListExpr&>(*expr).inits()) {
+        traverseExpr(e, AccessContext::Read);
+      }
+      break;
+  }
+}
+
+}  // namespace hsm::ast

@@ -1,0 +1,60 @@
+// Recursive AST walking utilities.
+//
+// `RecursiveVisitor` visits every node depth-first; subclasses override the
+// hooks they care about. Expression hooks receive an AccessContext so that
+// analyses can distinguish reads from writes (needed for the paper's
+// Table 4.1 read/write counts).
+#pragma once
+
+#include "ast/ast.h"
+
+namespace hsm::ast {
+
+/// How an expression's value is being used at a visit site.
+enum class AccessContext : std::uint8_t {
+  Read,       ///< rvalue use
+  Write,      ///< pure store target (`x = ...`)
+  ReadWrite,  ///< compound assignment / increment target (`x += ...`, `x++`)
+  AddressOf,  ///< operand of unary `&` (neither read nor write by itself)
+};
+
+class RecursiveVisitor {
+ public:
+  virtual ~RecursiveVisitor() = default;
+
+  void traverseUnit(TranslationUnit& unit);
+  void traverseFunction(FunctionDecl& fn);
+  void traverseStmt(Stmt* stmt);
+  void traverseExpr(Expr* expr, AccessContext ctx = AccessContext::Read);
+  void traverseVarDecl(VarDecl* var);
+
+ protected:
+  // Override points. Defaults do nothing; traversal continues regardless.
+  virtual void visitVarDecl(VarDecl&) {}
+  virtual void visitFunctionDecl(FunctionDecl&) {}
+  virtual void visitStmt(Stmt&) {}
+  virtual void visitExpr(Expr&, AccessContext) {}
+  /// Called for every DeclRefExpr with its effective access context.
+  virtual void visitDeclRef(DeclRefExpr&, AccessContext) {}
+  /// Called for every call expression (after its children).
+  virtual void visitCall(CallExpr&) {}
+  /// Called around loop bodies (For/While/Do) so analyses can maintain
+  /// trip-count weights or induction-variable stacks.
+  virtual void enterLoopBody(Stmt&) {}
+  virtual void exitLoopBody(Stmt&) {}
+  /// Called around the then/else branches of an if statement, so analyses
+  /// can mark facts gathered there as control-dependent ("possible").
+  virtual void enterIfBranch(IfStmt&) {}
+  virtual void exitIfBranch(IfStmt&) {}
+
+  /// The function whose body is currently being traversed (null at file scope).
+  [[nodiscard]] FunctionDecl* currentFunction() const { return current_function_; }
+  /// Nesting depth of loops enclosing the current node within the function.
+  [[nodiscard]] int loopDepth() const { return loop_depth_; }
+
+ private:
+  FunctionDecl* current_function_ = nullptr;
+  int loop_depth_ = 0;
+};
+
+}  // namespace hsm::ast

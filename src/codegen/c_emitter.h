@@ -1,0 +1,32 @@
+// C source emission: turns the (possibly transformed) AST back into
+// compilable C. Preprocessor directives captured by the lexer are re-emitted
+// at the top of the file; expressions are printed with precedence-aware
+// parenthesization.
+#pragma once
+
+#include <string>
+
+#include "ast/context.h"
+
+namespace hsm::codegen {
+
+struct EmitOptions {
+  int indent_width = 4;
+};
+
+class CSourceEmitter {
+ public:
+  explicit CSourceEmitter(EmitOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string emit(const ast::TranslationUnit& unit) const;
+  [[nodiscard]] std::string emitExpr(const ast::Expr& expr) const;
+  [[nodiscard]] std::string emitStmt(const ast::Stmt& stmt, int indent = 0) const;
+  /// "int x", "int *p", "int a[3]", "double m[4][4]" — declarator form.
+  [[nodiscard]] std::string emitDeclarator(const ast::Type* type,
+                                           const std::string& name) const;
+
+ private:
+  EmitOptions options_;
+};
+
+}  // namespace hsm::codegen

@@ -1,0 +1,364 @@
+#include "lex/lexer.h"
+
+#include <cctype>
+#include <string_view>
+#include <unordered_map>
+
+namespace hsm::lex {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"void", TokenKind::KwVoid},       {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},     {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},       {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},   {"signed", TokenKind::KwSigned},
+      {"unsigned", TokenKind::KwUnsigned}, {"const", TokenKind::KwConst},
+      {"volatile", TokenKind::KwVolatile}, {"static", TokenKind::KwStatic},
+      {"extern", TokenKind::KwExtern},   {"struct", TokenKind::KwStruct},
+      {"union", TokenKind::KwUnion},     {"enum", TokenKind::KwEnum},
+      {"typedef", TokenKind::KwTypedef}, {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},     {"do", TokenKind::KwDo},
+      {"return", TokenKind::KwReturn},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},       {"default", TokenKind::KwDefault},
+      {"goto", TokenKind::KwGoto},       {"sizeof", TokenKind::KwSizeof},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Eof: return "end of file";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "floating literal";
+    case TokenKind::CharLiteral: return "character literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwChar: return "'char'";
+    case TokenKind::KwShort: return "'short'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwLong: return "'long'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwSigned: return "'signed'";
+    case TokenKind::KwUnsigned: return "'unsigned'";
+    case TokenKind::KwConst: return "'const'";
+    case TokenKind::KwVolatile: return "'volatile'";
+    case TokenKind::KwStatic: return "'static'";
+    case TokenKind::KwExtern: return "'extern'";
+    case TokenKind::KwStruct: return "'struct'";
+    case TokenKind::KwUnion: return "'union'";
+    case TokenKind::KwEnum: return "'enum'";
+    case TokenKind::KwTypedef: return "'typedef'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwDo: return "'do'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::KwSwitch: return "'switch'";
+    case TokenKind::KwCase: return "'case'";
+    case TokenKind::KwDefault: return "'default'";
+    case TokenKind::KwGoto: return "'goto'";
+    case TokenKind::KwSizeof: return "'sizeof'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Question: return "'?'";
+    case TokenKind::Ellipsis: return "'...'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::LessEqual: return "'<='";
+    case TokenKind::GreaterEqual: return "'>='";
+    case TokenKind::EqualEqual: return "'=='";
+    case TokenKind::BangEqual: return "'!='";
+    case TokenKind::LessLess: return "'<<'";
+    case TokenKind::GreaterGreater: return "'>>'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::PlusAssign: return "'+='";
+    case TokenKind::MinusAssign: return "'-='";
+    case TokenKind::StarAssign: return "'*='";
+    case TokenKind::SlashAssign: return "'/='";
+    case TokenKind::PercentAssign: return "'%='";
+    case TokenKind::AmpAssign: return "'&='";
+    case TokenKind::PipeAssign: return "'|='";
+    case TokenKind::CaretAssign: return "'^='";
+    case TokenKind::LessLessAssign: return "'<<='";
+    case TokenKind::GreaterGreaterAssign: return "'>>='";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Arrow: return "'->'";
+  }
+  return "unknown";
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < buffer_.text().size() ? buffer_.text()[i] : '\0';
+}
+
+bool Lexer::match(char expected) {
+  if (atEnd() || peek() != expected) return false;
+  ++pos_;
+  return true;
+}
+
+Token Lexer::makeToken(TokenKind kind, std::size_t start) const {
+  Token tok;
+  tok.kind = kind;
+  tok.text = buffer_.text().substr(start, pos_ - start);
+  tok.loc = buffer_.locate(static_cast<std::uint32_t>(start));
+  return tok;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos_;
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') ++pos_;
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = here();
+      pos_ += 2;
+      bool closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          pos_ += 2;
+          closed = true;
+          break;
+        }
+        ++pos_;
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      break;
+    }
+  }
+}
+
+void Lexer::lexDirective(LexResult& out) {
+  const std::size_t start = pos_;
+  const SourceLoc loc = here();
+  // Capture up to end of line, honoring line continuations.
+  while (!atEnd() && peek() != '\n') {
+    if (peek() == '\\' && peek(1) == '\n') {
+      pos_ += 2;
+      continue;
+    }
+    ++pos_;
+  }
+  std::string text(buffer_.text().substr(start, pos_ - start));
+  // Strip trailing carriage return, if any.
+  while (!text.empty() && (text.back() == '\r' || text.back() == ' ')) text.pop_back();
+  out.directives.push_back(Directive{std::move(text), loc, tokens_lexed_});
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  const std::size_t start = pos_;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) ++pos_;
+  const std::string_view text = buffer_.text().substr(start, pos_ - start);
+  const auto& table = keywordTable();
+  const auto it = table.find(text);
+  return makeToken(it != table.end() ? it->second : TokenKind::Identifier, start);
+}
+
+Token Lexer::lexNumber() {
+  const std::size_t start = pos_;
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    pos_ += 2;
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek()))) ++pos_;
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      ++pos_;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else if (peek() == '.') {
+      is_float = true;
+      ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::size_t probe = 1;
+      if (peek(probe) == '+' || peek(probe) == '-') ++probe;
+      if (std::isdigit(static_cast<unsigned char>(peek(probe)))) {
+        is_float = true;
+        pos_ += probe;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      }
+    }
+  }
+  // Suffixes: u/U/l/L/f/F in any reasonable combination.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'f' || peek() == 'F') {
+    if (peek() == 'f' || peek() == 'F') is_float = true;
+    ++pos_;
+  }
+  return makeToken(is_float ? TokenKind::FloatLiteral : TokenKind::IntLiteral, start);
+}
+
+Token Lexer::lexCharLiteral() {
+  const std::size_t start = pos_;
+  const SourceLoc loc = here();
+  ++pos_;  // opening quote
+  while (!atEnd() && peek() != '\'') {
+    if (peek() == '\\') ++pos_;
+    if (!atEnd()) ++pos_;
+  }
+  if (!match('\'')) diags_.error(loc, "unterminated character literal");
+  return makeToken(TokenKind::CharLiteral, start);
+}
+
+Token Lexer::lexStringLiteral() {
+  const std::size_t start = pos_;
+  const SourceLoc loc = here();
+  ++pos_;  // opening quote
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\') ++pos_;
+    if (!atEnd()) ++pos_;
+  }
+  if (!match('"')) diags_.error(loc, "unterminated string literal");
+  return makeToken(TokenKind::StringLiteral, start);
+}
+
+Token Lexer::lexOperator() {
+  const std::size_t start = pos_;
+  const char c = advance();
+  switch (c) {
+    case '(': return makeToken(TokenKind::LParen, start);
+    case ')': return makeToken(TokenKind::RParen, start);
+    case '{': return makeToken(TokenKind::LBrace, start);
+    case '}': return makeToken(TokenKind::RBrace, start);
+    case '[': return makeToken(TokenKind::LBracket, start);
+    case ']': return makeToken(TokenKind::RBracket, start);
+    case ';': return makeToken(TokenKind::Semicolon, start);
+    case ',': return makeToken(TokenKind::Comma, start);
+    case ':': return makeToken(TokenKind::Colon, start);
+    case '?': return makeToken(TokenKind::Question, start);
+    case '~': return makeToken(TokenKind::Tilde, start);
+    case '+':
+      if (match('+')) return makeToken(TokenKind::PlusPlus, start);
+      if (match('=')) return makeToken(TokenKind::PlusAssign, start);
+      return makeToken(TokenKind::Plus, start);
+    case '-':
+      if (match('-')) return makeToken(TokenKind::MinusMinus, start);
+      if (match('=')) return makeToken(TokenKind::MinusAssign, start);
+      if (match('>')) return makeToken(TokenKind::Arrow, start);
+      return makeToken(TokenKind::Minus, start);
+    case '*':
+      if (match('=')) return makeToken(TokenKind::StarAssign, start);
+      return makeToken(TokenKind::Star, start);
+    case '/':
+      if (match('=')) return makeToken(TokenKind::SlashAssign, start);
+      return makeToken(TokenKind::Slash, start);
+    case '%':
+      if (match('=')) return makeToken(TokenKind::PercentAssign, start);
+      return makeToken(TokenKind::Percent, start);
+    case '&':
+      if (match('&')) return makeToken(TokenKind::AmpAmp, start);
+      if (match('=')) return makeToken(TokenKind::AmpAssign, start);
+      return makeToken(TokenKind::Amp, start);
+    case '|':
+      if (match('|')) return makeToken(TokenKind::PipePipe, start);
+      if (match('=')) return makeToken(TokenKind::PipeAssign, start);
+      return makeToken(TokenKind::Pipe, start);
+    case '^':
+      if (match('=')) return makeToken(TokenKind::CaretAssign, start);
+      return makeToken(TokenKind::Caret, start);
+    case '!':
+      if (match('=')) return makeToken(TokenKind::BangEqual, start);
+      return makeToken(TokenKind::Bang, start);
+    case '=':
+      if (match('=')) return makeToken(TokenKind::EqualEqual, start);
+      return makeToken(TokenKind::Assign, start);
+    case '<':
+      if (match('<')) {
+        if (match('=')) return makeToken(TokenKind::LessLessAssign, start);
+        return makeToken(TokenKind::LessLess, start);
+      }
+      if (match('=')) return makeToken(TokenKind::LessEqual, start);
+      return makeToken(TokenKind::Less, start);
+    case '>':
+      if (match('>')) {
+        if (match('=')) return makeToken(TokenKind::GreaterGreaterAssign, start);
+        return makeToken(TokenKind::GreaterGreater, start);
+      }
+      if (match('=')) return makeToken(TokenKind::GreaterEqual, start);
+      return makeToken(TokenKind::Greater, start);
+    case '.':
+      if (peek() == '.' && peek(1) == '.') {
+        pos_ += 2;
+        return makeToken(TokenKind::Ellipsis, start);
+      }
+      return makeToken(TokenKind::Dot, start);
+    default:
+      diags_.error(buffer_.locate(static_cast<std::uint32_t>(start)),
+                   std::string("unexpected character '") + c + "'");
+      return makeToken(TokenKind::Eof, start);
+  }
+}
+
+LexResult Lexer::lexAll() {
+  LexResult out;
+  pos_ = 0;
+  tokens_lexed_ = 0;
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (atEnd()) break;
+    const char c = peek();
+    if (c == '#') {
+      lexDirective(out);
+      continue;
+    }
+    Token tok;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tok = lexIdentifierOrKeyword();
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      tok = lexNumber();
+    } else if (c == '\'') {
+      tok = lexCharLiteral();
+    } else if (c == '"') {
+      tok = lexStringLiteral();
+    } else {
+      tok = lexOperator();
+      if (tok.kind == TokenKind::Eof) continue;  // error already reported
+    }
+    out.tokens.push_back(tok);
+    ++tokens_lexed_;
+  }
+  Token eof;
+  eof.kind = TokenKind::Eof;
+  eof.loc = buffer_.locate(static_cast<std::uint32_t>(buffer_.text().size()));
+  out.tokens.push_back(eof);
+  return out;
+}
+
+}  // namespace hsm::lex

@@ -1,0 +1,53 @@
+// A hand-written lexer for the C subset accepted by the translator.
+//
+// Handles identifiers/keywords, integer/float/char/string literals, the full
+// C operator set, line and block comments, and captures preprocessor
+// directives verbatim (they are re-emitted by codegen).
+#pragma once
+
+#include <vector>
+
+#include "lex/token.h"
+#include "support/diagnostics.h"
+#include "support/source.h"
+
+namespace hsm::lex {
+
+struct LexResult {
+  std::vector<Token> tokens;       ///< Terminated by an Eof token.
+  std::vector<Directive> directives;
+};
+
+class Lexer {
+ public:
+  Lexer(const SourceBuffer& buffer, DiagnosticEngine& diags)
+      : buffer_(buffer), diags_(diags) {}
+
+  /// Lex the whole buffer. Errors are reported to the DiagnosticEngine;
+  /// lexing continues after recoverable errors.
+  [[nodiscard]] LexResult lexAll();
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool atEnd() const { return pos_ >= buffer_.text().size(); }
+  char advance() { return buffer_.text()[pos_++]; }
+  [[nodiscard]] bool match(char expected);
+  [[nodiscard]] SourceLoc here() const { return buffer_.locate(static_cast<std::uint32_t>(pos_)); }
+
+  void skipWhitespaceAndComments();
+  void lexDirective(LexResult& out);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  Token lexOperator();
+
+  Token makeToken(TokenKind kind, std::size_t start) const;
+
+  const SourceBuffer& buffer_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::size_t tokens_lexed_ = 0;
+};
+
+}  // namespace hsm::lex

@@ -1,0 +1,67 @@
+// Token definitions for the C-subset frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source.h"
+
+namespace hsm::lex {
+
+enum class TokenKind : std::uint8_t {
+  // Sentinels
+  Eof,
+  // Literals and names
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  // Keywords
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwSigned, KwUnsigned, KwConst, KwVolatile, KwStatic, KwExtern,
+  KwStruct, KwUnion, KwEnum, KwTypedef,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwSwitch, KwCase, KwDefault, KwGoto, KwSizeof,
+  // Punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Colon, Question, Ellipsis,
+  // Operators
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Less, Greater, LessEqual, GreaterEqual, EqualEqual, BangEqual,
+  LessLess, GreaterGreater,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, LessLessAssign, GreaterGreaterAssign,
+  Dot, Arrow,
+};
+
+/// Human-readable spelling of a token kind (for diagnostics).
+[[nodiscard]] const char* tokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string_view text;  ///< Points into the SourceBuffer text.
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool isOneOf(TokenKind a, TokenKind b) const { return is(a) || is(b); }
+  template <typename... Ts>
+  [[nodiscard]] bool isOneOf(TokenKind a, TokenKind b, Ts... rest) const {
+    return is(a) || isOneOf(b, rest...);
+  }
+};
+
+/// A preprocessor directive captured verbatim (e.g. `#include <stdio.h>`).
+/// The frontend does not expand the preprocessor; directives are carried
+/// through to the translated output, as a source-to-source tool must.
+struct Directive {
+  std::string text;           ///< Full line without trailing newline.
+  SourceLoc loc;
+  std::size_t token_index = 0;  ///< Number of tokens lexed before this directive.
+};
+
+}  // namespace hsm::lex

@@ -1,0 +1,796 @@
+#include "parse/parser.h"
+
+#include <cstdlib>
+
+#include "lex/lexer.h"
+
+namespace hsm::parse {
+
+using lex::Token;
+using lex::TokenKind;
+
+namespace {
+
+/// Binary operator precedence (C levels, higher binds tighter).
+/// Returns -1 for tokens that are not binary operators.
+int binaryPrecedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::LessLess:
+    case TokenKind::GreaterGreater: return 8;
+    case TokenKind::Less:
+    case TokenKind::Greater:
+    case TokenKind::LessEqual:
+    case TokenKind::GreaterEqual: return 7;
+    case TokenKind::EqualEqual:
+    case TokenKind::BangEqual: return 6;
+    case TokenKind::Amp: return 5;
+    case TokenKind::Caret: return 4;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::PipePipe: return 1;
+    default: return -1;
+  }
+}
+
+ast::BinaryOp binaryOpFor(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Star: return ast::BinaryOp::Mul;
+    case TokenKind::Slash: return ast::BinaryOp::Div;
+    case TokenKind::Percent: return ast::BinaryOp::Rem;
+    case TokenKind::Plus: return ast::BinaryOp::Add;
+    case TokenKind::Minus: return ast::BinaryOp::Sub;
+    case TokenKind::LessLess: return ast::BinaryOp::Shl;
+    case TokenKind::GreaterGreater: return ast::BinaryOp::Shr;
+    case TokenKind::Less: return ast::BinaryOp::Lt;
+    case TokenKind::Greater: return ast::BinaryOp::Gt;
+    case TokenKind::LessEqual: return ast::BinaryOp::Le;
+    case TokenKind::GreaterEqual: return ast::BinaryOp::Ge;
+    case TokenKind::EqualEqual: return ast::BinaryOp::Eq;
+    case TokenKind::BangEqual: return ast::BinaryOp::Ne;
+    case TokenKind::Amp: return ast::BinaryOp::BitAnd;
+    case TokenKind::Caret: return ast::BinaryOp::BitXor;
+    case TokenKind::Pipe: return ast::BinaryOp::BitOr;
+    case TokenKind::AmpAmp: return ast::BinaryOp::LogicalAnd;
+    case TokenKind::PipePipe: return ast::BinaryOp::LogicalOr;
+    default: return ast::BinaryOp::Add;  // unreachable by construction
+  }
+}
+
+bool assignmentOpFor(TokenKind kind, ast::BinaryOp* out) {
+  switch (kind) {
+    case TokenKind::Assign: *out = ast::BinaryOp::Assign; return true;
+    case TokenKind::PlusAssign: *out = ast::BinaryOp::AddAssign; return true;
+    case TokenKind::MinusAssign: *out = ast::BinaryOp::SubAssign; return true;
+    case TokenKind::StarAssign: *out = ast::BinaryOp::MulAssign; return true;
+    case TokenKind::SlashAssign: *out = ast::BinaryOp::DivAssign; return true;
+    case TokenKind::PercentAssign: *out = ast::BinaryOp::RemAssign; return true;
+    case TokenKind::AmpAssign: *out = ast::BinaryOp::AndAssign; return true;
+    case TokenKind::PipeAssign: *out = ast::BinaryOp::OrAssign; return true;
+    case TokenKind::CaretAssign: *out = ast::BinaryOp::XorAssign; return true;
+    case TokenKind::LessLessAssign: *out = ast::BinaryOp::ShlAssign; return true;
+    case TokenKind::GreaterGreaterAssign: *out = ast::BinaryOp::ShrAssign; return true;
+    default: return false;
+  }
+}
+
+bool isBuiltinTypeKeyword(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::KwVoid:
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwSigned:
+    case TokenKind::KwUnsigned:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, std::vector<lex::Directive> directives,
+               ast::ASTContext& context, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), ctx_(context), diags_(diags) {
+  ctx_.unit().directives() = std::move(directives);
+  // Names that behave like typedefs in the benchmarks we accept. These come
+  // from headers we do not preprocess (#includes are carried through).
+  for (const char* name :
+       {"pthread_t", "pthread_attr_t", "pthread_mutex_t", "pthread_mutexattr_t",
+        "pthread_cond_t", "pthread_barrier_t", "size_t", "int8_t", "int16_t",
+        "int32_t", "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+        "RCCE_FLAG", "RCCE_COMM"}) {
+    type_names_.insert(name);
+  }
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& tok = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* what) {
+  if (check(kind)) return advance();
+  had_error_ = true;
+  diags_.error(peek().loc, std::string("expected ") + what + " but found " +
+                               lex::tokenKindName(peek().kind));
+  return peek();
+}
+
+void Parser::synchronizeToSemicolon() {
+  while (!atEnd() && !check(TokenKind::Semicolon) && !check(TokenKind::RBrace)) advance();
+  match(TokenKind::Semicolon);
+}
+
+// ---------------------------------------------------------------------------
+// Types & declarators
+// ---------------------------------------------------------------------------
+
+bool Parser::startsTypeSpecifier(std::size_t ahead) const {
+  const Token& tok = peek(ahead);
+  if (isBuiltinTypeKeyword(tok.kind)) return true;
+  if (tok.isOneOf(TokenKind::KwConst, TokenKind::KwVolatile, TokenKind::KwStatic,
+                  TokenKind::KwExtern, TokenKind::KwStruct)) {
+    return true;
+  }
+  if (tok.is(TokenKind::Identifier)) {
+    return type_names_.count(std::string(tok.text)) > 0;
+  }
+  return false;
+}
+
+const ast::Type* Parser::parseTypeSpecifier(ast::StorageClass* storage) {
+  ast::TypeTable& types = ctx_.types();
+  bool is_unsigned = false;
+  bool saw_signedness = false;
+  int long_count = 0;
+  bool saw_short = false;
+  const ast::Type* base = nullptr;
+
+  for (;;) {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::KwConst:
+      case TokenKind::KwVolatile:
+        advance();  // qualifiers are accepted and dropped (not semantically used)
+        continue;
+      case TokenKind::KwStatic:
+        if (storage != nullptr) *storage = ast::StorageClass::Static;
+        advance();
+        continue;
+      case TokenKind::KwExtern:
+        if (storage != nullptr) *storage = ast::StorageClass::Extern;
+        advance();
+        continue;
+      case TokenKind::KwSigned:
+        saw_signedness = true;
+        advance();
+        continue;
+      case TokenKind::KwUnsigned:
+        is_unsigned = true;
+        saw_signedness = true;
+        advance();
+        continue;
+      case TokenKind::KwShort:
+        saw_short = true;
+        advance();
+        continue;
+      case TokenKind::KwLong:
+        ++long_count;
+        advance();
+        continue;
+      case TokenKind::KwVoid:
+        advance();
+        base = types.builtin(ast::TypeKind::Void);
+        continue;
+      case TokenKind::KwChar:
+        advance();
+        base = types.builtin(is_unsigned ? ast::TypeKind::UnsignedChar : ast::TypeKind::Char);
+        continue;
+      case TokenKind::KwInt:
+        advance();
+        base = types.builtin(ast::TypeKind::Int);
+        continue;
+      case TokenKind::KwFloat:
+        advance();
+        base = types.builtin(ast::TypeKind::Float);
+        continue;
+      case TokenKind::KwDouble:
+        advance();
+        base = types.builtin(ast::TypeKind::Double);
+        continue;
+      case TokenKind::KwStruct: {
+        advance();
+        const Token& name = expect(TokenKind::Identifier, "struct name");
+        base = types.named("struct " + std::string(name.text));
+        continue;
+      }
+      case TokenKind::Identifier:
+        if (base == nullptr && !saw_short && long_count == 0 && !saw_signedness &&
+            type_names_.count(std::string(tok.text)) > 0) {
+          base = types.named(std::string(tok.text));
+          advance();
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    break;
+  }
+
+  if (base == nullptr || (base->kind() == ast::TypeKind::Int || base == nullptr)) {
+    // Apply short/long/unsigned adjustments to an (implicit or explicit) int.
+    if (saw_short) {
+      return types.builtin(is_unsigned ? ast::TypeKind::UnsignedShort : ast::TypeKind::Short);
+    }
+    if (long_count > 0) {
+      return types.builtin(is_unsigned ? ast::TypeKind::UnsignedLong : ast::TypeKind::Long);
+    }
+    if (base == nullptr) {
+      if (saw_signedness) {
+        return types.builtin(is_unsigned ? ast::TypeKind::UnsignedInt : ast::TypeKind::Int);
+      }
+      return nullptr;  // not a type specifier at all
+    }
+    if (is_unsigned && base->kind() == ast::TypeKind::Int) {
+      return types.builtin(ast::TypeKind::UnsignedInt);
+    }
+  }
+  return base;
+}
+
+Parser::Declarator Parser::parseDeclarator(const ast::Type* base) {
+  Declarator d;
+  const ast::Type* type = base;
+  while (match(TokenKind::Star)) {
+    type = ctx_.types().pointerTo(type);
+    // Accept (and drop) qualifiers after '*'.
+    while (match(TokenKind::KwConst) || match(TokenKind::KwVolatile)) {}
+  }
+  const Token& name = expect(TokenKind::Identifier, "declarator name");
+  d.name = std::string(name.text);
+  d.loc = name.loc;
+
+  if (check(TokenKind::LParen)) {
+    advance();
+    d.is_function = true;
+    if (!check(TokenKind::RParen)) {
+      do {
+        if (check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+          advance();  // (void) parameter list
+          break;
+        }
+        if (match(TokenKind::Ellipsis)) break;
+        ast::StorageClass param_storage = ast::StorageClass::None;
+        const ast::Type* param_base = parseTypeSpecifier(&param_storage);
+        if (param_base == nullptr) {
+          had_error_ = true;
+          diags_.error(peek().loc, "expected parameter type");
+          synchronizeToSemicolon();
+          break;
+        }
+        const ast::Type* param_type = param_base;
+        while (match(TokenKind::Star)) param_type = ctx_.types().pointerTo(param_type);
+        std::string param_name;
+        SourceLoc param_loc = peek().loc;
+        if (check(TokenKind::Identifier)) {
+          const Token& pn = advance();
+          param_name = std::string(pn.text);
+          param_loc = pn.loc;
+        }
+        // Array parameter decays to pointer.
+        while (match(TokenKind::LBracket)) {
+          while (!check(TokenKind::RBracket) && !atEnd()) advance();
+          expect(TokenKind::RBracket, "']'");
+          param_type = ctx_.types().pointerTo(param_type);
+        }
+        auto* param = ctx_.makeDecl<ast::ParamDecl>(param_name, param_type, param_loc);
+        d.params.push_back(param);
+      } while (match(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "')'");
+    d.type = type;  // return type for functions
+    return d;
+  }
+
+  // Array suffixes (innermost dimension last in source, outermost first in type).
+  std::vector<std::size_t> dims;
+  while (match(TokenKind::LBracket)) {
+    std::size_t length = 0;
+    if (!check(TokenKind::RBracket)) {
+      // Require an integer-constant dimension (sufficient for our subset).
+      if (check(TokenKind::IntLiteral)) {
+        length = static_cast<std::size_t>(std::strtoll(
+            std::string(peek().text).c_str(), nullptr, 0));
+        advance();
+      } else {
+        // Constant expression dimensions: evaluate simple N*M forms.
+        ast::Expr* dim = parseConditional();
+        (void)dim;
+        had_error_ = true;
+        diags_.error(peek().loc, "array dimension must be an integer literal");
+      }
+    }
+    expect(TokenKind::RBracket, "']'");
+    dims.push_back(length);
+  }
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+    type = ctx_.types().arrayOf(type, *it);
+  }
+  d.type = type;
+  return d;
+}
+
+const ast::Type* Parser::parseAbstractType() {
+  const ast::Type* base = parseTypeSpecifier(nullptr);
+  if (base == nullptr) return nullptr;
+  const ast::Type* type = base;
+  while (match(TokenKind::Star)) type = ctx_.types().pointerTo(type);
+  return type;
+}
+
+bool Parser::looksLikeCast() const {
+  if (!check(TokenKind::LParen)) return false;
+  if (!startsTypeSpecifier(1)) return false;
+  // Scan forward over the type tokens to confirm `( type-stars )`.
+  std::size_t i = 1;
+  while (isBuiltinTypeKeyword(peek(i).kind) ||
+         peek(i).isOneOf(TokenKind::KwConst, TokenKind::KwVolatile, TokenKind::KwStruct) ||
+         (peek(i).is(TokenKind::Identifier) &&
+          type_names_.count(std::string(peek(i).text)) > 0)) {
+    ++i;
+  }
+  while (peek(i).is(TokenKind::Star)) ++i;
+  return peek(i).is(TokenKind::RParen);
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+bool Parser::parseUnit() {
+  while (!atEnd()) {
+    parseTopLevel();
+  }
+  return !had_error_ && !diags_.hasErrors();
+}
+
+void Parser::parseTopLevel() {
+  if (match(TokenKind::Semicolon)) return;  // stray semicolon
+
+  if (check(TokenKind::KwTypedef)) {
+    advance();
+    const ast::Type* base = parseTypeSpecifier(nullptr);
+    if (base == nullptr) {
+      had_error_ = true;
+      diags_.error(peek().loc, "expected type after 'typedef'");
+      synchronizeToSemicolon();
+      return;
+    }
+    Declarator d = parseDeclarator(base);
+    type_names_.insert(d.name);
+    expect(TokenKind::Semicolon, "';' after typedef");
+    return;
+  }
+
+  ast::StorageClass storage = ast::StorageClass::None;
+  const ast::Type* base = parseTypeSpecifier(&storage);
+  if (base == nullptr) {
+    had_error_ = true;
+    diags_.error(peek().loc, std::string("expected a declaration, found ") +
+                                 lex::tokenKindName(peek().kind));
+    advance();
+    return;
+  }
+
+  Declarator first = parseDeclarator(base);
+  if (first.is_function) {
+    auto* fn = ctx_.makeDecl<ast::FunctionDecl>(first.name, first.type, first.loc);
+    fn->params() = first.params;
+    if (check(TokenKind::LBrace)) {
+      fn->setBody(parseCompound());
+    } else {
+      expect(TokenKind::Semicolon, "';' after function prototype");
+    }
+    ast::TopLevel tl;
+    tl.kind = ast::TopLevel::Kind::Function;
+    tl.function = fn;
+    ctx_.unit().topLevels().push_back(tl);
+    return;
+  }
+
+  ast::TopLevel tl;
+  tl.kind = ast::TopLevel::Kind::Vars;
+  tl.vars.push_back(finishVarDecl(first, storage, /*global=*/true));
+  while (match(TokenKind::Comma)) {
+    Declarator next = parseDeclarator(base);
+    tl.vars.push_back(finishVarDecl(next, storage, /*global=*/true));
+  }
+  expect(TokenKind::Semicolon, "';' after declaration");
+  ctx_.unit().topLevels().push_back(tl);
+}
+
+ast::VarDecl* Parser::finishVarDecl(const Declarator& d, ast::StorageClass storage,
+                                    bool global) {
+  auto* var = ctx_.makeDecl<ast::VarDecl>(d.name, d.type, d.loc);
+  var->setStorage(storage);
+  var->setGlobal(global);
+  if (match(TokenKind::Assign)) {
+    if (check(TokenKind::LBrace)) {
+      const Token& brace = advance();
+      std::vector<ast::Expr*> inits;
+      if (!check(TokenKind::RBrace)) {
+        do {
+          inits.push_back(parseAssignment());
+        } while (match(TokenKind::Comma) && !check(TokenKind::RBrace));
+      }
+      expect(TokenKind::RBrace, "'}'");
+      var->setInit(ctx_.makeExpr<ast::InitListExpr>(std::move(inits), brace.loc));
+    } else {
+      var->setInit(parseAssignment());
+    }
+  }
+  return var;
+}
+
+ast::DeclStmt* Parser::parseLocalDeclaration() {
+  const SourceLoc loc = peek().loc;
+  ast::StorageClass storage = ast::StorageClass::None;
+  const ast::Type* base = parseTypeSpecifier(&storage);
+  if (base == nullptr) {
+    had_error_ = true;
+    diags_.error(peek().loc, "expected type in declaration");
+    synchronizeToSemicolon();
+    return ctx_.makeStmt<ast::DeclStmt>(std::vector<ast::VarDecl*>{}, loc);
+  }
+  std::vector<ast::VarDecl*> vars;
+  do {
+    Declarator d = parseDeclarator(base);
+    vars.push_back(finishVarDecl(d, storage, /*global=*/false));
+  } while (match(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "';' after declaration");
+  return ctx_.makeStmt<ast::DeclStmt>(std::move(vars), loc);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+ast::CompoundStmt* Parser::parseCompound() {
+  const Token& brace = expect(TokenKind::LBrace, "'{'");
+  auto* compound = ctx_.makeStmt<ast::CompoundStmt>(brace.loc);
+  while (!check(TokenKind::RBrace) && !atEnd()) {
+    compound->append(parseStatement());
+  }
+  expect(TokenKind::RBrace, "'}'");
+  return compound;
+}
+
+ast::Stmt* Parser::parseStatement() {
+  switch (peek().kind) {
+    case TokenKind::LBrace: return parseCompound();
+    case TokenKind::KwIf: return parseIf();
+    case TokenKind::KwFor: return parseFor();
+    case TokenKind::KwWhile: return parseWhile();
+    case TokenKind::KwDo: return parseDo();
+    case TokenKind::KwReturn: return parseReturn();
+    case TokenKind::KwBreak: {
+      const Token& tok = advance();
+      expect(TokenKind::Semicolon, "';' after 'break'");
+      return ctx_.makeStmt<ast::BreakStmt>(tok.loc);
+    }
+    case TokenKind::KwContinue: {
+      const Token& tok = advance();
+      expect(TokenKind::Semicolon, "';' after 'continue'");
+      return ctx_.makeStmt<ast::ContinueStmt>(tok.loc);
+    }
+    case TokenKind::Semicolon: {
+      const Token& tok = advance();
+      return ctx_.makeStmt<ast::NullStmt>(tok.loc);
+    }
+    default:
+      break;
+  }
+  if (startsTypeSpecifier()) {
+    // Disambiguate declarations from expressions beginning with a type name
+    // used as a value (not possible in C, so a type start means declaration).
+    return parseLocalDeclaration();
+  }
+  const SourceLoc loc = peek().loc;
+  ast::Expr* e = parseExpr();
+  expect(TokenKind::Semicolon, "';' after expression");
+  return ctx_.makeStmt<ast::ExprStmt>(e, loc);
+}
+
+ast::Stmt* Parser::parseIf() {
+  const Token& kw = expect(TokenKind::KwIf, "'if'");
+  expect(TokenKind::LParen, "'('");
+  ast::Expr* cond = parseExpr();
+  expect(TokenKind::RParen, "')'");
+  ast::Stmt* then_stmt = parseStatement();
+  ast::Stmt* else_stmt = nullptr;
+  if (match(TokenKind::KwElse)) else_stmt = parseStatement();
+  return ctx_.makeStmt<ast::IfStmt>(cond, then_stmt, else_stmt, kw.loc);
+}
+
+ast::Stmt* Parser::parseFor() {
+  const Token& kw = expect(TokenKind::KwFor, "'for'");
+  expect(TokenKind::LParen, "'('");
+  ast::Stmt* init = nullptr;
+  if (check(TokenKind::Semicolon)) {
+    const Token& semi = advance();
+    init = ctx_.makeStmt<ast::NullStmt>(semi.loc);
+  } else if (startsTypeSpecifier()) {
+    init = parseLocalDeclaration();
+  } else {
+    const SourceLoc loc = peek().loc;
+    ast::Expr* e = parseExpr();
+    expect(TokenKind::Semicolon, "';' in for");
+    init = ctx_.makeStmt<ast::ExprStmt>(e, loc);
+  }
+  ast::Expr* cond = nullptr;
+  if (!check(TokenKind::Semicolon)) cond = parseExpr();
+  expect(TokenKind::Semicolon, "';' in for");
+  ast::Expr* step = nullptr;
+  if (!check(TokenKind::RParen)) step = parseExpr();
+  expect(TokenKind::RParen, "')'");
+  ast::Stmt* body = parseStatement();
+  return ctx_.makeStmt<ast::ForStmt>(init, cond, step, body, kw.loc);
+}
+
+ast::Stmt* Parser::parseWhile() {
+  const Token& kw = expect(TokenKind::KwWhile, "'while'");
+  expect(TokenKind::LParen, "'('");
+  ast::Expr* cond = parseExpr();
+  expect(TokenKind::RParen, "')'");
+  ast::Stmt* body = parseStatement();
+  return ctx_.makeStmt<ast::WhileStmt>(cond, body, kw.loc);
+}
+
+ast::Stmt* Parser::parseDo() {
+  const Token& kw = expect(TokenKind::KwDo, "'do'");
+  ast::Stmt* body = parseStatement();
+  expect(TokenKind::KwWhile, "'while' after do body");
+  expect(TokenKind::LParen, "'('");
+  ast::Expr* cond = parseExpr();
+  expect(TokenKind::RParen, "')'");
+  expect(TokenKind::Semicolon, "';' after do-while");
+  return ctx_.makeStmt<ast::DoStmt>(body, cond, kw.loc);
+}
+
+ast::Stmt* Parser::parseReturn() {
+  const Token& kw = expect(TokenKind::KwReturn, "'return'");
+  ast::Expr* value = nullptr;
+  if (!check(TokenKind::Semicolon)) value = parseExpr();
+  expect(TokenKind::Semicolon, "';' after return");
+  return ctx_.makeStmt<ast::ReturnStmt>(value, kw.loc);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ast::Expr* Parser::parseExpr() {
+  ast::Expr* e = parseAssignment();
+  while (check(TokenKind::Comma)) {
+    const Token& comma = advance();
+    ast::Expr* rhs = parseAssignment();
+    e = ctx_.makeExpr<ast::BinaryExpr>(ast::BinaryOp::Comma, e, rhs, comma.loc);
+  }
+  return e;
+}
+
+ast::Expr* Parser::parseAssignment() {
+  ast::Expr* lhs = parseConditional();
+  ast::BinaryOp op;
+  if (assignmentOpFor(peek().kind, &op)) {
+    const Token& tok = advance();
+    ast::Expr* rhs = parseAssignment();  // right associative
+    return ctx_.makeExpr<ast::BinaryExpr>(op, lhs, rhs, tok.loc);
+  }
+  return lhs;
+}
+
+ast::Expr* Parser::parseConditional() {
+  ast::Expr* cond = parseBinary(1);
+  if (check(TokenKind::Question)) {
+    const Token& q = advance();
+    ast::Expr* then_expr = parseExpr();
+    expect(TokenKind::Colon, "':' in conditional");
+    ast::Expr* else_expr = parseConditional();
+    return ctx_.makeExpr<ast::ConditionalExpr>(cond, then_expr, else_expr, q.loc);
+  }
+  return cond;
+}
+
+ast::Expr* Parser::parseBinary(int min_precedence) {
+  ast::Expr* lhs = parseUnary();
+  for (;;) {
+    const int prec = binaryPrecedence(peek().kind);
+    if (prec < min_precedence) return lhs;
+    const Token& op_tok = advance();
+    ast::Expr* rhs = parseBinary(prec + 1);  // all these operators are left associative
+    lhs = ctx_.makeExpr<ast::BinaryExpr>(binaryOpFor(op_tok.kind), lhs, rhs, op_tok.loc);
+  }
+}
+
+ast::Expr* Parser::parseUnary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::Plus:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::Plus, parseUnary(), tok.loc);
+    case TokenKind::Minus:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::Minus, parseUnary(), tok.loc);
+    case TokenKind::Bang:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::LogicalNot, parseUnary(), tok.loc);
+    case TokenKind::Tilde:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::BitNot, parseUnary(), tok.loc);
+    case TokenKind::Star:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::Deref, parseUnary(), tok.loc);
+    case TokenKind::Amp:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::AddrOf, parseUnary(), tok.loc);
+    case TokenKind::PlusPlus:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::PreInc, parseUnary(), tok.loc);
+    case TokenKind::MinusMinus:
+      advance();
+      return ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::PreDec, parseUnary(), tok.loc);
+    case TokenKind::KwSizeof: {
+      advance();
+      if (check(TokenKind::LParen) && startsTypeSpecifier(1)) {
+        advance();
+        const ast::Type* type = parseAbstractType();
+        expect(TokenKind::RParen, "')'");
+        return ctx_.makeExpr<ast::SizeofExpr>(type, tok.loc);
+      }
+      return ctx_.makeExpr<ast::SizeofExpr>(parseUnary(), tok.loc);
+    }
+    case TokenKind::LParen:
+      if (looksLikeCast()) {
+        advance();
+        const ast::Type* type = parseAbstractType();
+        expect(TokenKind::RParen, "')' after cast type");
+        ast::Expr* operand = parseUnary();
+        return ctx_.makeExpr<ast::CastExpr>(type, operand, tok.loc);
+      }
+      break;
+    default:
+      break;
+  }
+  return parsePostfix();
+}
+
+ast::Expr* Parser::parsePostfix() {
+  ast::Expr* e = parsePrimary();
+  for (;;) {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::LParen: {
+        advance();
+        std::vector<ast::Expr*> args;
+        if (!check(TokenKind::RParen)) {
+          do {
+            args.push_back(parseAssignment());
+          } while (match(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "')' after call arguments");
+        e = ctx_.makeExpr<ast::CallExpr>(e, std::move(args), tok.loc);
+        break;
+      }
+      case TokenKind::LBracket: {
+        advance();
+        ast::Expr* index = parseExpr();
+        expect(TokenKind::RBracket, "']'");
+        e = ctx_.makeExpr<ast::IndexExpr>(e, index, tok.loc);
+        break;
+      }
+      case TokenKind::Dot: {
+        advance();
+        const Token& member = expect(TokenKind::Identifier, "member name");
+        e = ctx_.makeExpr<ast::MemberExpr>(e, std::string(member.text), false, tok.loc);
+        break;
+      }
+      case TokenKind::Arrow: {
+        advance();
+        const Token& member = expect(TokenKind::Identifier, "member name");
+        e = ctx_.makeExpr<ast::MemberExpr>(e, std::string(member.text), true, tok.loc);
+        break;
+      }
+      case TokenKind::PlusPlus:
+        advance();
+        e = ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::PostInc, e, tok.loc);
+        break;
+      case TokenKind::MinusMinus:
+        advance();
+        e = ctx_.makeExpr<ast::UnaryExpr>(ast::UnaryOp::PostDec, e, tok.loc);
+        break;
+      default:
+        return e;
+    }
+  }
+}
+
+ast::Expr* Parser::parsePrimary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::IntLiteral: {
+      advance();
+      const std::string spelling(tok.text);
+      const long long value = std::strtoll(spelling.c_str(), nullptr, 0);
+      return ctx_.makeExpr<ast::IntLiteralExpr>(value, spelling, tok.loc);
+    }
+    case TokenKind::FloatLiteral: {
+      advance();
+      const std::string spelling(tok.text);
+      const double value = std::strtod(spelling.c_str(), nullptr);
+      return ctx_.makeExpr<ast::FloatLiteralExpr>(value, spelling, tok.loc);
+    }
+    case TokenKind::CharLiteral:
+      advance();
+      return ctx_.makeExpr<ast::CharLiteralExpr>(std::string(tok.text), tok.loc);
+    case TokenKind::StringLiteral: {
+      advance();
+      std::string spelling(tok.text);
+      // Adjacent string literal concatenation.
+      while (check(TokenKind::StringLiteral)) {
+        const Token& next = advance();
+        spelling.pop_back();  // remove closing quote
+        spelling += std::string(next.text).substr(1);
+      }
+      return ctx_.makeExpr<ast::StringLiteralExpr>(std::move(spelling), tok.loc);
+    }
+    case TokenKind::Identifier:
+      advance();
+      return ctx_.makeExpr<ast::DeclRefExpr>(std::string(tok.text), tok.loc);
+    case TokenKind::LParen: {
+      advance();
+      ast::Expr* e = parseExpr();
+      expect(TokenKind::RParen, "')'");
+      return e;
+    }
+    default:
+      had_error_ = true;
+      diags_.error(tok.loc, std::string("expected an expression, found ") +
+                                lex::tokenKindName(tok.kind));
+      advance();
+      return ctx_.makeExpr<ast::IntLiteralExpr>(0, "0", tok.loc);
+  }
+}
+
+bool parseSource(const SourceBuffer& buffer, ast::ASTContext& context,
+                 DiagnosticEngine& diags) {
+  lex::Lexer lexer(buffer, diags);
+  lex::LexResult lexed = lexer.lexAll();
+  if (diags.hasErrors()) return false;
+  Parser parser(std::move(lexed.tokens), std::move(lexed.directives), context, diags);
+  return parser.parseUnit();
+}
+
+}  // namespace hsm::parse

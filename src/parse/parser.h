@@ -1,0 +1,98 @@
+// Recursive-descent parser for the C subset the translator accepts:
+// declarations (scalars, pointers, arrays, typedef-style named types such as
+// pthread_t), function definitions, the full C expression grammar with
+// correct precedence, casts, sizeof, and the structured statements used by
+// Pthreads benchmarks (if/for/while/do/return/break/continue).
+//
+// The parser produces the AST owned by an ASTContext and performs no name
+// resolution; that is sema's job.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/context.h"
+#include "lex/token.h"
+#include "support/diagnostics.h"
+
+namespace hsm::parse {
+
+class Parser {
+ public:
+  Parser(std::vector<lex::Token> tokens, std::vector<lex::Directive> directives,
+         ast::ASTContext& context, DiagnosticEngine& diags);
+
+  /// Parse a whole translation unit into the context. Returns false if any
+  /// parse error was reported.
+  bool parseUnit();
+
+  /// Register an identifier that should be treated as a type name
+  /// (the moral equivalent of a typedef that came from an #include).
+  void addTypeName(const std::string& name) { type_names_.insert(name); }
+
+ private:
+  using Token = lex::Token;
+  using TokenKind = lex::TokenKind;
+
+  // -- token stream helpers --
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance();
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, const char* what);
+  [[nodiscard]] bool atEnd() const { return peek().is(TokenKind::Eof); }
+  void synchronizeToSemicolon();
+
+  // -- type & declarator parsing --
+  [[nodiscard]] bool startsTypeSpecifier(std::size_t ahead = 0) const;
+  const ast::Type* parseTypeSpecifier(ast::StorageClass* storage);
+  struct Declarator {
+    std::string name;
+    const ast::Type* type = nullptr;
+    SourceLoc loc;
+    bool is_function = false;
+    std::vector<ast::ParamDecl*> params;
+  };
+  Declarator parseDeclarator(const ast::Type* base);
+  /// Parse an abstract type, e.g. inside a cast or sizeof: specifier + stars.
+  const ast::Type* parseAbstractType();
+  [[nodiscard]] bool looksLikeCast() const;
+
+  // -- declarations --
+  void parseTopLevel();
+  ast::DeclStmt* parseLocalDeclaration();
+  ast::VarDecl* finishVarDecl(const Declarator& d, ast::StorageClass storage, bool global);
+
+  // -- statements --
+  ast::Stmt* parseStatement();
+  ast::CompoundStmt* parseCompound();
+  ast::Stmt* parseIf();
+  ast::Stmt* parseFor();
+  ast::Stmt* parseWhile();
+  ast::Stmt* parseDo();
+  ast::Stmt* parseReturn();
+
+  // -- expressions (precedence climbing) --
+  ast::Expr* parseExpr();            // comma
+  ast::Expr* parseAssignment();
+  ast::Expr* parseConditional();
+  ast::Expr* parseBinary(int min_precedence);
+  ast::Expr* parseUnary();
+  ast::Expr* parsePostfix();
+  ast::Expr* parsePrimary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ast::ASTContext& ctx_;
+  DiagnosticEngine& diags_;
+  std::unordered_set<std::string> type_names_;
+  bool had_error_ = false;
+};
+
+/// Convenience: lex + parse a buffer into `context`.
+/// Returns false on any lex or parse error.
+bool parseSource(const SourceBuffer& buffer, ast::ASTContext& context,
+                 DiagnosticEngine& diags);
+
+}  // namespace hsm::parse

@@ -1,0 +1,105 @@
+#include "partition/memory_plan.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hsm::partition {
+namespace {
+
+/// Greedy fill in the given candidate order; returns the plan.
+MemoryPlan greedyFill(std::vector<const analysis::VariableInfo*> order,
+                      const HsmMemorySpec& spec, bool everything_fits) {
+  MemoryPlan plan;
+  plan.everything_fits_onchip = everything_fits;
+  std::size_t remaining = spec.onchip_capacity_bytes;
+  for (const analysis::VariableInfo* v : order) {
+    PlacementDecision d;
+    d.variable = v;
+    d.bytes = v->byte_size;
+    d.weighted_accesses = v->totalWeightedAccesses();
+    if (d.bytes <= remaining) {
+      d.placement = Placement::OnChip;
+      d.offset = plan.onchip_used;
+      plan.onchip_used += d.bytes;
+      remaining -= d.bytes;
+    } else {
+      d.placement = Placement::OffChip;
+      d.offset = plan.offchip_used;
+      plan.offchip_used += d.bytes;
+    }
+    plan.decisions.push_back(d);
+  }
+  return plan;
+}
+
+std::size_t totalBytes(const std::vector<const analysis::VariableInfo*>& shared) {
+  std::size_t total = 0;
+  for (const analysis::VariableInfo* v : shared) total += v->byte_size;
+  return total;
+}
+
+}  // namespace
+
+double MemoryPlan::onchipAccessFraction() const {
+  double total = 0;
+  double onchip = 0;
+  for (const PlacementDecision& d : decisions) {
+    total += d.weighted_accesses;
+    if (d.placement == Placement::OnChip) onchip += d.weighted_accesses;
+  }
+  return total > 0 ? onchip / total : 0.0;
+}
+
+std::string MemoryPlan::format() const {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "Variable" << std::setw(10) << "Bytes"
+     << std::setw(10) << "Accesses" << std::setw(10) << "Where" << '\n';
+  os << std::string(44, '-') << '\n';
+  for (const PlacementDecision& d : decisions) {
+    os << std::left << std::setw(14)
+       << (d.variable != nullptr ? d.variable->name : "?") << std::setw(10) << d.bytes
+       << std::setw(10) << static_cast<long long>(d.weighted_accesses) << std::setw(10)
+       << placementName(d.placement) << '\n';
+  }
+  os << "on-chip used: " << onchip_used << " B, off-chip used: " << offchip_used
+     << " B, on-chip access fraction: " << std::fixed << std::setprecision(3)
+     << onchipAccessFraction() << '\n';
+  return os.str();
+}
+
+MemoryPlan SizeAscendingPlanner::plan(
+    const std::vector<const analysis::VariableInfo*>& shared,
+    const HsmMemorySpec& spec) const {
+  const bool fits = totalBytes(shared) <= spec.onchip_capacity_bytes;
+  std::vector<const analysis::VariableInfo*> order = shared;
+  if (!fits) {
+    // Algorithm 3 line 14: sort by size, ascending. Ties broken by
+    // declaration order for determinism.
+    std::stable_sort(order.begin(), order.end(),
+                     [](const analysis::VariableInfo* a, const analysis::VariableInfo* b) {
+                       return a->byte_size < b->byte_size;
+                     });
+  }
+  return greedyFill(std::move(order), spec, fits);
+}
+
+MemoryPlan FrequencyAwarePlanner::plan(
+    const std::vector<const analysis::VariableInfo*>& shared,
+    const HsmMemorySpec& spec) const {
+  const bool fits = totalBytes(shared) <= spec.onchip_capacity_bytes;
+  std::vector<const analysis::VariableInfo*> order = shared;
+  if (!fits) {
+    std::stable_sort(order.begin(), order.end(),
+                     [](const analysis::VariableInfo* a, const analysis::VariableInfo* b) {
+                       const double density_a =
+                           a->byte_size > 0 ? a->totalWeightedAccesses() / a->byte_size : 0;
+                       const double density_b =
+                           b->byte_size > 0 ? b->totalWeightedAccesses() / b->byte_size : 0;
+                       return density_a > density_b;
+                     });
+  }
+  return greedyFill(std::move(order), spec, fits);
+}
+
+}  // namespace hsm::partition

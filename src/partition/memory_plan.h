@@ -1,0 +1,81 @@
+// Stage 4: partitioning shared data between on-chip (MPB SRAM) and off-chip
+// (shared DRAM) memory — the paper's Algorithm 3, plus an access-frequency-
+// aware variant used for the ablation study ("further granularity provided
+// by frequency of access", §4.4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/variable_info.h"
+
+namespace hsm::partition {
+
+/// Capacities of the HSM target's shared memories. Defaults model the SCC:
+/// 8 KB of MPB per core (the slice a UE can allocate from) and an off-chip
+/// shared DRAM region big enough for any benchmark.
+struct HsmMemorySpec {
+  std::size_t onchip_capacity_bytes = 8 * 1024;
+  std::size_t offchip_capacity_bytes = 64ull * 1024 * 1024;
+
+  /// Total MPB across the whole chip (48 cores x 8 KB on the SCC); used for
+  /// reporting, not for the per-UE planning decision.
+  std::size_t onchip_total_bytes = 384 * 1024;
+};
+
+enum class Placement : std::uint8_t { OnChip, OffChip };
+
+[[nodiscard]] inline const char* placementName(Placement p) {
+  return p == Placement::OnChip ? "on-chip" : "off-chip";
+}
+
+struct PlacementDecision {
+  const analysis::VariableInfo* variable = nullptr;
+  Placement placement = Placement::OffChip;
+  std::size_t bytes = 0;
+  std::size_t offset = 0;  ///< byte offset within the chosen region
+  double weighted_accesses = 0;
+};
+
+struct MemoryPlan {
+  std::vector<PlacementDecision> decisions;
+  std::size_t onchip_used = 0;
+  std::size_t offchip_used = 0;
+  bool everything_fits_onchip = false;
+
+  [[nodiscard]] const PlacementDecision* find(const std::string& name) const {
+    for (const PlacementDecision& d : decisions) {
+      if (d.variable != nullptr && d.variable->name == name) return &d;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] Placement placementOf(const std::string& name) const {
+    const PlacementDecision* d = find(name);
+    return d != nullptr ? d->placement : Placement::OffChip;
+  }
+  /// Fraction of all weighted shared accesses that land on-chip — the
+  /// figure of merit for comparing partitioning policies.
+  [[nodiscard]] double onchipAccessFraction() const;
+
+  [[nodiscard]] std::string format() const;
+};
+
+/// The paper's Algorithm 3: if everything fits on-chip, put it there;
+/// otherwise sort ascending by size and greedily fill the remaining
+/// on-chip space, spilling the rest off-chip.
+class SizeAscendingPlanner {
+ public:
+  [[nodiscard]] MemoryPlan plan(const std::vector<const analysis::VariableInfo*>& shared,
+                                const HsmMemorySpec& spec) const;
+};
+
+/// Ablation variant: sort by weighted accesses per byte (descending) so the
+/// hottest data wins the scarce SRAM. Same fits-entirely fast path.
+class FrequencyAwarePlanner {
+ public:
+  [[nodiscard]] MemoryPlan plan(const std::vector<const analysis::VariableInfo*>& shared,
+                                const HsmMemorySpec& spec) const;
+};
+
+}  // namespace hsm::partition

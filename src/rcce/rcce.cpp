@@ -1,0 +1,20 @@
+#include "rcce/rcce.h"
+
+#include <stdexcept>
+
+namespace hsm::rcce {
+
+std::uint64_t RcceEnv::mpbMallocSymmetric(int num_ues, std::size_t bytes) {
+  std::uint64_t offset = 0;
+  for (int ue = 0; ue < num_ues; ++ue) {
+    const std::uint64_t o = machine_.mpbMalloc(ue, bytes);
+    if (ue == 0) {
+      offset = o;
+    } else if (o != offset) {
+      throw std::logic_error("asymmetric MPB allocation: slices out of lockstep");
+    }
+  }
+  return offset;
+}
+
+}  // namespace hsm::rcce

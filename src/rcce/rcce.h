@@ -1,0 +1,161 @@
+// An RCCE-compatible runtime over the simulated SCC.
+//
+// Mirrors the surface of the real RCCE library [van der Wijngaart et al.,
+// SIGOPS OSR 2011] that the translator targets:
+//   RCCE_ue / RCCE_num_ues      — rank / count of units of execution
+//   RCCE_shmalloc               — off-chip shared memory allocation
+//   RCCE_malloc                 — MPB (on-chip) allocation in the UE's slice
+//   RCCE_put / RCCE_get         — one-sided transfers through the MPB
+//   RCCE_barrier                — all-UE barrier
+//   RCCE_acquire/release_lock   — test-and-set register locks
+//
+// Every operation charges simulated time on the SccMachine; host-side setup
+// helpers (allocation before launch) are free, matching RCCE programs that
+// allocate during initialization.
+#pragma once
+
+#include "sim/machine.h"
+
+namespace hsm::rcce {
+
+/// Host-side environment: shared allocations visible to all UEs.
+class RcceEnv {
+ public:
+  explicit RcceEnv(sim::SccMachine& machine) : machine_(machine) {}
+
+  /// RCCE_shmalloc: off-chip shared memory (returns region offset).
+  std::uint64_t shmalloc(std::size_t bytes) { return machine_.shmalloc(bytes); }
+
+  /// RCCE_malloc for a given UE: space in that UE's 8 KB MPB slice.
+  std::uint64_t mpbMalloc(int ue, std::size_t bytes) {
+    return machine_.mpbMalloc(ue, bytes);
+  }
+
+  /// Allocate the same number of MPB bytes in every UE's slice (the common
+  /// symmetric-allocation pattern of RCCE programs). Returns the common
+  /// offset — identical across UEs because slices fill in lockstep.
+  std::uint64_t mpbMallocSymmetric(int num_ues, std::size_t bytes);
+
+  [[nodiscard]] sim::SccMachine& machine() { return machine_; }
+
+ private:
+  sim::SccMachine& machine_;
+};
+
+/// UE-side operations (thin, documented aliases over CoreContext).
+/// `put` moves data into the *target* UE's MPB; `get` pulls from the
+/// *source* UE's MPB — the one-sided primitives RCCE is built on.
+[[nodiscard]] inline sim::ResumeAt put(sim::CoreContext& ctx, int target_ue,
+                                       std::uint64_t mpb_offset, const void* src,
+                                       std::size_t bytes) {
+  return ctx.mpbWrite(target_ue, mpb_offset, src, bytes);
+}
+
+[[nodiscard]] inline sim::ResumeAt get(sim::CoreContext& ctx, int source_ue,
+                                       std::uint64_t mpb_offset, void* dst,
+                                       std::size_t bytes) {
+  return ctx.mpbRead(source_ue, mpb_offset, dst, bytes);
+}
+
+[[nodiscard]] inline sim::SyncBarrier::Awaiter barrier(sim::CoreContext& ctx) {
+  return ctx.barrier();
+}
+
+[[nodiscard]] inline sim::TasLock::Awaiter acquireLock(sim::CoreContext& ctx, int lock) {
+  return ctx.lockAcquire(lock);
+}
+
+inline void releaseLock(sim::CoreContext& ctx, int lock) { ctx.lockRelease(lock); }
+
+/// Typed view of an off-chip shared array (offsets in elements).
+template <typename T>
+class ShmArray {
+ public:
+  ShmArray() = default;
+  ShmArray(RcceEnv& env, std::size_t count)
+      : machine_(&env.machine()), base_(env.shmalloc(count * sizeof(T))), count_(count) {}
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::uint64_t byteOffset(std::size_t i) const {
+    return base_ + i * sizeof(T);
+  }
+
+  /// Host-side (untimed) access for setup and verification.
+  [[nodiscard]] T* hostData() {
+    return reinterpret_cast<T*>(machine_->shmData(base_));
+  }
+
+  [[nodiscard]] sim::SubTask read(sim::CoreContext& ctx, std::size_t i, T* out) const {
+    return ctx.shmRead(byteOffset(i), out, sizeof(T));
+  }
+  [[nodiscard]] sim::SubTask write(sim::CoreContext& ctx, std::size_t i,
+                                   const T& value) const {
+    // The value is captured by shmWrite before this temporary dies.
+    return ctx.shmWrite(byteOffset(i), &value, sizeof(T));
+  }
+  [[nodiscard]] sim::SubTask readBlock(sim::CoreContext& ctx, std::size_t first,
+                                       std::size_t count, T* out) const {
+    return ctx.shmRead(byteOffset(first), out, count * sizeof(T));
+  }
+  [[nodiscard]] sim::SubTask writeBlock(sim::CoreContext& ctx, std::size_t first,
+                                        std::size_t count, const T* src) const {
+    return ctx.shmWrite(byteOffset(first), src, count * sizeof(T));
+  }
+  /// RCCE-style bulk copy (sequential burst, row-buffer friendly).
+  [[nodiscard]] sim::ResumeAt readBulk(sim::CoreContext& ctx, std::size_t first,
+                                       std::size_t count, T* out) const {
+    return ctx.shmReadBulk(byteOffset(first), out, count * sizeof(T));
+  }
+  [[nodiscard]] sim::ResumeAt writeBulk(sim::CoreContext& ctx, std::size_t first,
+                                        std::size_t count, const T* src) const {
+    return ctx.shmWriteBulk(byteOffset(first), src, count * sizeof(T));
+  }
+
+ private:
+  sim::SccMachine* machine_ = nullptr;
+  std::uint64_t base_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Typed view of per-UE MPB buffers at a symmetric offset.
+template <typename T>
+class MpbArray {
+ public:
+  MpbArray() = default;
+  MpbArray(RcceEnv& env, int num_ues, std::size_t count_per_ue)
+      : machine_(&env.machine()),
+        base_(env.mpbMallocSymmetric(num_ues, count_per_ue * sizeof(T))),
+        count_(count_per_ue) {}
+
+  [[nodiscard]] std::size_t sizePerUe() const { return count_; }
+
+  [[nodiscard]] T* hostData(int ue) {
+    return reinterpret_cast<T*>(machine_->mpbData(ue, base_));
+  }
+
+  [[nodiscard]] sim::ResumeAt read(sim::CoreContext& ctx, int owner_ue, std::size_t i,
+                                   T* out) const {
+    return ctx.mpbRead(owner_ue, base_ + i * sizeof(T), out, sizeof(T));
+  }
+  [[nodiscard]] sim::ResumeAt write(sim::CoreContext& ctx, int owner_ue, std::size_t i,
+                                    const T& value) const {
+    return ctx.mpbWrite(owner_ue, base_ + i * sizeof(T), &value, sizeof(T));
+  }
+  [[nodiscard]] sim::ResumeAt readBlock(sim::CoreContext& ctx, int owner_ue,
+                                        std::size_t first, std::size_t count,
+                                        T* out) const {
+    return ctx.mpbRead(owner_ue, base_ + first * sizeof(T), out, count * sizeof(T));
+  }
+  [[nodiscard]] sim::ResumeAt writeBlock(sim::CoreContext& ctx, int owner_ue,
+                                         std::size_t first, std::size_t count,
+                                         const T* src) const {
+    return ctx.mpbWrite(owner_ue, base_ + first * sizeof(T), src, count * sizeof(T));
+  }
+
+ private:
+  sim::SccMachine* machine_ = nullptr;
+  std::uint64_t base_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hsm::rcce

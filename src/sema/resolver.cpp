@@ -1,0 +1,206 @@
+#include "sema/resolver.h"
+
+#include "ast/visitor.h"
+#include "sema/symbol_table.h"
+
+namespace hsm::sema {
+namespace {
+
+/// Walks a function body maintaining the scope stack and binding DeclRefs.
+class BindingVisitor final : public ast::RecursiveVisitor {
+ public:
+  explicit BindingVisitor(SymbolTable& symbols) : symbols_(symbols) {}
+
+  void run(ast::FunctionDecl& fn) {
+    symbols_.pushScope();
+    for (ast::ParamDecl* p : fn.params()) {
+      if (p != nullptr && !p->name().empty()) {
+        p->setOwner(&fn);
+        symbols_.declare(p->name(), p);
+      }
+    }
+    fn_ = &fn;
+    if (fn.body() != nullptr) bindCompound(*fn.body());
+    symbols_.popScope();
+  }
+
+ private:
+  // Scope handling requires pre/post hooks around compound statements, so the
+  // walk is implemented here rather than with RecursiveVisitor's traversal.
+  void bindStmt(ast::Stmt* stmt) {
+    if (stmt == nullptr) return;
+    switch (stmt->kind()) {
+      case ast::StmtKind::Compound:
+        bindCompound(static_cast<ast::CompoundStmt&>(*stmt));
+        break;
+      case ast::StmtKind::Decl:
+        for (ast::VarDecl* var : static_cast<ast::DeclStmt&>(*stmt).decls()) {
+          // Initializer sees outer bindings, not the new name (C semantics
+          // allow self-reference, but our inputs never use it).
+          if (var->init() != nullptr) bindExpr(var->init());
+          var->setOwner(fn_);
+          symbols_.declare(var->name(), var);
+        }
+        break;
+      case ast::StmtKind::Expr:
+        bindExpr(static_cast<ast::ExprStmt&>(*stmt).expr());
+        break;
+      case ast::StmtKind::If: {
+        auto& s = static_cast<ast::IfStmt&>(*stmt);
+        bindExpr(s.cond());
+        bindStmt(s.thenStmt());
+        bindStmt(s.elseStmt());
+        break;
+      }
+      case ast::StmtKind::For: {
+        auto& s = static_cast<ast::ForStmt&>(*stmt);
+        symbols_.pushScope();  // for-init declarations scope over the loop
+        bindStmt(s.init());
+        if (s.cond() != nullptr) bindExpr(s.cond());
+        if (s.step() != nullptr) bindExpr(s.step());
+        bindStmt(s.body());
+        symbols_.popScope();
+        break;
+      }
+      case ast::StmtKind::While: {
+        auto& s = static_cast<ast::WhileStmt&>(*stmt);
+        bindExpr(s.cond());
+        bindStmt(s.body());
+        break;
+      }
+      case ast::StmtKind::Do: {
+        auto& s = static_cast<ast::DoStmt&>(*stmt);
+        bindStmt(s.body());
+        bindExpr(s.cond());
+        break;
+      }
+      case ast::StmtKind::Return: {
+        auto& s = static_cast<ast::ReturnStmt&>(*stmt);
+        if (s.value() != nullptr) bindExpr(s.value());
+        break;
+      }
+      case ast::StmtKind::Break:
+      case ast::StmtKind::Continue:
+      case ast::StmtKind::Null:
+        break;
+    }
+  }
+
+  void bindCompound(ast::CompoundStmt& compound) {
+    symbols_.pushScope();
+    for (ast::Stmt* s : compound.body()) bindStmt(s);
+    symbols_.popScope();
+  }
+
+  void bindExpr(ast::Expr* expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind()) {
+      case ast::ExprKind::DeclRef: {
+        auto& ref = static_cast<ast::DeclRefExpr&>(*expr);
+        ref.setDecl(symbols_.lookup(ref.name()));
+        break;
+      }
+      case ast::ExprKind::Unary:
+        bindExpr(static_cast<ast::UnaryExpr&>(*expr).operand());
+        break;
+      case ast::ExprKind::Binary: {
+        auto& b = static_cast<ast::BinaryExpr&>(*expr);
+        bindExpr(b.lhs());
+        bindExpr(b.rhs());
+        break;
+      }
+      case ast::ExprKind::Conditional: {
+        auto& c = static_cast<ast::ConditionalExpr&>(*expr);
+        bindExpr(c.cond());
+        bindExpr(c.thenExpr());
+        bindExpr(c.elseExpr());
+        break;
+      }
+      case ast::ExprKind::Call: {
+        auto& call = static_cast<ast::CallExpr&>(*expr);
+        bindExpr(call.callee());
+        for (ast::Expr* a : call.args()) bindExpr(a);
+        break;
+      }
+      case ast::ExprKind::Index: {
+        auto& i = static_cast<ast::IndexExpr&>(*expr);
+        bindExpr(i.base());
+        bindExpr(i.index());
+        break;
+      }
+      case ast::ExprKind::Member:
+        bindExpr(static_cast<ast::MemberExpr&>(*expr).base());
+        break;
+      case ast::ExprKind::Cast:
+        bindExpr(static_cast<ast::CastExpr&>(*expr).operand());
+        break;
+      case ast::ExprKind::Sizeof:
+        if (auto* e = static_cast<ast::SizeofExpr&>(*expr).exprOperand()) bindExpr(e);
+        break;
+      case ast::ExprKind::InitList:
+        for (ast::Expr* e : static_cast<ast::InitListExpr&>(*expr).inits()) bindExpr(e);
+        break;
+      default:
+        break;
+    }
+  }
+
+  SymbolTable& symbols_;
+  ast::FunctionDecl* fn_ = nullptr;
+};
+
+}  // namespace
+
+bool Resolver::resolve(ast::ASTContext& context) {
+  SymbolTable symbols;
+  ast::TranslationUnit& unit = context.unit();
+
+  // Pass 1: register all file-scope names (functions may be referenced by
+  // pthread_create before their definitions appear).
+  for (ast::TopLevel& tl : unit.topLevels()) {
+    if (tl.kind == ast::TopLevel::Kind::Function && tl.function != nullptr) {
+      symbols.declareGlobal(tl.function->name(), tl.function);
+    } else {
+      for (ast::VarDecl* var : tl.vars) symbols.declareGlobal(var->name(), var);
+    }
+  }
+
+  // Pass 2: bind global initializers, then function bodies in order.
+  for (ast::TopLevel& tl : unit.topLevels()) {
+    if (tl.kind == ast::TopLevel::Kind::Vars) {
+      for (ast::VarDecl* var : tl.vars) {
+        if (var->init() != nullptr) {
+          // Global initializers reference only globals; bind in global scope.
+          struct GlobalInitBinder {
+            SymbolTable& symbols;
+            void bind(ast::Expr* e) {
+              if (e == nullptr) return;
+              if (e->kind() == ast::ExprKind::DeclRef) {
+                auto& ref = static_cast<ast::DeclRefExpr&>(*e);
+                ref.setDecl(symbols.lookup(ref.name()));
+                return;
+              }
+              if (e->kind() == ast::ExprKind::Unary) {
+                bind(static_cast<ast::UnaryExpr&>(*e).operand());
+              } else if (e->kind() == ast::ExprKind::Binary) {
+                bind(static_cast<ast::BinaryExpr&>(*e).lhs());
+                bind(static_cast<ast::BinaryExpr&>(*e).rhs());
+              } else if (e->kind() == ast::ExprKind::InitList) {
+                for (ast::Expr* i : static_cast<ast::InitListExpr&>(*e).inits()) bind(i);
+              } else if (e->kind() == ast::ExprKind::Cast) {
+                bind(static_cast<ast::CastExpr&>(*e).operand());
+              }
+            }
+          };
+          GlobalInitBinder{symbols}.bind(var->init());
+        }
+      }
+    } else if (tl.function != nullptr && tl.function->isDefinition()) {
+      BindingVisitor visitor(symbols);
+      visitor.run(*tl.function);
+    }
+  }
+  return !diags_.hasErrors();
+}
+
+}  // namespace hsm::sema

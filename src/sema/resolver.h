@@ -1,0 +1,24 @@
+// Name resolution: binds every DeclRefExpr to its declaration, records each
+// local variable's owning function, and flags globals. Unresolved names
+// (library calls like printf, macros like NULL carried through from headers)
+// are left unbound on purpose — the translator treats them as opaque.
+#pragma once
+
+#include "ast/context.h"
+#include "support/diagnostics.h"
+
+namespace hsm::sema {
+
+class Resolver {
+ public:
+  explicit Resolver(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Resolve the whole unit. Returns false only on structural errors
+  /// (e.g. duplicate function definitions); unknown names are not errors.
+  bool resolve(ast::ASTContext& context);
+
+ private:
+  DiagnosticEngine& diags_;
+};
+
+}  // namespace hsm::sema

@@ -1,0 +1,47 @@
+// Lexical scoping and symbol lookup for the C-subset IR.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace hsm::sema {
+
+/// A stack of lexical scopes mapping names to declarations. The global scope
+/// is index 0 and always present.
+class SymbolTable {
+ public:
+  SymbolTable() { scopes_.emplace_back(); }
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() {
+    if (scopes_.size() > 1) scopes_.pop_back();
+  }
+  [[nodiscard]] std::size_t depth() const { return scopes_.size(); }
+
+  /// Declare `decl` in the innermost scope. Re-declaration in the same scope
+  /// replaces the entry (the last declaration wins, as in a lenient C front
+  /// end; the paper's inputs never shadow within one scope).
+  void declare(const std::string& name, ast::Decl* decl) {
+    scopes_.back()[name] = decl;
+  }
+  void declareGlobal(const std::string& name, ast::Decl* decl) {
+    scopes_.front()[name] = decl;
+  }
+
+  /// Innermost-first lookup; null if the name is unknown (e.g. printf).
+  [[nodiscard]] ast::Decl* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, ast::Decl*>> scopes_;
+};
+
+}  // namespace hsm::sema

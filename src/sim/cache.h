@@ -1,0 +1,65 @@
+// A small write-back, write-allocate cache model (tag store only — data
+// lives in the functional backing store). Direct-mapped, which is close to
+// the P54C's 2-way L1 for streaming workloads and keeps lookups O(1).
+//
+// Used for the *private, cacheable* address space; shared off-chip pages on
+// the SCC are uncacheable and bypass this entirely (the whole point of the
+// paper's HSM memory discipline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hsm::sim {
+
+class Cache {
+ public:
+  Cache(std::size_t capacity_bytes, std::size_t line_bytes)
+      : line_bytes_(line_bytes), num_lines_(capacity_bytes / line_bytes),
+        tags_(num_lines_, 0), valid_(num_lines_, 0), dirty_(num_lines_, 0) {}
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;  ///< a dirty victim line must be written back
+  };
+
+  AccessResult access(std::uint64_t addr, bool is_write) {
+    const std::uint64_t line = addr / line_bytes_;
+    const std::size_t index = line % num_lines_;
+    const std::uint64_t tag = line / num_lines_;
+    AccessResult result;
+    if (valid_[index] != 0 && tags_[index] == tag) {
+      result.hit = true;
+      ++hits_;
+    } else {
+      result.writeback = valid_[index] != 0 && dirty_[index] != 0;
+      tags_[index] = tag;
+      valid_[index] = 1;
+      dirty_[index] = 0;
+      ++misses_;
+    }
+    if (is_write) dirty_[index] = 1;
+    return result;
+  }
+
+  void flush() {
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+  }
+
+  [[nodiscard]] std::size_t lineBytes() const { return line_bytes_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t line_bytes_;
+  std::size_t num_lines_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hsm::sim

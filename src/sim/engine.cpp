@@ -1,0 +1,43 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace hsm::sim {
+
+bool ResumeAt::await_ready() const noexcept {
+  // Zero-cost operations continue inline; anything in the future suspends.
+  return when <= engine.now();
+}
+
+void ResumeAt::await_suspend(std::coroutine_handle<> h) const {
+  engine.schedule(when, h);
+}
+
+std::size_t Engine::spawn(SimTask task, Tick start) {
+  const std::size_t id = tasks_.size();
+  task.handle().promise().engine = this;
+  task.handle().promise().task_id = id;
+  schedule(start, task.handle());
+  tasks_.push_back(std::move(task));
+  completion_.resize(tasks_.size(), 0);
+  return id;
+}
+
+Tick Engine::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return now_;
+}
+
+Tick Engine::makespan() const {
+  Tick max = 0;
+  for (Tick t : completion_) max = std::max(max, t);
+  return max;
+}
+
+}  // namespace hsm::sim

@@ -1,0 +1,219 @@
+// The discrete-event simulation kernel.
+//
+// Single-threaded and fully deterministic: simulated concurrency comes from
+// C++20 coroutines (SimTask). Each simulated core runs one coroutine; every
+// architectural operation computes its completion time (consulting shared
+// resource timelines for contention) and suspends until then. The engine
+// resumes handles in (time, insertion-sequence) order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hsm::sim {
+
+class Engine;
+
+/// A simulated thread of execution (one per core / logical thread).
+/// Root-level only: operations are awaited inline, not via nested tasks.
+class SimTask {
+ public:
+  struct promise_type {
+    Engine* engine = nullptr;     ///< set by Engine::spawn
+    std::size_t task_id = 0;
+
+    SimTask get_return_object() {
+      return SimTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    /// Notifies the engine of completion (roots can finish via symmetric
+    /// transfer from a subtask, where the event's handle is not the root).
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  SimTask() = default;
+  explicit SimTask(Handle h) : handle_(h) {}
+  SimTask(SimTask&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  [[nodiscard]] Handle handle() const { return handle_; }
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+  }
+  Handle handle_;
+};
+
+/// Awaitable that resumes the coroutine at an absolute simulated time.
+struct ResumeAt {
+  Engine& engine;
+  Tick when;
+
+  [[nodiscard]] bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> h) const;
+  void await_resume() const noexcept {}
+};
+
+/// A nested awaitable coroutine: `co_await someSubTask()` transfers control
+/// into the subtask; when it completes, control symmetric-transfers back to
+/// the awaiting coroutine. Used for multi-event operations (e.g. a block of
+/// uncached word transactions, each its own event so concurrent cores
+/// interleave fairly at the memory controllers).
+class SubTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+
+    SubTask get_return_object() {
+      return SubTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        std::coroutine_handle<> cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit SubTask(Handle h) : handle_(h) {}
+  SubTask(SubTask&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaitable interface: start the subtask, remember who to resume.
+  [[nodiscard]] bool await_ready() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;  // symmetric transfer into the subtask
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Handle handle_;
+};
+
+class Engine {
+ public:
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedule `h` to resume at absolute time `when` (clamped to now).
+  void schedule(Tick when, std::coroutine_handle<> h) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, h});
+  }
+
+  /// Adopt a task and schedule its first resume at `start`.
+  /// Returns an id usable with `completionTime`.
+  std::size_t spawn(SimTask task, Tick start = 0);
+
+  /// Run until the event queue drains. Returns the time of the last event.
+  Tick run();
+
+  /// Completion time of a spawned task (valid after run()); 0 if not done.
+  [[nodiscard]] Tick completionTime(std::size_t task_id) const {
+    return task_id < completion_.size() ? completion_[task_id] : 0;
+  }
+
+  /// Called from SimTask's final suspend point.
+  void onRootDone(std::size_t task_id) {
+    if (task_id < completion_.size()) completion_[task_id] = now_;
+  }
+  /// Latest completion across all spawned tasks (the makespan).
+  [[nodiscard]] Tick makespan() const;
+
+  [[nodiscard]] std::uint64_t eventsProcessed() const { return events_processed_; }
+
+  /// Convenience awaitable: suspend for `dt` picoseconds.
+  [[nodiscard]] ResumeAt delay(Tick dt) { return ResumeAt{*this, now_ + dt}; }
+  [[nodiscard]] ResumeAt resumeAt(Tick when) { return ResumeAt{*this, when}; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::vector<SimTask> tasks_;
+  std::vector<Tick> completion_;
+};
+
+inline void SimTask::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) const noexcept {
+  promise_type& p = h.promise();
+  if (p.engine != nullptr) p.engine->onRootDone(p.task_id);
+}
+
+/// A serially-reusable resource (memory controller port, MPB port, the
+/// baseline's single core): requests are serviced back-to-back in the order
+/// they arrive in simulated time.
+class ResourceTimeline {
+ public:
+  /// A request arriving at `arrival` needing `service` time.
+  /// Returns its completion time and advances the timeline.
+  Tick acquire(Tick arrival, Tick service) {
+    const Tick start = arrival > next_free_ ? arrival : next_free_;
+    next_free_ = start + service;
+    total_busy_ += service;
+    ++requests_;
+    return next_free_;
+  }
+
+  [[nodiscard]] Tick nextFree() const { return next_free_; }
+  [[nodiscard]] Tick totalBusy() const { return total_busy_; }
+  [[nodiscard]] std::uint64_t requests() const { return requests_; }
+
+ private:
+  Tick next_free_ = 0;
+  Tick total_busy_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace hsm::sim

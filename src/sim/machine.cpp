@@ -1,0 +1,374 @@
+#include "sim/machine.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace hsm::sim {
+
+// ---------------------------------------------------------------------------
+// SyncBarrier / TasLock
+// ---------------------------------------------------------------------------
+
+void SyncBarrier::onArrive(std::coroutine_handle<> h) {
+  const Tick arrival = engine_.now() + arrive_cost_;
+  if (arrival > latest_arrival_) latest_arrival_ = arrival;
+  waiting_.push_back(h);
+  ++arrived_;
+  if (arrived_ >= participants_) {
+    const Tick release = latest_arrival_ + release_cost_;
+    for (std::coroutine_handle<> w : waiting_) engine_.schedule(release, w);
+    waiting_.clear();
+    arrived_ = 0;
+    latest_arrival_ = 0;
+    ++episodes_;
+  }
+}
+
+void TasLock::onAcquire(std::coroutine_handle<> h) {
+  if (!held_) {
+    held_ = true;
+    engine_.schedule(engine_.now() + roundtrip_, h);
+  } else {
+    ++contention_;
+    queue_.push_back(h);
+  }
+}
+
+void TasLock::release() {
+  if (queue_.empty()) {
+    held_ = false;
+    return;
+  }
+  std::coroutine_handle<> next = queue_.front();
+  queue_.erase(queue_.begin());
+  engine_.schedule(engine_.now() + roundtrip_, next);
+}
+
+// ---------------------------------------------------------------------------
+// CoreContext
+// ---------------------------------------------------------------------------
+
+Tick CoreContext::now() const { return machine_.engine().now(); }
+
+ResumeAt CoreContext::compute(std::uint64_t core_cycles) {
+  const Tick dt = machine_.config().coreClock().cycles(core_cycles);
+  return machine_.engine().delay(dt);
+}
+
+ResumeAt CoreContext::computeOps(std::uint64_t count, OpClass cls) {
+  return compute(count * opCycles(machine_.config(), cls));
+}
+
+ResumeAt CoreContext::privRead(std::uint64_t addr, void* out, std::size_t bytes) {
+  const Tick done =
+      machine_.privAccessCompletion(core_, now(), addr, bytes, false, out, nullptr);
+  return machine_.engine().resumeAt(done);
+}
+
+ResumeAt CoreContext::privWrite(std::uint64_t addr, const void* src, std::size_t bytes) {
+  const Tick done =
+      machine_.privAccessCompletion(core_, now(), addr, bytes, true, nullptr, src);
+  return machine_.engine().resumeAt(done);
+}
+
+ResumeAt CoreContext::privTouch(std::uint64_t addr, std::size_t bytes, bool write) {
+  const Tick done =
+      machine_.privAccessCompletion(core_, now(), addr, bytes, write, nullptr, nullptr);
+  return machine_.engine().resumeAt(done);
+}
+
+SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes) {
+  const std::size_t txn = machine_.config().shm_transaction_bytes;
+  std::size_t done_bytes = 0;
+  while (done_bytes < bytes) {
+    const Tick done = machine_.shmWordCompletion(core_, now());
+    co_await machine_.engine().resumeAt(done);
+    done_bytes += txn;
+  }
+  if (out != nullptr) std::memcpy(out, machine_.shmData(offset), bytes);
+}
+
+SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
+  if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
+  const std::size_t txn = machine_.config().shm_transaction_bytes;
+  std::size_t done_bytes = 0;
+  while (done_bytes < bytes) {
+    const Tick done = machine_.shmWordCompletion(core_, now());
+    co_await machine_.engine().resumeAt(done);
+    done_bytes += txn;
+  }
+}
+
+ResumeAt CoreContext::shmReadBulk(std::uint64_t offset, void* out, std::size_t bytes) {
+  const Tick done =
+      machine_.shmBulkCompletion(core_, now(), offset, bytes, false, out, nullptr);
+  return machine_.engine().resumeAt(done);
+}
+
+ResumeAt CoreContext::shmWriteBulk(std::uint64_t offset, const void* src,
+                                   std::size_t bytes) {
+  const Tick done =
+      machine_.shmBulkCompletion(core_, now(), offset, bytes, true, nullptr, src);
+  return machine_.engine().resumeAt(done);
+}
+
+ResumeAt CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
+                              std::size_t bytes) {
+  const Tick done = machine_.mpbAccessCompletion(core_, owner_ue, now(), offset, bytes,
+                                                 false, out, nullptr);
+  return machine_.engine().resumeAt(done);
+}
+
+ResumeAt CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
+                               std::size_t bytes) {
+  const Tick done = machine_.mpbAccessCompletion(core_, owner_ue, now(), offset, bytes,
+                                                 true, nullptr, src);
+  return machine_.engine().resumeAt(done);
+}
+
+SyncBarrier::Awaiter CoreContext::barrier() { return machine_.barrier().arrive(); }
+
+TasLock::Awaiter CoreContext::lockAcquire(int lock_id) {
+  return machine_.lock(lock_id).acquire();
+}
+
+void CoreContext::lockRelease(int lock_id) { machine_.lock(lock_id).release(); }
+
+// ---------------------------------------------------------------------------
+// SccMachine
+// ---------------------------------------------------------------------------
+
+SccMachine::SccMachine(SccConfig config)
+    : config_(config), mesh_(config_), core_clock_(config_.coreClock()),
+      mesh_clock_(config_.meshClock()), dram_clock_(config_.dramClock()) {
+  // The shared region grows on demand in shmalloc (up to the configured
+  // capacity); reserving 64 MB eagerly would dominate small simulations.
+  mpb_.resize(config_.mpbTotalBytes(), 0);
+  private_mem_.resize(config_.num_cores);
+  l1_.reserve(config_.num_cores);
+  l2_.reserve(config_.num_cores);
+  for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+    l1_.emplace_back(config_.l1_bytes, config_.cache_line_bytes);
+    l2_.emplace_back(config_.l2_bytes, config_.cache_line_bytes);
+  }
+  mc_.resize(config_.num_mem_controllers);
+  mpb_port_.resize(config_.numTiles());
+}
+
+std::uint64_t SccMachine::shmalloc(std::size_t bytes) {
+  shm_brk_ = (shm_brk_ + 7) & ~std::uint64_t{7};
+  if (shm_brk_ + bytes > config_.shared_dram_bytes) throw std::bad_alloc();
+  const std::uint64_t offset = shm_brk_;
+  shm_brk_ += bytes;
+  if (shm_brk_ > shared_dram_.size()) {
+    // Growth invalidates raw pointers; all internal accesses re-fetch
+    // through shmData on every operation.
+    shared_dram_.resize(shm_brk_, 0);
+  }
+  return offset;
+}
+
+std::uint64_t SccMachine::mpbMalloc(int ue, std::size_t bytes) {
+  if (mpb_brk_.size() < config_.num_cores) mpb_brk_.resize(config_.num_cores, 0);
+  auto& brk = mpb_brk_[static_cast<std::size_t>(ue)];
+  brk = (brk + 7) & ~std::uint64_t{7};
+  if (brk + bytes > config_.mpb_bytes_per_core) throw std::bad_alloc();
+  const std::uint64_t offset = brk;
+  brk += bytes;
+  return offset;
+}
+
+std::uint8_t* SccMachine::mpbData(int ue, std::uint64_t offset) {
+  return &mpb_[static_cast<std::size_t>(ue) * config_.mpb_bytes_per_core + offset];
+}
+
+void SccMachine::reservePrivate(int core, std::size_t bytes) {
+  auto& mem = private_mem_[static_cast<std::size_t>(core)];
+  if (bytes > config_.private_mem_bytes) bytes = config_.private_mem_bytes;
+  if (mem.size() < bytes) mem.resize(bytes, 0);
+}
+
+std::uint8_t* SccMachine::privData(int core, std::uint64_t addr) {
+  auto& mem = private_mem_[static_cast<std::size_t>(core)];
+  if (addr >= mem.size()) {
+    std::size_t target = mem.empty() ? 4096 : mem.size();
+    while (target <= addr) target *= 2;
+    if (target > config_.private_mem_bytes) target = config_.private_mem_bytes;
+    if (addr >= target) throw std::out_of_range("private memory address");
+    mem.resize(target, 0);
+  }
+  return &mem[addr];
+}
+
+void SccMachine::setupBarrier(int participants) {
+  const Tick arrive = core_clock_.cycles(config_.barrier_flag_core_cycles);
+  barrier_ = std::make_unique<SyncBarrier>(engine_, static_cast<std::size_t>(participants),
+                                           arrive, arrive);
+}
+
+void SccMachine::launch(int num_ues, const CoreProgram& program) {
+  setupBarrier(num_ues);
+  ue_to_core_.resize(static_cast<std::size_t>(num_ues));
+  for (int ue = 0; ue < num_ues; ++ue) {
+    const std::uint32_t core = mesh_.coreForUe(ue, num_ues);
+    ue_to_core_[static_cast<std::size_t>(ue)] = core;
+    contexts_.push_back(
+        std::make_unique<CoreContext>(*this, ue, num_ues, static_cast<int>(core)));
+    engine_.spawn(program(*contexts_.back()));
+  }
+}
+
+Tick SccMachine::run() {
+  engine_.run();
+  return engine_.makespan();
+}
+
+TasLock& SccMachine::lock(int id) {
+  const auto index = static_cast<std::size_t>(id);
+  while (locks_.size() <= index) {
+    const Tick roundtrip = core_clock_.cycles(config_.tas_core_cycles);
+    locks_.push_back(std::make_unique<TasLock>(engine_, roundtrip));
+  }
+  return *locks_[index];
+}
+
+Tick SccMachine::privAccessCompletion(int core, Tick start, std::uint64_t addr,
+                                      std::size_t bytes, bool write, void* data_out,
+                                      const void* data_in) {
+  const std::size_t line = config_.cache_line_bytes;
+  Cache& l1 = l1_[static_cast<std::size_t>(core)];
+  Cache& l2 = l2_[static_cast<std::size_t>(core)];
+  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
+  ResourceTimeline& mc = mc_[mc_index];
+  const Tick hop_one_way =
+      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
+                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
+
+  Tick t = start;
+  const std::uint64_t first_line = addr / line;
+  const std::uint64_t last_line = (addr + (bytes == 0 ? 0 : bytes - 1)) / line;
+  for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+    const std::uint64_t line_addr = ln * line;
+    const Cache::AccessResult r1 = l1.access(line_addr, write);
+    if (r1.hit) {
+      t += core_clock_.cycles(config_.l1_hit_core_cycles);
+      continue;
+    }
+    const Cache::AccessResult r2 = l2.access(line_addr, write);
+    t += core_clock_.cycles(config_.l2_hit_core_cycles);
+    if (r2.hit) continue;
+    // Line fill from private DRAM; a dirty victim adds a write-back burst.
+    const std::uint64_t bursts = r2.writeback ? 2 : 1;
+    const Tick request_arrival =
+        t + core_clock_.cycles(config_.dram_core_overhead_cycles) + hop_one_way;
+    const Tick serviced = mc.acquire(
+        request_arrival, dram_clock_.cycles(bursts * config_.dram_line_service_cycles));
+    t = serviced + hop_one_way;
+  }
+
+  if (write && data_in != nullptr) {
+    std::memcpy(privData(core, addr), data_in, bytes);
+  } else if (!write && data_out != nullptr) {
+    std::memcpy(data_out, privData(core, addr), bytes);
+  }
+  return t;
+}
+
+Tick SccMachine::shmAccessCompletion(int core, Tick start, std::uint64_t offset,
+                                     std::size_t bytes, bool write, void* data_out,
+                                     const void* data_in) {
+  // Uncached: each 4-byte word is an independent, blocking transaction
+  // through the core's assigned memory controller.
+  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
+  ResourceTimeline& mc = mc_[mc_index];
+  const Tick hop_one_way =
+      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
+                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
+  const Tick overhead = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
+  const Tick word_service = dram_clock_.cycles(config_.dram_word_service_cycles);
+
+  const std::size_t txn = config_.shm_transaction_bytes;
+  const std::size_t words = (bytes + txn - 1) / txn;
+  Tick t = start;
+  for (std::size_t w = 0; w < words; ++w) {
+    const Tick request_arrival = t + overhead + hop_one_way;
+    const Tick serviced = mc.acquire(request_arrival, word_service);
+    t = serviced + hop_one_way;
+  }
+
+  if (write && data_in != nullptr) {
+    std::memcpy(&shared_dram_[offset], data_in, bytes);
+  } else if (!write && data_out != nullptr) {
+    std::memcpy(data_out, &shared_dram_[offset], bytes);
+  }
+  return t;
+}
+
+Tick SccMachine::shmWordCompletion(int core, Tick start) {
+  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
+  ResourceTimeline& mc = mc_[mc_index];
+  const Tick hop_one_way =
+      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
+                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
+  const Tick overhead = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
+  const Tick word_service = dram_clock_.cycles(config_.dram_word_service_cycles);
+  const Tick serviced = mc.acquire(start + overhead + hop_one_way, word_service);
+  return serviced + hop_one_way;
+}
+
+Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
+                                   std::size_t bytes, bool write, void* data_out,
+                                   const void* data_in) {
+  // One setup round trip, then lines stream at row-buffer-hit rates.
+  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
+  ResourceTimeline& mc = mc_[mc_index];
+  const Tick hop_one_way =
+      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
+                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
+  const std::size_t line = config_.cache_line_bytes;
+  const std::size_t lines = (bytes + line - 1) / line;
+  const Tick service =
+      dram_clock_.cycles(config_.dram_line_service_cycles +
+                         (lines > 0 ? lines - 1 : 0) * config_.dram_burst_line_service_cycles);
+
+  Tick t = start + core_clock_.cycles(config_.dram_core_overhead_cycles);
+  const Tick serviced = mc.acquire(t + hop_one_way, service);
+  t = serviced + hop_one_way;
+
+  if (write && data_in != nullptr) {
+    std::memcpy(&shared_dram_[offset], data_in, bytes);
+  } else if (!write && data_out != nullptr) {
+    std::memcpy(data_out, &shared_dram_[offset], bytes);
+  }
+  return t;
+}
+
+Tick SccMachine::mpbAccessCompletion(int core, int owner_ue, Tick start,
+                                     std::uint64_t offset, std::size_t bytes, bool write,
+                                     void* data_out, const void* data_in) {
+  const std::uint32_t owner_core = coreOfUe(owner_ue);
+  const std::uint32_t tile = mesh_.tileOfCore(owner_core);
+  ResourceTimeline& port = mpb_port_[tile];
+  const std::uint32_t hops =
+      mesh_.hopsBetweenCores(static_cast<std::uint32_t>(core), owner_core);
+  const Tick hop_one_way =
+      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) * hops);
+  const std::size_t chunk = config_.cache_line_bytes;  // MPB moves 32 B chunks
+  const std::size_t chunks = (bytes + chunk - 1) / chunk;
+
+  Tick t = start + core_clock_.cycles(config_.mpb_local_core_cycles);
+  const Tick arrival = t + hop_one_way;
+  const Tick serviced = port.acquire(
+      arrival, mesh_clock_.cycles(chunks * config_.mpb_chunk_service_mesh_cycles));
+  t = serviced + hop_one_way;
+
+  std::uint8_t* backing = mpbData(owner_ue, offset);
+  if (write && data_in != nullptr) {
+    std::memcpy(backing, data_in, bytes);
+  } else if (!write && data_out != nullptr) {
+    std::memcpy(data_out, backing, bytes);
+  }
+  return t;
+}
+
+}  // namespace hsm::sim

@@ -1,0 +1,236 @@
+// SccMachine — the hybrid-shared-memory manycore platform model.
+//
+// Functional *and* timing: every access moves real bytes between buffers
+// (so benchmark outputs are verified) and advances simulated time through
+// the P54C core clock, the private cache hierarchy, the mesh, the four
+// memory controllers (queued — this is where 8-cores-per-MC contention
+// appears, paper §6), and the per-tile MPB ports.
+//
+// Address spaces:
+//   * private  — per-core, cacheable, backed by per-core byte arrays;
+//   * shared off-chip (DRAM) — uncacheable, one byte array, word-at-a-time
+//     accesses each paying the full core-mesh-controller round trip;
+//   * MPB — per-core 8 KB slices of on-chip SRAM, accessed in 32-byte
+//     chunks at core-local latencies plus mesh hops to the owning tile.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/engine.h"
+#include "sim/noc.h"
+#include "sim/scc_config.h"
+
+namespace hsm::sim {
+
+class SccMachine;
+
+/// Barrier across the participating UEs (RCCE_barrier's model): arrivals
+/// post flags through the MPB; the last arrival releases everyone.
+class SyncBarrier {
+ public:
+  SyncBarrier(Engine& engine, std::size_t participants, Tick arrive_cost,
+              Tick release_cost)
+      : engine_(engine), participants_(participants), arrive_cost_(arrive_cost),
+        release_cost_(release_cost) {}
+
+  struct Awaiter {
+    SyncBarrier& barrier;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const { barrier.onArrive(h); }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] Awaiter arrive() { return Awaiter{*this}; }
+  [[nodiscard]] std::size_t participants() const { return participants_; }
+  [[nodiscard]] std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  friend struct Awaiter;
+  void onArrive(std::coroutine_handle<> h);
+
+  Engine& engine_;
+  std::size_t participants_;
+  Tick arrive_cost_;
+  Tick release_cost_;
+  std::size_t arrived_ = 0;
+  Tick latest_arrival_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+  std::uint64_t episodes_ = 0;
+};
+
+/// A test-and-set register lock (one per core on the SCC). FIFO grant order
+/// keeps the simulation deterministic.
+class TasLock {
+ public:
+  TasLock(Engine& engine, Tick roundtrip) : engine_(engine), roundtrip_(roundtrip) {}
+
+  struct Awaiter {
+    TasLock& lock;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const { lock.onAcquire(h); }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] Awaiter acquire() { return Awaiter{*this}; }
+  /// Release; if a waiter is queued, ownership transfers to it after the
+  /// register round trip.
+  void release();
+  [[nodiscard]] bool held() const { return held_; }
+  [[nodiscard]] std::uint64_t contentionEvents() const { return contention_; }
+
+ private:
+  friend struct Awaiter;
+  void onAcquire(std::coroutine_handle<> h);
+
+  Engine& engine_;
+  Tick roundtrip_;
+  bool held_ = false;
+  std::vector<std::coroutine_handle<>> queue_;  // FIFO via erase-front
+  std::uint64_t contention_ = 0;
+};
+
+/// Per-UE view of the machine handed to workload coroutines.
+class CoreContext {
+ public:
+  CoreContext(SccMachine& machine, int ue, int num_ues, int core)
+      : machine_(machine), ue_(ue), num_ues_(num_ues), core_(core) {}
+
+  [[nodiscard]] int ue() const { return ue_; }
+  [[nodiscard]] int numUes() const { return num_ues_; }
+  /// Physical core hosting this UE (UEs are spread across the quadrants).
+  [[nodiscard]] int core() const { return core_; }
+  [[nodiscard]] SccMachine& machine() { return machine_; }
+  [[nodiscard]] Tick now() const;
+
+  // -- computation --
+  [[nodiscard]] ResumeAt compute(std::uint64_t core_cycles);
+  [[nodiscard]] ResumeAt computeOps(std::uint64_t count, OpClass cls);
+
+  // -- private cacheable memory --
+  [[nodiscard]] ResumeAt privRead(std::uint64_t addr, void* out, std::size_t bytes);
+  [[nodiscard]] ResumeAt privWrite(std::uint64_t addr, const void* src, std::size_t bytes);
+  /// Timing-only streaming access over [addr, addr+bytes), no data movement
+  /// (for kernels that keep their live values in registers).
+  [[nodiscard]] ResumeAt privTouch(std::uint64_t addr, std::size_t bytes, bool write);
+
+  // -- shared off-chip DRAM (uncached) --
+  // Word-granular: each transaction is a separate simulation event, so
+  // concurrent cores interleave fairly at the memory controllers (the
+  // blocking-uncached-access semantics of the SCC's shared pages).
+  [[nodiscard]] SubTask shmRead(std::uint64_t offset, void* out, std::size_t bytes);
+  [[nodiscard]] SubTask shmWrite(std::uint64_t offset, const void* src, std::size_t bytes);
+  /// Sequential bulk transfer (RCCE-style block copy): pays one transaction
+  /// setup and then streams lines at row-buffer-hit service rates.
+  [[nodiscard]] ResumeAt shmReadBulk(std::uint64_t offset, void* out, std::size_t bytes);
+  [[nodiscard]] ResumeAt shmWriteBulk(std::uint64_t offset, const void* src,
+                                      std::size_t bytes);
+
+  // -- MPB (on-chip shared SRAM) --
+  [[nodiscard]] ResumeAt mpbRead(int owner_ue, std::uint64_t offset, void* out,
+                                 std::size_t bytes);
+  [[nodiscard]] ResumeAt mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
+                                  std::size_t bytes);
+
+  // -- synchronization --
+  [[nodiscard]] SyncBarrier::Awaiter barrier();
+  [[nodiscard]] TasLock::Awaiter lockAcquire(int lock_id);
+  void lockRelease(int lock_id);
+
+ private:
+  SccMachine& machine_;
+  int ue_;
+  int num_ues_;
+  int core_;
+};
+
+class SccMachine {
+ public:
+  explicit SccMachine(SccConfig config = {});
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const SccConfig& config() const { return config_; }
+  [[nodiscard]] const MeshTopology& mesh() const { return mesh_; }
+
+  // -- shared memory management (host-side setup) --
+  /// Bump-allocate from the off-chip shared region (8-byte aligned).
+  std::uint64_t shmalloc(std::size_t bytes);
+  /// Bump-allocate from `ue`'s MPB slice; throws std::bad_alloc if the 8 KB
+  /// slice is exhausted.
+  std::uint64_t mpbMalloc(int ue, std::size_t bytes);
+  /// Host-side direct access to shared DRAM (test setup/verification).
+  [[nodiscard]] std::uint8_t* shmData(std::uint64_t offset) { return &shared_dram_[offset]; }
+  [[nodiscard]] std::uint8_t* mpbData(int ue, std::uint64_t offset);
+  /// WARNING: grows the private backing store on demand — growing
+  /// invalidates previously returned pointers. Call reservePrivate first
+  /// when taking multiple pointers.
+  [[nodiscard]] std::uint8_t* privData(int core, std::uint64_t addr);
+  /// Pre-size a core's private memory so privData pointers stay stable.
+  void reservePrivate(int core, std::size_t bytes);
+
+  // -- program execution --
+  using CoreProgram = std::function<SimTask(CoreContext&)>;
+  /// Spawn `num_ues` copies of `program`, one per core, sharing one barrier.
+  void launch(int num_ues, const CoreProgram& program);
+  /// Create the machine barrier for `participants` without launching
+  /// (used by runtimes that spawn their own tasks, e.g. threadrt).
+  void setupBarrier(int participants);
+  /// Run to completion; returns the makespan.
+  Tick run();
+
+  [[nodiscard]] SyncBarrier& barrier() { return *barrier_; }
+  [[nodiscard]] TasLock& lock(int id);
+
+  // -- statistics --
+  [[nodiscard]] const ResourceTimeline& memController(std::uint32_t mc) const {
+    return mc_[mc];
+  }
+  [[nodiscard]] const Cache& l1(int core) const { return l1_[static_cast<std::size_t>(core)]; }
+  [[nodiscard]] const Cache& l2(int core) const { return l2_[static_cast<std::size_t>(core)]; }
+
+  // -- timing/functional primitives (used by CoreContext and threadrt) --
+  Tick privAccessCompletion(int core, Tick start, std::uint64_t addr, std::size_t bytes,
+                            bool write, void* data_out, const void* data_in);
+  Tick shmAccessCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
+                           bool write, void* data_out, const void* data_in);
+  /// One uncached transaction of up to shm_transaction_bytes.
+  Tick shmWordCompletion(int core, Tick start);
+  Tick shmBulkCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
+                         bool write, void* data_out, const void* data_in);
+  Tick mpbAccessCompletion(int core, int owner_ue, Tick start, std::uint64_t offset,
+                           std::size_t bytes, bool write, void* data_out,
+                           const void* data_in);
+
+ private:
+  SccConfig config_;
+  Engine engine_;
+  MeshTopology mesh_;
+  Clock core_clock_;
+  Clock mesh_clock_;
+  Clock dram_clock_;
+
+  std::vector<std::uint8_t> shared_dram_;
+  std::vector<std::uint8_t> mpb_;                    // num_cores x slice
+  std::vector<std::vector<std::uint8_t>> private_mem_;  // grown on demand
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  std::vector<ResourceTimeline> mc_;
+  std::vector<ResourceTimeline> mpb_port_;           // per tile
+  std::uint64_t shm_brk_ = 0;
+  std::vector<std::uint64_t> mpb_brk_;               // per core slice
+  std::unique_ptr<SyncBarrier> barrier_;
+  std::vector<std::unique_ptr<TasLock>> locks_;
+  std::vector<std::unique_ptr<CoreContext>> contexts_;
+  std::vector<std::uint32_t> ue_to_core_;  ///< set at launch; identity otherwise
+
+ public:
+  [[nodiscard]] std::uint32_t coreOfUe(int ue) const {
+    const auto i = static_cast<std::size_t>(ue);
+    return i < ue_to_core_.size() ? ue_to_core_[i] : static_cast<std::uint32_t>(ue);
+  }
+};
+
+}  // namespace hsm::sim

@@ -1,0 +1,32 @@
+#include "sim/noc.h"
+
+#include <array>
+#include <vector>
+
+namespace hsm::sim {
+
+std::uint32_t MeshTopology::coreForUe(int ue, int num_ues) const {
+  (void)num_ues;
+  // Enumerate the tiles of each quadrant (x side, y side); UE i lands in
+  // quadrant i%4, filling each quadrant's tiles before using second cores.
+  const std::uint32_t half_x = config_.mesh_cols / 2;
+  const std::uint32_t half_y = config_.mesh_rows / 2;
+  const std::uint32_t quadrant = static_cast<std::uint32_t>(ue) % 4;
+  const std::uint32_t k = static_cast<std::uint32_t>(ue) / 4;
+
+  std::vector<std::uint32_t> tiles;
+  const bool east = (quadrant & 1u) != 0;
+  const bool north = (quadrant & 2u) != 0;
+  for (std::uint32_t y = north ? half_y : 0; y < (north ? config_.mesh_rows : half_y);
+       ++y) {
+    for (std::uint32_t x = east ? half_x : 0; x < (east ? config_.mesh_cols : half_x);
+         ++x) {
+      tiles.push_back(y * config_.mesh_cols + x);
+    }
+  }
+  const std::uint32_t tile = tiles[k % tiles.size()];
+  const std::uint32_t slot = (k / tiles.size()) % config_.cores_per_tile;
+  return tile * config_.cores_per_tile + slot;
+}
+
+}  // namespace hsm::sim

@@ -1,0 +1,78 @@
+// The SCC's 6x4 tile mesh: XY dimension-ordered routing, four memory
+// controllers on the periphery, and tile geometry helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scc_config.h"
+
+namespace hsm::sim {
+
+struct TileCoord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+class MeshTopology {
+ public:
+  explicit MeshTopology(const SccConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::uint32_t tileOfCore(std::uint32_t core) const {
+    return core / config_.cores_per_tile;
+  }
+  [[nodiscard]] TileCoord coordOfTile(std::uint32_t tile) const {
+    return TileCoord{tile % config_.mesh_cols, tile / config_.mesh_cols};
+  }
+  [[nodiscard]] TileCoord coordOfCore(std::uint32_t core) const {
+    return coordOfTile(tileOfCore(core));
+  }
+
+  /// Manhattan distance in hops between two tiles (XY routing).
+  [[nodiscard]] std::uint32_t hops(std::uint32_t tile_a, std::uint32_t tile_b) const {
+    const TileCoord a = coordOfTile(tile_a);
+    const TileCoord b = coordOfTile(tile_b);
+    const std::uint32_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    const std::uint32_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return dx + dy;
+  }
+  [[nodiscard]] std::uint32_t hopsBetweenCores(std::uint32_t core_a,
+                                               std::uint32_t core_b) const {
+    return hops(tileOfCore(core_a), tileOfCore(core_b));
+  }
+
+  /// The SCC's four memory controllers sit at the mesh periphery next to
+  /// tiles (0,0), (5,0), (0,2) and (5,2); each serves its quadrant.
+  [[nodiscard]] std::uint32_t controllerOfCore(std::uint32_t core) const {
+    const TileCoord c = coordOfCore(core);
+    const bool east = c.x >= config_.mesh_cols / 2;
+    const bool north = c.y >= config_.mesh_rows / 2;
+    return (north ? 2u : 0u) + (east ? 1u : 0u);
+  }
+
+  /// Attachment tile of a controller (for hop counting).
+  [[nodiscard]] std::uint32_t tileOfController(std::uint32_t mc) const {
+    const bool east = (mc & 1u) != 0;
+    const bool north = (mc & 2u) != 0;
+    const std::uint32_t x = east ? config_.mesh_cols - 1 : 0;
+    const std::uint32_t y = north ? config_.mesh_rows - 1 : 0;
+    return y * config_.mesh_cols + x;
+  }
+
+  /// Hops from a core to its assigned memory controller (plus one hop onto
+  /// the controller's port).
+  [[nodiscard]] std::uint32_t hopsToController(std::uint32_t core) const {
+    return hops(tileOfCore(core), tileOfController(controllerOfCore(core))) + 1;
+  }
+
+  /// Physical core hosting logical UE `ue` when `num_ues` UEs participate.
+  /// UEs are spread round-robin across the four quadrants so each memory
+  /// controller serves an equal share (the paper runs 32 UEs on the 48-core
+  /// chip with "at least 8 cores in contention per memory controller").
+  [[nodiscard]] std::uint32_t coreForUe(int ue, int num_ues) const;
+
+ private:
+  const SccConfig& config_;
+};
+
+}  // namespace hsm::sim

@@ -1,0 +1,42 @@
+#include "sim/scc_config.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hsm::sim {
+
+std::uint64_t opCycles(const SccConfig& cfg, OpClass cls) {
+  switch (cls) {
+    case OpClass::IntAlu: return cfg.int_alu_cycles;
+    case OpClass::IntMul: return cfg.int_mul_cycles;
+    case OpClass::IntDiv: return cfg.int_div_cycles;
+    case OpClass::FpAdd: return cfg.fp_add_cycles;
+    case OpClass::FpMul: return cfg.fp_mul_cycles;
+    case OpClass::FpDiv: return cfg.fp_div_cycles;
+  }
+  return 1;
+}
+
+std::string SccConfig::formatTable61(int rcce_units, int pthread_units) const {
+  std::ostringstream os;
+  auto mhz = [](double v) {
+    std::ostringstream s;
+    s << static_cast<long long>(v) << " MHz";
+    return s.str();
+  };
+  os << std::left << std::setw(24) << "" << std::setw(14) << "RCCE"
+     << std::setw(14) << "Pthreads" << '\n';
+  os << std::string(52, '-') << '\n';
+  os << std::left << std::setw(24) << "Core Frequency" << std::setw(14) << mhz(core_mhz)
+     << std::setw(14) << mhz(core_mhz) << '\n';
+  os << std::left << std::setw(24) << "Communication Network" << std::setw(14)
+     << mhz(mesh_mhz) << std::setw(14) << mhz(mesh_mhz) << '\n';
+  os << std::left << std::setw(24) << "Off-chip Memory" << std::setw(14) << mhz(dram_mhz)
+     << std::setw(14) << mhz(dram_mhz) << '\n';
+  os << std::left << std::setw(24) << "Execution Units" << std::setw(14)
+     << (std::to_string(rcce_units) + " cores")
+     << std::setw(14) << (std::to_string(pthread_units) + " threads") << '\n';
+  return os.str();
+}
+
+}  // namespace hsm::sim

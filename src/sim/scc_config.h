@@ -1,0 +1,98 @@
+// SCC platform parameters (paper Table 6.1 plus the published latency
+// figures from Howard et al. [13] and Mattson et al. [19]).
+//
+// The cores are P54C Pentiums at 800 MHz; the 6x4 tile mesh runs at
+// 1600 MHz; four DDR3 controllers at the mesh periphery run at 1066 MHz.
+// Each tile holds two cores and 16 KB of MPB (8 KB per core).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace hsm::sim {
+
+struct SccConfig {
+  // -- topology --
+  std::uint32_t num_cores = 48;
+  std::uint32_t mesh_cols = 6;
+  std::uint32_t mesh_rows = 4;
+  std::uint32_t cores_per_tile = 2;
+  std::uint32_t num_mem_controllers = 4;
+
+  // -- clocks (Table 6.1) --
+  double core_mhz = 800.0;
+  double mesh_mhz = 1600.0;
+  double dram_mhz = 1066.0;
+
+  // -- capacities --
+  std::size_t mpb_bytes_per_core = 8 * 1024;    // 8 KB/core, 384 KB total
+  std::size_t l1_bytes = 16 * 1024;             // P54C: 8K I + 8K D; model 16K D
+  std::size_t l2_bytes = 256 * 1024;
+  std::size_t cache_line_bytes = 32;
+  std::size_t private_mem_bytes = 16 * 1024 * 1024;   // per-core private DRAM
+  std::size_t shared_dram_bytes = 64 * 1024 * 1024;   // off-chip shared region
+
+  // -- latency parameters (cycles in their own clock domain) --
+  std::uint32_t l1_hit_core_cycles = 1;
+  std::uint32_t l2_hit_core_cycles = 18;
+  /// Non-pipelined P54C front-side overhead per cached-line DRAM fill.
+  std::uint32_t dram_core_overhead_cycles = 80;
+  /// Issue overhead of one uncached shared-memory transaction (the SCC's
+  /// shared pages bypass the cache; the MIU pipelines these requests).
+  std::uint32_t uncached_word_core_overhead_cycles = 12;
+  /// Controller service per 32-byte line (row access + burst).
+  std::uint32_t dram_line_service_cycles = 26;
+  /// Controller service for a single uncached word (shared off-chip access):
+  /// bank interleaving pipelines independent word transactions, but per byte
+  /// this is still ~4x worse than bulk line streaming.
+  std::uint32_t dram_word_service_cycles = 8;
+  /// Controller service per *subsequent* line of a sequential bulk transfer
+  /// (row-buffer hits) — the mechanism behind RCCE's fast bulk copies.
+  std::uint32_t dram_burst_line_service_cycles = 8;
+  /// Bytes moved per uncached shared-memory transaction (an 8-byte FSB beat).
+  std::uint32_t shm_transaction_bytes = 8;
+  /// Mesh hop latency (one direction, per hop).
+  std::uint32_t mesh_hop_cycles = 4;
+  /// Local MPB access (core to its own tile's buffer), round trip.
+  std::uint32_t mpb_local_core_cycles = 15;
+  /// MPB port service per 32-byte chunk (bulk moves pipeline well).
+  std::uint32_t mpb_chunk_service_mesh_cycles = 8;
+  /// Test-and-set register round-trip base cost.
+  std::uint32_t tas_core_cycles = 20;
+  /// Barrier bookkeeping per participant (flag writes through the MPB).
+  std::uint32_t barrier_flag_core_cycles = 30;
+
+  // -- single-core multithread baseline (threadrt) --
+  std::uint32_t context_switch_core_cycles = 4000;
+  std::uint32_t scheduler_quantum_core_cycles = 800000;  // ~1 ms at 800 MHz
+
+  // P54C-ish operation costs (core cycles).
+  std::uint32_t int_alu_cycles = 1;
+  std::uint32_t int_mul_cycles = 10;
+  std::uint32_t int_div_cycles = 46;
+  std::uint32_t fp_add_cycles = 3;
+  std::uint32_t fp_mul_cycles = 3;
+  std::uint32_t fp_div_cycles = 39;
+
+  [[nodiscard]] Clock coreClock() const { return Clock(core_mhz); }
+  [[nodiscard]] Clock meshClock() const { return Clock(mesh_mhz); }
+  [[nodiscard]] Clock dramClock() const { return Clock(dram_mhz); }
+
+  [[nodiscard]] std::uint32_t numTiles() const { return mesh_cols * mesh_rows; }
+  [[nodiscard]] std::size_t mpbTotalBytes() const {
+    return static_cast<std::size_t>(num_cores) * mpb_bytes_per_core;
+  }
+
+  /// Render the paper's Table 6.1 for a given execution-unit count.
+  [[nodiscard]] std::string formatTable61(int rcce_units, int pthread_units) const;
+};
+
+/// Operation classes for CoreContext::computeOps.
+enum class OpClass : std::uint8_t { IntAlu, IntMul, IntDiv, FpAdd, FpMul, FpDiv };
+
+[[nodiscard]] std::uint64_t opCycles(const SccConfig& cfg, OpClass cls);
+
+}  // namespace hsm::sim

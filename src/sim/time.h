@@ -1,0 +1,33 @@
+// Simulated time for the SCC model.
+//
+// Ticks are integer picoseconds, which lets the three clock domains of
+// Table 6.1 (800 MHz cores, 1600 MHz mesh, 1066 MHz DDR3) coexist without
+// rounding drift.
+#pragma once
+
+#include <cstdint>
+
+namespace hsm::sim {
+
+using Tick = std::uint64_t;  ///< picoseconds
+
+/// A clock domain: converts cycle counts to picoseconds.
+class Clock {
+ public:
+  constexpr Clock() = default;
+  constexpr explicit Clock(double mhz)
+      : period_ps_(static_cast<Tick>(1e6 / mhz + 0.5)), mhz_(mhz) {}
+
+  [[nodiscard]] constexpr Tick period() const { return period_ps_; }
+  [[nodiscard]] constexpr double mhz() const { return mhz_; }
+  [[nodiscard]] constexpr Tick cycles(std::uint64_t n) const { return n * period_ps_; }
+
+ private:
+  Tick period_ps_ = 1250;  // 800 MHz default
+  double mhz_ = 800.0;
+};
+
+constexpr double ticksToMicroseconds(Tick t) { return static_cast<double>(t) / 1e6; }
+constexpr double ticksToMilliseconds(Tick t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace hsm::sim

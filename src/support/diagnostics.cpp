@@ -1,0 +1,28 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace hsm {
+namespace {
+
+const char* severityName(Severity sev) {
+  switch (sev) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string DiagnosticEngine::format(const SourceBuffer& buffer) const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << buffer.name() << ':' << d.loc.line << ':' << d.loc.column << ": "
+       << severityName(d.severity) << ": " << d.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hsm

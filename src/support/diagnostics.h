@@ -1,0 +1,57 @@
+// Diagnostics engine shared by the lexer, parser, semantic analysis and the
+// translation pipeline. Collects structured diagnostics instead of printing
+// eagerly so that library users (tests, the translator facade, tools) decide
+// how to render them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/source.h"
+
+namespace hsm {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message) {
+    if (sev == Severity::Error) ++error_count_;
+    diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+  }
+
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool hasErrors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t errorCount() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Render all diagnostics as "file:line:col: severity: message" lines.
+  [[nodiscard]] std::string format(const SourceBuffer& buffer) const;
+
+  void clear() {
+    diags_.clear();
+    error_count_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace hsm

@@ -1,0 +1,34 @@
+#include "support/source.h"
+
+#include <algorithm>
+
+namespace hsm {
+
+void SourceBuffer::indexLines() {
+  line_starts_.clear();
+  line_starts_.push_back(0);
+  for (std::uint32_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n' && i + 1 < text_.size()) {
+      line_starts_.push_back(i + 1);
+    }
+  }
+}
+
+std::string_view SourceBuffer::lineText(std::uint32_t line) const {
+  if (line == 0 || line > line_starts_.size()) return {};
+  const std::uint32_t start = line_starts_[line - 1];
+  std::uint32_t end = start;
+  while (end < text_.size() && text_[end] != '\n') ++end;
+  return std::string_view(text_).substr(start, end - start);
+}
+
+SourceLoc SourceBuffer::locate(std::uint32_t offset) const {
+  offset = std::min<std::uint32_t>(offset, static_cast<std::uint32_t>(text_.size()));
+  // Find the last line start <= offset.
+  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  const auto line_index = static_cast<std::uint32_t>(it - line_starts_.begin());  // 1-based
+  const std::uint32_t line_start = line_starts_[line_index - 1];
+  return SourceLoc{offset, line_index, offset - line_start + 1};
+}
+
+}  // namespace hsm

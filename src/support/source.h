@@ -1,0 +1,64 @@
+// Source text management: buffers, locations, and ranges.
+//
+// Every token and AST node carries a SourceLoc so that diagnostics and the
+// translation report can point back at the original Pthreads program, in the
+// spirit of the CETUS IR the paper builds on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hsm {
+
+/// A location inside a SourceBuffer. Lines and columns are 1-based;
+/// offset is the 0-based byte offset into the buffer text.
+struct SourceLoc {
+  std::uint32_t offset = 0;
+  std::uint32_t line = 0;  ///< 1-based; 0 means "unknown/synthesized".
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open range [begin, end) over a single buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+};
+
+/// An immutable, named piece of source text (a file or an in-memory string).
+class SourceBuffer {
+ public:
+  SourceBuffer(std::string name, std::string text)
+      : name_(std::move(name)), text_(std::move(text)) {
+    indexLines();
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+  [[nodiscard]] std::size_t size() const { return text_.size(); }
+
+  /// Number of lines (a trailing newline does not start a new line).
+  [[nodiscard]] std::uint32_t lineCount() const {
+    return static_cast<std::uint32_t>(line_starts_.size());
+  }
+
+  /// Text of the 1-based line `line`, without the trailing newline.
+  [[nodiscard]] std::string_view lineText(std::uint32_t line) const;
+
+  /// Construct a full SourceLoc (line/column) from a byte offset.
+  [[nodiscard]] SourceLoc locate(std::uint32_t offset) const;
+
+ private:
+  void indexLines();
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::uint32_t> line_starts_;  // offset of each line start
+};
+
+}  // namespace hsm

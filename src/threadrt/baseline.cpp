@@ -1,0 +1,92 @@
+#include "threadrt/baseline.h"
+
+namespace hsm::threadrt {
+namespace {
+
+/// Serialize an operation through the single core: the op starts when the
+/// core frees up, runs for its architectural duration, and the timeline
+/// advances. Returns the completion time.
+sim::Tick serialize(sim::ResourceTimeline& core, sim::Tick now,
+                    const std::function<sim::Tick(sim::Tick)>& completion_at) {
+  const sim::Tick start = now > core.nextFree() ? now : core.nextFree();
+  const sim::Tick done = completion_at(start);
+  core.acquire(now, done - start);
+  return done;
+}
+
+}  // namespace
+
+sim::ResumeAt ThreadContext::compute(std::uint64_t core_cycles) {
+  sim::SccMachine& m = rt_.machine();
+  const sim::Tick dt = m.config().coreClock().cycles(core_cycles);
+  const sim::Tick done = serialize(rt_.coreTimeline(), m.engine().now(),
+                                   [dt](sim::Tick start) { return start + dt; });
+  return m.engine().resumeAt(done);
+}
+
+sim::ResumeAt ThreadContext::computeOps(std::uint64_t count, sim::OpClass cls) {
+  return compute(count * sim::opCycles(rt_.machine().config(), cls));
+}
+
+sim::ResumeAt ThreadContext::memRead(std::uint64_t addr, void* out, std::size_t bytes) {
+  sim::SccMachine& m = rt_.machine();
+  const sim::Tick done = serialize(
+      rt_.coreTimeline(), m.engine().now(), [&](sim::Tick start) {
+        return m.privAccessCompletion(0, start, addr, bytes, false, out, nullptr);
+      });
+  return m.engine().resumeAt(done);
+}
+
+sim::ResumeAt ThreadContext::memWrite(std::uint64_t addr, const void* src,
+                                      std::size_t bytes) {
+  sim::SccMachine& m = rt_.machine();
+  const sim::Tick done = serialize(
+      rt_.coreTimeline(), m.engine().now(), [&](sim::Tick start) {
+        return m.privAccessCompletion(0, start, addr, bytes, true, nullptr, src);
+      });
+  return m.engine().resumeAt(done);
+}
+
+sim::TasLock::Awaiter ThreadContext::lockAcquire(int lock_id) {
+  return rt_.machine().lock(lock_id).acquire();
+}
+
+void ThreadContext::lockRelease(int lock_id) { rt_.machine().lock(lock_id).release(); }
+
+sim::SyncBarrier::Awaiter ThreadContext::barrier() {
+  return rt_.machine().barrier().arrive();
+}
+
+std::uint8_t* ThreadContext::hostMem(std::uint64_t addr) {
+  return rt_.machine().privData(0, addr);
+}
+
+SingleCoreRuntime::SingleCoreRuntime(sim::SccConfig config)
+    : machine_(config) {}
+
+void SingleCoreRuntime::launch(int num_threads, const ThreadProgram& program) {
+  num_threads_ = num_threads;
+  machine_.setupBarrier(num_threads);
+  for (int tid = 0; tid < num_threads; ++tid) {
+    contexts_.push_back(std::make_unique<ThreadContext>(*this, tid, num_threads));
+    machine_.engine().spawn(program(*contexts_.back()));
+  }
+}
+
+sim::Tick SingleCoreRuntime::run() {
+  machine_.engine().run();
+  sim::Tick makespan = machine_.engine().makespan();
+  // Context-switch overhead: with more than one runnable thread the
+  // scheduler switches once per quantum.
+  if (num_threads_ > 1) {
+    const sim::SccConfig& cfg = machine_.config();
+    const sim::Tick quantum = cfg.coreClock().cycles(cfg.scheduler_quantum_core_cycles);
+    const sim::Tick switch_cost =
+        cfg.coreClock().cycles(cfg.context_switch_core_cycles);
+    const sim::Tick switches = quantum > 0 ? makespan / quantum : 0;
+    makespan += switches * switch_cost;
+  }
+  return makespan;
+}
+
+}  // namespace hsm::threadrt

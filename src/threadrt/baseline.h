@@ -1,0 +1,78 @@
+// The evaluation baseline: a multi-threaded Pthreads program running on a
+// single SCC core (paper §6: "each Pthread application is run on one core
+// of the SCC ... 32 threads compete for processor time").
+//
+// Model: N logical threads share core 0. Every operation's duration is
+// computed with the same architectural cost model as CoreContext (core 0's
+// caches, core 0's memory controller) and then serialized through the core's
+// ResourceTimeline — the makespan is the sum of all thread work plus
+// queueing, exactly what time-slicing N compute-bound threads on one core
+// yields. Context-switch overhead is added per expired scheduler quantum.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hsm::threadrt {
+
+class SingleCoreRuntime;
+
+/// Per-logical-thread view. API mirrors sim::CoreContext so benchmark
+/// kernels can be written once against either context type.
+class ThreadContext {
+ public:
+  ThreadContext(SingleCoreRuntime& rt, int tid, int num_threads)
+      : rt_(rt), tid_(tid), num_threads_(num_threads) {}
+
+  [[nodiscard]] int tid() const { return tid_; }
+  [[nodiscard]] int numThreads() const { return num_threads_; }
+
+  [[nodiscard]] sim::ResumeAt compute(std::uint64_t core_cycles);
+  [[nodiscard]] sim::ResumeAt computeOps(std::uint64_t count, sim::OpClass cls);
+  /// Process memory (the threads' shared address space): cacheable,
+  /// core 0's hierarchy.
+  [[nodiscard]] sim::ResumeAt memRead(std::uint64_t addr, void* out, std::size_t bytes);
+  [[nodiscard]] sim::ResumeAt memWrite(std::uint64_t addr, const void* src,
+                                       std::size_t bytes);
+  /// A pthread mutex on a single core: uncontended fast path cost.
+  [[nodiscard]] sim::TasLock::Awaiter lockAcquire(int lock_id);
+  void lockRelease(int lock_id);
+  /// pthread_barrier_wait across the logical threads.
+  [[nodiscard]] sim::SyncBarrier::Awaiter barrier();
+
+  /// Untimed view of the process address space (setup/verification).
+  [[nodiscard]] std::uint8_t* hostMem(std::uint64_t addr);
+
+ private:
+  SingleCoreRuntime& rt_;
+  int tid_;
+  int num_threads_;
+};
+
+class SingleCoreRuntime {
+ public:
+  explicit SingleCoreRuntime(sim::SccConfig config = {});
+
+  using ThreadProgram = std::function<sim::SimTask(ThreadContext&)>;
+  /// Spawn `num_threads` logical threads running `program` on core 0.
+  void launch(int num_threads, const ThreadProgram& program);
+
+  /// Run to completion. Returns makespan *including* context-switch
+  /// overhead (one switch per expired quantum with >1 runnable thread).
+  sim::Tick run();
+
+  [[nodiscard]] sim::SccMachine& machine() { return machine_; }
+  [[nodiscard]] sim::ResourceTimeline& coreTimeline() { return core_; }
+  [[nodiscard]] int numThreads() const { return num_threads_; }
+
+ private:
+  sim::SccMachine machine_;
+  sim::ResourceTimeline core_;
+  std::vector<std::unique_ptr<ThreadContext>> contexts_;
+  int num_threads_ = 0;
+};
+
+}  // namespace hsm::threadrt

@@ -1,0 +1,338 @@
+#include "transform/ast_edit.h"
+
+#include <algorithm>
+
+namespace hsm::transform {
+namespace {
+
+void forEachExpr(ast::Expr* expr, const std::function<void(ast::Expr*)>& fn) {
+  if (expr == nullptr) return;
+  fn(expr);
+  switch (expr->kind()) {
+    case ast::ExprKind::Unary:
+      forEachExpr(static_cast<ast::UnaryExpr*>(expr)->operand(), fn);
+      break;
+    case ast::ExprKind::Binary: {
+      auto* b = static_cast<ast::BinaryExpr*>(expr);
+      forEachExpr(b->lhs(), fn);
+      forEachExpr(b->rhs(), fn);
+      break;
+    }
+    case ast::ExprKind::Conditional: {
+      auto* c = static_cast<ast::ConditionalExpr*>(expr);
+      forEachExpr(c->cond(), fn);
+      forEachExpr(c->thenExpr(), fn);
+      forEachExpr(c->elseExpr(), fn);
+      break;
+    }
+    case ast::ExprKind::Call: {
+      auto* c = static_cast<ast::CallExpr*>(expr);
+      forEachExpr(c->callee(), fn);
+      for (ast::Expr* a : c->args()) forEachExpr(a, fn);
+      break;
+    }
+    case ast::ExprKind::Index: {
+      auto* i = static_cast<ast::IndexExpr*>(expr);
+      forEachExpr(i->base(), fn);
+      forEachExpr(i->index(), fn);
+      break;
+    }
+    case ast::ExprKind::Member:
+      forEachExpr(static_cast<ast::MemberExpr*>(expr)->base(), fn);
+      break;
+    case ast::ExprKind::Cast:
+      forEachExpr(static_cast<ast::CastExpr*>(expr)->operand(), fn);
+      break;
+    case ast::ExprKind::Sizeof:
+      if (auto* e = static_cast<ast::SizeofExpr*>(expr)->exprOperand()) forEachExpr(e, fn);
+      break;
+    case ast::ExprKind::InitList:
+      for (ast::Expr* e : static_cast<ast::InitListExpr*>(expr)->inits()) forEachExpr(e, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+void forEachExprInStmt(ast::Stmt* stmt, const std::function<void(ast::Expr*)>& fn) {
+  forEachStmt(stmt, [&fn](ast::Stmt* s) {
+    switch (s->kind()) {
+      case ast::StmtKind::Expr:
+        forEachExpr(static_cast<ast::ExprStmt*>(s)->expr(), fn);
+        break;
+      case ast::StmtKind::Decl:
+        for (ast::VarDecl* v : static_cast<ast::DeclStmt*>(s)->decls()) {
+          forEachExpr(v->init(), fn);
+        }
+        break;
+      case ast::StmtKind::If:
+        forEachExpr(static_cast<ast::IfStmt*>(s)->cond(), fn);
+        break;
+      case ast::StmtKind::For: {
+        auto* f = static_cast<ast::ForStmt*>(s);
+        if (f->cond() != nullptr) forEachExpr(f->cond(), fn);
+        if (f->step() != nullptr) forEachExpr(f->step(), fn);
+        break;
+      }
+      case ast::StmtKind::While:
+        forEachExpr(static_cast<ast::WhileStmt*>(s)->cond(), fn);
+        break;
+      case ast::StmtKind::Do:
+        forEachExpr(static_cast<ast::DoStmt*>(s)->cond(), fn);
+        break;
+      case ast::StmtKind::Return:
+        if (auto* v = static_cast<ast::ReturnStmt*>(s)->value()) forEachExpr(v, fn);
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+}  // namespace
+
+bool removeStmt(ast::CompoundStmt& parent, const ast::Stmt* target) {
+  auto& body = parent.body();
+  const auto it = std::find(body.begin(), body.end(), target);
+  if (it == body.end()) return false;
+  body.erase(it);
+  return true;
+}
+
+std::size_t insertBefore(ast::CompoundStmt& parent, const ast::Stmt* anchor,
+                         ast::Stmt* stmt) {
+  auto& body = parent.body();
+  const auto it = std::find(body.begin(), body.end(), anchor);
+  const auto pos = body.insert(it, stmt);
+  return static_cast<std::size_t>(pos - body.begin());
+}
+
+std::size_t insertAfter(ast::CompoundStmt& parent, const ast::Stmt* anchor,
+                        ast::Stmt* stmt) {
+  auto& body = parent.body();
+  auto it = std::find(body.begin(), body.end(), anchor);
+  if (it != body.end()) ++it;
+  else it = body.begin();
+  const auto pos = body.insert(it, stmt);
+  return static_cast<std::size_t>(pos - body.begin());
+}
+
+ast::CompoundStmt* findParentCompound(ast::Stmt* root, const ast::Stmt* target) {
+  ast::CompoundStmt* found = nullptr;
+  forEachStmt(root, [&](ast::Stmt* s) {
+    if (found != nullptr || s->kind() != ast::StmtKind::Compound) return;
+    auto* compound = static_cast<ast::CompoundStmt*>(s);
+    const auto& body = compound->body();
+    if (std::find(body.begin(), body.end(), target) != body.end()) found = compound;
+  });
+  return found;
+}
+
+void forEachStmt(ast::Stmt* root, const std::function<void(ast::Stmt*)>& fn) {
+  if (root == nullptr) return;
+  fn(root);
+  switch (root->kind()) {
+    case ast::StmtKind::Compound: {
+      // Copy: callers may mutate the body during iteration.
+      const std::vector<ast::Stmt*> body = static_cast<ast::CompoundStmt*>(root)->body();
+      for (ast::Stmt* s : body) forEachStmt(s, fn);
+      break;
+    }
+    case ast::StmtKind::If: {
+      auto* s = static_cast<ast::IfStmt*>(root);
+      forEachStmt(s->thenStmt(), fn);
+      forEachStmt(s->elseStmt(), fn);
+      break;
+    }
+    case ast::StmtKind::For: {
+      auto* s = static_cast<ast::ForStmt*>(root);
+      forEachStmt(s->init(), fn);
+      forEachStmt(s->body(), fn);
+      break;
+    }
+    case ast::StmtKind::While:
+      forEachStmt(static_cast<ast::WhileStmt*>(root)->body(), fn);
+      break;
+    case ast::StmtKind::Do:
+      forEachStmt(static_cast<ast::DoStmt*>(root)->body(), fn);
+      break;
+    default:
+      break;
+  }
+}
+
+bool containsCall(const ast::Expr* expr, const std::string& callee) {
+  bool found = false;
+  forEachExpr(const_cast<ast::Expr*>(expr), [&](ast::Expr* e) {
+    if (e->kind() == ast::ExprKind::Call &&
+        static_cast<ast::CallExpr*>(e)->calleeName() == callee) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+bool stmtContainsCall(const ast::Stmt* stmt, const std::string& callee) {
+  bool found = false;
+  forEachExprInStmt(const_cast<ast::Stmt*>(stmt), [&](ast::Expr* e) {
+    if (e->kind() == ast::ExprKind::Call &&
+        static_cast<ast::CallExpr*>(e)->calleeName() == callee) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+std::size_t replaceDeclRefsInExpr(ast::Expr* expr, const ast::Decl* from,
+                                  ast::VarDecl* to) {
+  std::size_t count = 0;
+  forEachExpr(expr, [&](ast::Expr* e) {
+    if (e->kind() != ast::ExprKind::DeclRef) return;
+    auto* ref = static_cast<ast::DeclRefExpr*>(e);
+    if (ref->decl() == from) {
+      ref->setName(to->name());
+      ref->setDecl(to);
+      ++count;
+    }
+  });
+  return count;
+}
+
+std::size_t replaceDeclRefs(ast::Stmt* root, const ast::Decl* from, ast::VarDecl* to) {
+  std::size_t count = 0;
+  forEachExprInStmt(root, [&](ast::Expr* e) {
+    if (e->kind() != ast::ExprKind::DeclRef) return;
+    auto* ref = static_cast<ast::DeclRefExpr*>(e);
+    if (ref->decl() == from) {
+      ref->setName(to->name());
+      ref->setDecl(to);
+      ++count;
+    }
+  });
+  return count;
+}
+
+std::size_t countDeclRefs(const ast::Stmt* root, const ast::Decl* decl) {
+  std::size_t count = 0;
+  forEachExprInStmt(const_cast<ast::Stmt*>(root), [&](ast::Expr* e) {
+    if (e->kind() == ast::ExprKind::DeclRef &&
+        static_cast<ast::DeclRefExpr*>(e)->decl() == decl) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+ast::ExprStmt* makeCallStmt(ast::ASTContext& ctx, const std::string& name,
+                            std::vector<ast::Expr*> args, SourceLoc loc) {
+  auto* callee = ctx.makeExpr<ast::DeclRefExpr>(name, loc);
+  auto* call = ctx.makeExpr<ast::CallExpr>(callee, std::move(args), loc);
+  return ctx.makeStmt<ast::ExprStmt>(call, loc);
+}
+
+ast::DeclRefExpr* makeRef(ast::ASTContext& ctx, ast::VarDecl* decl, SourceLoc loc) {
+  auto* ref = ctx.makeExpr<ast::DeclRefExpr>(decl->name(), loc);
+  ref->setDecl(decl);
+  return ref;
+}
+
+ast::DeclRefExpr* makeNameRef(ast::ASTContext& ctx, const std::string& name,
+                              SourceLoc loc) {
+  return ctx.makeExpr<ast::DeclRefExpr>(name, loc);
+}
+
+ast::Expr* rewriteExprTree(ast::Expr* root, const ExprRewriteFn& fn) {
+  if (root == nullptr) return nullptr;
+  switch (root->kind()) {
+    case ast::ExprKind::Unary: {
+      auto* u = static_cast<ast::UnaryExpr*>(root);
+      u->setOperand(rewriteExprTree(u->operand(), fn));
+      break;
+    }
+    case ast::ExprKind::Binary: {
+      auto* b = static_cast<ast::BinaryExpr*>(root);
+      b->setLhs(rewriteExprTree(b->lhs(), fn));
+      b->setRhs(rewriteExprTree(b->rhs(), fn));
+      break;
+    }
+    case ast::ExprKind::Conditional: {
+      auto* c = static_cast<ast::ConditionalExpr*>(root);
+      c->setCond(rewriteExprTree(c->cond(), fn));
+      c->setThenExpr(rewriteExprTree(c->thenExpr(), fn));
+      c->setElseExpr(rewriteExprTree(c->elseExpr(), fn));
+      break;
+    }
+    case ast::ExprKind::Call: {
+      auto* c = static_cast<ast::CallExpr*>(root);
+      c->setCallee(rewriteExprTree(c->callee(), fn));
+      for (ast::Expr*& a : c->args()) a = rewriteExprTree(a, fn);
+      break;
+    }
+    case ast::ExprKind::Index: {
+      auto* i = static_cast<ast::IndexExpr*>(root);
+      i->setBase(rewriteExprTree(i->base(), fn));
+      i->setIndex(rewriteExprTree(i->index(), fn));
+      break;
+    }
+    case ast::ExprKind::Member: {
+      auto* m = static_cast<ast::MemberExpr*>(root);
+      m->setBase(rewriteExprTree(m->base(), fn));
+      break;
+    }
+    case ast::ExprKind::Cast: {
+      auto* c = static_cast<ast::CastExpr*>(root);
+      c->setOperand(rewriteExprTree(c->operand(), fn));
+      break;
+    }
+    default:
+      break;
+  }
+  return fn(root);
+}
+
+void rewriteExprsInStmt(ast::Stmt* root, const ExprRewriteFn& fn) {
+  forEachStmt(root, [&fn](ast::Stmt* s) {
+    switch (s->kind()) {
+      case ast::StmtKind::Expr: {
+        auto* e = static_cast<ast::ExprStmt*>(s);
+        e->setExpr(rewriteExprTree(e->expr(), fn));
+        break;
+      }
+      case ast::StmtKind::Decl:
+        for (ast::VarDecl* v : static_cast<ast::DeclStmt*>(s)->decls()) {
+          if (v->init() != nullptr) v->setInit(rewriteExprTree(v->init(), fn));
+        }
+        break;
+      case ast::StmtKind::If: {
+        auto* i = static_cast<ast::IfStmt*>(s);
+        i->setCond(rewriteExprTree(i->cond(), fn));
+        break;
+      }
+      case ast::StmtKind::For: {
+        auto* f = static_cast<ast::ForStmt*>(s);
+        if (f->cond() != nullptr) f->setCond(rewriteExprTree(f->cond(), fn));
+        if (f->step() != nullptr) f->setStep(rewriteExprTree(f->step(), fn));
+        break;
+      }
+      case ast::StmtKind::While: {
+        auto* w = static_cast<ast::WhileStmt*>(s);
+        w->setCond(rewriteExprTree(w->cond(), fn));
+        break;
+      }
+      case ast::StmtKind::Do: {
+        auto* d = static_cast<ast::DoStmt*>(s);
+        d->setCond(rewriteExprTree(d->cond(), fn));
+        break;
+      }
+      case ast::StmtKind::Return: {
+        auto* r = static_cast<ast::ReturnStmt*>(s);
+        if (r->value() != nullptr) r->setValue(rewriteExprTree(r->value(), fn));
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+}  // namespace hsm::transform

@@ -1,0 +1,63 @@
+// In-place AST editing utilities shared by the transform passes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ast/context.h"
+
+namespace hsm::transform {
+
+/// Remove `target` from `parent`'s statement list. Returns true if found.
+bool removeStmt(ast::CompoundStmt& parent, const ast::Stmt* target);
+
+/// Insert `stmt` before/after `anchor` inside `parent`. If `anchor` is not
+/// found the statement is appended/prepended respectively. Returns the index
+/// the statement was placed at.
+std::size_t insertBefore(ast::CompoundStmt& parent, const ast::Stmt* anchor,
+                         ast::Stmt* stmt);
+std::size_t insertAfter(ast::CompoundStmt& parent, const ast::Stmt* anchor,
+                        ast::Stmt* stmt);
+
+/// Depth-first search for the CompoundStmt that directly contains `target`
+/// anywhere under `root` (including nested compounds and loop bodies).
+ast::CompoundStmt* findParentCompound(ast::Stmt* root, const ast::Stmt* target);
+
+/// Call `fn` for every statement under `root`, innermost last.
+void forEachStmt(ast::Stmt* root, const std::function<void(ast::Stmt*)>& fn);
+
+/// Does this expression tree contain a call with the given callee name?
+bool containsCall(const ast::Expr* expr, const std::string& callee);
+/// Does this statement subtree contain a call with the given callee name?
+bool stmtContainsCall(const ast::Stmt* stmt, const std::string& callee);
+
+/// Rewrite every reference to `from` under `root` to refer to `to`
+/// (rename + rebind). Returns the number of references rewritten.
+std::size_t replaceDeclRefs(ast::Stmt* root, const ast::Decl* from, ast::VarDecl* to);
+std::size_t replaceDeclRefsInExpr(ast::Expr* expr, const ast::Decl* from,
+                                  ast::VarDecl* to);
+
+/// Count references to `decl` under `root`.
+std::size_t countDeclRefs(const ast::Stmt* root, const ast::Decl* decl);
+
+/// Build `name(args...)` as an expression statement.
+ast::ExprStmt* makeCallStmt(ast::ASTContext& ctx, const std::string& name,
+                            std::vector<ast::Expr*> args, SourceLoc loc = {});
+/// Build a reference to a known declaration.
+ast::DeclRefExpr* makeRef(ast::ASTContext& ctx, ast::VarDecl* decl, SourceLoc loc = {});
+/// Build a reference by name only (library identifiers like RCCE_COMM_WORLD).
+ast::DeclRefExpr* makeNameRef(ast::ASTContext& ctx, const std::string& name,
+                              SourceLoc loc = {});
+
+/// Bottom-up expression rewriting: `fn` is applied to every node after its
+/// children have been rewritten; returning a different pointer substitutes
+/// the node in its parent slot. Returns the (possibly new) root.
+using ExprRewriteFn = std::function<ast::Expr*(ast::Expr*)>;
+ast::Expr* rewriteExprTree(ast::Expr* root, const ExprRewriteFn& fn);
+
+/// Apply `rewriteExprTree` to every expression slot under a statement tree
+/// (expression statements, initializers, conditions, steps, return values).
+void rewriteExprsInStmt(ast::Stmt* root, const ExprRewriteFn& fn);
+
+}  // namespace hsm::transform

@@ -1,0 +1,125 @@
+#include "transform/cleanup.h"
+
+#include <algorithm>
+
+#include "transform/ast_edit.h"
+
+namespace hsm::transform {
+namespace {
+
+bool exprHasCalls(const ast::Expr* e) {
+  if (e == nullptr) return false;
+  bool found = false;
+  switch (e->kind()) {
+    case ast::ExprKind::Call:
+      return true;
+    case ast::ExprKind::Unary:
+      return exprHasCalls(static_cast<const ast::UnaryExpr*>(e)->operand());
+    case ast::ExprKind::Binary: {
+      const auto* b = static_cast<const ast::BinaryExpr*>(e);
+      return exprHasCalls(b->lhs()) || exprHasCalls(b->rhs());
+    }
+    case ast::ExprKind::Conditional: {
+      const auto* c = static_cast<const ast::ConditionalExpr*>(e);
+      return exprHasCalls(c->cond()) || exprHasCalls(c->thenExpr()) ||
+             exprHasCalls(c->elseExpr());
+    }
+    case ast::ExprKind::Cast:
+      return exprHasCalls(static_cast<const ast::CastExpr*>(e)->operand());
+    case ast::ExprKind::Index: {
+      const auto* i = static_cast<const ast::IndexExpr*>(e);
+      return exprHasCalls(i->base()) || exprHasCalls(i->index());
+    }
+    case ast::ExprKind::InitList:
+      for (const ast::Expr* init : static_cast<const ast::InitListExpr*>(e)->inits()) {
+        found = found || exprHasCalls(init);
+      }
+      return found;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ReplaceIncludesPass::run(PassContext& ctx) {
+  for (lex::Directive& d : ctx.ast.unit().directives()) {
+    if (d.text.find("pthread.h") != std::string::npos) {
+      d.text = "#include \"RCCE.h\"";
+    }
+  }
+  return true;
+}
+
+bool RemoveUnusedLocalsPass::run(PassContext& ctx) {
+  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+    if (fn->body() == nullptr) continue;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      forEachStmt(fn->body(), [&](ast::Stmt* s) {
+        if (s->kind() != ast::StmtKind::Compound) return;
+        auto* compound = static_cast<ast::CompoundStmt*>(s);
+        auto& body = compound->body();
+        for (auto it = body.begin(); it != body.end();) {
+          bool erased = false;
+          if ((*it)->kind() == ast::StmtKind::Decl) {
+            auto* decl_stmt = static_cast<ast::DeclStmt*>(*it);
+            auto& decls = decl_stmt->decls();
+            for (auto vit = decls.begin(); vit != decls.end();) {
+              ast::VarDecl* var = *vit;
+              const bool keep = countDeclRefs(fn->body(), var) > 0 ||
+                                exprHasCalls(var->init());
+              if (!keep) {
+                vit = decls.erase(vit);
+                changed = true;
+              } else {
+                ++vit;
+              }
+            }
+            if (decls.empty()) {
+              it = body.erase(it);
+              erased = true;
+              changed = true;
+            }
+          }
+          if (!erased) ++it;
+        }
+      });
+    }
+  }
+  return true;
+}
+
+bool RemoveDemotedGlobalsPass::run(PassContext& ctx) {
+  auto& top_levels = ctx.ast.unit().topLevels();
+  for (auto it = top_levels.begin(); it != top_levels.end();) {
+    if (it->kind == ast::TopLevel::Kind::Vars) {
+      auto& vars = it->vars;
+      vars.erase(std::remove_if(vars.begin(), vars.end(),
+                                [&](ast::VarDecl* v) {
+                                  const analysis::VariableInfo* info =
+                                      ctx.analysis.find(v);
+                                  if (info == nullptr || info->isShared()) return false;
+                                  // Demoted and unreferenced everywhere.
+                                  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+                                    if (fn->body() != nullptr &&
+                                        countDeclRefs(fn->body(), v) > 0) {
+                                      return false;
+                                    }
+                                  }
+                                  return info->is_global &&
+                                         info->status == analysis::Sharing::Private;
+                                }),
+                 vars.end());
+      if (vars.empty()) {
+        it = top_levels.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  return true;
+}
+
+}  // namespace hsm::transform

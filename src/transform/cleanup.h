@@ -1,0 +1,31 @@
+// Final cleanup passes:
+//   * ReplaceIncludesPass     — `#include <pthread.h>` → `#include "RCCE.h"`
+//   * RemoveUnusedLocalsPass  — locals with no remaining references (e.g.
+//     the `rc` that only held pthread_create's result) are dropped.
+//   * RemoveDemotedGlobalsPass— globals the analysis demoted to private and
+//     that have no remaining uses (the paper's `global`) are dropped.
+#pragma once
+
+#include "transform/pass.h"
+
+namespace hsm::transform {
+
+class ReplaceIncludesPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "replace-includes"; }
+  bool run(PassContext& ctx) override;
+};
+
+class RemoveUnusedLocalsPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "remove-unused-locals"; }
+  bool run(PassContext& ctx) override;
+};
+
+class RemoveDemotedGlobalsPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "remove-demoted-globals"; }
+  bool run(PassContext& ctx) override;
+};
+
+}  // namespace hsm::transform

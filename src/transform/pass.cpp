@@ -1,0 +1,64 @@
+#include "transform/pass.h"
+
+#include "transform/ast_edit.h"
+
+namespace hsm::transform {
+
+bool Driver::runAll(PassContext& ctx) {
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    if (!pass->run(ctx)) {
+      ctx.diags.error({}, "pass '" + pass->name() + "' failed");
+      return false;
+    }
+    if (!checkConsistency(ctx.ast.unit(), ctx.diags)) {
+      ctx.diags.error({}, "IR inconsistent after pass '" + pass->name() + "'");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Driver::checkConsistency(const ast::TranslationUnit& unit, DiagnosticEngine& diags) {
+  bool ok = true;
+  for (const ast::TopLevel& tl : unit.topLevels()) {
+    if (tl.kind == ast::TopLevel::Kind::Vars) {
+      for (const ast::VarDecl* v : tl.vars) {
+        if (v == nullptr) {
+          diags.error({}, "null variable declaration at file scope");
+          ok = false;
+        }
+      }
+    } else {
+      if (tl.function == nullptr) {
+        diags.error({}, "null function at file scope");
+        ok = false;
+        continue;
+      }
+      if (tl.function->body() == nullptr) continue;
+      forEachStmt(tl.function->body(), [&](ast::Stmt* s) {
+        if (s == nullptr) {
+          diags.error({}, "null statement in '" + tl.function->name() + "'");
+          ok = false;
+          return;
+        }
+        if (s->kind() == ast::StmtKind::Compound) {
+          for (const ast::Stmt* child : static_cast<ast::CompoundStmt*>(s)->body()) {
+            if (child == nullptr) {
+              diags.error({}, "null child statement in '" + tl.function->name() + "'");
+              ok = false;
+            }
+          }
+        }
+        if (s->kind() == ast::StmtKind::Expr &&
+            static_cast<ast::ExprStmt*>(s)->expr() == nullptr) {
+          diags.error({}, "expression statement without expression in '" +
+                              tl.function->name() + "'");
+          ok = false;
+        }
+      });
+    }
+  }
+  return ok;
+}
+
+}  // namespace hsm::transform

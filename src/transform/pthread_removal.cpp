@@ -1,0 +1,182 @@
+#include "transform/pthread_removal.h"
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "transform/ast_edit.h"
+
+namespace hsm::transform {
+namespace {
+
+/// Algorithm 7's prepopulated hash set of pthread data types.
+const std::unordered_set<std::string>& pthreadTypeSet() {
+  static const std::unordered_set<std::string> types = {
+      "pthread_t",     "pthread_attr_t",      "pthread_mutex_t",
+      "pthread_mutexattr_t", "pthread_cond_t", "pthread_condattr_t",
+      "pthread_barrier_t", "pthread_barrierattr_t", "pthread_key_t",
+      "pthread_once_t", "pthread_rwlock_t", "pthread_spinlock_t",
+  };
+  return types;
+}
+
+/// Algorithm 8's prepopulated hash set of pthread API calls to remove.
+const std::unordered_set<std::string>& pthreadApiSet() {
+  static const std::unordered_set<std::string> calls = {
+      "pthread_exit",          "pthread_join",         "pthread_create",
+      "pthread_mutex_init",    "pthread_mutex_destroy", "pthread_attr_init",
+      "pthread_attr_destroy",  "pthread_attr_setdetachstate",
+      "pthread_setconcurrency", "pthread_detach",       "pthread_cancel",
+      "pthread_cond_init",     "pthread_cond_destroy",  "pthread_barrier_init",
+      "pthread_barrier_destroy", "pthread_key_create",  "pthread_key_delete",
+      "pthread_yield",
+  };
+  return calls;
+}
+
+bool typeIsPthread(const ast::Type* type) {
+  while (type != nullptr && (type->isPointer() || type->isArray())) type = type->element();
+  return type != nullptr && type->isNamed() && pthreadTypeSet().count(type->name()) > 0;
+}
+
+/// The name of the mutex variable in `pthread_mutex_lock(&m)` / `(m)`.
+const ast::Decl* mutexOperand(const ast::CallExpr& call) {
+  if (call.args().empty()) return nullptr;
+  const ast::Expr* arg = call.args().front();
+  while (arg != nullptr && arg->kind() == ast::ExprKind::Cast) {
+    arg = static_cast<const ast::CastExpr*>(arg)->operand();
+  }
+  if (arg != nullptr && arg->kind() == ast::ExprKind::Unary) {
+    const auto* unary = static_cast<const ast::UnaryExpr*>(arg);
+    if (unary->op() == ast::UnaryOp::AddrOf) arg = unary->operand();
+  }
+  if (arg != nullptr && arg->kind() == ast::ExprKind::DeclRef) {
+    return static_cast<const ast::DeclRefExpr*>(arg)->decl();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool ReplacePthreadSelfPass::run(PassContext& ctx) {
+  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+    if (fn->body() == nullptr) continue;
+    rewriteExprsInStmt(fn->body(), [&](ast::Expr* e) -> ast::Expr* {
+      if (e->kind() != ast::ExprKind::Call) return e;
+      auto* call = static_cast<ast::CallExpr*>(e);
+      if (call->calleeName() != "pthread_self") return e;
+      return ctx.ast.makeExpr<ast::CallExpr>(makeNameRef(ctx.ast, "RCCE_ue"),
+                                             std::vector<ast::Expr*>{}, e->loc());
+    });
+  }
+  return true;
+}
+
+bool MutexToLockPass::run(PassContext& ctx) {
+  // Assign each distinct mutex a core whose test-and-set register backs it,
+  // in order of first appearance (deterministic).
+  std::map<const ast::Decl*, int> lock_ids;
+  auto lockIdFor = [&](const ast::Decl* mutex) {
+    const auto it = lock_ids.find(mutex);
+    if (it != lock_ids.end()) return it->second;
+    const int id = static_cast<int>(lock_ids.size());
+    lock_ids.emplace(mutex, id);
+    return id;
+  };
+
+  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+    if (fn->body() == nullptr) continue;
+    rewriteExprsInStmt(fn->body(), [&](ast::Expr* e) -> ast::Expr* {
+      if (e->kind() != ast::ExprKind::Call) return e;
+      auto* call = static_cast<ast::CallExpr*>(e);
+      const std::string name = call->calleeName();
+      if (name == "pthread_mutex_lock" || name == "pthread_mutex_unlock") {
+        const int id = lockIdFor(mutexOperand(*call));
+        auto* id_lit =
+            ctx.ast.makeExpr<ast::IntLiteralExpr>(id, std::to_string(id), e->loc());
+        const char* target =
+            name == "pthread_mutex_lock" ? "RCCE_acquire_lock" : "RCCE_release_lock";
+        return ctx.ast.makeExpr<ast::CallExpr>(makeNameRef(ctx.ast, target),
+                                               std::vector<ast::Expr*>{id_lit}, e->loc());
+      }
+      if (name == "pthread_barrier_wait") {
+        auto* comm = ctx.ast.makeExpr<ast::UnaryExpr>(
+            ast::UnaryOp::AddrOf, makeNameRef(ctx.ast, "RCCE_COMM_WORLD"), e->loc());
+        return ctx.ast.makeExpr<ast::CallExpr>(makeNameRef(ctx.ast, "RCCE_barrier"),
+                                               std::vector<ast::Expr*>{comm}, e->loc());
+      }
+      return e;
+    });
+  }
+  return true;
+}
+
+bool RemovePthreadTypesPass::run(PassContext& ctx) {
+  // File-scope declarations.
+  auto& top_levels = ctx.ast.unit().topLevels();
+  for (auto it = top_levels.begin(); it != top_levels.end();) {
+    if (it->kind == ast::TopLevel::Kind::Vars) {
+      auto& vars = it->vars;
+      vars.erase(std::remove_if(vars.begin(), vars.end(),
+                                [](const ast::VarDecl* v) { return typeIsPthread(v->type()); }),
+                 vars.end());
+      if (vars.empty()) {
+        it = top_levels.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  // Function-scope declarations.
+  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+    if (fn->body() == nullptr) continue;
+    forEachStmt(fn->body(), [&](ast::Stmt* s) {
+      if (s->kind() != ast::StmtKind::Compound) return;
+      auto* compound = static_cast<ast::CompoundStmt*>(s);
+      auto& body = compound->body();
+      for (auto it = body.begin(); it != body.end();) {
+        if ((*it)->kind() == ast::StmtKind::Decl) {
+          auto* decl_stmt = static_cast<ast::DeclStmt*>(*it);
+          auto& decls = decl_stmt->decls();
+          decls.erase(
+              std::remove_if(decls.begin(), decls.end(),
+                             [](const ast::VarDecl* v) { return typeIsPthread(v->type()); }),
+              decls.end());
+          if (decls.empty()) {
+            it = body.erase(it);
+            continue;
+          }
+        }
+        ++it;
+      }
+    });
+  }
+  return true;
+}
+
+bool RemovePthreadApiPass::run(PassContext& ctx) {
+  const auto& api = pthreadApiSet();
+  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+    if (fn->body() == nullptr) continue;
+    forEachStmt(fn->body(), [&](ast::Stmt* s) {
+      if (s->kind() != ast::StmtKind::Compound) return;
+      auto* compound = static_cast<ast::CompoundStmt*>(s);
+      auto& body = compound->body();
+      for (auto it = body.begin(); it != body.end();) {
+        bool remove = false;
+        if ((*it)->kind() == ast::StmtKind::Expr) {
+          for (const std::string& name : api) {
+            if (stmtContainsCall(*it, name)) {
+              remove = true;
+              break;
+            }
+          }
+        }
+        it = remove ? body.erase(it) : it + 1;
+      }
+    });
+  }
+  return true;
+}
+
+}  // namespace hsm::transform

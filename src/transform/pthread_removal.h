@@ -1,0 +1,41 @@
+// Cleanup passes from the paper's appendices:
+//   * ReplacePthreadSelfPass — Algorithm 6: pthread_self() → RCCE_ue()
+//   * MutexToLockPass        — §4.5: pthread_mutex_lock/unlock become
+//     RCCE_acquire_lock/RCCE_release_lock on a test-and-set register; each
+//     distinct mutex variable is assigned a distinct register-owning core.
+//     pthread_barrier_wait becomes RCCE_barrier(&RCCE_COMM_WORLD).
+//   * RemovePthreadTypesPass — Algorithm 7: declarations of pthread data
+//     types are removed (hash-set lookup per declaration).
+//   * RemovePthreadApiPass   — Algorithm 8: statements calling any remaining
+//     pthread API are removed (hash-set lookup per call).
+#pragma once
+
+#include "transform/pass.h"
+
+namespace hsm::transform {
+
+class ReplacePthreadSelfPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "replace-pthread-self"; }
+  bool run(PassContext& ctx) override;
+};
+
+class MutexToLockPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "mutex-to-lock"; }
+  bool run(PassContext& ctx) override;
+};
+
+class RemovePthreadTypesPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "remove-pthread-types"; }
+  bool run(PassContext& ctx) override;
+};
+
+class RemovePthreadApiPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "remove-pthread-api"; }
+  bool run(PassContext& ctx) override;
+};
+
+}  // namespace hsm::transform

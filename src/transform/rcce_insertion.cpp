@@ -1,0 +1,93 @@
+#include "transform/rcce_insertion.h"
+
+#include "transform/ast_edit.h"
+
+namespace hsm::transform {
+
+bool RenameMainPass::run(PassContext& ctx) {
+  ast::FunctionDecl* main_fn = ctx.ast.unit().findFunction("main");
+  if (main_fn == nullptr || !main_fn->isDefinition()) {
+    ctx.diags.error({}, "translation requires a 'main' function definition");
+    return false;
+  }
+  main_fn->rename("RCCE_APP");
+  // The RCCE entry point takes `int *argc, char *argv[]` (paper Example 4.2).
+  ast::TypeTable& types = ctx.ast.types();
+  if (main_fn->params().empty()) {
+    auto* argc = ctx.ast.makeDecl<ast::ParamDecl>(
+        "argc", types.pointerTo(types.intType()), main_fn->loc());
+    auto* argv = ctx.ast.makeDecl<ast::ParamDecl>(
+        "argv", types.pointerTo(types.pointerTo(types.charType())), main_fn->loc());
+    main_fn->params().push_back(argc);
+    main_fn->params().push_back(argv);
+  }
+  ctx.entry = main_fn;
+  return true;
+}
+
+bool AddRcceInitPass::run(PassContext& ctx) {
+  if (ctx.entry == nullptr || ctx.entry->body() == nullptr) return false;
+  ast::CompoundStmt& body = *ctx.entry->body();
+  // `RCCE_init(&argc, &argv);` inserted before the first statement (Alg. 9).
+  auto* argc_ref = makeNameRef(ctx.ast, "argc");
+  auto* argv_ref = makeNameRef(ctx.ast, "argv");
+  auto* addr_argc = ctx.ast.makeExpr<ast::UnaryExpr>(ast::UnaryOp::AddrOf, argc_ref,
+                                                     SourceLoc{});
+  auto* addr_argv = ctx.ast.makeExpr<ast::UnaryExpr>(ast::UnaryOp::AddrOf, argv_ref,
+                                                     SourceLoc{});
+  ast::ExprStmt* init = makeCallStmt(ctx.ast, "RCCE_init", {addr_argc, addr_argv});
+  const ast::Stmt* first = body.body().empty() ? nullptr : body.body().front();
+  insertBefore(body, first, init);
+  return true;
+}
+
+bool InsertCoreIdPass::run(PassContext& ctx) {
+  if (ctx.entry == nullptr || ctx.entry->body() == nullptr) return false;
+  ast::CompoundStmt& body = *ctx.entry->body();
+
+  auto* my_id = ctx.ast.makeDecl<ast::VarDecl>(ctx.core_id_name,
+                                               ctx.ast.types().intType(), SourceLoc{});
+  my_id->setOwner(ctx.entry);
+  ctx.core_id_decl = my_id;
+
+  auto* decl_stmt =
+      ctx.ast.makeStmt<ast::DeclStmt>(std::vector<ast::VarDecl*>{my_id}, SourceLoc{});
+  auto* assign = ctx.ast.makeExpr<ast::BinaryExpr>(
+      ast::BinaryOp::Assign, makeRef(ctx.ast, my_id),
+      ctx.ast.makeExpr<ast::CallExpr>(makeNameRef(ctx.ast, "RCCE_ue"),
+                                      std::vector<ast::Expr*>{}, SourceLoc{}),
+      SourceLoc{});
+  auto* assign_stmt = ctx.ast.makeStmt<ast::ExprStmt>(assign, SourceLoc{});
+
+  // Place after the RCCE prologue: RCCE_init plus any allocation calls the
+  // shared-memory pass inserted (they immediately follow RCCE_init).
+  std::size_t pos = 0;
+  const auto& stmts = body.body();
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const ast::Stmt* s = stmts[i];
+    if (stmtContainsCall(s, "RCCE_init") || stmtContainsCall(s, "RCCE_shmalloc") ||
+        stmtContainsCall(s, "RCCE_malloc")) {
+      pos = i + 1;
+    }
+  }
+  body.body().insert(body.body().begin() + static_cast<std::ptrdiff_t>(pos), assign_stmt);
+  body.body().insert(body.body().begin() + static_cast<std::ptrdiff_t>(pos), decl_stmt);
+  return true;
+}
+
+bool AddRcceFinalizePass::run(PassContext& ctx) {
+  if (ctx.entry == nullptr || ctx.entry->body() == nullptr) return false;
+  ast::CompoundStmt& body = *ctx.entry->body();
+  ast::ExprStmt* finalize = makeCallStmt(ctx.ast, "RCCE_finalize", {});
+  // Before the trailing return if present, else at the end (Alg. 10).
+  const ast::Stmt* anchor = nullptr;
+  if (!body.body().empty() && body.body().back()->kind() == ast::StmtKind::Return) {
+    anchor = body.body().back();
+    insertBefore(body, anchor, finalize);
+  } else {
+    body.append(finalize);
+  }
+  return true;
+}
+
+}  // namespace hsm::transform

@@ -1,0 +1,36 @@
+// Passes that introduce the RCCE program skeleton:
+//   * RenameMainPass        — `int main()` → `int RCCE_APP(int *argc, char *argv[])`
+//   * AddRcceInitPass       — Algorithm 9: insert `RCCE_init(&argc, &argv)`
+//   * InsertCoreIdPass      — declare `int myID; myID = RCCE_ue();`
+//   * AddRcceFinalizePass   — Algorithm 10: insert `RCCE_finalize()` before return
+#pragma once
+
+#include "transform/pass.h"
+
+namespace hsm::transform {
+
+class RenameMainPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "rename-main"; }
+  bool run(PassContext& ctx) override;
+};
+
+class AddRcceInitPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "add-rcce-init"; }
+  bool run(PassContext& ctx) override;
+};
+
+class InsertCoreIdPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "insert-core-id"; }
+  bool run(PassContext& ctx) override;
+};
+
+class AddRcceFinalizePass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "add-rcce-finalize"; }
+  bool run(PassContext& ctx) override;
+};
+
+}  // namespace hsm::transform

@@ -1,0 +1,160 @@
+#include "transform/shared_memory.h"
+
+#include <vector>
+
+#include "transform/ast_edit.h"
+
+namespace hsm::transform {
+namespace {
+
+/// Is `stmt` an assignment `v = ...malloc...`? (Algorithm 3 lines 8–10.)
+bool isMallocAssignmentTo(const ast::Stmt* stmt, const ast::Decl* var) {
+  if (stmt->kind() != ast::StmtKind::Expr) return false;
+  const auto* expr_stmt = static_cast<const ast::ExprStmt*>(stmt);
+  if (expr_stmt->expr() == nullptr || expr_stmt->expr()->kind() != ast::ExprKind::Binary) {
+    return false;
+  }
+  const auto* assign = static_cast<const ast::BinaryExpr*>(expr_stmt->expr());
+  if (assign->op() != ast::BinaryOp::Assign) return false;
+  const ast::Expr* lhs = assign->lhs();
+  if (lhs->kind() != ast::ExprKind::DeclRef ||
+      static_cast<const ast::DeclRefExpr*>(lhs)->decl() != var) {
+    return false;
+  }
+  return containsCall(assign->rhs(), "malloc") || containsCall(assign->rhs(), "calloc");
+}
+
+}  // namespace
+
+bool SharedToShmallocPass::run(PassContext& ctx) {
+  if (ctx.entry == nullptr || ctx.entry->body() == nullptr) {
+    ctx.diags.error({}, "shared-to-shmalloc requires the renamed entry function");
+    return false;
+  }
+  ast::TypeTable& types = ctx.ast.types();
+  ast::CompoundStmt& entry_body = *ctx.entry->body();
+
+  // Anchor: the RCCE_init statement (allocations go right after it).
+  const ast::Stmt* anchor = nullptr;
+  for (const ast::Stmt* s : entry_body.body()) {
+    if (stmtContainsCall(s, "RCCE_init")) {
+      anchor = s;
+      break;
+    }
+  }
+
+  for (const partition::PlacementDecision& decision : ctx.plan.decisions) {
+    const analysis::VariableInfo* info = decision.variable;
+    if (info == nullptr || info->decl == nullptr) continue;
+    ast::VarDecl* var = info->decl;
+    if (!var->isGlobal()) {
+      ctx.diags.warning(var->loc(),
+                        "shared local variable '" + var->name() +
+                            "' is not converted; only globals map to shared memory");
+      continue;
+    }
+    const ast::Type* type = var->type();
+    if (type == nullptr) continue;
+
+    const ast::Type* element = nullptr;
+    std::size_t count = 1;
+    bool scalar_conversion = false;
+    if (type->isArray()) {
+      element = type->element();
+      count = type->arrayLength();
+    } else if (type->isPointer()) {
+      // The paper allocates pointee storage for shared pointers
+      // (Example 4.2: `ptr=(int*)RCCE_shmalloc(sizeof(int)*1)`).
+      element = type->element();
+      count = 1;
+    } else {
+      element = type;
+      count = 1;
+      scalar_conversion = true;
+    }
+    if (element->isVoid()) element = types.charType();
+
+    // Rewrite scalar uses v → (*v) before the declaration changes meaning.
+    if (scalar_conversion) {
+      for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+        if (fn->body() == nullptr) continue;
+        rewriteExprsInStmt(fn->body(), [&](ast::Expr* e) -> ast::Expr* {
+          if (e->kind() == ast::ExprKind::DeclRef &&
+              static_cast<ast::DeclRefExpr*>(e)->decl() == var) {
+            return ctx.ast.makeExpr<ast::UnaryExpr>(ast::UnaryOp::Deref, e, e->loc());
+          }
+          // Simplify &*v back to v.
+          if (e->kind() == ast::ExprKind::Unary) {
+            auto* outer = static_cast<ast::UnaryExpr*>(e);
+            if (outer->op() == ast::UnaryOp::AddrOf &&
+                outer->operand()->kind() == ast::ExprKind::Unary) {
+              auto* inner = static_cast<ast::UnaryExpr*>(outer->operand());
+              if (inner->op() == ast::UnaryOp::Deref) return inner->operand();
+            }
+          }
+          return e;
+        });
+      }
+    }
+
+    // Preserve a scalar initializer as a post-allocation store.
+    ast::Expr* saved_init = nullptr;
+    if (scalar_conversion && var->init() != nullptr &&
+        var->init()->kind() != ast::ExprKind::InitList) {
+      saved_init = var->init();
+    }
+
+    // Rewrite the declaration to a plain pointer with no initializer.
+    if (type->isArray() || scalar_conversion) var->setType(types.pointerTo(element));
+    var->setInit(nullptr);
+
+    // Remove a pre-existing malloc for this variable (Alg. 3 lines 8–10).
+    for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+      if (fn->body() == nullptr) continue;
+      std::vector<ast::Stmt*> to_remove;
+      forEachStmt(fn->body(), [&](ast::Stmt* s) {
+        if (isMallocAssignmentTo(s, var)) to_remove.push_back(s);
+      });
+      for (ast::Stmt* s : to_remove) {
+        ast::CompoundStmt* parent = findParentCompound(fn->body(), s);
+        if (parent == nullptr) parent = fn->body();
+        removeStmt(*parent, s);
+      }
+    }
+
+    // Build `v = (T*)ALLOC(sizeof(T) * N);`
+    const char* alloc_fn = decision.placement == partition::Placement::OnChip
+                               ? "RCCE_malloc"
+                               : "RCCE_shmalloc";
+    auto* size_expr = ctx.ast.makeExpr<ast::BinaryExpr>(
+        ast::BinaryOp::Mul, ctx.ast.makeExpr<ast::SizeofExpr>(element, SourceLoc{}),
+        ctx.ast.makeExpr<ast::IntLiteralExpr>(static_cast<long long>(count),
+                                              std::to_string(count), SourceLoc{}),
+        SourceLoc{});
+    auto* alloc_call = ctx.ast.makeExpr<ast::CallExpr>(
+        makeNameRef(ctx.ast, alloc_fn), std::vector<ast::Expr*>{size_expr}, SourceLoc{});
+    auto* cast = ctx.ast.makeExpr<ast::CastExpr>(types.pointerTo(element), alloc_call,
+                                                 SourceLoc{});
+    auto* assign = ctx.ast.makeExpr<ast::BinaryExpr>(ast::BinaryOp::Assign,
+                                                     makeRef(ctx.ast, var), cast,
+                                                     SourceLoc{});
+    auto* alloc_stmt = ctx.ast.makeStmt<ast::ExprStmt>(assign, SourceLoc{});
+
+    const std::size_t at = insertAfter(entry_body, anchor, alloc_stmt);
+    anchor = entry_body.body()[at];
+
+    if (saved_init != nullptr) {
+      auto* store = ctx.ast.makeExpr<ast::BinaryExpr>(
+          ast::BinaryOp::Assign,
+          ctx.ast.makeExpr<ast::UnaryExpr>(ast::UnaryOp::Deref, makeRef(ctx.ast, var),
+                                           SourceLoc{}),
+          saved_init, SourceLoc{});
+      auto* store_stmt = ctx.ast.makeStmt<ast::ExprStmt>(store, SourceLoc{});
+      const std::size_t store_at = insertAfter(entry_body, anchor, store_stmt);
+      anchor = entry_body.body()[store_at];
+    }
+  }
+  return true;
+}
+
+}  // namespace hsm::transform

@@ -1,0 +1,23 @@
+// SharedToShmallocPass — applies the Stage 4 memory plan to the program
+// (the transformation half of Algorithm 3):
+//   * every shared global becomes a pointer declaration;
+//   * an allocation call is inserted in the entry procedure right after
+//     RCCE_init — `RCCE_shmalloc(sizeof(T)*N)` for off-chip placements,
+//     `RCCE_malloc(sizeof(T)*N)` for on-chip (MPB) placements;
+//   * a pre-existing `v = malloc(...)` for the variable is removed;
+//   * uses of converted scalars are rewritten `v` → `*v` (with `&*v`
+//     simplified back to `v`), so the shared object lives entirely in the
+//     explicitly shared region.
+#pragma once
+
+#include "transform/pass.h"
+
+namespace hsm::transform {
+
+class SharedToShmallocPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "shared-to-shmalloc"; }
+  bool run(PassContext& ctx) override;
+};
+
+}  // namespace hsm::transform

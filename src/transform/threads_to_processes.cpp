@@ -1,0 +1,217 @@
+#include "transform/threads_to_processes.h"
+
+#include <vector>
+
+#include "transform/ast_edit.h"
+
+namespace hsm::transform {
+namespace {
+
+/// Find the statement in `root` whose expression tree contains `call`.
+ast::Stmt* findStmtContaining(ast::Stmt* root, const ast::CallExpr* call) {
+  ast::Stmt* found = nullptr;
+  forEachStmt(root, [&](ast::Stmt* s) {
+    if (found != nullptr) return;
+    bool contains = false;
+    // Cheap containment test: search expression slots for the pointer.
+    rewriteExprsInStmt(s, [&](ast::Expr* e) {
+      if (e == call) contains = true;
+      return e;
+    });
+    if (!contains) return;
+    // Prefer the innermost non-compound statement.
+    if (s->kind() != ast::StmtKind::Compound && s->kind() != ast::StmtKind::For &&
+        s->kind() != ast::StmtKind::While && s->kind() != ast::StmtKind::Do) {
+      found = s;
+    }
+  });
+  return found;
+}
+
+/// Find the loop statement that (transitively) contains `target`, or null.
+ast::Stmt* findEnclosingLoop(ast::Stmt* root, const ast::Stmt* target) {
+  ast::Stmt* found = nullptr;
+  forEachStmt(root, [&](ast::Stmt* s) {
+    if (found != nullptr) return;
+    ast::Stmt* body = nullptr;
+    if (s->kind() == ast::StmtKind::For) body = static_cast<ast::ForStmt*>(s)->body();
+    else if (s->kind() == ast::StmtKind::While) body = static_cast<ast::WhileStmt*>(s)->body();
+    else if (s->kind() == ast::StmtKind::Do) body = static_cast<ast::DoStmt*>(s)->body();
+    if (body == nullptr) return;
+    bool contains = false;
+    forEachStmt(body, [&](ast::Stmt* inner) {
+      if (inner == target) contains = true;
+    });
+    if (contains) found = s;
+  });
+  return found;
+}
+
+/// Induction variable of a canonical for loop (from its init clause).
+ast::Decl* loopInductionDecl(ast::Stmt* loop) {
+  if (loop == nullptr || loop->kind() != ast::StmtKind::For) return nullptr;
+  auto* for_stmt = static_cast<ast::ForStmt*>(loop);
+  if (for_stmt->init() == nullptr) return nullptr;
+  if (for_stmt->init()->kind() == ast::StmtKind::Decl) {
+    auto* decl = static_cast<ast::DeclStmt*>(for_stmt->init());
+    return decl->decls().empty() ? nullptr : decl->decls().front();
+  }
+  if (for_stmt->init()->kind() == ast::StmtKind::Expr) {
+    auto* expr_stmt = static_cast<ast::ExprStmt*>(for_stmt->init());
+    if (expr_stmt->expr() != nullptr && expr_stmt->expr()->kind() == ast::ExprKind::Binary) {
+      auto* assign = static_cast<ast::BinaryExpr*>(expr_stmt->expr());
+      if (ast::isAssignmentOp(assign->op()) &&
+          assign->lhs()->kind() == ast::ExprKind::DeclRef) {
+        return static_cast<ast::DeclRefExpr*>(assign->lhs())->decl();
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Loop body statements, flattened if the body is a compound.
+std::vector<ast::Stmt*> loopBodyStmts(ast::Stmt* loop) {
+  ast::Stmt* body = nullptr;
+  if (loop->kind() == ast::StmtKind::For) body = static_cast<ast::ForStmt*>(loop)->body();
+  else if (loop->kind() == ast::StmtKind::While) body = static_cast<ast::WhileStmt*>(loop)->body();
+  else if (loop->kind() == ast::StmtKind::Do) body = static_cast<ast::DoStmt*>(loop)->body();
+  if (body == nullptr) return {};
+  if (body->kind() == ast::StmtKind::Compound) {
+    return static_cast<ast::CompoundStmt*>(body)->body();
+  }
+  return {body};
+}
+
+void removeFromLoopBody(ast::Stmt* loop, const ast::Stmt* target) {
+  ast::Stmt* body = nullptr;
+  if (loop->kind() == ast::StmtKind::For) body = static_cast<ast::ForStmt*>(loop)->body();
+  else if (loop->kind() == ast::StmtKind::While) body = static_cast<ast::WhileStmt*>(loop)->body();
+  else if (loop->kind() == ast::StmtKind::Do) body = static_cast<ast::DoStmt*>(loop)->body();
+  if (body != nullptr && body->kind() == ast::StmtKind::Compound) {
+    removeStmt(*static_cast<ast::CompoundStmt*>(body), target);
+  }
+}
+
+bool loopBodyEmpty(ast::Stmt* loop) {
+  for (ast::Stmt* s : loopBodyStmts(loop)) {
+    if (s->kind() != ast::StmtKind::Null) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ThreadsToProcessesPass::run(PassContext& ctx) {
+  if (ctx.entry == nullptr || ctx.core_id_decl == nullptr) {
+    ctx.diags.error({}, "threads-to-processes requires the RCCE skeleton passes");
+    return false;
+  }
+  int standalone_core = 0;
+  for (const analysis::ThreadLaunchSite& site : ctx.analysis.launches) {
+    ast::FunctionDecl* caller = site.caller;
+    if (caller == nullptr || caller->body() == nullptr) continue;
+    // The caller may have been renamed (main → RCCE_APP); pointers are stable.
+    ast::Stmt* create_stmt = findStmtContaining(caller->body(), site.call);
+    if (create_stmt == nullptr) continue;
+
+    // Build the replacement call: tf((void*)myID) for thread-id launches,
+    // tf(<original argument>) otherwise (Alg. 4 lines 12–17).
+    ast::Expr* arg = nullptr;
+    if (site.arg_is_thread_id || site.thread_arg == nullptr) {
+      arg = ctx.ast.makeExpr<ast::CastExpr>(
+          ctx.ast.types().pointerTo(ctx.ast.types().voidType()),
+          makeRef(ctx.ast, ctx.core_id_decl), SourceLoc{});
+    } else {
+      arg = site.thread_arg;  // reuse the original argument expression
+    }
+    ast::ExprStmt* new_call =
+        makeCallStmt(ctx.ast, site.thread_fn_name, {arg}, site.call->loc());
+
+    ast::Stmt* loop = findEnclosingLoop(caller->body(), create_stmt);
+    if (loop != nullptr) {
+      // Insert the call before the loop, remove the create from the body,
+      // and drop the loop if nothing else remains (Alg. 4 lines 19–27).
+      ast::CompoundStmt* parent = findParentCompound(caller->body(), loop);
+      if (parent == nullptr) parent = caller->body();
+      insertBefore(*parent, loop, new_call);
+      removeFromLoopBody(loop, create_stmt);
+      if (loopBodyEmpty(loop)) removeStmt(*parent, loop);
+    } else {
+      ast::CompoundStmt* parent = findParentCompound(caller->body(), create_stmt);
+      if (parent == nullptr) parent = caller->body();
+      ast::Stmt* inserted = new_call;
+      if (!site.arg_is_thread_id) {
+        // A standalone task must execute on exactly one core: wrap in
+        // `if (myID == k)` using the order of appearance (§4.5).
+        auto* cmp = ctx.ast.makeExpr<ast::BinaryExpr>(
+            ast::BinaryOp::Eq, makeRef(ctx.ast, ctx.core_id_decl),
+            ctx.ast.makeExpr<ast::IntLiteralExpr>(standalone_core,
+                                                  std::to_string(standalone_core),
+                                                  SourceLoc{}),
+            SourceLoc{});
+        inserted = ctx.ast.makeStmt<ast::IfStmt>(cmp, new_call, nullptr, SourceLoc{});
+        ctx.core_bound_tasks.emplace_back(site.thread_fn_name, standalone_core);
+        ++standalone_core;
+      }
+      insertBefore(*parent, create_stmt, inserted);
+      removeStmt(*parent, create_stmt);
+    }
+  }
+  return true;
+}
+
+bool JoinToBarrierPass::run(PassContext& ctx) {
+  if (ctx.entry == nullptr || ctx.core_id_decl == nullptr) return false;
+
+  for (ast::FunctionDecl* fn : ctx.ast.unit().functions()) {
+    if (fn->body() == nullptr) continue;
+    // Collect join statements first; then edit.
+    std::vector<ast::Stmt*> join_stmts;
+    forEachStmt(fn->body(), [&](ast::Stmt* s) {
+      // Only leaf statements: a compound or loop "contains" the call too,
+      // but the statement to rewrite is the expression statement itself.
+      if (s->kind() != ast::StmtKind::Expr) return;
+      if (stmtContainsCall(s, "pthread_join")) join_stmts.push_back(s);
+    });
+
+    for (ast::Stmt* join_stmt : join_stmts) {
+      ast::Stmt* loop = findEnclosingLoop(fn->body(), join_stmt);
+      auto* barrier = makeCallStmt(
+          ctx.ast, "RCCE_barrier",
+          {ctx.ast.makeExpr<ast::UnaryExpr>(
+              ast::UnaryOp::AddrOf, makeNameRef(ctx.ast, "RCCE_COMM_WORLD"), SourceLoc{})});
+      if (loop != nullptr) {
+        ast::CompoundStmt* parent = findParentCompound(fn->body(), loop);
+        if (parent == nullptr) parent = fn->body();
+        // Barrier replaces the synchronization effect of joining all threads.
+        insertBefore(*parent, loop, barrier);
+        removeFromLoopBody(loop, join_stmt);
+        // Unroll what remains of the loop body once, with the induction
+        // variable rewritten to the core id (per-core epilogue).
+        ast::Decl* induction = loopInductionDecl(loop);
+        std::vector<ast::Stmt*> remaining = loopBodyStmts(loop);
+        const ast::Stmt* anchor = loop;
+        for (ast::Stmt* s : remaining) {
+          if (s->kind() == ast::StmtKind::Null) continue;
+          if (induction != nullptr) replaceDeclRefs(s, induction, ctx.core_id_decl);
+          insertAfter(*parent, anchor, s);
+          anchor = s;
+        }
+        removeStmt(*parent, loop);
+      } else {
+        ast::CompoundStmt* parent = findParentCompound(fn->body(), join_stmt);
+        if (parent == nullptr) parent = fn->body();
+        // Avoid stacking barriers for consecutive joins.
+        const auto& body = parent->body();
+        const auto it = std::find(body.begin(), body.end(), join_stmt);
+        const bool prev_is_barrier =
+            it != body.begin() && stmtContainsCall(*(it - 1), "RCCE_barrier");
+        if (!prev_is_barrier) insertBefore(*parent, join_stmt, barrier);
+        removeStmt(*parent, join_stmt);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hsm::transform

@@ -1,0 +1,29 @@
+// The heart of Stage 5:
+//   * ThreadsToProcessesPass — Algorithm 4: replace every pthread_create
+//     with a direct call to the thread routine. Loop-launched routines run
+//     on every core with `(void*)myID` as the thread-id argument; standalone
+//     routines are wrapped in `if (myID == k)` so each task lands on its
+//     own core (the hash-table isolation described in §4.5).
+//   * JoinToBarrierPass — Algorithm 5 extended: pthread_join becomes an
+//     RCCE_barrier; a join loop is unrolled to its remaining body with the
+//     loop induction variable replaced by the core id (paper Example 4.2
+//     keeps the per-thread printf as a per-core printf).
+#pragma once
+
+#include "transform/pass.h"
+
+namespace hsm::transform {
+
+class ThreadsToProcessesPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "threads-to-processes"; }
+  bool run(PassContext& ctx) override;
+};
+
+class JoinToBarrierPass final : public TransformPass {
+ public:
+  [[nodiscard]] std::string name() const override { return "join-to-barrier"; }
+  bool run(PassContext& ctx) override;
+};
+
+}  // namespace hsm::transform

@@ -1,0 +1,36 @@
+#include "workloads/benchmark.h"
+
+#include <stdexcept>
+
+namespace hsm::workloads {
+
+const char* modeName(Mode mode) {
+  switch (mode) {
+    case Mode::PthreadSingleCore: return "pthread-1core";
+    case Mode::RcceOffChip: return "rcce-offchip";
+    case Mode::RcceMpb: return "rcce-mpb";
+  }
+  return "?";
+}
+
+Slice blockSlice(std::size_t n, int units, int u) {
+  const std::size_t per = n / static_cast<std::size_t>(units);
+  const std::size_t extra = n % static_cast<std::size_t>(units);
+  const auto uu = static_cast<std::size_t>(u);
+  const std::size_t first = uu * per + (uu < extra ? uu : extra);
+  const std::size_t count = per + (uu < extra ? 1 : 0);
+  return Slice{first, first + count};
+}
+
+std::vector<std::unique_ptr<Benchmark>> standardSuite(double scale) {
+  std::vector<std::unique_ptr<Benchmark>> suite;
+  suite.push_back(makePiApprox(scale));
+  suite.push_back(makeSum35(scale));
+  suite.push_back(makeCountPrimes(scale));
+  suite.push_back(makeStream(scale));
+  suite.push_back(makeDotProduct(scale));
+  suite.push_back(makeLuDecomposition(scale));
+  return suite;
+}
+
+}  // namespace hsm::workloads

@@ -1,0 +1,72 @@
+// The paper's benchmark suite (§5.2): Count Primes, Pi Approximation,
+// 3-5-Sum, Dot Product, LU Decomposition, and the Stream memory benchmark.
+//
+// Each benchmark runs in three modes:
+//   * PthreadSingleCore — N threads multiplexed on one core (the paper's
+//     evaluation baseline);
+//   * RcceOffChip — N cores, shared data in uncached off-chip DRAM
+//     (the Fig. 6.1 configuration);
+//   * RcceMpb — N cores, shared data staged through / resident in the
+//     on-chip MPB (the Fig. 6.2 configuration).
+// All modes compute real results that are verified against references.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scc_config.h"
+#include "sim/time.h"
+
+namespace hsm::workloads {
+
+enum class Mode : std::uint8_t { PthreadSingleCore, RcceOffChip, RcceMpb };
+
+[[nodiscard]] const char* modeName(Mode mode);
+
+struct RunResult {
+  std::string benchmark;
+  Mode mode = Mode::PthreadSingleCore;
+  int units = 0;             ///< threads (baseline) or cores (RCCE)
+  sim::Tick makespan = 0;
+  bool verified = false;
+  std::string detail;        ///< human-readable result summary
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual RunResult run(Mode mode, int units,
+                                      const sim::SccConfig& config) const = 0;
+};
+
+// Factories. `scale` multiplies the default problem size (1.0 = the sizes
+// used by the bench harness; tests use smaller scales).
+[[nodiscard]] std::unique_ptr<Benchmark> makeCountPrimes(double scale = 1.0);
+[[nodiscard]] std::unique_ptr<Benchmark> makePiApprox(double scale = 1.0);
+[[nodiscard]] std::unique_ptr<Benchmark> makeSum35(double scale = 1.0);
+[[nodiscard]] std::unique_ptr<Benchmark> makeDotProduct(double scale = 1.0);
+[[nodiscard]] std::unique_ptr<Benchmark> makeLuDecomposition(double scale = 1.0);
+[[nodiscard]] std::unique_ptr<Benchmark> makeStream(double scale = 1.0);
+
+/// The six benchmarks of the paper, in its reporting order.
+[[nodiscard]] std::vector<std::unique_ptr<Benchmark>> standardSuite(double scale = 1.0);
+
+/// [first, last) element range handled by unit `u` of `units` under block
+/// partitioning (the paper's divide-and-conquer pattern; the source of
+/// CountPrimes' load imbalance).
+struct Slice {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  [[nodiscard]] std::size_t size() const { return last - first; }
+};
+[[nodiscard]] Slice blockSlice(std::size_t n, int units, int u);
+
+/// Pthreads C source of each benchmark (Appendix C pseudocode realized as
+/// compilable C) for feeding the source-to-source translator. Throws
+/// std::out_of_range for unknown names.
+[[nodiscard]] const std::string& pthreadSource(const std::string& benchmark_name);
+[[nodiscard]] std::vector<std::string> pthreadSourceNames();
+
+}  // namespace hsm::workloads

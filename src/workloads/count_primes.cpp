@@ -1,0 +1,159 @@
+// Count Primes (paper Algorithm 11): trial division with the full j<i loop.
+// Work per candidate grows with its value, so block partitioning leaves the
+// high-range cores with ~2x the average work — the load imbalance behind
+// CountPrimes' ~16x (not 32x) in Fig. 6.1.
+#include <cstring>
+
+#include "rcce/rcce.h"
+#include "sim/machine.h"
+#include "threadrt/baseline.h"
+#include "workloads/benchmark.h"
+
+namespace hsm::workloads {
+namespace {
+
+constexpr int kSumLock = 0;
+
+struct PrimesParams {
+  std::size_t limit = 20'000;
+};
+
+/// Executes Algorithm 11's inner loop for one candidate; returns
+/// {is_prime, trial_divisions_performed}.
+std::pair<bool, std::size_t> trialDivide(std::size_t i) {
+  if (i < 2) return {false, 0};
+  std::size_t trials = 0;
+  for (std::size_t j = 2; j < i; ++j) {
+    ++trials;
+    if (i % j == 0) return {false, trials};
+  }
+  return {true, trials};
+}
+
+long long referenceCount(std::size_t limit) {
+  long long total = 0;
+  for (std::size_t i = 2; i <= limit; ++i) total += trialDivide(i).first ? 1 : 0;
+  return total;
+}
+
+// Candidates are batched (one event per batch) while accumulating the
+// simulated division cost exactly.
+
+sim::SimTask primesThread(threadrt::ThreadContext& ctx, PrimesParams p,
+                          std::uint64_t count_addr) {
+  const Slice s = blockSlice(p.limit - 1, ctx.numThreads(), ctx.tid());
+  const std::size_t lo = 2 + s.first;
+  const std::size_t hi = 2 + s.last;
+  long long primes = 0;
+  constexpr std::size_t kBatch = 64;
+  for (std::size_t i = lo; i < hi; i += kBatch) {
+    const std::size_t end = std::min(i + kBatch, hi);
+    std::uint64_t divisions = 0;
+    for (std::size_t c = i; c < end; ++c) {
+      const auto [is_prime, trials] = trialDivide(c);
+      primes += is_prime ? 1 : 0;
+      divisions += trials;
+    }
+    co_await ctx.computeOps(divisions, sim::OpClass::IntDiv);
+    co_await ctx.computeOps(divisions, sim::OpClass::IntAlu);
+  }
+  co_await ctx.lockAcquire(kSumLock);
+  long long global = 0;
+  co_await ctx.memRead(count_addr, &global, sizeof(global));
+  global += primes;
+  co_await ctx.memWrite(count_addr, &global, sizeof(global));
+  ctx.lockRelease(kSumLock);
+}
+
+sim::SimTask primesRcce(sim::CoreContext& ctx, PrimesParams p,
+                        rcce::ShmArray<long long> acc,
+                        rcce::MpbArray<long long> mpb_acc, bool use_mpb) {
+  const Slice s = blockSlice(p.limit - 1, ctx.numUes(), ctx.ue());
+  const std::size_t lo = 2 + s.first;
+  const std::size_t hi = 2 + s.last;
+  long long primes = 0;
+  constexpr std::size_t kBatch = 64;
+  for (std::size_t i = lo; i < hi; i += kBatch) {
+    const std::size_t end = std::min(i + kBatch, hi);
+    std::uint64_t divisions = 0;
+    for (std::size_t c = i; c < end; ++c) {
+      const auto [is_prime, trials] = trialDivide(c);
+      primes += is_prime ? 1 : 0;
+      divisions += trials;
+    }
+    co_await ctx.computeOps(divisions, sim::OpClass::IntDiv);
+    co_await ctx.computeOps(divisions, sim::OpClass::IntAlu);
+  }
+  co_await ctx.lockAcquire(kSumLock);
+  long long global = 0;
+  if (use_mpb) {
+    co_await mpb_acc.read(ctx, 0, 0, &global);
+    global += primes;
+    co_await mpb_acc.write(ctx, 0, 0, global);
+  } else {
+    co_await acc.read(ctx, 0, &global);
+    global += primes;
+    co_await acc.write(ctx, 0, global);
+  }
+  ctx.lockRelease(kSumLock);
+  co_await ctx.barrier();
+}
+
+class CountPrimes final : public Benchmark {
+ public:
+  explicit CountPrimes(double scale) {
+    params_.limit = static_cast<std::size_t>(static_cast<double>(params_.limit) * scale);
+    if (params_.limit < 100) params_.limit = 100;
+  }
+
+  [[nodiscard]] std::string name() const override { return "CountPrimes"; }
+
+  [[nodiscard]] RunResult run(Mode mode, int units,
+                              const sim::SccConfig& config) const override {
+    RunResult result;
+    result.benchmark = name();
+    result.mode = mode;
+    result.units = units;
+    const PrimesParams p = params_;
+
+    long long computed = 0;
+    if (mode == Mode::PthreadSingleCore) {
+      threadrt::SingleCoreRuntime rt(config);
+      const std::uint64_t count_addr = 0;
+      std::memset(rt.machine().privData(0, count_addr), 0, sizeof(long long));
+      rt.launch(units, [&](threadrt::ThreadContext& ctx) {
+        return primesThread(ctx, p, count_addr);
+      });
+      result.makespan = rt.run();
+      std::memcpy(&computed, rt.machine().privData(0, count_addr), sizeof(long long));
+    } else {
+      sim::SccMachine machine(config);
+      rcce::RcceEnv env(machine);
+      rcce::ShmArray<long long> acc(env, 1);
+      rcce::MpbArray<long long> mpb_acc(env, units, 1);
+      *acc.hostData() = 0;
+      *mpb_acc.hostData(0) = 0;
+      const bool use_mpb = mode == Mode::RcceMpb;
+      machine.launch(units, [&](sim::CoreContext& ctx) {
+        return primesRcce(ctx, p, acc, mpb_acc, use_mpb);
+      });
+      result.makespan = machine.run();
+      computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
+    }
+
+    result.verified = computed == referenceCount(p.limit);
+    result.detail = "primes=" + std::to_string(computed);
+    return result;
+  }
+
+ private:
+  PrimesParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> makeCountPrimes(double scale) {
+  return std::make_unique<CountPrimes>(scale);
+}
+
+}  // namespace hsm::workloads

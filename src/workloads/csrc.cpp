@@ -1,0 +1,302 @@
+// Pthreads C sources for each benchmark (Appendix C pseudocode realized as
+// compilable C in the subset the translator accepts). These are the inputs
+// the source-to-source translator converts to RCCE programs; the simulator
+// twins in this library implement the same computations.
+#include <stdexcept>
+#include <unordered_map>
+
+#include "workloads/benchmark.h"
+
+namespace hsm::workloads {
+namespace {
+
+const char* const kCountPrimes = R"(#include <stdio.h>
+#include <pthread.h>
+
+int limit = 20000;
+int total[32];
+
+void *count_primes(void *tid) {
+    int id = (int)tid;
+    int lo = 2 + id * (limit - 1) / 32;
+    int hi = 2 + (id + 1) * (limit - 1) / 32;
+    int i;
+    int j;
+    int prime;
+    int count = 0;
+    for (i = lo; i < hi; i++) {
+        prime = 1;
+        for (j = 2; j < i; j++) {
+            if (i % j == 0) {
+                prime = 0;
+                break;
+            }
+        }
+        count = count + prime;
+    }
+    total[id] = count;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[32];
+    int t;
+    int sum = 0;
+    for (t = 0; t < 32; t++) {
+        pthread_create(&threads[t], NULL, count_primes, (void *)t);
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_join(threads[t], NULL);
+        sum += total[t];
+    }
+    printf("primes: %d\n", sum);
+    return 0;
+}
+)";
+
+const char* const kPiApprox = R"(#include <stdio.h>
+#include <pthread.h>
+
+double gsum = 0.0;
+pthread_mutex_t lock;
+int steps = 1048576;
+
+void *pi_chunk(void *tid) {
+    int id = (int)tid;
+    int lo = id * steps / 32;
+    int hi = (id + 1) * steps / 32;
+    double step = 1.0 / steps;
+    double x;
+    double sum = 0.0;
+    int i;
+    for (i = lo; i < hi; i++) {
+        x = (i + 0.5) * step;
+        sum = sum + 4.0 / (1.0 + x * x);
+    }
+    pthread_mutex_lock(&lock);
+    gsum = gsum + sum * step;
+    pthread_mutex_unlock(&lock);
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[32];
+    int t;
+    pthread_mutex_init(&lock, NULL);
+    for (t = 0; t < 32; t++) {
+        pthread_create(&threads[t], NULL, pi_chunk, (void *)t);
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("pi: %f\n", gsum);
+    return 0;
+}
+)";
+
+const char* const kSum35 = R"(#include <stdio.h>
+#include <pthread.h>
+
+int limit = 3000000;
+long partial[32];
+
+void *sum35(void *tid) {
+    int id = (int)tid;
+    int lo = id * limit / 32;
+    int hi = (id + 1) * limit / 32;
+    long sum = 0;
+    int i;
+    for (i = lo; i < hi; i++) {
+        if (i % 3 == 0 || i % 5 == 0) {
+            sum = sum + i;
+        }
+    }
+    partial[id] = sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[32];
+    int t;
+    long total = 0;
+    for (t = 0; t < 32; t++) {
+        pthread_create(&threads[t], NULL, sum35, (void *)t);
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_join(threads[t], NULL);
+        total += partial[t];
+    }
+    printf("sum: %ld\n", total);
+    return 0;
+}
+)";
+
+const char* const kDotProduct = R"(#include <stdio.h>
+#include <pthread.h>
+
+double a[262144];
+double b[262144];
+double partial[32];
+int n = 262144;
+
+void *dot(void *tid) {
+    int id = (int)tid;
+    int lo = id * n / 32;
+    int hi = (id + 1) * n / 32;
+    double sum = 0.0;
+    int i;
+    for (i = lo; i < hi; i++) {
+        sum = sum + a[i] * b[i];
+    }
+    partial[id] = sum;
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[32];
+    int t;
+    int i;
+    double result = 0.0;
+    for (i = 0; i < n; i++) {
+        a[i] = 0.5 + i * 0.25;
+        b[i] = 1.0 + i * 0.125;
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_create(&threads[t], NULL, dot, (void *)t);
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_join(threads[t], NULL);
+        result += partial[t];
+    }
+    printf("dot: %f\n", result);
+    return 0;
+}
+)";
+
+const char* const kLuDecomp = R"(#include <stdio.h>
+#include <pthread.h>
+
+double m[9216];
+int n = 96;
+pthread_barrier_t step_barrier;
+
+void *lu(void *tid) {
+    int id = (int)tid;
+    int k;
+    int i;
+    int j;
+    double factor;
+    for (k = 0; k < n; k++) {
+        for (i = k + 1; i < n; i++) {
+            if (i % 32 == id) {
+                factor = m[i * n + k] / m[k * n + k];
+                m[i * n + k] = factor;
+                for (j = k + 1; j < n; j++) {
+                    m[i * n + j] = m[i * n + j] - factor * m[k * n + j];
+                }
+            }
+        }
+        pthread_barrier_wait(&step_barrier);
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[32];
+    int t;
+    int i;
+    int j;
+    pthread_barrier_init(&step_barrier, NULL, 32);
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            if (i == j) {
+                m[i * n + j] = 192.0;
+            } else {
+                m[i * n + j] = 1.0;
+            }
+        }
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_create(&threads[t], NULL, lu, (void *)t);
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("lu done: %f\n", m[0]);
+    return 0;
+}
+)";
+
+const char* const kStream = R"(#include <stdio.h>
+#include <pthread.h>
+
+double a[65536];
+double b[65536];
+double c[65536];
+int n = 65536;
+
+void *stream(void *tid) {
+    int id = (int)tid;
+    int lo = id * n / 32;
+    int hi = (id + 1) * n / 32;
+    int j;
+    for (j = lo; j < hi; j++) {
+        c[j] = a[j];
+    }
+    for (j = lo; j < hi; j++) {
+        b[j] = 3.0 * c[j];
+    }
+    for (j = lo; j < hi; j++) {
+        c[j] = a[j] + b[j];
+    }
+    for (j = lo; j < hi; j++) {
+        a[j] = b[j] + 3.0 * c[j];
+    }
+    pthread_exit(NULL);
+}
+
+int main() {
+    pthread_t threads[32];
+    int t;
+    int j;
+    for (j = 0; j < n; j++) {
+        a[j] = 1.0;
+        b[j] = 2.0;
+        c[j] = 0.0;
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_create(&threads[t], NULL, stream, (void *)t);
+    }
+    for (t = 0; t < 32; t++) {
+        pthread_join(threads[t], NULL);
+    }
+    printf("stream done: %f\n", c[0]);
+    return 0;
+}
+)";
+
+const std::unordered_map<std::string, std::string>& sourceTable() {
+  static const std::unordered_map<std::string, std::string> table = {
+      {"CountPrimes", kCountPrimes}, {"PiApprox", kPiApprox},
+      {"3-5-Sum", kSum35},           {"DotProduct", kDotProduct},
+      {"LU", kLuDecomp},             {"Stream", kStream},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::string& pthreadSource(const std::string& benchmark_name) {
+  const auto& table = sourceTable();
+  const auto it = table.find(benchmark_name);
+  if (it == table.end()) {
+    throw std::out_of_range("no pthread source for benchmark: " + benchmark_name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> pthreadSourceNames() {
+  return {"PiApprox", "3-5-Sum", "CountPrimes", "Stream", "DotProduct", "LU"};
+}
+
+}  // namespace hsm::workloads

@@ -1,0 +1,437 @@
+// Tests for analysis Stages 1–3 against the paper's worked example
+// (Example Code 4.1, Tables 4.1 and 4.2) plus targeted cases for
+// Algorithm 1 (Variable-in-Thread) and Algorithm 2 (points-to sharing).
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/scope_analysis.h"
+#include "analysis/thread_analysis.h"
+#include "parse/parser.h"
+#include "sema/resolver.h"
+
+namespace hsm::analysis {
+namespace {
+
+const char* const kExample41 = R"(#include <stdio.h>
+#include <pthread.h>
+
+int global;
+int *ptr;
+int sum[3] = {0};
+
+void *tf(void *tid) {
+    int tLocal = (int)tid;
+    sum[tLocal] += tLocal;
+    sum[tLocal] += *ptr;
+    pthread_exit(NULL);
+}
+
+int main() {
+    int local = 0;
+    int tmp = 1;
+    ptr = &tmp;
+    pthread_t threads[3];
+    int rc;
+    for (local = 0; local < 3; local++) {
+        rc = pthread_create(&threads[local], NULL, tf, (void *)local);
+    }
+    for (local = 0; local < 3; local++) {
+        pthread_join(threads[local], NULL);
+        printf("Sum Array: %d\n", sum[local]);
+    }
+    return 0;
+}
+)";
+
+struct Analyzed {
+  std::shared_ptr<ast::ASTContext> context = std::make_shared<ast::ASTContext>();
+  AnalysisResult result;
+};
+
+Analyzed analyze(const std::string& text) {
+  Analyzed a;
+  SourceBuffer buffer("t.c", text);
+  DiagnosticEngine diags;
+  EXPECT_TRUE(parse::parseSource(buffer, *a.context, diags)) << diags.format(buffer);
+  sema::Resolver resolver(diags);
+  EXPECT_TRUE(resolver.resolve(*a.context));
+  Analyzer analyzer;
+  a.result = analyzer.analyze(*a.context);
+  return a;
+}
+
+class Example41Analysis : public ::testing::Test {
+ protected:
+  void SetUp() override { a_ = analyze(kExample41); }
+  const VariableInfo& var(const std::string& name) {
+    VariableInfo* info = a_.result.findByName(name);
+    EXPECT_NE(info, nullptr) << name;
+    return *info;
+  }
+  Analyzed a_;
+};
+
+// --- Table 4.1 -------------------------------------------------------------
+
+TEST_F(Example41Analysis, AllNineVariablesFound) {
+  EXPECT_EQ(a_.result.variables.size(), 9u);
+}
+
+TEST_F(Example41Analysis, ElementCounts) {
+  EXPECT_EQ(var("global").element_count, 1u);
+  EXPECT_EQ(var("sum").element_count, 3u);
+  EXPECT_EQ(var("threads").element_count, 3u);
+  EXPECT_EQ(var("tLocal").element_count, 1u);
+}
+
+TEST_F(Example41Analysis, ByteSizes) {
+  EXPECT_EQ(var("sum").byte_size, 12u);     // int[3]
+  EXPECT_EQ(var("ptr").byte_size, 4u);      // int*
+  EXPECT_EQ(var("threads").byte_size, 12u); // pthread_t[3]
+}
+
+TEST_F(Example41Analysis, GlobalIsCompletelyUnused) {
+  EXPECT_EQ(var("global").reads, 0u);
+  EXPECT_EQ(var("global").writes, 0u);
+  EXPECT_TRUE(var("global").use_in.empty());
+}
+
+TEST_F(Example41Analysis, PtrCountsMatchPaper) {
+  // Table 4.1: ptr rd=1 (the *ptr dereference reads the pointer),
+  // wr=1 (ptr = &tmp); used in tf, defined in main.
+  EXPECT_EQ(var("ptr").reads, 1u);
+  EXPECT_EQ(var("ptr").writes, 1u);
+  EXPECT_EQ(var("ptr").use_in, (std::set<std::string>{"tf"}));
+  EXPECT_EQ(var("ptr").def_in, (std::set<std::string>{"main"}));
+}
+
+TEST_F(Example41Analysis, TLocalCountsMatchPaper) {
+  // Table 4.1: tLocal rd=3 wr=1, all inside tf.
+  EXPECT_EQ(var("tLocal").reads, 3u);
+  EXPECT_EQ(var("tLocal").writes, 1u);
+  EXPECT_EQ(var("tLocal").use_in, (std::set<std::string>{"tf"}));
+  EXPECT_EQ(var("tLocal").def_in, (std::set<std::string>{"tf"}));
+}
+
+TEST_F(Example41Analysis, SumUsedInBothFunctionsDefinedInTf) {
+  // Table 4.1: Use In = {tf, main}, Def In = {tf}; the init list is not a
+  // definition site.
+  EXPECT_EQ(var("sum").use_in, (std::set<std::string>{"main", "tf"}));
+  EXPECT_EQ(var("sum").def_in, (std::set<std::string>{"tf"}));
+  EXPECT_EQ(var("sum").writes, 2u);  // two compound assignments
+}
+
+TEST_F(Example41Analysis, LocalReadCountMatchesPaper) {
+  // Table 4.1: local rd=8 (2 loop conditions, 2 steps, 2 array indexes,
+  // the thread argument, and the printf index).
+  EXPECT_EQ(var("local").reads, 8u);
+}
+
+TEST_F(Example41Analysis, ThreadsReadTwiceNeverWritten) {
+  // Table 4.1: threads rd=2 (&threads[local] and the join) wr=0.
+  EXPECT_EQ(var("threads").reads, 2u);
+  EXPECT_EQ(var("threads").writes, 0u);
+}
+
+TEST_F(Example41Analysis, TmpGainsDerefAttributedRead) {
+  // tmp itself is only written (= 1); the *ptr read in tf is attributed to
+  // tmp through the definite points-to relation (Table 4.1 rd=1).
+  EXPECT_EQ(var("tmp").reads, 1u);
+  EXPECT_EQ(var("tmp").writes, 1u);
+}
+
+// --- Table 4.2 (stage progression) ------------------------------------------
+
+struct SharingCase {
+  const char* name;
+  Sharing stage1;
+  Sharing stage2;
+  Sharing stage3;
+};
+
+class SharingProgression : public ::testing::TestWithParam<SharingCase> {};
+
+TEST_P(SharingProgression, MatchesPaperTable42) {
+  static Analyzed a = analyze(kExample41);
+  const SharingCase& c = GetParam();
+  const VariableInfo* info = a.result.findByName(c.name);
+  ASSERT_NE(info, nullptr) << c.name;
+  EXPECT_EQ(info->after_stage1, c.stage1) << c.name << " stage 1";
+  EXPECT_EQ(info->after_stage2, c.stage2) << c.name << " stage 2";
+  EXPECT_EQ(info->after_stage3, c.stage3) << c.name << " stage 3";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table42, SharingProgression,
+    ::testing::Values(
+        SharingCase{"global", Sharing::Shared, Sharing::Shared, Sharing::Private},
+        SharingCase{"ptr", Sharing::Shared, Sharing::Shared, Sharing::Shared},
+        SharingCase{"sum", Sharing::Shared, Sharing::Shared, Sharing::Shared},
+        SharingCase{"tLocal", Sharing::Unknown, Sharing::Private, Sharing::Private},
+        SharingCase{"tid", Sharing::Unknown, Sharing::Private, Sharing::Private},
+        SharingCase{"local", Sharing::Unknown, Sharing::Private, Sharing::Private},
+        SharingCase{"tmp", Sharing::Unknown, Sharing::Private, Sharing::Shared},
+        SharingCase{"threads", Sharing::Unknown, Sharing::Private, Sharing::Private},
+        SharingCase{"rc", Sharing::Unknown, Sharing::Private, Sharing::Private}));
+
+// --- refinement rule ---------------------------------------------------------
+
+TEST(SharingRefinement, FromUnknownAlwaysAccepted) {
+  VariableInfo v;
+  EXPECT_TRUE(v.refine(Sharing::Private));
+  EXPECT_EQ(v.status, Sharing::Private);
+}
+
+TEST(SharingRefinement, OneRefinementThenFrozen) {
+  VariableInfo v;
+  v.refine(Sharing::Private);            // from Unknown: free
+  EXPECT_TRUE(v.refine(Sharing::Shared));   // the single refinement
+  EXPECT_FALSE(v.refine(Sharing::Private)); // never reverts
+  EXPECT_EQ(v.status, Sharing::Shared);
+}
+
+TEST(SharingRefinement, SameValueIsNoOp) {
+  VariableInfo v;
+  v.refine(Sharing::Shared);
+  EXPECT_FALSE(v.refine(Sharing::Shared));
+  EXPECT_TRUE(v.refine(Sharing::Private));  // refinement still available
+}
+
+// --- Algorithm 1 (thread presence) -------------------------------------------
+
+TEST_F(Example41Analysis, LaunchSiteDiscovered) {
+  ASSERT_EQ(a_.result.launches.size(), 1u);
+  const ThreadLaunchSite& site = a_.result.launches[0];
+  EXPECT_EQ(site.thread_fn_name, "tf");
+  EXPECT_TRUE(site.in_loop);
+  EXPECT_TRUE(site.arg_is_thread_id);
+  ASSERT_EQ(a_.result.thread_functions.size(), 1u);
+}
+
+TEST_F(Example41Analysis, VariablesInThreadClassification) {
+  EXPECT_EQ(var("tLocal").presence, ThreadPresence::MultipleThreads);
+  EXPECT_EQ(var("sum").presence, ThreadPresence::MultipleThreads);
+  EXPECT_EQ(var("local").presence, ThreadPresence::NotInThread);
+  EXPECT_EQ(var("global").presence, ThreadPresence::NotInThread);
+}
+
+TEST(ThreadAnalysis, SingleLaunchOutsideLoopIsSingleThread) {
+  Analyzed a = analyze(R"(
+int shared_x;
+void *task(void *arg) { shared_x = 1; return arg; }
+int main() {
+    pthread_t t;
+    pthread_create(&t, NULL, task, NULL);
+    pthread_join(t, NULL);
+    return 0;
+}
+)");
+  const VariableInfo* info = a.result.findByName("shared_x");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->presence, ThreadPresence::SingleThread);
+}
+
+TEST(ThreadAnalysis, TwoLaunchesOfSameFunctionIsMultiple) {
+  Analyzed a = analyze(R"(
+int shared_x;
+void *task(void *arg) { shared_x = 1; return arg; }
+int main() {
+    pthread_t t1;
+    pthread_t t2;
+    pthread_create(&t1, NULL, task, NULL);
+    pthread_create(&t2, NULL, task, NULL);
+    return 0;
+}
+)");
+  EXPECT_EQ(a.result.findByName("shared_x")->presence, ThreadPresence::MultipleThreads);
+  EXPECT_EQ(a.result.launches.size(), 2u);
+}
+
+TEST(ThreadAnalysis, DistinctTasksEachSingleThread) {
+  Analyzed a = analyze(R"(
+int xa;
+int xb;
+void *ta(void *arg) { xa = 1; return arg; }
+void *tb(void *arg) { xb = 2; return arg; }
+int main() {
+    pthread_t t1;
+    pthread_t t2;
+    pthread_create(&t1, NULL, ta, NULL);
+    pthread_create(&t2, NULL, tb, NULL);
+    return 0;
+}
+)");
+  EXPECT_EQ(a.result.findByName("xa")->presence, ThreadPresence::SingleThread);
+  EXPECT_EQ(a.result.findByName("xb")->presence, ThreadPresence::SingleThread);
+  EXPECT_EQ(a.result.thread_functions.size(), 2u);
+}
+
+TEST(ThreadAnalysis, AddressOfThreadRoutineAccepted) {
+  Analyzed a = analyze(R"(
+void *task(void *arg) { return arg; }
+int main() {
+    pthread_t t;
+    pthread_create(&t, NULL, &task, NULL);
+    return 0;
+}
+)");
+  ASSERT_EQ(a.result.launches.size(), 1u);
+  EXPECT_EQ(a.result.launches[0].thread_fn_name, "task");
+}
+
+TEST(ThreadAnalysis, WhileLoopLaunchIsMultiple) {
+  Analyzed a = analyze(R"(
+int shared_x;
+void *task(void *arg) { shared_x = 1; return arg; }
+int main() {
+    pthread_t t;
+    int i = 0;
+    while (i < 4) {
+        pthread_create(&t, NULL, task, NULL);
+        i++;
+    }
+    return 0;
+}
+)");
+  EXPECT_EQ(a.result.findByName("shared_x")->presence, ThreadPresence::MultipleThreads);
+}
+
+// --- Stage 3 (points-to / Algorithm 2) ---------------------------------------
+
+TEST_F(Example41Analysis, PtrDefinitelyPointsToTmp) {
+  const VariableInfo& p = var("ptr");
+  const auto it = a_.result.points_to.find(p.decl->id());
+  ASSERT_NE(it, a_.result.points_to.end());
+  EXPECT_TRUE(it->second.definite);
+  ASSERT_EQ(it->second.targets.size(), 1u);
+  EXPECT_EQ(it->second.targets[0]->name(), "tmp");
+}
+
+TEST(PointsTo, ConditionalAssignmentIsPossibleNotDefinite) {
+  Analyzed a = analyze(R"(
+int a;
+int b;
+int *p;
+void *task(void *arg) { *p = 1; return arg; }
+int main(int argc) {
+    pthread_t t;
+    if (argc > 1) {
+        p = &a;
+    } else {
+        p = &b;
+    }
+    pthread_create(&t, NULL, task, NULL);
+    return 0;
+}
+)");
+  const VariableInfo* p = a.result.findByName("p");
+  ASSERT_NE(p, nullptr);
+  const auto it = a.result.points_to.find(p->decl->id());
+  ASSERT_NE(it, a.result.points_to.end());
+  EXPECT_FALSE(it->second.definite);
+  EXPECT_EQ(it->second.targets.size(), 2u);
+  // Algorithm 2 only acts on definite relations: a and b stay private.
+  EXPECT_NE(a.result.findByName("a")->status, Sharing::Shared);
+  EXPECT_NE(a.result.findByName("b")->status, Sharing::Shared);
+}
+
+TEST(PointsTo, CopyPropagation) {
+  Analyzed a = analyze(R"(
+int x;
+int *p;
+int *q;
+void *task(void *arg) { *q = 1; return arg; }
+int main() {
+    pthread_t t;
+    p = &x;
+    q = p;
+    pthread_create(&t, NULL, task, NULL);
+    return 0;
+}
+)");
+  const VariableInfo* q = a.result.findByName("q");
+  const auto it = a.result.points_to.find(q->decl->id());
+  ASSERT_NE(it, a.result.points_to.end());
+  ASSERT_EQ(it->second.targets.size(), 1u);
+  EXPECT_EQ(it->second.targets[0]->name(), "x");
+  EXPECT_TRUE(it->second.definite);
+}
+
+TEST(PointsTo, ArrayNameFlowsLikeAddress) {
+  Analyzed a = analyze(R"(
+int buf[8];
+int *p;
+void *task(void *arg) { p[0] = 1; return arg; }
+int main() {
+    pthread_t t;
+    p = buf;
+    pthread_create(&t, NULL, task, NULL);
+    return 0;
+}
+)");
+  const VariableInfo* p = a.result.findByName("p");
+  const auto it = a.result.points_to.find(p->decl->id());
+  ASSERT_NE(it, a.result.points_to.end());
+  ASSERT_EQ(it->second.targets.size(), 1u);
+  EXPECT_EQ(it->second.targets[0]->name(), "buf");
+}
+
+TEST(PointsTo, PrivatePointerDoesNotShareItsTarget) {
+  Analyzed a = analyze(R"(
+void *task(void *arg) { return arg; }
+int main() {
+    int x = 0;
+    int *p = &x;
+    pthread_t t;
+    *p = 2;
+    pthread_create(&t, NULL, task, NULL);
+    return 0;
+}
+)");
+  // p is a main-local (private) pointer, so x must remain private.
+  EXPECT_NE(a.result.findByName("x")->status, Sharing::Shared);
+}
+
+TEST(ScopeAnalysis, ConstantTripCounts) {
+  Analyzed a = analyze(R"(
+int acc;
+void f() {
+    int i;
+    for (i = 0; i < 10; i++) acc += i;
+}
+)");
+  // weighted writes of acc = 10 (one static write x trip count 10).
+  const VariableInfo* acc = a.result.findByName("acc");
+  EXPECT_DOUBLE_EQ(acc->weighted_writes, 10.0);
+  EXPECT_EQ(acc->writes, 1u);
+}
+
+TEST(ScopeAnalysis, NestedLoopsMultiplyWeights) {
+  Analyzed a = analyze(R"(
+int acc;
+void f() {
+    int i;
+    int j;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 5; j++)
+            acc += 1;
+}
+)");
+  EXPECT_DOUBLE_EQ(a.result.findByName("acc")->weighted_writes, 20.0);
+}
+
+TEST(ScopeAnalysis, UnknownTripUsesDefaultFactor)
+{
+  Analyzed a = analyze(R"(
+int acc;
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) acc += 1;
+}
+)");
+  EXPECT_DOUBLE_EQ(a.result.findByName("acc")->weighted_writes,
+                   ScopeAnalysis::kUnknownTripFactor);
+}
+
+}  // namespace
+}  // namespace hsm::analysis

@@ -1,0 +1,161 @@
+// Tests for the discrete-event kernel: ordering, determinism, coroutine
+// tasks, subtasks, resource timelines.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace hsm::sim {
+namespace {
+
+SimTask recorder(Engine& engine, std::vector<int>& log, int id, Tick delay) {
+  co_await engine.delay(delay);
+  log.push_back(id);
+  co_await engine.delay(delay);
+  log.push_back(id + 100);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 300));
+  engine.spawn(recorder(engine, log, 2, 100));
+  engine.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], 2);    // t=100
+  EXPECT_EQ(log[1], 102);  // t=200
+  EXPECT_EQ(log[2], 1);    // t=300
+  EXPECT_EQ(log[3], 101);  // t=600
+}
+
+TEST(Engine, TieBreaksByInsertionOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 100));
+  engine.spawn(recorder(engine, log, 2, 100));
+  engine.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], 1);
+  EXPECT_EQ(log[1], 2);
+}
+
+TEST(Engine, CompletionTimesRecorded) {
+  Engine engine;
+  std::vector<int> log;
+  const std::size_t a = engine.spawn(recorder(engine, log, 1, 50));
+  const std::size_t b = engine.spawn(recorder(engine, log, 2, 200));
+  engine.run();
+  EXPECT_EQ(engine.completionTime(a), 100u);
+  EXPECT_EQ(engine.completionTime(b), 400u);
+  EXPECT_EQ(engine.makespan(), 400u);
+}
+
+TEST(Engine, NowAdvancesMonotonically) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 10));
+  EXPECT_EQ(engine.now(), 0u);
+  engine.run();
+  EXPECT_EQ(engine.now(), 20u);
+}
+
+TEST(Engine, ZeroDelayContinuesInline) {
+  Engine engine;
+  int steps = 0;
+  auto task = [](Engine& e, int& counter) -> SimTask {
+    co_await e.delay(0);
+    ++counter;
+    co_await e.delay(0);
+    ++counter;
+  };
+  engine.spawn(task(engine, steps));
+  engine.run();
+  EXPECT_EQ(steps, 2);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<int> log;
+    for (int i = 0; i < 8; ++i) {
+      engine.spawn(recorder(engine, log, i, 10 + (i * 37) % 90));
+    }
+    engine.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+SimTask outerWithSubtask(Engine& engine, std::vector<int>& log);
+SubTask innerSteps(Engine& engine, std::vector<int>& log) {
+  log.push_back(10);
+  co_await engine.delay(5);
+  log.push_back(11);
+  co_await engine.delay(5);
+  log.push_back(12);
+}
+
+SimTask outerWithSubtask(Engine& engine, std::vector<int>& log) {
+  log.push_back(1);
+  co_await innerSteps(engine, log);
+  log.push_back(2);
+}
+
+TEST(Engine, SubTaskRunsInlineAndReturnsToParent) {
+  Engine engine;
+  std::vector<int> log;
+  const std::size_t id = engine.spawn(outerWithSubtask(engine, log));
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 10, 11, 12, 2}));
+  EXPECT_EQ(engine.completionTime(id), 10u);
+}
+
+SimTask nestedTwice(Engine& engine, std::vector<int>& log) {
+  co_await innerSteps(engine, log);
+  co_await innerSteps(engine, log);
+  log.push_back(99);
+}
+
+TEST(Engine, SubTaskReusableSequentially) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(nestedTwice(engine, log));
+  engine.run();
+  ASSERT_EQ(log.size(), 7u);
+  EXPECT_EQ(log.back(), 99);
+  EXPECT_EQ(engine.makespan(), 20u);
+}
+
+TEST(ResourceTimeline, IdleResourceServesImmediately) {
+  ResourceTimeline r;
+  EXPECT_EQ(r.acquire(100, 10), 110u);
+  EXPECT_EQ(r.nextFree(), 110u);
+}
+
+TEST(ResourceTimeline, BackToBackRequestsQueue) {
+  ResourceTimeline r;
+  EXPECT_EQ(r.acquire(0, 10), 10u);
+  EXPECT_EQ(r.acquire(0, 10), 20u);   // waits for the first
+  EXPECT_EQ(r.acquire(5, 10), 30u);   // still queued
+  EXPECT_EQ(r.acquire(100, 10), 110u);  // idle gap
+}
+
+TEST(ResourceTimeline, TracksUtilization) {
+  ResourceTimeline r;
+  r.acquire(0, 10);
+  r.acquire(0, 15);
+  EXPECT_EQ(r.totalBusy(), 25u);
+  EXPECT_EQ(r.requests(), 2u);
+}
+
+TEST(Engine, EventCountTracked) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 0, 5));
+  engine.run();
+  EXPECT_GE(engine.eventsProcessed(), 2u);
+}
+
+}  // namespace
+}  // namespace hsm::sim

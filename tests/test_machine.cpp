@@ -1,0 +1,410 @@
+// Tests for the SCC machine model: clocks, mesh topology (parameterized hop
+// sweeps), UE spreading, caches, the three memory paths (functional and
+// timing), barrier, and test-and-set locks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/machine.h"
+
+namespace hsm::sim {
+namespace {
+
+TEST(Clock, PeriodsMatchTable61) {
+  const SccConfig config;
+  EXPECT_EQ(config.coreClock().period(), 1250u);   // 800 MHz
+  EXPECT_EQ(config.meshClock().period(), 625u);    // 1600 MHz
+  EXPECT_EQ(config.dramClock().period(), 938u);    // 1066 MHz
+  EXPECT_EQ(config.coreClock().cycles(4), 5000u);
+}
+
+TEST(Config, SccDefaultsMatchPaper) {
+  const SccConfig config;
+  EXPECT_EQ(config.num_cores, 48u);
+  EXPECT_EQ(config.numTiles(), 24u);
+  EXPECT_EQ(config.mpb_bytes_per_core, 8u * 1024u);
+  EXPECT_EQ(config.mpbTotalBytes(), 384u * 1024u);
+  EXPECT_EQ(config.num_mem_controllers, 4u);
+}
+
+TEST(Config, Table61Rendering) {
+  const SccConfig config;
+  const std::string table = config.formatTable61(32, 32);
+  EXPECT_NE(table.find("800 MHz"), std::string::npos);
+  EXPECT_NE(table.find("1600 MHz"), std::string::npos);
+  EXPECT_NE(table.find("1066 MHz"), std::string::npos);
+  EXPECT_NE(table.find("32 cores"), std::string::npos);
+  EXPECT_NE(table.find("32 threads"), std::string::npos);
+}
+
+// --- mesh topology -----------------------------------------------------------
+
+struct HopCase {
+  std::uint32_t core_a;
+  std::uint32_t core_b;
+  std::uint32_t hops;
+};
+
+class MeshHops : public ::testing::TestWithParam<HopCase> {};
+
+TEST_P(MeshHops, ManhattanDistance) {
+  const SccConfig config;
+  const MeshTopology mesh(config);
+  EXPECT_EQ(mesh.hopsBetweenCores(GetParam().core_a, GetParam().core_b),
+            GetParam().hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MeshHops,
+    ::testing::Values(HopCase{0, 1, 0},    // same tile
+                      HopCase{0, 2, 1},    // neighbour tile
+                      HopCase{0, 10, 5},   // across the row
+                      HopCase{0, 12, 1},   // one row up
+                      HopCase{0, 47, 8},   // opposite corner: 5 + 3
+                      HopCase{1, 3, 1}, HopCase{46, 47, 0}));
+
+TEST(MeshTopology, TileGeometry) {
+  const SccConfig config;
+  const MeshTopology mesh(config);
+  EXPECT_EQ(mesh.tileOfCore(0), 0u);
+  EXPECT_EQ(mesh.tileOfCore(1), 0u);
+  EXPECT_EQ(mesh.tileOfCore(2), 1u);
+  EXPECT_EQ(mesh.tileOfCore(47), 23u);
+  EXPECT_EQ(mesh.coordOfTile(0), (TileCoord{0, 0}));
+  EXPECT_EQ(mesh.coordOfTile(5), (TileCoord{5, 0}));
+  EXPECT_EQ(mesh.coordOfTile(23), (TileCoord{5, 3}));
+}
+
+TEST(MeshTopology, ControllersPartitionQuadrants) {
+  const SccConfig config;
+  const MeshTopology mesh(config);
+  EXPECT_EQ(mesh.controllerOfCore(0), 0u);    // (0,0) southwest
+  EXPECT_EQ(mesh.controllerOfCore(10), 1u);   // (5,0) southeast
+  EXPECT_EQ(mesh.controllerOfCore(36), 2u);   // (0,3) northwest
+  EXPECT_EQ(mesh.controllerOfCore(46), 3u);   // (5,3) northeast
+}
+
+TEST(MeshTopology, UeSpreadBalancesControllers) {
+  const SccConfig config;
+  const MeshTopology mesh(config);
+  for (const int ues : {4, 8, 16, 32, 48}) {
+    int per_mc[4] = {0, 0, 0, 0};
+    for (int ue = 0; ue < ues; ++ue) {
+      const std::uint32_t core = mesh.coreForUe(ue, ues);
+      ASSERT_LT(core, config.num_cores);
+      ++per_mc[mesh.controllerOfCore(core)];
+    }
+    for (int mc = 0; mc < 4; ++mc) {
+      EXPECT_EQ(per_mc[mc], ues / 4) << "ues=" << ues << " mc=" << mc;
+    }
+  }
+}
+
+TEST(MeshTopology, UeSpreadAssignsDistinctCores) {
+  const SccConfig config;
+  const MeshTopology mesh(config);
+  std::set<std::uint32_t> cores;
+  for (int ue = 0; ue < 48; ++ue) cores.insert(mesh.coreForUe(ue, 48));
+  EXPECT_EQ(cores.size(), 48u);
+}
+
+// --- cache model ---------------------------------------------------------------
+
+TEST(Cache, MissThenHit) {
+  Cache cache(1024, 32);
+  EXPECT_FALSE(cache.access(0, false).hit);
+  EXPECT_TRUE(cache.access(0, false).hit);
+  EXPECT_TRUE(cache.access(31, false).hit);   // same line
+  EXPECT_FALSE(cache.access(32, false).hit);  // next line
+}
+
+TEST(Cache, ConflictEviction) {
+  Cache cache(1024, 32);  // 32 lines direct mapped
+  EXPECT_FALSE(cache.access(0, false).hit);
+  EXPECT_FALSE(cache.access(1024, false).hit);  // same index, different tag
+  EXPECT_FALSE(cache.access(0, false).hit);     // evicted
+}
+
+TEST(Cache, DirtyVictimSignalsWriteback) {
+  Cache cache(1024, 32);
+  (void)cache.access(0, true);  // dirty line
+  const Cache::AccessResult r = cache.access(1024, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, CleanVictimNoWriteback) {
+  Cache cache(1024, 32);
+  (void)cache.access(0, false);
+  EXPECT_FALSE(cache.access(1024, false).writeback);
+}
+
+TEST(Cache, HitMissCounters) {
+  Cache cache(1024, 32);
+  (void)cache.access(0, false);
+  (void)cache.access(0, false);
+  (void)cache.access(64, false);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache cache(1024, 32);
+  (void)cache.access(0, true);
+  cache.flush();
+  EXPECT_FALSE(cache.access(0, false).hit);
+}
+
+// --- machine functional paths ---------------------------------------------------
+
+SimTask privRoundTrip(CoreContext& ctx, bool* ok) {
+  const std::uint32_t value = 0xDEADBEEF;
+  co_await ctx.privWrite(64, &value, sizeof(value));
+  std::uint32_t readback = 0;
+  co_await ctx.privRead(64, &readback, sizeof(readback));
+  *ok = readback == value;
+}
+
+TEST(Machine, PrivateMemoryFunctional) {
+  SccMachine machine;
+  bool ok = false;
+  machine.launch(1, [&](CoreContext& ctx) { return privRoundTrip(ctx, &ok); });
+  machine.run();
+  EXPECT_TRUE(ok);
+}
+
+SimTask shmRoundTrip(CoreContext& ctx, std::uint64_t offset, bool* ok) {
+  if (ctx.ue() == 0) {
+    const double value = 3.25;
+    co_await ctx.shmWrite(offset, &value, sizeof(value));
+  }
+  co_await ctx.barrier();
+  double readback = 0;
+  co_await ctx.shmRead(offset, &readback, sizeof(readback));
+  *ok = *ok && readback == 3.25;
+}
+
+TEST(Machine, SharedMemoryVisibleToAllCores) {
+  SccMachine machine;
+  const std::uint64_t offset = machine.shmalloc(64);
+  bool ok = true;
+  machine.launch(4, [&](CoreContext& ctx) { return shmRoundTrip(ctx, offset, &ok); });
+  machine.run();
+  EXPECT_TRUE(ok);
+}
+
+SimTask mpbExchange(CoreContext& ctx, std::uint64_t off, std::vector<int>* seen) {
+  const int mine = ctx.ue() * 11 + 1;
+  co_await ctx.mpbWrite(ctx.ue(), off, &mine, sizeof(mine));
+  co_await ctx.barrier();
+  const int peer = (ctx.ue() + 1) % ctx.numUes();
+  int got = 0;
+  co_await ctx.mpbRead(peer, off, &got, sizeof(got));
+  (*seen)[static_cast<std::size_t>(ctx.ue())] = got;
+}
+
+TEST(Machine, MpbRemoteReadSeesOwnerData) {
+  SccMachine machine;
+  const std::uint64_t off = machine.mpbMalloc(0, 16);
+  for (int ue = 1; ue < 4; ++ue) ASSERT_EQ(machine.mpbMalloc(ue, 16), off);
+  std::vector<int> seen(4, 0);
+  machine.launch(4, [&](CoreContext& ctx) { return mpbExchange(ctx, off, &seen); });
+  machine.run();
+  for (int ue = 0; ue < 4; ++ue) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(ue)], ((ue + 1) % 4) * 11 + 1);
+  }
+}
+
+TEST(Machine, ShmallocSequentialAndAligned) {
+  SccMachine machine;
+  const std::uint64_t a = machine.shmalloc(10);
+  const std::uint64_t b = machine.shmalloc(4);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_GE(b, a + 10);
+}
+
+TEST(Machine, MpbMallocExhaustionThrows) {
+  SccMachine machine;
+  (void)machine.mpbMalloc(0, 8 * 1024);
+  EXPECT_THROW((void)machine.mpbMalloc(0, 1), std::bad_alloc);
+}
+
+// --- timing sanity ---------------------------------------------------------------
+
+SimTask timedCompute(CoreContext& ctx) { co_await ctx.compute(100); }
+
+TEST(Machine, ComputeChargesCoreCycles) {
+  SccMachine machine;
+  machine.launch(1, [&](CoreContext& ctx) { return timedCompute(ctx); });
+  const Tick t = machine.run();
+  EXPECT_EQ(t, 100u * 1250u);
+}
+
+SimTask oneShmRead(CoreContext& ctx, std::uint64_t off) {
+  std::uint64_t v = 0;
+  co_await ctx.shmRead(off, &v, 8);
+}
+
+TEST(Machine, UncachedWordCostsMoreThanCompute) {
+  SccMachine machine;
+  const std::uint64_t off = machine.shmalloc(8);
+  machine.launch(1, [&](CoreContext& ctx) { return oneShmRead(ctx, off); });
+  const Tick t = machine.run();
+  // One word: issue overhead + mesh round trip + controller service.
+  EXPECT_GT(t, 20000u);   // > 20 ns
+  EXPECT_LT(t, 200000u);  // < 200 ns
+}
+
+SimTask bulkVsWords(CoreContext& ctx, std::uint64_t off, Tick* bulk_done) {
+  std::vector<std::uint8_t> buf(4096);
+  const Tick start = ctx.now();
+  co_await ctx.shmReadBulk(off, buf.data(), buf.size());
+  *bulk_done = ctx.now() - start;
+}
+
+SimTask wordsPath(CoreContext& ctx, std::uint64_t off, Tick* words_done) {
+  std::vector<std::uint8_t> buf(4096);
+  const Tick start = ctx.now();
+  co_await ctx.shmRead(off, buf.data(), buf.size());
+  *words_done = ctx.now() - start;
+}
+
+TEST(Machine, BulkTransferBeatsWordTransactions) {
+  Tick bulk = 0;
+  Tick words = 0;
+  {
+    SccMachine machine;
+    const std::uint64_t off = machine.shmalloc(4096);
+    machine.launch(1, [&](CoreContext& ctx) { return bulkVsWords(ctx, off, &bulk); });
+    machine.run();
+  }
+  {
+    SccMachine machine;
+    const std::uint64_t off = machine.shmalloc(4096);
+    machine.launch(1, [&](CoreContext& ctx) { return wordsPath(ctx, off, &words); });
+    machine.run();
+  }
+  EXPECT_LT(bulk * 4, words) << "bulk should be >4x more efficient per byte";
+}
+
+SimTask mpbLocalVsShm(CoreContext& ctx, std::uint64_t mpb_off, std::uint64_t shm_off,
+                      Tick* mpb_time, Tick* shm_time) {
+  std::uint64_t v = 0;
+  Tick start = ctx.now();
+  co_await ctx.mpbRead(ctx.ue(), mpb_off, &v, 8);
+  *mpb_time = ctx.now() - start;
+  start = ctx.now();
+  co_await ctx.shmRead(shm_off, &v, 8);
+  *shm_time = ctx.now() - start;
+}
+
+TEST(Machine, MpbAccessFasterThanUncachedDram) {
+  SccMachine machine;
+  const std::uint64_t mpb_off = machine.mpbMalloc(0, 8);
+  const std::uint64_t shm_off = machine.shmalloc(8);
+  Tick mpb_time = 0;
+  Tick shm_time = 0;
+  machine.launch(1, [&](CoreContext& ctx) {
+    return mpbLocalVsShm(ctx, mpb_off, shm_off, &mpb_time, &shm_time);
+  });
+  machine.run();
+  EXPECT_LT(mpb_time, shm_time);
+}
+
+// --- synchronization ---------------------------------------------------------------
+
+SimTask unevenBarrier(CoreContext& ctx, std::vector<Tick>* after) {
+  co_await ctx.compute(static_cast<std::uint64_t>(ctx.ue() + 1) * 1000);
+  co_await ctx.barrier();
+  (*after)[static_cast<std::size_t>(ctx.ue())] = ctx.now();
+}
+
+TEST(Machine, BarrierReleasesEveryoneTogether) {
+  SccMachine machine;
+  std::vector<Tick> after(6, 0);
+  machine.launch(6, [&](CoreContext& ctx) { return unevenBarrier(ctx, &after); });
+  machine.run();
+  for (std::size_t i = 1; i < after.size(); ++i) EXPECT_EQ(after[i], after[0]);
+  // Release is after the slowest arrival.
+  EXPECT_GE(after[0], 6u * 1000u * 1250u);
+  EXPECT_EQ(machine.barrier().episodes(), 1u);
+}
+
+SimTask doubleBarrier(CoreContext& ctx, int* count) {
+  co_await ctx.barrier();
+  if (ctx.ue() == 0) ++*count;
+  co_await ctx.barrier();
+  if (ctx.ue() == 0) ++*count;
+}
+
+TEST(Machine, BarrierReusableAcrossEpisodes) {
+  SccMachine machine;
+  int count = 0;
+  machine.launch(8, [&](CoreContext& ctx) { return doubleBarrier(ctx, &count); });
+  machine.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(machine.barrier().episodes(), 2u);
+}
+
+SimTask criticalSection(CoreContext& ctx, int* counter, bool* race) {
+  for (int i = 0; i < 10; ++i) {
+    co_await ctx.lockAcquire(0);
+    const int seen = *counter;
+    co_await ctx.compute(50);
+    if (*counter != seen) *race = true;  // someone else got in
+    *counter = seen + 1;
+    ctx.lockRelease(0);
+  }
+}
+
+TEST(Machine, TasLockProvidesMutualExclusion) {
+  SccMachine machine;
+  int counter = 0;
+  bool race = false;
+  machine.launch(8, [&](CoreContext& ctx) {
+    return criticalSection(ctx, &counter, &race);
+  });
+  machine.run();
+  EXPECT_EQ(counter, 80);
+  EXPECT_FALSE(race);
+  EXPECT_GT(machine.lock(0).contentionEvents(), 0u);
+}
+
+TEST(Machine, SingleUeBarrierDoesNotDeadlock) {
+  SccMachine machine;
+  int count = 0;
+  machine.launch(1, [&](CoreContext& ctx) { return doubleBarrier(ctx, &count); });
+  machine.run();
+  EXPECT_EQ(count, 2);
+}
+
+// --- determinism across the whole machine ----------------------------------------
+
+SimTask mixedWork(CoreContext& ctx, std::uint64_t shm, std::uint64_t mpb) {
+  std::uint64_t v = static_cast<std::uint64_t>(ctx.ue());
+  for (int i = 0; i < 5; ++i) {
+    co_await ctx.compute(100 + static_cast<std::uint64_t>(ctx.ue()) * 7);
+    co_await ctx.shmWrite(shm + static_cast<std::uint64_t>(ctx.ue()) * 8, &v, 8);
+    co_await ctx.mpbWrite(ctx.ue(), mpb, &v, 8);
+    co_await ctx.barrier();
+  }
+}
+
+TEST(Machine, FullyDeterministic) {
+  auto run_once = [] {
+    SccMachine machine;
+    const std::uint64_t shm = machine.shmalloc(1024);
+    std::uint64_t mpb = 0;
+    for (int ue = 0; ue < 12; ++ue) mpb = machine.mpbMalloc(ue, 8);
+    machine.launch(12, [&](CoreContext& ctx) { return mixedWork(ctx, shm, mpb); });
+    return machine.run();
+  };
+  const Tick t1 = run_once();
+  const Tick t2 = run_once();
+  EXPECT_EQ(t1, t2);
+  EXPECT_GT(t1, 0u);
+}
+
+}  // namespace
+}  // namespace hsm::sim

@@ -1,0 +1,256 @@
+// Unit tests: the recursive-descent parser — declarations, functions,
+// statements, expression precedence (parameterized via emitter round-trip),
+// casts, sizeof, and error reporting.
+#include <gtest/gtest.h>
+
+#include "codegen/c_emitter.h"
+#include "parse/parser.h"
+
+namespace hsm::parse {
+namespace {
+
+struct Parsed {
+  std::shared_ptr<ast::ASTContext> context = std::make_shared<ast::ASTContext>();
+  bool ok = false;
+  std::string errors;
+};
+
+Parsed parse(const std::string& text) {
+  Parsed p;
+  SourceBuffer buffer("t.c", text);
+  DiagnosticEngine diags;
+  p.ok = parseSource(buffer, *p.context, diags);
+  p.errors = diags.format(buffer);
+  return p;
+}
+
+TEST(Parser, GlobalScalar) {
+  const Parsed p = parse("int x;");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto globals = p.context->unit().globals();
+  ASSERT_EQ(globals.size(), 1u);
+  EXPECT_EQ(globals[0]->name(), "x");
+  EXPECT_TRUE(globals[0]->isGlobal());
+  EXPECT_EQ(globals[0]->type(), p.context->types().intType());
+}
+
+TEST(Parser, GlobalWithInitializer) {
+  const Parsed p = parse("int x = 42;");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* var = p.context->unit().globals()[0];
+  ASSERT_NE(var->init(), nullptr);
+  EXPECT_EQ(var->init()->kind(), ast::ExprKind::IntLiteral);
+}
+
+TEST(Parser, MultipleDeclaratorsShareBaseType) {
+  const Parsed p = parse("int a, *b, c[4];");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto globals = p.context->unit().globals();
+  ASSERT_EQ(globals.size(), 3u);
+  EXPECT_FALSE(globals[0]->type()->isPointer());
+  EXPECT_TRUE(globals[1]->type()->isPointer());
+  EXPECT_TRUE(globals[2]->type()->isArray());
+  EXPECT_EQ(globals[2]->type()->arrayLength(), 4u);
+}
+
+TEST(Parser, PointerTypes) {
+  const Parsed p = parse("int **pp;");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* t = p.context->unit().globals()[0]->type();
+  ASSERT_TRUE(t->isPointer());
+  EXPECT_TRUE(t->element()->isPointer());
+}
+
+TEST(Parser, ArrayInitializerList) {
+  const Parsed p = parse("int sum[3] = {0};");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* var = p.context->unit().globals()[0];
+  ASSERT_NE(var->init(), nullptr);
+  EXPECT_EQ(var->init()->kind(), ast::ExprKind::InitList);
+}
+
+TEST(Parser, NamedTypeDeclaration) {
+  const Parsed p = parse("pthread_t threads[3];");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* t = p.context->unit().globals()[0]->type();
+  ASSERT_TRUE(t->isArray());
+  EXPECT_EQ(t->element()->name(), "pthread_t");
+}
+
+TEST(Parser, TypedefRegistersTypeName) {
+  const Parsed p = parse("typedef int myint;\nmyint x;");
+  ASSERT_TRUE(p.ok) << p.errors;
+  ASSERT_EQ(p.context->unit().globals().size(), 1u);
+}
+
+TEST(Parser, FunctionDefinition) {
+  const Parsed p = parse("int add(int a, int b) { return a + b; }");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* fn = p.context->unit().findFunction("add");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->isDefinition());
+  ASSERT_EQ(fn->params().size(), 2u);
+  EXPECT_EQ(fn->params()[0]->name(), "a");
+}
+
+TEST(Parser, FunctionPrototype) {
+  const Parsed p = parse("void f(int x);");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* fn = p.context->unit().findFunction("f");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_FALSE(fn->isDefinition());
+}
+
+TEST(Parser, VoidParameterList) {
+  const Parsed p = parse("int main(void) { return 0; }");
+  ASSERT_TRUE(p.ok) << p.errors;
+  EXPECT_TRUE(p.context->unit().findFunction("main")->params().empty());
+}
+
+TEST(Parser, PointerReturnType) {
+  const Parsed p = parse("void *tf(void *tid) { return tid; }");
+  ASSERT_TRUE(p.ok) << p.errors;
+  const auto* fn = p.context->unit().findFunction("tf");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->returnType()->isPointer());
+  EXPECT_TRUE(fn->params()[0]->type()->isPointer());
+}
+
+TEST(Parser, ArrayParameterDecaysToPointer) {
+  const Parsed p = parse("int f(int a[]) { return a[0]; }");
+  ASSERT_TRUE(p.ok) << p.errors;
+  EXPECT_TRUE(p.context->unit().findFunction("f")->params()[0]->type()->isPointer());
+}
+
+TEST(Parser, AllStatementForms) {
+  const Parsed p = parse(R"(
+int f(int n) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < n; i++) acc += i;
+    while (acc > 100) acc--;
+    do { acc++; } while (acc < 10);
+    if (acc == 10) acc = 0; else acc = 1;
+    for (;;) break;
+    ;
+    {
+        continue;
+    }
+    return acc;
+}
+)");
+  EXPECT_TRUE(p.ok) << p.errors;
+}
+
+TEST(Parser, ForLoopWithDeclaration) {
+  const Parsed p = parse("int f() { for (int i = 0; i < 4; i++) { } return 0; }");
+  EXPECT_TRUE(p.ok) << p.errors;
+}
+
+TEST(Parser, MissingSemicolonIsError) {
+  const Parsed p = parse("int x");
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.errors.find("expected"), std::string::npos);
+}
+
+TEST(Parser, GarbageTopLevelIsError) {
+  const Parsed p = parse("42;");
+  EXPECT_FALSE(p.ok);
+}
+
+TEST(Parser, UnbalancedBraceIsError) {
+  const Parsed p = parse("int f() { return 0;");
+  EXPECT_FALSE(p.ok);
+}
+
+TEST(Parser, DirectivesAttachedToUnit) {
+  const Parsed p = parse("#include <stdio.h>\n#include <pthread.h>\nint x;");
+  ASSERT_TRUE(p.ok) << p.errors;
+  EXPECT_EQ(p.context->unit().directives().size(), 2u);
+}
+
+// --- expression round-trips ------------------------------------------------
+// Parse an expression inside a harness function, then emit it; the printed
+// text (with minimal parentheses) must match expectations, which pins both
+// the parser's precedence handling and the emitter's.
+
+std::string roundTripExpr(const std::string& expr) {
+  Parsed p = parse("int a, b, c, d; int *q; void f() { " + expr + "; }");
+  EXPECT_TRUE(p.ok) << p.errors << " for " << expr;
+  const auto* fn = p.context->unit().findFunction("f");
+  if (fn == nullptr || fn->body() == nullptr || fn->body()->body().empty()) return "";
+  const auto* stmt = fn->body()->body().front();
+  if (stmt->kind() != ast::StmtKind::Expr) return "";
+  codegen::CSourceEmitter emitter;
+  return emitter.emitExpr(*static_cast<const ast::ExprStmt*>(stmt)->expr());
+}
+
+struct ExprCase {
+  const char* input;
+  const char* expected;
+};
+
+class ExprRoundTrip : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprRoundTrip, PreservesStructure) {
+  EXPECT_EQ(roundTripExpr(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Precedence, ExprRoundTrip,
+    ::testing::Values(
+        ExprCase{"a + b * c", "a + b * c"},
+        ExprCase{"(a + b) * c", "(a + b) * c"},
+        ExprCase{"a - b - c", "a - b - c"},
+        ExprCase{"a - (b - c)", "a - (b - c)"},
+        ExprCase{"a = b = c", "a = b = c"},
+        ExprCase{"a * b + c * d", "a * b + c * d"},
+        ExprCase{"a << b + c", "a << b + c"},
+        ExprCase{"(a << b) + c", "(a << b) + c"},
+        ExprCase{"a < b == c < d", "a < b == c < d"},
+        ExprCase{"a & b | c ^ d", "a & b | c ^ d"},
+        ExprCase{"a && b || c && d", "a && b || c && d"},
+        ExprCase{"a ? b : c ? d : a", "a ? b : c ? d : a"},
+        ExprCase{"(a ? b : c) ? d : a", "(a ? b : c) ? d : a"},
+        ExprCase{"-a * b", "-a * b"},
+        ExprCase{"-(a * b)", "-(a * b)"},
+        ExprCase{"!a && ~b", "!a && ~b"},
+        ExprCase{"*q + 1", "*q + 1"},
+        ExprCase{"a++ + ++b", "a++ + ++b"},
+        ExprCase{"a[b + 1]", "a[b + 1]"},
+        ExprCase{"f(a, b + c)", "f(a, b + c)"},
+        ExprCase{"a += b * 2", "a += b * 2"},
+        ExprCase{"(int)a + b", "(int)a + b"},
+        ExprCase{"(int *)q", "(int*)q"},
+        ExprCase{"sizeof(int) * 3", "sizeof(int) * 3"},
+        ExprCase{"a, b", "a, b"},
+        ExprCase{"&a", "&a"},
+        ExprCase{"*&a", "*&a"}));
+
+TEST(Parser, CastVsParenthesizedExpr) {
+  // (a) + b must parse as addition, not a cast of +b by an unknown type.
+  EXPECT_EQ(roundTripExpr("(a) + b"), "a + b");
+}
+
+TEST(Parser, SizeofExpression) {
+  EXPECT_EQ(roundTripExpr("sizeof a"), "sizeof a");
+}
+
+TEST(Parser, StringConcatenation) {
+  const Parsed p = parse(R"(void f() { g("ab" "cd"); })");
+  EXPECT_TRUE(p.ok) << p.errors;
+}
+
+TEST(Parser, PthreadCreateCallShape) {
+  const Parsed p = parse(R"(
+int main() {
+    pthread_t t;
+    pthread_create(&t, NULL, f, (void *)0);
+    return 0;
+}
+)");
+  EXPECT_TRUE(p.ok) << p.errors;
+}
+
+}  // namespace
+}  // namespace hsm::parse

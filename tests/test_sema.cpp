@@ -1,0 +1,163 @@
+// Unit tests: name resolution — scoping rules, shadowing, owner links,
+// unresolved library names.
+#include <gtest/gtest.h>
+
+#include "parse/parser.h"
+#include "sema/resolver.h"
+#include "sema/symbol_table.h"
+#include "transform/ast_edit.h"
+
+namespace hsm::sema {
+namespace {
+
+struct Resolved {
+  std::shared_ptr<ast::ASTContext> context = std::make_shared<ast::ASTContext>();
+  bool ok = false;
+};
+
+Resolved resolve(const std::string& text) {
+  Resolved r;
+  SourceBuffer buffer("t.c", text);
+  DiagnosticEngine diags;
+  EXPECT_TRUE(parse::parseSource(buffer, *r.context, diags)) << diags.format(buffer);
+  Resolver resolver(diags);
+  r.ok = resolver.resolve(*r.context);
+  return r;
+}
+
+/// First DeclRef with the given name anywhere in the function.
+ast::DeclRefExpr* findRef(ast::FunctionDecl* fn, const std::string& name) {
+  ast::DeclRefExpr* found = nullptr;
+  transform::rewriteExprsInStmt(fn->body(), [&](ast::Expr* e) {
+    if (found == nullptr && e->kind() == ast::ExprKind::DeclRef) {
+      auto* ref = static_cast<ast::DeclRefExpr*>(e);
+      if (ref->name() == name) found = ref;
+    }
+    return e;
+  });
+  return found;
+}
+
+TEST(SymbolTable, InnermostWins) {
+  SymbolTable table;
+  ast::TypeTable types;
+  ast::VarDecl outer("x", types.intType(), {});
+  ast::VarDecl inner("x", types.intType(), {});
+  table.declare("x", &outer);
+  table.pushScope();
+  table.declare("x", &inner);
+  EXPECT_EQ(table.lookup("x"), &inner);
+  table.popScope();
+  EXPECT_EQ(table.lookup("x"), &outer);
+}
+
+TEST(SymbolTable, GlobalScopeNeverPops) {
+  SymbolTable table;
+  table.popScope();
+  table.popScope();
+  EXPECT_EQ(table.depth(), 1u);
+}
+
+TEST(SymbolTable, UnknownNameIsNull) {
+  SymbolTable table;
+  EXPECT_EQ(table.lookup("nope"), nullptr);
+}
+
+TEST(Resolver, BindsGlobalReference) {
+  Resolved r = resolve("int g;\nvoid f() { g = 1; }");
+  ASSERT_TRUE(r.ok);
+  auto* fn = r.context->unit().findFunction("f");
+  auto* ref = findRef(fn, "g");
+  ASSERT_NE(ref, nullptr);
+  ASSERT_NE(ref->decl(), nullptr);
+  EXPECT_EQ(ref->decl()->name(), "g");
+  EXPECT_TRUE(static_cast<ast::VarDecl*>(ref->decl())->isGlobal());
+}
+
+TEST(Resolver, LocalShadowsGlobal) {
+  Resolved r = resolve("int x;\nvoid f() { int x; x = 1; }");
+  ASSERT_TRUE(r.ok);
+  auto* fn = r.context->unit().findFunction("f");
+  auto* ref = findRef(fn, "x");
+  ASSERT_NE(ref, nullptr);
+  ASSERT_NE(ref->decl(), nullptr);
+  EXPECT_FALSE(static_cast<ast::VarDecl*>(ref->decl())->isGlobal());
+}
+
+TEST(Resolver, ParameterBinds) {
+  Resolved r = resolve("int f(int n) { return n; }");
+  ASSERT_TRUE(r.ok);
+  auto* fn = r.context->unit().findFunction("f");
+  auto* ref = findRef(fn, "n");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->decl(), fn->params()[0]);
+}
+
+TEST(Resolver, OwnerFunctionRecorded) {
+  Resolved r = resolve("void f() { int local; local = 2; }");
+  ASSERT_TRUE(r.ok);
+  auto* fn = r.context->unit().findFunction("f");
+  auto* ref = findRef(fn, "local");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(static_cast<ast::VarDecl*>(ref->decl())->owner(), fn);
+}
+
+TEST(Resolver, LibraryNamesStayUnbound) {
+  Resolved r = resolve(R"(void f() { printf("x"); })");
+  ASSERT_TRUE(r.ok);
+  auto* fn = r.context->unit().findFunction("f");
+  auto* ref = findRef(fn, "printf");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->decl(), nullptr);
+}
+
+TEST(Resolver, ForwardFunctionReference) {
+  Resolved r = resolve(R"(
+void caller() { callee(); }
+void callee() { }
+)");
+  ASSERT_TRUE(r.ok);
+  auto* caller = r.context->unit().findFunction("caller");
+  auto* ref = findRef(caller, "callee");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->decl(), r.context->unit().findFunction("callee"));
+}
+
+TEST(Resolver, ForLoopScopeDoesNotLeak) {
+  Resolved r = resolve(R"(
+int i;
+void f() {
+    for (int i = 0; i < 3; i++) { }
+    i = 7;
+}
+)");
+  ASSERT_TRUE(r.ok);
+  auto* fn = r.context->unit().findFunction("f");
+  // The assignment after the loop must bind to the global.
+  ast::DeclRefExpr* last = nullptr;
+  transform::rewriteExprsInStmt(fn->body(), [&](ast::Expr* e) {
+    if (e->kind() == ast::ExprKind::DeclRef &&
+        static_cast<ast::DeclRefExpr*>(e)->name() == "i") {
+      last = static_cast<ast::DeclRefExpr*>(e);
+    }
+    return e;
+  });
+  ASSERT_NE(last, nullptr);
+  ASSERT_NE(last->decl(), nullptr);
+  EXPECT_TRUE(static_cast<ast::VarDecl*>(last->decl())->isGlobal());
+}
+
+TEST(Resolver, GlobalInitializerBinds) {
+  Resolved r = resolve("int a = 3;\nint *p = &a;");
+  ASSERT_TRUE(r.ok);
+  const auto globals = r.context->unit().globals();
+  ASSERT_EQ(globals.size(), 2u);
+  ASSERT_NE(globals[1]->init(), nullptr);
+  ASSERT_EQ(globals[1]->init()->kind(), ast::ExprKind::Unary);
+  auto* addr = static_cast<ast::UnaryExpr*>(globals[1]->init());
+  auto* ref = static_cast<ast::DeclRefExpr*>(addr->operand());
+  EXPECT_EQ(ref->decl(), globals[0]);
+}
+
+}  // namespace
+}  // namespace hsm::sema

@@ -1,0 +1,98 @@
+// Unit tests: source buffers, locations, and the diagnostics engine.
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/source.h"
+
+namespace hsm {
+namespace {
+
+TEST(SourceBuffer, EmptyBufferHasOneLine) {
+  SourceBuffer buffer("empty.c", "");
+  EXPECT_EQ(buffer.lineCount(), 1u);
+  EXPECT_EQ(buffer.lineText(1), "");
+}
+
+TEST(SourceBuffer, CountsLines) {
+  SourceBuffer buffer("t.c", "a\nbb\nccc\n");
+  EXPECT_EQ(buffer.lineCount(), 3u);
+  EXPECT_EQ(buffer.lineText(1), "a");
+  EXPECT_EQ(buffer.lineText(2), "bb");
+  EXPECT_EQ(buffer.lineText(3), "ccc");
+}
+
+TEST(SourceBuffer, LineTextOutOfRangeIsEmpty) {
+  SourceBuffer buffer("t.c", "x\n");
+  EXPECT_EQ(buffer.lineText(0), "");
+  EXPECT_EQ(buffer.lineText(9), "");
+}
+
+TEST(SourceBuffer, LocateStartOfFile) {
+  SourceBuffer buffer("t.c", "int x;\n");
+  const SourceLoc loc = buffer.locate(0);
+  EXPECT_EQ(loc.line, 1u);
+  EXPECT_EQ(loc.column, 1u);
+}
+
+TEST(SourceBuffer, LocateMidLine) {
+  SourceBuffer buffer("t.c", "int x;\nint y;\n");
+  const SourceLoc loc = buffer.locate(11);  // 'y'
+  EXPECT_EQ(loc.line, 2u);
+  EXPECT_EQ(loc.column, 5u);
+}
+
+TEST(SourceBuffer, LocateClampsPastEnd) {
+  SourceBuffer buffer("t.c", "ab");
+  const SourceLoc loc = buffer.locate(100);
+  EXPECT_EQ(loc.line, 1u);
+  EXPECT_EQ(loc.column, 3u);
+}
+
+TEST(SourceBuffer, NoTrailingNewline) {
+  SourceBuffer buffer("t.c", "one\ntwo");
+  EXPECT_EQ(buffer.lineCount(), 2u);
+  EXPECT_EQ(buffer.lineText(2), "two");
+}
+
+TEST(SourceLoc, DefaultIsInvalid) {
+  SourceLoc loc;
+  EXPECT_FALSE(loc.valid());
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.hasErrors());
+  diags.warning({}, "w");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error({}, "e");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 2u);
+}
+
+TEST(Diagnostics, FormatIncludesPositionAndSeverity) {
+  SourceBuffer buffer("f.c", "int x;\n");
+  DiagnosticEngine diags;
+  diags.error(buffer.locate(4), "bad name");
+  const std::string text = diags.format(buffer);
+  EXPECT_NE(text.find("f.c:1:5"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("bad name"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({}, "e");
+  diags.clear();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(Diagnostics, NotesDoNotCountAsErrors) {
+  DiagnosticEngine diags;
+  diags.note({}, "fyi");
+  EXPECT_FALSE(diags.hasErrors());
+}
+
+}  // namespace
+}  // namespace hsm

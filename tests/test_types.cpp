@@ -1,0 +1,108 @@
+// Unit tests: the type system — interning, IA-32 sizes, spellings.
+#include <gtest/gtest.h>
+
+#include "ast/type.h"
+
+namespace hsm::ast {
+namespace {
+
+TEST(TypeTable, BuiltinsAreInterned) {
+  TypeTable types;
+  EXPECT_EQ(types.intType(), types.builtin(TypeKind::Int));
+  EXPECT_NE(types.intType(), types.doubleType());
+}
+
+TEST(TypeTable, PointerInterning) {
+  TypeTable types;
+  const Type* p1 = types.pointerTo(types.intType());
+  const Type* p2 = types.pointerTo(types.intType());
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, types.pointerTo(types.doubleType()));
+}
+
+TEST(TypeTable, NamedInterning) {
+  TypeTable types;
+  EXPECT_EQ(types.named("pthread_t"), types.named("pthread_t"));
+  EXPECT_NE(types.named("a"), types.named("b"));
+}
+
+TEST(TypeTable, PointerChains) {
+  TypeTable types;
+  const Type* pp = types.pointerTo(types.pointerTo(types.charType()));
+  EXPECT_TRUE(pp->isPointer());
+  EXPECT_TRUE(pp->element()->isPointer());
+  EXPECT_EQ(pp->element()->element(), types.charType());
+}
+
+struct SizeCase {
+  TypeKind kind;
+  std::size_t bytes;
+};
+
+class TypeSizeTest : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(TypeSizeTest, Ia32Sizes) {
+  TypeTable types;
+  EXPECT_EQ(types.sizeOf(types.builtin(GetParam().kind)), GetParam().bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Builtins, TypeSizeTest,
+    ::testing::Values(SizeCase{TypeKind::Void, 0}, SizeCase{TypeKind::Char, 1},
+                      SizeCase{TypeKind::UnsignedChar, 1}, SizeCase{TypeKind::Short, 2},
+                      SizeCase{TypeKind::UnsignedShort, 2}, SizeCase{TypeKind::Int, 4},
+                      SizeCase{TypeKind::UnsignedInt, 4}, SizeCase{TypeKind::Long, 4},
+                      SizeCase{TypeKind::UnsignedLong, 4}, SizeCase{TypeKind::Float, 4},
+                      SizeCase{TypeKind::Double, 8}));
+
+TEST(TypeTable, PointerIs4Bytes) {
+  TypeTable types;
+  EXPECT_EQ(types.sizeOf(types.pointerTo(types.doubleType())), 4u);
+}
+
+TEST(TypeTable, ArraySize) {
+  TypeTable types;
+  const Type* arr = types.arrayOf(types.intType(), 3);
+  EXPECT_EQ(types.sizeOf(arr), 12u);
+  const Type* arr2d = types.arrayOf(types.arrayOf(types.doubleType(), 4), 2);
+  EXPECT_EQ(types.sizeOf(arr2d), 64u);
+}
+
+TEST(TypeTable, KnownNamedTypeSizes) {
+  TypeTable types;
+  EXPECT_EQ(types.sizeOf(types.named("pthread_t")), 4u);
+  EXPECT_EQ(types.sizeOf(types.named("pthread_mutex_t")), 24u);
+}
+
+TEST(TypeTable, UnknownNamedTypeDefaultsToPointerSize) {
+  TypeTable types;
+  EXPECT_EQ(types.sizeOf(types.named("mystery_t")), 4u);
+}
+
+TEST(TypeTable, SetNamedTypeSizeOverrides) {
+  TypeTable types;
+  types.setNamedTypeSize("big_t", 128);
+  EXPECT_EQ(types.sizeOf(types.named("big_t")), 128u);
+}
+
+TEST(Type, Spellings) {
+  TypeTable types;
+  EXPECT_EQ(types.intType()->spelling(), "int");
+  EXPECT_EQ(types.pointerTo(types.intType())->spelling(), "int*");
+  EXPECT_EQ(types.arrayOf(types.doubleType(), 5)->spelling(), "double[5]");
+  EXPECT_EQ(types.named("pthread_t")->spelling(), "pthread_t");
+}
+
+TEST(Type, Predicates) {
+  TypeTable types;
+  EXPECT_TRUE(types.intType()->isInteger());
+  EXPECT_FALSE(types.intType()->isFloating());
+  EXPECT_TRUE(types.doubleType()->isFloating());
+  EXPECT_TRUE(types.voidType()->isVoid());
+  EXPECT_TRUE(types.pointerTo(types.intType())->isPointer());
+  EXPECT_TRUE(types.arrayOf(types.intType(), 1)->isArray());
+  EXPECT_TRUE(types.named("x")->isNamed());
+}
+
+}  // namespace
+}  // namespace hsm::ast
