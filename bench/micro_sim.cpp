@@ -1,7 +1,20 @@
-// Microbenchmarks of the simulator substrate (google-benchmark): event
-// kernel throughput, uncached word transactions, MPB transfers, bulk
-// copies, and barrier episodes.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the simulator substrate, emitted as machine-readable
+// JSON (one object on stdout) for the BENCH_*.json trajectory.
+//
+// The shared-memory scenarios run twice — coalescing on and off — and
+// verify the engine's equivalence bar: coalescing may eliminate events but
+// must leave the makespan and every per-task completion Tick bit-identical.
+// A violated bar makes the process exit non-zero, so this binary doubles as
+// a CI smoke test.
+//
+// Reported per timed run: host wall seconds, engine events, events/sec,
+// simulated uncached words and the engine events they cost (the gap is the
+// coalescing win), plus derived speedup/reduction ratios per scenario.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "rcce/rcce.h"
 #include "sim/machine.h"
@@ -9,38 +22,95 @@
 namespace {
 
 using namespace hsm;
+using sim::Tick;
+
+struct RunStats {
+  double wall_seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t shm_words = 0;
+  std::uint64_t shm_word_events = 0;
+  Tick makespan = 0;
+  std::vector<Tick> completions;
+
+  [[nodiscard]] double eventsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
+  }
+  /// Simulated uncached words per host second — the throughput that
+  /// actually bounds sweep turnaround for word-granular workloads.
+  [[nodiscard]] double wordsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(shm_words) / wall_seconds : 0;
+  }
+};
+
+struct Workload {
+  std::string name;
+  int ues = 1;
+  int repetitions = 1;  ///< timed repetitions, wall time accumulated
+  std::function<void(sim::SccMachine&)> setup;  ///< shmalloc etc., then launch
+};
+
+RunStats runWorkload(const Workload& w, bool coalescing) {
+  RunStats stats;
+  for (int rep = 0; rep < w.repetitions; ++rep) {
+    sim::SccConfig cfg;
+    cfg.shm_coalescing = coalescing;
+    sim::SccMachine machine(cfg);
+    w.setup(machine);
+    stats.makespan = machine.run();
+    stats.wall_seconds += machine.engine().wallSeconds();
+    stats.events += machine.engine().eventsProcessed();
+    stats.shm_words += machine.shmWordsSimulated();
+    stats.shm_word_events += machine.shmWordEvents();
+    if (rep == 0) {
+      for (int ue = 0; ue < w.ues; ++ue) {
+        stats.completions.push_back(
+            machine.engine().completionTime(static_cast<std::size_t>(ue)));
+      }
+    }
+  }
+  return stats;
+}
+
+// --- workload kernels -------------------------------------------------------
+
+sim::SimTask blockReader(sim::CoreContext& ctx, std::uint64_t base, int blocks,
+                         std::size_t block_bytes) {
+  std::vector<std::uint8_t> buf(block_bytes);
+  for (int i = 0; i < blocks; ++i) {
+    co_await ctx.shmRead(base + static_cast<std::uint64_t>(i) * block_bytes, buf.data(),
+                         block_bytes);
+  }
+}
+
+sim::SimTask staggeredMix(sim::CoreContext& ctx, std::uint64_t base, int iterations,
+                          std::size_t block_bytes) {
+  std::vector<std::uint8_t> buf(block_bytes);
+  const std::uint64_t mine =
+      base + static_cast<std::uint64_t>(ctx.ue()) * block_bytes;
+  for (int i = 0; i < iterations; ++i) {
+    // Compute-heavy, UE-skewed phases (the shape of the paper's kernels:
+    // long local computation punctuated by shared-data block IO), so cores
+    // mostly take turns at the controllers instead of hammering in lockstep.
+    co_await ctx.compute(50000 + static_cast<std::uint64_t>(ctx.ue()) * 50000);
+    co_await ctx.shmRead(mine, buf.data(), block_bytes);
+    co_await ctx.shmWrite(mine, buf.data(), block_bytes);
+  }
+}
+
+sim::SimTask wordHammer(sim::CoreContext& ctx, std::uint64_t base, int words) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < words; ++i) {
+    co_await ctx.shmRead(base + static_cast<std::uint64_t>(i % 512) * 8, &value, 8);
+  }
+}
 
 sim::SimTask spinner(sim::CoreContext& ctx, int iterations) {
   for (int i = 0; i < iterations; ++i) co_await ctx.compute(1);
 }
 
-void BM_EventKernel(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::SccMachine machine;
-    machine.launch(8, [&](sim::CoreContext& ctx) { return spinner(ctx, 1000); });
-    benchmark::DoNotOptimize(machine.run());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 1000);
+sim::SimTask barrierLoop(sim::CoreContext& ctx, int rounds) {
+  for (int i = 0; i < rounds; ++i) co_await ctx.barrier();
 }
-BENCHMARK(BM_EventKernel);
-
-sim::SimTask shmReader(sim::CoreContext& ctx, std::uint64_t base, int words) {
-  std::uint64_t value = 0;
-  for (int i = 0; i < words; ++i) {
-    co_await ctx.shmRead(base + static_cast<std::uint64_t>(i) * 8, &value, 8);
-  }
-}
-
-void BM_UncachedWords(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::SccMachine machine;
-    const std::uint64_t base = machine.shmalloc(1 << 16);
-    machine.launch(8, [&](sim::CoreContext& ctx) { return shmReader(ctx, base, 512); });
-    benchmark::DoNotOptimize(machine.run());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 512);
-}
-BENCHMARK(BM_UncachedWords);
 
 sim::SimTask mpbPingPong(sim::CoreContext& ctx, std::uint64_t off, int rounds) {
   std::uint8_t buf[64] = {};
@@ -51,31 +121,6 @@ sim::SimTask mpbPingPong(sim::CoreContext& ctx, std::uint64_t off, int rounds) {
   }
 }
 
-void BM_MpbPingPong(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::SccMachine machine;
-    rcce::RcceEnv env(machine);
-    const std::uint64_t off = env.mpbMallocSymmetric(2, 64);
-    machine.launch(2, [&](sim::CoreContext& ctx) { return mpbPingPong(ctx, off, 256); });
-    benchmark::DoNotOptimize(machine.run());
-  }
-}
-BENCHMARK(BM_MpbPingPong);
-
-sim::SimTask barrierLoop(sim::CoreContext& ctx, int rounds) {
-  for (int i = 0; i < rounds; ++i) co_await ctx.barrier();
-}
-
-void BM_Barrier32(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::SccMachine machine;
-    machine.launch(32, [&](sim::CoreContext& ctx) { return barrierLoop(ctx, 64); });
-    benchmark::DoNotOptimize(machine.run());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_Barrier32);
-
 sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
   std::vector<std::uint8_t> buf(2048);
   for (int i = 0; i < blocks; ++i) {
@@ -84,17 +129,116 @@ sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
   }
 }
 
-void BM_BulkCopy(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::SccMachine machine;
-    const std::uint64_t base = machine.shmalloc(1 << 20);
-    machine.launch(8, [&](sim::CoreContext& ctx) { return bulkReader(ctx, base, 64); });
-    benchmark::DoNotOptimize(machine.run());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * 64 * 2048);
+// --- JSON emission ----------------------------------------------------------
+
+void printRun(std::string* out, const char* key, const RunStats& s) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"wall_seconds\": %.6f, \"events\": %llu, "
+                "\"events_per_sec\": %.0f, \"shm_words\": %llu, "
+                "\"shm_word_events\": %llu, \"shm_words_per_sec\": %.0f, "
+                "\"makespan_ps\": %llu}",
+                key, s.wall_seconds, static_cast<unsigned long long>(s.events),
+                s.eventsPerSec(), static_cast<unsigned long long>(s.shm_words),
+                static_cast<unsigned long long>(s.shm_word_events), s.wordsPerSec(),
+                static_cast<unsigned long long>(s.makespan));
+  *out += buf;
 }
-BENCHMARK(BM_BulkCopy);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bool all_identical = true;
+  std::string json = "{\n  \"bench\": \"micro_sim\",\n  \"scenarios\": [\n";
+
+  // Shared-memory word-granular scenarios: A/B coalescing with a hard
+  // tick-equivalence check.
+  const std::size_t kBlock = 4096;
+  std::vector<Workload> ab = {
+      {"shm_words_single_ue", 1, 10,
+       [&](sim::SccMachine& m) {
+         const std::uint64_t base = m.shmalloc(64 * kBlock);
+         m.launch(1, [=](sim::CoreContext& ctx) {
+           return blockReader(ctx, base, 64, kBlock);
+         });
+       }},
+      {"shm_words_staggered_8ue", 8, 10,
+       [&](sim::SccMachine& m) {
+         const std::uint64_t base = m.shmalloc(8 * kBlock);
+         m.launch(8, [=](sim::CoreContext& ctx) {
+           return staggeredMix(ctx, base, 16, kBlock);
+         });
+       }},
+      {"shm_words_contended_8ue", 8, 10,
+       [&](sim::SccMachine& m) {
+         const std::uint64_t base = m.shmalloc(1 << 16);
+         m.launch(8, [=](sim::CoreContext& ctx) {
+           return wordHammer(ctx, base, 512);
+         });
+       }},
+  };
+
+  bool first = true;
+  for (const Workload& w : ab) {
+    const RunStats on = runWorkload(w, true);
+    const RunStats off = runWorkload(w, false);
+    const bool identical =
+        on.makespan == off.makespan && on.completions == off.completions;
+    all_identical = all_identical && identical;
+
+    const double event_reduction =
+        off.events > 0
+            ? 1.0 - static_cast<double>(on.events) / static_cast<double>(off.events)
+            : 0.0;
+    const double wall_speedup =
+        on.wall_seconds > 0 ? off.wall_seconds / on.wall_seconds : 0.0;
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + w.name + "\",\n";
+    printRun(&json, "coalesced", on);
+    json += ",\n";
+    printRun(&json, "legacy", off);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"ticks_identical\": %s, \"event_reduction\": %.4f, "
+                  "\"wall_speedup\": %.2f}",
+                  identical ? "true" : "false", event_reduction, wall_speedup);
+    json += buf;
+  }
+
+  // Substrate scenarios (no word-granular shm): engine throughput only.
+  std::vector<Workload> substrate = {
+      {"event_kernel_8ue", 8, 10,
+       [](sim::SccMachine& m) {
+         m.launch(8, [](sim::CoreContext& ctx) { return spinner(ctx, 1000); });
+       }},
+      {"barrier_32ue", 32, 10,
+       [](sim::SccMachine& m) {
+         m.launch(32, [](sim::CoreContext& ctx) { return barrierLoop(ctx, 64); });
+       }},
+      {"mpb_pingpong_2ue", 2, 10,
+       [](sim::SccMachine& m) {
+         rcce::RcceEnv env(m);
+         const std::uint64_t off = env.mpbMallocSymmetric(2, 64);
+         m.launch(2, [=](sim::CoreContext& ctx) { return mpbPingPong(ctx, off, 256); });
+       }},
+      {"bulk_copy_8ue", 8, 10,
+       [](sim::SccMachine& m) {
+         const std::uint64_t base = m.shmalloc(1 << 20);
+         m.launch(8, [=](sim::CoreContext& ctx) { return bulkReader(ctx, base, 64); });
+       }},
+  };
+  for (const Workload& w : substrate) {
+    const RunStats s = runWorkload(w, true);
+    json += ",\n    {\"name\": \"" + w.name + "\",\n";
+    printRun(&json, "coalesced", s);
+    json += "}";
+  }
+
+  json += "\n  ],\n";
+  json += std::string("  \"ticks_identical_all\": ") +
+          (all_identical ? "true" : "false") + "\n}\n";
+  std::fputs(json.c_str(), stdout);
+  return all_identical ? 0 : 1;
+}

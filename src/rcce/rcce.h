@@ -93,6 +93,10 @@ class ShmArray {
     // The value is captured by shmWrite before this temporary dies.
     return ctx.shmWrite(byteOffset(i), &value, sizeof(T));
   }
+  /// Word-granular block access (every word an independent uncached
+  /// transaction, as RCCE_shmalloc'd memory behaves). Rides CoreContext's
+  /// coalesced word path: uncontended runs of words collapse into single
+  /// engine events with bit-identical simulated Ticks.
   [[nodiscard]] sim::SubTask readBlock(sim::CoreContext& ctx, std::size_t first,
                                        std::size_t count, T* out) const {
     return ctx.shmRead(byteOffset(first), out, count * sizeof(T));

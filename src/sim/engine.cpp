@@ -24,13 +24,18 @@ std::size_t Engine::spawn(SimTask task, Tick start) {
 }
 
 Tick Engine::run() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (!events_.empty()) {
+    std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+    const Event ev = events_.back();
+    events_.pop_back();
     now_ = ev.when;
     ++events_processed_;
     ev.handle.resume();
   }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   return now_;
 }
 

@@ -5,14 +5,23 @@
 // architectural operation computes its completion time (consulting shared
 // resource timelines for contention) and suspends until then. The engine
 // resumes handles in (time, insertion-sequence) order.
+//
+// Coalescing invariant: platform models sitting above this kernel (e.g.
+// SccMachine's word-granular shared-memory path) may collapse a run of
+// per-operation suspensions into one analytically-computed event, but ONLY
+// when every skipped suspension would provably have executed before the
+// engine's next pending event (`nextEventTime()`). Under that rule,
+// coalescing may reduce `eventsProcessed()` but never changes any Tick:
+// makespan, per-task completion times, and every resource-timeline state
+// transition are bit-identical with coalescing on or off.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -133,13 +142,30 @@ class SubTask {
 
 class Engine {
  public:
+  /// Sentinel returned by nextEventTime() when the queue is empty: no event
+  /// will ever preempt the caller.
+  static constexpr Tick kNever = static_cast<Tick>(-1);
+
   [[nodiscard]] Tick now() const { return now_; }
 
   /// Schedule `h` to resume at absolute time `when` (clamped to now).
   void schedule(Tick when, std::coroutine_handle<> h) {
     if (when < now_) when = now_;
-    queue_.push(Event{when, next_seq_++, h});
+    events_.push_back(Event{when, next_seq_++, h});
+    std::push_heap(events_.begin(), events_.end(), EventAfter{});
   }
+
+  /// Earliest pending event, or kNever if the queue is empty. During event
+  /// processing the running event has already been popped, so this is the
+  /// next thing that can execute besides the current coroutine — the
+  /// "horizon" that bounds safe event coalescing (see header comment).
+  [[nodiscard]] Tick nextEventTime() const {
+    return events_.empty() ? kNever : events_.front().when;
+  }
+
+  /// Pre-size the event heap (one slot per concurrently pending coroutine
+  /// is enough; larger reservations just avoid early regrowth).
+  void reserveEvents(std::size_t n) { events_.reserve(n); }
 
   /// Adopt a task and schedule its first resume at `start`.
   /// Returns an id usable with `completionTime`.
@@ -162,6 +188,15 @@ class Engine {
 
   [[nodiscard]] std::uint64_t eventsProcessed() const { return events_processed_; }
 
+  // -- wall-clock instrumentation (simulator throughput, not simulated time) --
+  /// Host seconds spent inside run() so far (accumulates across runs).
+  [[nodiscard]] double wallSeconds() const { return wall_seconds_; }
+  /// Events processed per host second across all run() calls so far.
+  [[nodiscard]] double eventsPerSecond() const {
+    return wall_seconds_ > 0.0 ? static_cast<double>(events_processed_) / wall_seconds_
+                               : 0.0;
+  }
+
   /// Convenience awaitable: suspend for `dt` picoseconds.
   [[nodiscard]] ResumeAt delay(Tick dt) { return ResumeAt{*this, now_ + dt}; }
   [[nodiscard]] ResumeAt resumeAt(Tick when) { return ResumeAt{*this, when}; }
@@ -171,16 +206,20 @@ class Engine {
     Tick when;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  };
+  /// Min-heap order on (when, seq): `a` fires after `b`.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> events_;  ///< binary heap via std::push_heap/pop_heap
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  double wall_seconds_ = 0.0;
   std::vector<SimTask> tasks_;
   std::vector<Tick> completion_;
 };

@@ -40,7 +40,7 @@ void TasLock::release() {
     return;
   }
   std::coroutine_handle<> next = queue_.front();
-  queue_.erase(queue_.begin());
+  queue_.pop_front();
   engine_.schedule(engine_.now() + roundtrip_, next);
 }
 
@@ -79,11 +79,12 @@ ResumeAt CoreContext::privTouch(std::uint64_t addr, std::size_t bytes, bool writ
 
 SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes) {
   const std::size_t txn = machine_.config().shm_transaction_bytes;
-  std::size_t done_bytes = 0;
-  while (done_bytes < bytes) {
-    const Tick done = machine_.shmWordCompletion(core_, now());
+  std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  while (words > 0) {
+    std::size_t serviced = 0;
+    const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
     co_await machine_.engine().resumeAt(done);
-    done_bytes += txn;
+    words -= serviced;
   }
   if (out != nullptr) std::memcpy(out, machine_.shmData(offset), bytes);
 }
@@ -91,11 +92,12 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
 SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
   if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
   const std::size_t txn = machine_.config().shm_transaction_bytes;
-  std::size_t done_bytes = 0;
-  while (done_bytes < bytes) {
-    const Tick done = machine_.shmWordCompletion(core_, now());
+  std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  while (words > 0) {
+    std::size_t serviced = 0;
+    const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
     co_await machine_.engine().resumeAt(done);
-    done_bytes += txn;
+    words -= serviced;
   }
 }
 
@@ -153,6 +155,20 @@ SccMachine::SccMachine(SccConfig config)
   }
   mc_.resize(config_.num_mem_controllers);
   mpb_port_.resize(config_.numTiles());
+
+  // Freeze the per-core NoC timing tables (topology never changes) and
+  // pre-size the event heap for one pending event per core.
+  core_mc_.reserve(config_.num_cores);
+  core_mc_hop_ticks_.reserve(config_.num_cores);
+  for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+    core_mc_.push_back(mesh_.controllerOfCore(c));
+    core_mc_hop_ticks_.push_back(
+        mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
+                           mesh_.hopsToController(c)));
+  }
+  uncached_overhead_ticks_ = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
+  word_service_ticks_ = dram_clock_.cycles(config_.dram_word_service_cycles);
+  engine_.reserveEvents(config_.num_cores * 2);
 }
 
 std::uint64_t SccMachine::shmalloc(std::size_t bytes) {
@@ -238,11 +254,8 @@ Tick SccMachine::privAccessCompletion(int core, Tick start, std::uint64_t addr,
   const std::size_t line = config_.cache_line_bytes;
   Cache& l1 = l1_[static_cast<std::size_t>(core)];
   Cache& l2 = l2_[static_cast<std::size_t>(core)];
-  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
-  ResourceTimeline& mc = mc_[mc_index];
-  const Tick hop_one_way =
-      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
-                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
+  ResourceTimeline& mc = mc_[core_mc_[static_cast<std::size_t>(core)]];
+  const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
 
   Tick t = start;
   const std::uint64_t first_line = addr / line;
@@ -277,22 +290,17 @@ Tick SccMachine::privAccessCompletion(int core, Tick start, std::uint64_t addr,
 Tick SccMachine::shmAccessCompletion(int core, Tick start, std::uint64_t offset,
                                      std::size_t bytes, bool write, void* data_out,
                                      const void* data_in) {
-  // Uncached: each 4-byte word is an independent, blocking transaction
-  // through the core's assigned memory controller.
-  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
-  ResourceTimeline& mc = mc_[mc_index];
-  const Tick hop_one_way =
-      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
-                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
-  const Tick overhead = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
-  const Tick word_service = dram_clock_.cycles(config_.dram_word_service_cycles);
+  // Uncached: each word is an independent, blocking transaction through the
+  // core's assigned memory controller.
+  ResourceTimeline& mc = mc_[core_mc_[static_cast<std::size_t>(core)]];
+  const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
 
   const std::size_t txn = config_.shm_transaction_bytes;
   const std::size_t words = (bytes + txn - 1) / txn;
   Tick t = start;
   for (std::size_t w = 0; w < words; ++w) {
-    const Tick request_arrival = t + overhead + hop_one_way;
-    const Tick serviced = mc.acquire(request_arrival, word_service);
+    const Tick request_arrival = t + uncached_overhead_ticks_ + hop_one_way;
+    const Tick serviced = mc.acquire(request_arrival, word_service_ticks_);
     t = serviced + hop_one_way;
   }
 
@@ -304,27 +312,44 @@ Tick SccMachine::shmAccessCompletion(int core, Tick start, std::uint64_t offset,
   return t;
 }
 
-Tick SccMachine::shmWordCompletion(int core, Tick start) {
-  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
-  ResourceTimeline& mc = mc_[mc_index];
-  const Tick hop_one_way =
-      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
-                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
-  const Tick overhead = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
-  const Tick word_service = dram_clock_.cycles(config_.dram_word_service_cycles);
-  const Tick serviced = mc.acquire(start + overhead + hop_one_way, word_service);
-  return serviced + hop_one_way;
+Tick SccMachine::shmWordsCompletion(int core, Tick start, std::size_t max_words,
+                                    std::size_t* words_done) {
+  ResourceTimeline& mc = mc_[core_mc_[static_cast<std::size_t>(core)]];
+  const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
+  const std::size_t quantum =
+      config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
+
+  // Safety horizon: word i+1's request is issued (in the per-word execution)
+  // at word i's completion time. As long as that instant lies strictly
+  // before the engine's earliest pending event, no other coroutine can run —
+  // let alone touch this controller — in between, so computing the word here
+  // (at the same recurrence, in the same order) is indistinguishable from
+  // suspending. The first word is always safe: its request is issued "now",
+  // while this coroutine holds the engine. With coalescing off the horizon
+  // degenerates to 0, i.e. every word after the quantum is contended.
+  const Tick horizon = config_.shm_coalescing ? engine_.nextEventTime() : 0;
+
+  Tick t = start;
+  std::size_t done = 0;
+  while (done < max_words) {
+    if (done > 0 && t >= horizon && done >= quantum) break;
+    const Tick serviced =
+        mc.acquire(t + uncached_overhead_ticks_ + hop_one_way, word_service_ticks_);
+    t = serviced + hop_one_way;
+    ++done;
+  }
+  shm_words_ += done;
+  ++shm_word_events_;
+  *words_done = done;
+  return t;
 }
 
 Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
                                    std::size_t bytes, bool write, void* data_out,
                                    const void* data_in) {
   // One setup round trip, then lines stream at row-buffer-hit rates.
-  const std::uint32_t mc_index = mesh_.controllerOfCore(static_cast<std::uint32_t>(core));
-  ResourceTimeline& mc = mc_[mc_index];
-  const Tick hop_one_way =
-      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
-                         mesh_.hopsToController(static_cast<std::uint32_t>(core)));
+  ResourceTimeline& mc = mc_[core_mc_[static_cast<std::size_t>(core)]];
+  const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
   const std::size_t line = config_.cache_line_bytes;
   const std::size_t lines = (bytes + line - 1) / line;
   const Tick service =

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -89,7 +90,7 @@ class TasLock {
   Engine& engine_;
   Tick roundtrip_;
   bool held_ = false;
-  std::vector<std::coroutine_handle<>> queue_;  // FIFO via erase-front
+  std::deque<std::coroutine_handle<>> queue_;  // FIFO, O(1) pop_front
   std::uint64_t contention_ = 0;
 };
 
@@ -118,9 +119,12 @@ class CoreContext {
   [[nodiscard]] ResumeAt privTouch(std::uint64_t addr, std::size_t bytes, bool write);
 
   // -- shared off-chip DRAM (uncached) --
-  // Word-granular: each transaction is a separate simulation event, so
-  // concurrent cores interleave fairly at the memory controllers (the
-  // blocking-uncached-access semantics of the SCC's shared pages).
+  // Word-granular: every word is an independent blocking transaction through
+  // the core's memory controller (the uncached-access semantics of the SCC's
+  // shared pages). Runs of words that are provably uncontended are coalesced
+  // into a single engine event (config.shm_coalescing); contention windows
+  // fall back to per-word events so concurrent cores interleave fairly.
+  // Either way the simulated Ticks are identical — see sim/engine.h.
   [[nodiscard]] SubTask shmRead(std::uint64_t offset, void* out, std::size_t bytes);
   [[nodiscard]] SubTask shmWrite(std::uint64_t offset, const void* src, std::size_t bytes);
   /// Sequential bulk transfer (RCCE-style block copy): pays one transaction
@@ -190,14 +194,25 @@ class SccMachine {
   }
   [[nodiscard]] const Cache& l1(int core) const { return l1_[static_cast<std::size_t>(core)]; }
   [[nodiscard]] const Cache& l2(int core) const { return l2_[static_cast<std::size_t>(core)]; }
+  /// Uncached word transactions simulated through the word-granular path.
+  [[nodiscard]] std::uint64_t shmWordsSimulated() const { return shm_words_; }
+  /// Engine events those words cost (== shmWordsSimulated() with coalescing
+  /// off; the gap is the number of events coalescing eliminated).
+  [[nodiscard]] std::uint64_t shmWordEvents() const { return shm_word_events_; }
 
   // -- timing/functional primitives (used by CoreContext and threadrt) --
   Tick privAccessCompletion(int core, Tick start, std::uint64_t addr, std::size_t bytes,
                             bool write, void* data_out, const void* data_in);
   Tick shmAccessCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
                            bool write, void* data_out, const void* data_in);
-  /// One uncached transaction of up to shm_transaction_bytes.
-  Tick shmWordCompletion(int core, Tick start);
+  /// Service up to `max_words` uncached word transactions starting at
+  /// `start`, coalescing as many as the engine's event horizon proves safe
+  /// (at least one; exactly one when contended with the default fairness
+  /// quantum). Returns the completion Tick of the serviced words and stores
+  /// how many were serviced in `*words_done`. The arithmetic is the exact
+  /// per-word recurrence, so Ticks match the per-event path bit for bit.
+  Tick shmWordsCompletion(int core, Tick start, std::size_t max_words,
+                          std::size_t* words_done);
   Tick shmBulkCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
                          bool write, void* data_out, const void* data_in);
   Tick mpbAccessCompletion(int core, int owner_ue, Tick start, std::uint64_t offset,
@@ -211,6 +226,16 @@ class SccMachine {
   Clock core_clock_;
   Clock mesh_clock_;
   Clock dram_clock_;
+
+  // Precomputed per-core NoC timing (topology is fixed at construction):
+  // assigned controller and the one-way mesh latency to reach it.
+  std::vector<std::uint32_t> core_mc_;
+  std::vector<Tick> core_mc_hop_ticks_;
+  Tick uncached_overhead_ticks_ = 0;  ///< per-word issue overhead
+  Tick word_service_ticks_ = 0;       ///< controller service per word
+
+  std::uint64_t shm_words_ = 0;
+  std::uint64_t shm_word_events_ = 0;
 
   std::vector<std::uint8_t> shared_dram_;
   std::vector<std::uint8_t> mpb_;                    // num_cores x slice

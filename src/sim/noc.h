@@ -1,8 +1,14 @@
 // The SCC's 6x4 tile mesh: XY dimension-ordered routing, four memory
 // controllers on the periphery, and tile geometry helpers.
+//
+// Topology is immutable after construction, so every per-core quantity a
+// hot memory access needs — tile coordinates, assigned controller, hop
+// count to that controller — and the UE→core placement map are built once
+// in the constructor and served as O(1) table lookups thereafter.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/scc_config.h"
 
@@ -16,13 +22,13 @@ struct TileCoord {
 
 class MeshTopology {
  public:
-  explicit MeshTopology(const SccConfig& config) : config_(config) {}
+  explicit MeshTopology(const SccConfig& config);
 
   [[nodiscard]] std::uint32_t tileOfCore(std::uint32_t core) const {
     return core / config_.cores_per_tile;
   }
   [[nodiscard]] TileCoord coordOfTile(std::uint32_t tile) const {
-    return TileCoord{tile % config_.mesh_cols, tile / config_.mesh_cols};
+    return tile_coord_[tile];
   }
   [[nodiscard]] TileCoord coordOfCore(std::uint32_t core) const {
     return coordOfTile(tileOfCore(core));
@@ -30,8 +36,8 @@ class MeshTopology {
 
   /// Manhattan distance in hops between two tiles (XY routing).
   [[nodiscard]] std::uint32_t hops(std::uint32_t tile_a, std::uint32_t tile_b) const {
-    const TileCoord a = coordOfTile(tile_a);
-    const TileCoord b = coordOfTile(tile_b);
+    const TileCoord a = tile_coord_[tile_a];
+    const TileCoord b = tile_coord_[tile_b];
     const std::uint32_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
     const std::uint32_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
     return dx + dy;
@@ -44,10 +50,7 @@ class MeshTopology {
   /// The SCC's four memory controllers sit at the mesh periphery next to
   /// tiles (0,0), (5,0), (0,2) and (5,2); each serves its quadrant.
   [[nodiscard]] std::uint32_t controllerOfCore(std::uint32_t core) const {
-    const TileCoord c = coordOfCore(core);
-    const bool east = c.x >= config_.mesh_cols / 2;
-    const bool north = c.y >= config_.mesh_rows / 2;
-    return (north ? 2u : 0u) + (east ? 1u : 0u);
+    return core_controller_[core];
   }
 
   /// Attachment tile of a controller (for hop counting).
@@ -62,17 +65,29 @@ class MeshTopology {
   /// Hops from a core to its assigned memory controller (plus one hop onto
   /// the controller's port).
   [[nodiscard]] std::uint32_t hopsToController(std::uint32_t core) const {
-    return hops(tileOfCore(core), tileOfController(controllerOfCore(core))) + 1;
+    return core_controller_hops_[core];
   }
 
   /// Physical core hosting logical UE `ue` when `num_ues` UEs participate.
   /// UEs are spread round-robin across the four quadrants so each memory
   /// controller serves an equal share (the paper runs 32 UEs on the 48-core
   /// chip with "at least 8 cores in contention per memory controller").
-  [[nodiscard]] std::uint32_t coreForUe(int ue, int num_ues) const;
+  /// The table covers one UE per core; oversubscribed UE ids fall back to
+  /// the direct computation (identical result, just off the fast path).
+  [[nodiscard]] std::uint32_t coreForUe(int ue, int num_ues) const {
+    (void)num_ues;
+    const auto u = static_cast<std::uint32_t>(ue);
+    return u < ue_core_.size() ? ue_core_[u] : computeCoreForUe(u);
+  }
 
  private:
+  [[nodiscard]] std::uint32_t computeCoreForUe(std::uint32_t ue) const;
+
   const SccConfig& config_;
+  std::vector<TileCoord> tile_coord_;             ///< per tile
+  std::vector<std::uint32_t> core_controller_;    ///< per core
+  std::vector<std::uint32_t> core_controller_hops_;  ///< per core
+  std::vector<std::uint32_t> ue_core_;            ///< per ue mod num_cores
 };
 
 }  // namespace hsm::sim

@@ -65,6 +65,19 @@ struct SccConfig {
   /// Barrier bookkeeping per participant (flag writes through the MPB).
   std::uint32_t barrier_flag_core_cycles = 30;
 
+  // -- simulation kernel knobs (simulator speed, not architecture) --
+  /// Coalesce runs of uncached shared-memory word transactions into one
+  /// engine event whenever the engine can prove no other event interleaves
+  /// (see sim/engine.h's coalescing invariant). Never changes any Tick;
+  /// exposed so equivalence tests and benchmarks can A/B the two paths.
+  bool shm_coalescing = true;
+  /// Words serviced per engine event inside a contention window (when other
+  /// pending events forbid further provably-safe coalescing). 1 (default)
+  /// reproduces the per-word interleaving exactly; larger values trade
+  /// controller fairness accuracy for simulator speed and MAY change
+  /// simulated Ticks under contention.
+  std::uint32_t shm_fairness_quantum_words = 1;
+
   // -- single-core multithread baseline (threadrt) --
   std::uint32_t context_switch_core_cycles = 4000;
   std::uint32_t scheduler_quantum_core_cycles = 800000;  // ~1 ms at 800 MHz

@@ -5,9 +5,12 @@ namespace {
 
 /// Serialize an operation through the single core: the op starts when the
 /// core frees up, runs for its architectural duration, and the timeline
-/// advances. Returns the completion time.
+/// advances. Returns the completion time. Templated on the completion
+/// functor so the per-operation hot path stays allocation-free (a
+/// std::function here costs a heap round trip on every simulated op).
+template <typename CompletionAt>
 sim::Tick serialize(sim::ResourceTimeline& core, sim::Tick now,
-                    const std::function<sim::Tick(sim::Tick)>& completion_at) {
+                    CompletionAt&& completion_at) {
   const sim::Tick start = now > core.nextFree() ? now : core.nextFree();
   const sim::Tick done = completion_at(start);
   core.acquire(now, done - start);

@@ -157,5 +157,43 @@ TEST(Engine, EventCountTracked) {
   EXPECT_GE(engine.eventsProcessed(), 2u);
 }
 
+TEST(Engine, NextEventTimeTracksQueue) {
+  Engine engine;
+  EXPECT_EQ(engine.nextEventTime(), Engine::kNever);
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 0, 25));  // first resume queued at t=0
+  EXPECT_EQ(engine.nextEventTime(), 0u);
+  engine.run();
+  EXPECT_EQ(engine.nextEventTime(), Engine::kNever);
+}
+
+TEST(Engine, NextEventTimeSeesEarliestOfMany) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 0, 70), /*start=*/40);
+  engine.spawn(recorder(engine, log, 1, 70), /*start=*/10);
+  EXPECT_EQ(engine.nextEventTime(), 10u);
+}
+
+TEST(Engine, ReserveEventsPreservesOrdering) {
+  Engine engine;
+  engine.reserveEvents(1024);
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 300));
+  engine.spawn(recorder(engine, log, 2, 100));
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{2, 102, 1, 101}));
+}
+
+TEST(Engine, WallClockInstrumentation) {
+  Engine engine;
+  std::vector<int> log;
+  for (int i = 0; i < 16; ++i) engine.spawn(recorder(engine, log, i, 10 + i));
+  EXPECT_EQ(engine.wallSeconds(), 0.0);
+  engine.run();
+  EXPECT_GT(engine.wallSeconds(), 0.0);
+  EXPECT_GT(engine.eventsPerSecond(), 0.0);
+}
+
 }  // namespace
 }  // namespace hsm::sim

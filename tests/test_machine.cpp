@@ -406,5 +406,151 @@ TEST(Machine, FullyDeterministic) {
   EXPECT_GT(t1, 0u);
 }
 
+// --- coalescing equivalence -------------------------------------------------
+// The hard bar for the coalesced word path (config.shm_coalescing): identical
+// makespan AND identical per-task completion Ticks versus the per-word legacy
+// path, while processing fewer engine events.
+
+struct SimResult {
+  Tick makespan = 0;
+  std::vector<Tick> completions;
+  std::uint64_t events = 0;
+  std::uint64_t shm_words = 0;
+  std::uint64_t shm_word_events = 0;
+  std::vector<std::uint64_t> data;  ///< workload output (functional check)
+};
+
+SimTask streamKernel(CoreContext& ctx, std::uint64_t base, int blocks,
+                     std::size_t block_bytes) {
+  std::vector<std::uint8_t> buf(block_bytes);
+  for (int i = 0; i < blocks; ++i) {
+    co_await ctx.shmRead(base + static_cast<std::uint64_t>(i) * block_bytes, buf.data(),
+                         block_bytes);
+  }
+}
+
+SimResult runStream(bool coalescing, int ues) {
+  SccConfig cfg;
+  cfg.shm_coalescing = coalescing;
+  SccMachine machine(cfg);
+  const std::uint64_t base = machine.shmalloc(16 * 4096);
+  machine.launch(ues,
+                 [&](CoreContext& ctx) { return streamKernel(ctx, base, 16, 4096); });
+  SimResult r;
+  r.makespan = machine.run();
+  for (int ue = 0; ue < ues; ++ue) {
+    r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.events = machine.engine().eventsProcessed();
+  r.shm_words = machine.shmWordsSimulated();
+  r.shm_word_events = machine.shmWordEvents();
+  return r;
+}
+
+TEST(Machine, CoalescingBitIdenticalSingleUe) {
+  const SimResult on = runStream(true, 1);
+  const SimResult off = runStream(false, 1);
+  EXPECT_EQ(on.makespan, off.makespan);
+  EXPECT_EQ(on.completions, off.completions);
+  EXPECT_EQ(on.shm_words, off.shm_words);
+  // >80% fewer engine events on an uncontended word stream.
+  EXPECT_LT(on.events * 5, off.events);
+}
+
+TEST(Machine, CoalescingBitIdenticalConcurrentStreams) {
+  const SimResult on = runStream(true, 8);
+  const SimResult off = runStream(false, 8);
+  EXPECT_EQ(on.makespan, off.makespan);
+  EXPECT_EQ(on.completions, off.completions);
+  EXPECT_LE(on.events, off.events);
+}
+
+/// Deliberately nasty contended case: skewed compute phases, word-granular
+/// block IO, a shared lock-protected accumulator, and barriers — exercising
+/// controller contention windows, equal-tick tie-breaking, lock grant order,
+/// and barrier wake order under coalescing.
+SimTask contendedKernel(CoreContext& ctx, std::uint64_t blocks_base,
+                        std::uint64_t counter_off, std::vector<std::uint64_t>* out) {
+  std::vector<std::uint8_t> buf(1024);
+  const std::uint64_t mine = blocks_base + static_cast<std::uint64_t>(ctx.ue()) * 1024;
+  for (int i = 0; i < 4; ++i) {
+    co_await ctx.compute(1000 + static_cast<std::uint64_t>(ctx.ue() % 3) * 4000);
+    co_await ctx.shmRead(mine, buf.data(), buf.size());
+    co_await ctx.shmWrite(mine, buf.data(), buf.size());
+    co_await ctx.lockAcquire(0);
+    std::uint64_t counter = 0;
+    co_await ctx.shmRead(counter_off, &counter, sizeof(counter));
+    ++counter;
+    co_await ctx.shmWrite(counter_off, &counter, sizeof(counter));
+    ctx.lockRelease(0);
+    co_await ctx.barrier();
+  }
+  std::uint64_t final_counter = 0;
+  co_await ctx.shmRead(counter_off, &final_counter, sizeof(final_counter));
+  (*out)[static_cast<std::size_t>(ctx.ue())] = final_counter;
+}
+
+SimResult runContended(bool coalescing, int ues) {
+  SccConfig cfg;
+  cfg.shm_coalescing = coalescing;
+  SccMachine machine(cfg);
+  const std::uint64_t blocks = machine.shmalloc(static_cast<std::size_t>(ues) * 1024);
+  const std::uint64_t counter = machine.shmalloc(8);
+  SimResult r;
+  r.data.resize(static_cast<std::size_t>(ues), 0);
+  machine.launch(ues, [&](CoreContext& ctx) {
+    return contendedKernel(ctx, blocks, counter, &r.data);
+  });
+  r.makespan = machine.run();
+  for (int ue = 0; ue < ues; ++ue) {
+    r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.events = machine.engine().eventsProcessed();
+  r.shm_words = machine.shmWordsSimulated();
+  r.shm_word_events = machine.shmWordEvents();
+  return r;
+}
+
+TEST(Machine, CoalescingBitIdenticalContendedMultiCore) {
+  const SimResult on = runContended(true, 8);
+  const SimResult off = runContended(false, 8);
+  EXPECT_EQ(on.makespan, off.makespan);
+  EXPECT_EQ(on.completions, off.completions);
+  EXPECT_EQ(on.data, off.data);
+  EXPECT_EQ(on.shm_words, off.shm_words);
+  EXPECT_LE(on.events, off.events);
+  // Functional: every UE saw the fully-incremented counter (4 rounds x 8 UEs,
+  // with the final read after the last barrier).
+  for (const std::uint64_t seen : off.data) EXPECT_EQ(seen, 32u);
+}
+
+TEST(Machine, CoalescingStatsAccountAllWords) {
+  const SimResult on = runStream(true, 1);
+  // 16 blocks x 4096 bytes / 8-byte transactions.
+  EXPECT_EQ(on.shm_words, 16u * 4096u / 8u);
+  EXPECT_LE(on.shm_word_events, on.shm_words);
+  const SimResult off = runStream(false, 1);
+  EXPECT_EQ(off.shm_word_events, off.shm_words);
+}
+
+TEST(Machine, FairnessQuantumApproximationCompletes) {
+  // A coarse fairness quantum is an explicit accuracy/speed trade: the run
+  // must still complete, move every word, and stay self-deterministic.
+  auto run_quantum = [] {
+    SccConfig cfg;
+    cfg.shm_fairness_quantum_words = 64;
+    SccMachine machine(cfg);
+    const std::uint64_t base = machine.shmalloc(8 * 1024);
+    machine.launch(8, [&](CoreContext& ctx) { return streamKernel(ctx, base, 2, 1024); });
+    const Tick makespan = machine.run();
+    return std::pair<Tick, std::uint64_t>{makespan, machine.shmWordsSimulated()};
+  };
+  const auto a = run_quantum();
+  const auto b = run_quantum();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.second, 8u * 2u * 1024u / 8u);
+  EXPECT_GT(a.first, 0u);
+}
+
 }  // namespace
 }  // namespace hsm::sim
