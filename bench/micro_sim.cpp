@@ -1,19 +1,27 @@
 // Microbenchmarks of the simulator substrate, emitted as machine-readable
-// JSON (one object on stdout) for the BENCH_*.json trajectory.
+// JSON (one object on stdout) for the tracked BENCH_*.json trajectory
+// (BENCH_baseline.json is committed; CI regenerates BENCH_pr.json and
+// scripts/compare_bench.py gates regressions).
 //
-// The shared-memory scenarios run twice — coalescing on and off — and
+// The shared-memory scenarios run three ways — per-controller-horizon
+// coalescing, legacy global-horizon coalescing, and coalescing off — and
 // verify the engine's equivalence bar: coalescing may eliminate events but
-// must leave the makespan and every per-task completion Tick bit-identical.
-// A violated bar makes the process exit non-zero, so this binary doubles as
-// a CI smoke test.
+// must leave the makespan and every per-task completion Tick bit-identical
+// across all three modes. A violated bar makes the process exit non-zero,
+// so this binary doubles as a CI smoke test.
 //
 // Reported per timed run: host wall seconds, engine events, events/sec,
-// simulated uncached words and the engine events they cost (the gap is the
-// coalescing win), plus derived speedup/reduction ratios per scenario.
+// simulated uncached words and the engine events they cost (their ratio is
+// the coalescing rate), plus derived speedup/reduction ratios per scenario.
+// A separate sweep quantifies the Tick error of shm_fairness_quantum_words
+// > 1 against the exact path on the contended scenarios.
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rcce/rcce.h"
@@ -23,6 +31,12 @@ namespace {
 
 using namespace hsm;
 using sim::Tick;
+
+struct Mode {
+  bool coalescing = true;
+  bool per_controller = true;
+  std::uint32_t quantum = 1;
+};
 
 struct RunStats {
   double wall_seconds = 0;
@@ -40,6 +54,12 @@ struct RunStats {
   [[nodiscard]] double wordsPerSec() const {
     return wall_seconds > 0 ? static_cast<double>(shm_words) / wall_seconds : 0;
   }
+  /// Fraction of word transactions whose engine event was coalesced away.
+  [[nodiscard]] double coalescingRate() const {
+    return shm_words > 0
+               ? 1.0 - static_cast<double>(shm_word_events) / static_cast<double>(shm_words)
+               : 0.0;
+  }
 };
 
 struct Workload {
@@ -49,11 +69,13 @@ struct Workload {
   std::function<void(sim::SccMachine&)> setup;  ///< shmalloc etc., then launch
 };
 
-RunStats runWorkload(const Workload& w, bool coalescing) {
+RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
   RunStats stats;
   for (int rep = 0; rep < w.repetitions; ++rep) {
     sim::SccConfig cfg;
-    cfg.shm_coalescing = coalescing;
+    cfg.shm_coalescing = mode.coalescing;
+    cfg.shm_per_controller_horizon = mode.per_controller;
+    cfg.shm_fairness_quantum_words = mode.quantum;
     sim::SccMachine machine(cfg);
     w.setup(machine);
     stats.makespan = machine.run();
@@ -69,6 +91,19 @@ RunStats runWorkload(const Workload& w, bool coalescing) {
     }
   }
   return stats;
+}
+
+/// Best-of-3 trials: the simulation is deterministic (events, words, Ticks
+/// are identical per trial), only host wall time varies, so the minimum wall
+/// is the peak-throughput measurement the BENCH_*.json trajectory tracks —
+/// far more stable across runs and machines than a single timing.
+RunStats runWorkload(const Workload& w, const Mode& mode) {
+  RunStats best = runWorkloadOnce(w, mode);
+  for (int trial = 1; trial < 3; ++trial) {
+    RunStats next = runWorkloadOnce(w, mode);
+    if (next.wall_seconds < best.wall_seconds) best = std::move(next);
+  }
+  return best;
 }
 
 // --- workload kernels -------------------------------------------------------
@@ -94,6 +129,28 @@ sim::SimTask staggeredMix(sim::CoreContext& ctx, std::uint64_t base, int iterati
     co_await ctx.compute(50000 + static_cast<std::uint64_t>(ctx.ue()) * 50000);
     co_await ctx.shmRead(mine, buf.data(), block_bytes);
     co_await ctx.shmWrite(mine, buf.data(), block_bytes);
+  }
+}
+
+/// Lock- and barrier-punctuated block IO: the nastiest mode for coalescing
+/// because blocked waiters force the per-controller horizon back to the
+/// global one until every task is pending again.
+sim::SimTask syncedMix(sim::CoreContext& ctx, std::uint64_t base,
+                       std::uint64_t counter_off, int iterations,
+                       std::size_t block_bytes) {
+  std::vector<std::uint8_t> buf(block_bytes);
+  const std::uint64_t mine =
+      base + static_cast<std::uint64_t>(ctx.ue()) * block_bytes;
+  for (int i = 0; i < iterations; ++i) {
+    co_await ctx.compute(20000 + static_cast<std::uint64_t>(ctx.ue() % 3) * 30000);
+    co_await ctx.shmRead(mine, buf.data(), block_bytes);
+    co_await ctx.lockAcquire(0);
+    std::uint64_t counter = 0;
+    co_await ctx.shmRead(counter_off, &counter, sizeof(counter));
+    ++counter;
+    co_await ctx.shmWrite(counter_off, &counter, sizeof(counter));
+    ctx.lockRelease(0);
+    co_await ctx.barrier();
   }
 }
 
@@ -132,17 +189,23 @@ sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
 // --- JSON emission ----------------------------------------------------------
 
 void printRun(std::string* out, const char* key, const RunStats& s) {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "      \"%s\": {\"wall_seconds\": %.6f, \"events\": %llu, "
                 "\"events_per_sec\": %.0f, \"shm_words\": %llu, "
                 "\"shm_word_events\": %llu, \"shm_words_per_sec\": %.0f, "
-                "\"makespan_ps\": %llu}",
+                "\"coalescing_rate\": %.4f, \"makespan_ps\": %llu}",
                 key, s.wall_seconds, static_cast<unsigned long long>(s.events),
                 s.eventsPerSec(), static_cast<unsigned long long>(s.shm_words),
                 static_cast<unsigned long long>(s.shm_word_events), s.wordsPerSec(),
-                static_cast<unsigned long long>(s.makespan));
+                s.coalescingRate(), static_cast<unsigned long long>(s.makespan));
   *out += buf;
+}
+
+double relError(Tick approx, Tick exact) {
+  if (exact == 0) return approx == 0 ? 0.0 : 1.0;
+  return std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+         static_cast<double>(exact);
 }
 
 }  // namespace
@@ -151,25 +214,34 @@ int main() {
   bool all_identical = true;
   std::string json = "{\n  \"bench\": \"micro_sim\",\n  \"scenarios\": [\n";
 
-  // Shared-memory word-granular scenarios: A/B coalescing with a hard
-  // tick-equivalence check.
+  // Shared-memory word-granular scenarios: three-way equivalence matrix
+  // (per-controller horizon / legacy global horizon / coalescing off) with a
+  // hard tick-equivalence check across all modes.
   const std::size_t kBlock = 4096;
   std::vector<Workload> ab = {
-      {"shm_words_single_ue", 1, 10,
+      {"shm_words_single_ue", 1, 200,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(64 * kBlock);
          m.launch(1, [=](sim::CoreContext& ctx) {
            return blockReader(ctx, base, 64, kBlock);
          });
        }},
-      {"shm_words_staggered_8ue", 8, 10,
+      {"shm_words_staggered_8ue", 8, 20,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(8 * kBlock);
          m.launch(8, [=](sim::CoreContext& ctx) {
            return staggeredMix(ctx, base, 16, kBlock);
          });
        }},
-      {"shm_words_contended_8ue", 8, 10,
+      {"shm_words_synced_8ue", 8, 30,
+       [&](sim::SccMachine& m) {
+         const std::uint64_t base = m.shmalloc(8 * kBlock + 8);
+         const std::uint64_t counter = m.shmalloc(8);
+         m.launch(8, [=](sim::CoreContext& ctx) {
+           return syncedMix(ctx, base, counter, 8, kBlock);
+         });
+       }},
+      {"shm_words_contended_8ue", 8, 50,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(1 << 16);
          m.launch(8, [=](sim::CoreContext& ctx) {
@@ -179,16 +251,25 @@ int main() {
   };
 
   bool first = true;
+  std::map<std::string, RunStats> exact_stats;  // reused by the quantum sweep
   for (const Workload& w : ab) {
-    const RunStats on = runWorkload(w, true);
-    const RunStats off = runWorkload(w, false);
-    const bool identical =
-        on.makespan == off.makespan && on.completions == off.completions;
+    const RunStats on = runWorkload(w, Mode{true, true, 1});
+    exact_stats[w.name] = on;
+    const RunStats global = runWorkload(w, Mode{true, false, 1});
+    const RunStats off = runWorkload(w, Mode{false, false, 1});
+    const bool identical = on.makespan == off.makespan &&
+                           on.completions == off.completions &&
+                           global.makespan == off.makespan &&
+                           global.completions == off.completions;
     all_identical = all_identical && identical;
 
     const double event_reduction =
         off.events > 0
             ? 1.0 - static_cast<double>(on.events) / static_cast<double>(off.events)
+            : 0.0;
+    const double event_reduction_global =
+        off.events > 0
+            ? 1.0 - static_cast<double>(global.events) / static_cast<double>(off.events)
             : 0.0;
     const double wall_speedup =
         on.wall_seconds > 0 ? off.wall_seconds / on.wall_seconds : 0.0;
@@ -198,45 +279,82 @@ int main() {
     json += "    {\"name\": \"" + w.name + "\",\n";
     printRun(&json, "coalesced", on);
     json += ",\n";
+    printRun(&json, "global_horizon", global);
+    json += ",\n";
     printRun(&json, "legacy", off);
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   ",\n      \"ticks_identical\": %s, \"event_reduction\": %.4f, "
-                  "\"wall_speedup\": %.2f}",
-                  identical ? "true" : "false", event_reduction, wall_speedup);
+                  "\"event_reduction_global_horizon\": %.4f, \"wall_speedup\": %.2f}",
+                  identical ? "true" : "false", event_reduction,
+                  event_reduction_global, wall_speedup);
     json += buf;
   }
 
   // Substrate scenarios (no word-granular shm): engine throughput only.
   std::vector<Workload> substrate = {
-      {"event_kernel_8ue", 8, 10,
+      {"event_kernel_8ue", 8, 60,
        [](sim::SccMachine& m) {
          m.launch(8, [](sim::CoreContext& ctx) { return spinner(ctx, 1000); });
        }},
-      {"barrier_32ue", 32, 10,
+      {"barrier_32ue", 32, 150,
        [](sim::SccMachine& m) {
          m.launch(32, [](sim::CoreContext& ctx) { return barrierLoop(ctx, 64); });
        }},
-      {"mpb_pingpong_2ue", 2, 10,
+      {"mpb_pingpong_2ue", 2, 350,
        [](sim::SccMachine& m) {
          rcce::RcceEnv env(m);
          const std::uint64_t off = env.mpbMallocSymmetric(2, 64);
          m.launch(2, [=](sim::CoreContext& ctx) { return mpbPingPong(ctx, off, 256); });
        }},
-      {"bulk_copy_8ue", 8, 10,
+      {"bulk_copy_8ue", 8, 400,
        [](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(1 << 20);
          m.launch(8, [=](sim::CoreContext& ctx) { return bulkReader(ctx, base, 64); });
        }},
   };
   for (const Workload& w : substrate) {
-    const RunStats s = runWorkload(w, true);
+    const RunStats s = runWorkload(w, Mode{true, true, 1});
     json += ",\n    {\"name\": \"" + w.name + "\",\n";
     printRun(&json, "coalesced", s);
     json += "}";
   }
-
   json += "\n  ],\n";
+
+  // Fairness-quantum error sweep: Tick error of shm_fairness_quantum_words
+  // > 1 versus the exact path (quantum = 1) on the contended scenarios. The
+  // quantum only matters inside contention windows, so the exact-equivalence
+  // scenarios above are unaffected by construction.
+  json += "  \"quantum_sweep\": [\n";
+  bool first_q = true;
+  for (const Workload& w : ab) {
+    if (w.name == "shm_words_single_ue") continue;  // no contention window
+    const RunStats& exact = exact_stats.at(w.name);  // measured in the A/B loop
+    for (const std::uint32_t q : {4u, 16u, 64u}) {
+      const RunStats approx = runWorkload(w, Mode{true, true, q});
+      double max_completion_err = 0.0;
+      for (std::size_t i = 0;
+           i < approx.completions.size() && i < exact.completions.size(); ++i) {
+        max_completion_err =
+            std::max(max_completion_err, relError(approx.completions[i],
+                                                  exact.completions[i]));
+      }
+      const double wall_speedup =
+          approx.wall_seconds > 0 ? exact.wall_seconds / approx.wall_seconds : 0.0;
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "%s    {\"scenario\": \"%s\", \"quantum\": %u, "
+                    "\"makespan_rel_error\": %.6f, \"max_completion_rel_error\": %.6f, "
+                    "\"coalescing_rate\": %.4f, \"wall_speedup_vs_exact\": %.2f}",
+                    first_q ? "" : ",\n", w.name.c_str(), q,
+                    relError(approx.makespan, exact.makespan), max_completion_err,
+                    approx.coalescingRate(), wall_speedup);
+      first_q = false;
+      json += buf;
+    }
+  }
+  json += "\n  ],\n";
+
   json += std::string("  \"ticks_identical_all\": ") +
           (all_identical ? "true" : "false") + "\n}\n";
   std::fputs(json.c_str(), stdout);

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate the micro_sim bench trajectory: BENCH_pr.json vs BENCH_baseline.json.
+
+Fails (exit 1) when:
+  * any Tick equivalence check in the PR run is violated,
+  * a scenario present in the baseline is missing from the PR run,
+  * simulator throughput of a scenario's coalesced run regresses more than
+    the tolerance (default 15%, override with --tolerance) after normalizing
+    for overall machine speed,
+  * the coalescing rate of a scenario's coalesced run drops below the
+    baseline (beyond a small float-formatting epsilon).
+
+Throughput metric: shm_words_per_sec for word-granular scenarios (simulated
+work per host second — invariant to how many engine events that work costs,
+so better coalescing cannot read as a regression the way raw events/sec
+would), events_per_sec for substrate scenarios with no word traffic.
+
+The committed baseline was measured on one machine and CI runs on another,
+so raw events/sec comparisons would gate on hardware, not code. To separate
+the two, the PR/baseline throughput ratios are normalized by their geometric
+mean across all scenarios: a uniformly slower (or faster) machine moves every
+ratio and cancels out, while a single scenario regressing relative to its
+peers is exactly what survives the normalization. The committed baseline
+should be regenerated (./build/bench/micro_sim > BENCH_baseline.json)
+whenever a PR intentionally shifts the trajectory, making the shift
+reviewable in the diff.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+RATE_EPSILON = 0.005  # coalescing_rate is emitted with 4 decimals
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("pr", help="freshly generated BENCH_pr.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional events/sec regression (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.pr, encoding="utf-8") as f:
+        pr = json.load(f)
+
+    failures = []
+
+    if not pr.get("ticks_identical_all", False):
+        failures.append(
+            "ticks_identical_all is false: coalescing produced diverging Ticks"
+        )
+
+    def throughput(run):
+        """(metric name, value): words/sec for word scenarios, else events/sec."""
+        if run.get("shm_words", 0) > 0:
+            return "shm_words_per_sec", run["shm_words_per_sec"]
+        return "events_per_sec", run["events_per_sec"]
+
+    pr_scenarios = {s["name"]: s for s in pr.get("scenarios", [])}
+    pairs = []
+    for base_scenario in baseline.get("scenarios", []):
+        name = base_scenario["name"]
+        pr_scenario = pr_scenarios.get(name)
+        if pr_scenario is None:
+            failures.append(f"{name}: scenario missing from PR run")
+            continue
+        pairs.append((name, base_scenario["coalesced"], pr_scenario["coalesced"]))
+
+    ratios = []
+    for _, base_run, pr_run in pairs:
+        _, base_value = throughput(base_run)
+        _, pr_value = throughput(pr_run)
+        if base_value > 0 and pr_value > 0:
+            ratios.append(pr_value / base_value)
+    machine_speed = (
+        math.exp(sum(math.log(r) for r in ratios) / len(ratios)) if ratios else 1.0
+    )
+    print(f"machine speed vs baseline (geomean of ratios): {machine_speed:.3f}")
+
+    for name, base_run, pr_run in pairs:
+        metric, base_value = throughput(base_run)
+        _, pr_value = throughput(pr_run)
+        normalized = pr_value / machine_speed if machine_speed > 0 else pr_value
+        floor = (1.0 - args.tolerance) * base_value
+        if normalized < floor:
+            failures.append(
+                f"{name}: {metric} regressed {base_value:.0f} -> {pr_value:.0f} "
+                f"({normalized:.0f} machine-normalized, floor {floor:.0f}, "
+                f"tolerance {args.tolerance:.0%})"
+            )
+
+        base_rate = base_run.get("coalescing_rate", 0.0)
+        pr_rate = pr_run.get("coalescing_rate", 0.0)
+        if pr_rate < base_rate - RATE_EPSILON:
+            failures.append(
+                f"{name}: coalescing rate dropped {base_rate:.4f} -> {pr_rate:.4f}"
+            )
+
+        print(
+            f"ok {name}: {metric} {base_value:.0f} -> {pr_value:.0f} "
+            f"({normalized:.0f} normalized), "
+            f"coalescing rate {base_rate:.4f} -> {pr_rate:.4f}"
+        )
+
+    if failures:
+        print("\nBENCH trajectory check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nBENCH trajectory check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,91 @@ void ResumeAt::await_suspend(std::coroutine_handle<> h) const {
   engine.schedule(when, h);
 }
 
-std::size_t Engine::spawn(SimTask task, Tick start) {
+void Engine::schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id) {
+  if (when < now_) when = now_;
+  const bool tracked = !resource_pending_.empty();
+  // Host events and tasks predating registerResources have no alive-counter
+  // entry: file them unaffined (bounding every horizon) and tally them
+  // separately so the blocked computation stays exact.
+  const bool counted = tracked && task_id != kNoTask && task_id >= counted_tasks_from_;
+  std::uint32_t resource = resourceOfTask(task_id);
+  if (tracked && !counted) resource = kNoResource;
+  if (tracked) {
+    pendingBucket(resource).push_back(when);
+    if (!counted) ++uncounted_unaffined_pending_;
+  }
+  events_.push_back(Event{when, task_id, next_seq_++, resource, tracked, counted, h});
+  std::push_heap(events_.begin(), events_.end(), EventAfter{});
+}
+
+void Engine::registerResources(std::uint32_t count) {
+  resource_pending_.assign(count, {});
+  resource_alive_.assign(count, 0);
+  unaffined_pending_.clear();
+  unaffined_alive_ = 0;
+  uncounted_unaffined_pending_ = 0;
+  counted_tasks_from_ = tasks_.size();
+}
+
+void Engine::dropPending(std::uint32_t resource, Tick when) {
+  std::vector<Tick>& bucket = pendingBucket(resource);
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] == when) {
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      return;
+    }
+  }
+}
+
+Tick Engine::nextEventTimeFor(std::uint32_t resource) const {
+  if (resource_pending_.empty() || resource >= resource_pending_.size()) {
+    return nextEventTime();
+  }
+  // Blocked = alive but no pending event (parked on a lock/barrier). The
+  // running task itself has no pending event either; it is excluded, not
+  // blocked. Any blocked task in this affinity class — or any blocked
+  // unaffined task — can be woken by whatever event fires next, so only the
+  // global horizon is safe then.
+  std::int64_t blocked_here = resource_alive_[resource] -
+                              static_cast<std::int64_t>(resource_pending_[resource].size());
+  std::int64_t blocked_unaffined =
+      unaffined_alive_ - static_cast<std::int64_t>(unaffined_pending_.size() -
+                                                   uncounted_unaffined_pending_);
+  if (current_task_ != kNoTask) {
+    const std::uint32_t cur = resourceOfTask(current_task_);
+    if (cur == resource) {
+      --blocked_here;
+    } else if (cur == kNoResource) {
+      --blocked_unaffined;
+    }
+  }
+  if (blocked_here > 0 || blocked_unaffined > 0) return nextEventTime();
+
+  Tick horizon = kNever;
+  for (const Tick t : resource_pending_[resource]) horizon = std::min(horizon, t);
+  for (const Tick t : unaffined_pending_) horizon = std::min(horizon, t);
+  return horizon;
+}
+
+std::size_t Engine::spawn(SimTask task, Tick start, std::uint32_t resource) {
   const std::size_t id = tasks_.size();
+  if (resource != kNoResource &&
+      (resource_pending_.empty() || resource >= resource_pending_.size())) {
+    resource = kNoResource;  // unregistered affinity: stay conservative
+  }
+  if (task_resource_.size() <= id) task_resource_.resize(id + 1, kNoResource);
+  task_resource_[id] = resource;
+  if (!resource_pending_.empty()) {
+    if (resource == kNoResource) {
+      ++unaffined_alive_;
+    } else {
+      ++resource_alive_[resource];
+    }
+  }
   task.handle().promise().engine = this;
   task.handle().promise().task_id = id;
-  schedule(start, task.handle());
+  schedule(start, task.handle(), id);
   tasks_.push_back(std::move(task));
   completion_.resize(tasks_.size(), 0);
   return id;
@@ -29,10 +109,16 @@ Tick Engine::run() {
     std::pop_heap(events_.begin(), events_.end(), EventAfter{});
     const Event ev = events_.back();
     events_.pop_back();
+    if (ev.tracked) {
+      dropPending(ev.resource, ev.when);
+      if (!ev.counted) --uncounted_unaffined_pending_;
+    }
     now_ = ev.when;
+    current_task_ = ev.task;
     ++events_processed_;
     ev.handle.resume();
   }
+  current_task_ = kNoTask;
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();

@@ -3,17 +3,39 @@
 // Single-threaded and fully deterministic: simulated concurrency comes from
 // C++20 coroutines (SimTask). Each simulated core runs one coroutine; every
 // architectural operation computes its completion time (consulting shared
-// resource timelines for contention) and suspends until then. The engine
-// resumes handles in (time, insertion-sequence) order.
+// resource timelines for contention) and suspends until then.
 //
-// Coalescing invariant: platform models sitting above this kernel (e.g.
-// SccMachine's word-granular shared-memory path) may collapse a run of
-// per-operation suspensions into one analytically-computed event, but ONLY
-// when every skipped suspension would provably have executed before the
-// engine's next pending event (`nextEventTime()`). Under that rule,
-// coalescing may reduce `eventsProcessed()` but never changes any Tick:
-// makespan, per-task completion times, and every resource-timeline state
-// transition are bit-identical with coalescing on or off.
+// Ordering contract: every event carries the id of the root SimTask it
+// resumes (wake events for blocked tasks carry the *woken* task's id,
+// recorded when the task blocked), and events fire in ascending
+// (time, task_id) order. Host-scheduled events with no task context order
+// after all task events at the same Tick; insertion sequence is only a final
+// tie-break between such events. A root task has at most one pending event,
+// so (time, task_id) is unique across the pending set and the schedule is a
+// total order that does NOT depend on when events were inserted. That
+// insertion-independence is load-bearing: event coalescing (below) inserts
+// fewer events than the per-operation execution it replaces, so any ordering
+// rule based on insertion sequence would let coalescing perturb lock-grant
+// and barrier-wake order at equal-Tick collisions.
+//
+// Coalescing invariant (per-resource horizons): platform models sitting
+// above this kernel (e.g. SccMachine's word-granular shared-memory path) may
+// collapse a run of per-operation suspensions into one analytically-computed
+// event, but ONLY while every skipped suspension would provably have
+// executed before any other coroutine could touch the same resource
+// timeline. Tasks declare at spawn time which registered resource (memory
+// controller) they are affined to — meaning that resource's timeline is the
+// only one they ever touch. `nextEventTimeFor(resource)` then returns the
+// coalescing horizon for that resource: the earliest pending event among
+// tasks affined to it plus all unaffined tasks. Whenever some task that
+// could reach the resource is *blocked* — alive but with no pending event,
+// i.e. parked on a lock or barrier whose wake a task on any other resource
+// may schedule the moment it runs — the horizon conservatively falls back to
+// the global `nextEventTime()`. Under that rule coalescing may reduce
+// `eventsProcessed()` but never changes any Tick: makespan, per-task
+// completion times, and every resource-timeline state transition are
+// bit-identical with coalescing on or off, and with per-resource or global
+// horizons.
 #pragma once
 
 #include <algorithm>
@@ -145,31 +167,61 @@ class Engine {
   /// Sentinel returned by nextEventTime() when the queue is empty: no event
   /// will ever preempt the caller.
   static constexpr Tick kNever = static_cast<Tick>(-1);
+  /// Task id attached to host-scheduled events (no coroutine context).
+  /// Orders after every real task at an equal-Tick collision.
+  static constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
+  /// Resource affinity of tasks that never declared one: such tasks are
+  /// assumed able to touch ANY resource, so they bound every horizon.
+  static constexpr std::uint32_t kNoResource = static_cast<std::uint32_t>(-1);
 
   [[nodiscard]] Tick now() const { return now_; }
 
-  /// Schedule `h` to resume at absolute time `when` (clamped to now).
+  /// Schedule `h` to resume at absolute time `when` (clamped to now) on
+  /// behalf of the currently running task (the usual suspend path).
   void schedule(Tick when, std::coroutine_handle<> h) {
-    if (when < now_) when = now_;
-    events_.push_back(Event{when, next_seq_++, h});
-    std::push_heap(events_.begin(), events_.end(), EventAfter{});
+    schedule(when, h, current_task_);
   }
+  /// Schedule a wake for a task other than the running one (lock grants,
+  /// barrier releases): `task_id` must be the id the woken coroutine runs
+  /// under, recorded when it blocked, so the (time, task_id) ordering
+  /// contract holds for the wake event.
+  void schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id);
+
+  /// Id of the root task whose event is currently being processed
+  /// (kNoTask outside run()). Lock/barrier implementations capture this
+  /// when a coroutine blocks so its eventual wake is filed under it.
+  [[nodiscard]] std::size_t currentTaskId() const { return current_task_; }
 
   /// Earliest pending event, or kNever if the queue is empty. During event
   /// processing the running event has already been popped, so this is the
-  /// next thing that can execute besides the current coroutine — the
+  /// next thing that can execute besides the current coroutine — the global
   /// "horizon" that bounds safe event coalescing (see header comment).
   [[nodiscard]] Tick nextEventTime() const {
     return events_.empty() ? kNever : events_.front().when;
   }
 
+  /// Declare `count` coalescable resources (memory controllers). Must be
+  /// called before tasks that use resource affinities are spawned; calling
+  /// it resets all affinity bookkeeping.
+  void registerResources(std::uint32_t count);
+
+  /// Per-resource coalescing horizon: earliest pending event among tasks
+  /// affined to `resource` and unaffined tasks — or the global
+  /// nextEventTime() while any such task is blocked without a pending event
+  /// (its wake may be scheduled, by a task on any resource, as soon as the
+  /// next event fires). See the header comment for the exactness argument.
+  [[nodiscard]] Tick nextEventTimeFor(std::uint32_t resource) const;
+
   /// Pre-size the event heap (one slot per concurrently pending coroutine
   /// is enough; larger reservations just avoid early regrowth).
   void reserveEvents(std::size_t n) { events_.reserve(n); }
 
-  /// Adopt a task and schedule its first resume at `start`.
-  /// Returns an id usable with `completionTime`.
-  std::size_t spawn(SimTask task, Tick start = 0);
+  /// Adopt a task and schedule its first resume at `start`. `resource`
+  /// declares the only registered resource timeline this task will ever
+  /// touch (kNoResource: may touch any). Returns an id usable with
+  /// `completionTime`.
+  std::size_t spawn(SimTask task, Tick start = 0,
+                    std::uint32_t resource = kNoResource);
 
   /// Run until the event queue drains. Returns the time of the last event.
   Tick run();
@@ -179,9 +231,20 @@ class Engine {
     return task_id < completion_.size() ? completion_[task_id] : 0;
   }
 
-  /// Called from SimTask's final suspend point.
+  /// Called from SimTask's final suspend point. Only tasks spawned after
+  /// registerResources() were counted alive; earlier ones must not
+  /// decrement counters they never incremented.
   void onRootDone(std::size_t task_id) {
     if (task_id < completion_.size()) completion_[task_id] = now_;
+    if (!resource_pending_.empty() && task_id >= counted_tasks_from_ &&
+        task_id < task_resource_.size()) {
+      const std::uint32_t res = task_resource_[task_id];
+      if (res == kNoResource) {
+        --unaffined_alive_;
+      } else {
+        --resource_alive_[res];
+      }
+    }
   }
   /// Latest completion across all spawned tasks (the makespan).
   [[nodiscard]] Tick makespan() const;
@@ -204,24 +267,58 @@ class Engine {
  private:
   struct Event {
     Tick when;
-    std::uint64_t seq;
+    std::size_t task;        ///< root task the handle runs under (kNoTask: host)
+    std::uint64_t seq;       ///< insertion sequence — tertiary tie-break only
+    std::uint32_t resource;  ///< affinity resolved at schedule time
+    bool tracked;            ///< filed in the per-resource pending accounting
+    bool counted;            ///< task has a matching alive-counter entry
     std::coroutine_handle<> handle;
   };
-  /// Min-heap order on (when, seq): `a` fires after `b`.
+  /// Min-heap order on (when, task, seq): `a` fires after `b`. The task key
+  /// is the documented ordering contract; seq only breaks ties between
+  /// same-task/host events, which mode changes cannot reorder.
   struct EventAfter {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.task != b.task) return a.task > b.task;
       return a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] std::uint32_t resourceOfTask(std::size_t task) const {
+    return task < task_resource_.size() ? task_resource_[task] : kNoResource;
+  }
+  [[nodiscard]] std::vector<Tick>& pendingBucket(std::uint32_t resource) {
+    return resource == kNoResource ? unaffined_pending_ : resource_pending_[resource];
+  }
+  void dropPending(std::uint32_t resource, Tick when);
+
   std::vector<Event> events_;  ///< binary heap via std::push_heap/pop_heap
   Tick now_ = 0;
+  std::size_t current_task_ = kNoTask;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   double wall_seconds_ = 0.0;
   std::vector<SimTask> tasks_;
   std::vector<Tick> completion_;
+
+  // -- per-resource horizon accounting (empty unless registerResources ran) --
+  // Buckets hold the `when` of every pending event of tasks in that affinity
+  // class (a handful of entries: one per concurrently pending same-resource
+  // task), scanned linearly. Events with no matching alive entry — scheduled
+  // from host context (kNoTask) or by tasks spawned before
+  // registerResources() — are filed in the unaffined bucket (so they still
+  // bound every horizon) but tallied separately in
+  // uncounted_unaffined_pending_, otherwise they would offset the
+  // alive-minus-pending blocked computation and mask a genuinely blocked
+  // task.
+  std::vector<std::uint32_t> task_resource_;     ///< per spawned task
+  std::vector<std::vector<Tick>> resource_pending_;
+  std::vector<Tick> unaffined_pending_;
+  std::vector<std::int64_t> resource_alive_;     ///< spawned minus finished
+  std::int64_t unaffined_alive_ = 0;
+  std::size_t uncounted_unaffined_pending_ = 0;
+  std::size_t counted_tasks_from_ = 0;  ///< ids below predate registerResources
 };
 
 inline void SimTask::promise_type::FinalAwaiter::await_suspend(

@@ -12,11 +12,13 @@ namespace hsm::sim {
 void SyncBarrier::onArrive(std::coroutine_handle<> h) {
   const Tick arrival = engine_.now() + arrive_cost_;
   if (arrival > latest_arrival_) latest_arrival_ = arrival;
-  waiting_.push_back(h);
+  waiting_.push_back({h, engine_.currentTaskId()});
   ++arrived_;
   if (arrived_ >= participants_) {
     const Tick release = latest_arrival_ + release_cost_;
-    for (std::coroutine_handle<> w : waiting_) engine_.schedule(release, w);
+    // All wakes land at one Tick; the engine's (time, task_id) key resumes
+    // them in task-id order no matter what order arrivals happened in.
+    for (const Waiter& w : waiting_) engine_.schedule(release, w.handle, w.task);
     waiting_.clear();
     arrived_ = 0;
     latest_arrival_ = 0;
@@ -30,7 +32,7 @@ void TasLock::onAcquire(std::coroutine_handle<> h) {
     engine_.schedule(engine_.now() + roundtrip_, h);
   } else {
     ++contention_;
-    queue_.push_back(h);
+    queue_.push_back({h, engine_.currentTaskId()});
   }
 }
 
@@ -39,9 +41,9 @@ void TasLock::release() {
     held_ = false;
     return;
   }
-  std::coroutine_handle<> next = queue_.front();
+  const Waiter next = queue_.front();
   queue_.pop_front();
-  engine_.schedule(engine_.now() + roundtrip_, next);
+  engine_.schedule(engine_.now() + roundtrip_, next.handle, next.task);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +170,9 @@ SccMachine::SccMachine(SccConfig config)
   }
   uncached_overhead_ticks_ = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
   word_service_ticks_ = dram_clock_.cycles(config_.dram_word_service_cycles);
+  // Each memory controller is a coalescing-horizon resource; launch() affines
+  // every task to its core's controller — the only controller it can touch.
+  engine_.registerResources(config_.num_mem_controllers);
   engine_.reserveEvents(config_.num_cores * 2);
 }
 
@@ -230,7 +235,7 @@ void SccMachine::launch(int num_ues, const CoreProgram& program) {
     ue_to_core_[static_cast<std::size_t>(ue)] = core;
     contexts_.push_back(
         std::make_unique<CoreContext>(*this, ue, num_ues, static_cast<int>(core)));
-    engine_.spawn(program(*contexts_.back()));
+    engine_.spawn(program(*contexts_.back()), 0, core_mc_[core]);
   }
 }
 
@@ -314,20 +319,30 @@ Tick SccMachine::shmAccessCompletion(int core, Tick start, std::uint64_t offset,
 
 Tick SccMachine::shmWordsCompletion(int core, Tick start, std::size_t max_words,
                                     std::size_t* words_done) {
-  ResourceTimeline& mc = mc_[core_mc_[static_cast<std::size_t>(core)]];
+  const std::uint32_t mc_id = core_mc_[static_cast<std::size_t>(core)];
+  ResourceTimeline& mc = mc_[mc_id];
   const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
   const std::size_t quantum =
       config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
 
   // Safety horizon: word i+1's request is issued (in the per-word execution)
   // at word i's completion time. As long as that instant lies strictly
-  // before the engine's earliest pending event, no other coroutine can run —
-  // let alone touch this controller — in between, so computing the word here
-  // (at the same recurrence, in the same order) is indistinguishable from
-  // suspending. The first word is always safe: its request is issued "now",
-  // while this coroutine holds the engine. With coalescing off the horizon
-  // degenerates to 0, i.e. every word after the quantum is contended.
-  const Tick horizon = config_.shm_coalescing ? engine_.nextEventTime() : 0;
+  // before the horizon, no coroutine that can touch this core's memory
+  // controller runs in between, so computing the word here (at the same
+  // recurrence, in the same order) is indistinguishable from suspending. The
+  // horizon is scoped to this controller's affinity class — pending traffic
+  // bound for the other three controllers no longer breaks the run, which is
+  // what keeps coalescing alive in contended multi-controller sweeps
+  // (Engine::nextEventTimeFor falls back to the global horizon itself while
+  // any task that could reach this controller is blocked on a lock/barrier).
+  // The first word is always safe: its request is issued "now", while this
+  // coroutine holds the engine. With coalescing off the horizon degenerates
+  // to 0, i.e. every word after the quantum is contended.
+  Tick horizon = 0;
+  if (config_.shm_coalescing) {
+    horizon = config_.shm_per_controller_horizon ? engine_.nextEventTimeFor(mc_id)
+                                                 : engine_.nextEventTime();
+  }
 
   Tick t = start;
   std::size_t done = 0;

@@ -30,7 +30,10 @@ namespace hsm::sim {
 class SccMachine;
 
 /// Barrier across the participating UEs (RCCE_barrier's model): arrivals
-/// post flags through the MPB; the last arrival releases everyone.
+/// post flags through the MPB; the last arrival releases everyone. All
+/// releases land at one Tick, so wake order follows the engine's
+/// (time, task_id) contract — each waiter's task id is recorded at arrival
+/// and attached to its wake event.
 class SyncBarrier {
  public:
   SyncBarrier(Engine& engine, std::size_t participants, Tick arrive_cost,
@@ -51,6 +54,10 @@ class SyncBarrier {
 
  private:
   friend struct Awaiter;
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::size_t task;  ///< engine task id the wake event is filed under
+  };
   void onArrive(std::coroutine_handle<> h);
 
   Engine& engine_;
@@ -59,7 +66,7 @@ class SyncBarrier {
   Tick release_cost_;
   std::size_t arrived_ = 0;
   Tick latest_arrival_ = 0;
-  std::vector<std::coroutine_handle<>> waiting_;
+  std::vector<Waiter> waiting_;
   std::uint64_t episodes_ = 0;
 };
 
@@ -85,12 +92,16 @@ class TasLock {
 
  private:
   friend struct Awaiter;
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::size_t task;  ///< engine task id the grant event is filed under
+  };
   void onAcquire(std::coroutine_handle<> h);
 
   Engine& engine_;
   Tick roundtrip_;
   bool held_ = false;
-  std::deque<std::coroutine_handle<>> queue_;  // FIFO, O(1) pop_front
+  std::deque<Waiter> queue_;  // FIFO, O(1) pop_front
   std::uint64_t contention_ = 0;
 };
 
@@ -206,11 +217,15 @@ class SccMachine {
   Tick shmAccessCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
                            bool write, void* data_out, const void* data_in);
   /// Service up to `max_words` uncached word transactions starting at
-  /// `start`, coalescing as many as the engine's event horizon proves safe
-  /// (at least one; exactly one when contended with the default fairness
-  /// quantum). Returns the completion Tick of the serviced words and stores
-  /// how many were serviced in `*words_done`. The arithmetic is the exact
-  /// per-word recurrence, so Ticks match the per-event path bit for bit.
+  /// `start`, coalescing as many as the coalescing horizon proves safe (at
+  /// least one; exactly one when contended with the default fairness
+  /// quantum). The horizon is scoped to this core's memory controller
+  /// (Engine::nextEventTimeFor) so pending traffic on *other* controllers
+  /// does not break the run; config.shm_per_controller_horizon=false falls
+  /// back to the global horizon. Returns the completion Tick of the serviced
+  /// words and stores how many were serviced in `*words_done`. The
+  /// arithmetic is the exact per-word recurrence, so Ticks match the
+  /// per-event path bit for bit.
   Tick shmWordsCompletion(int core, Tick start, std::size_t max_words,
                           std::size_t* words_done);
   Tick shmBulkCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,

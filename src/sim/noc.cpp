@@ -26,6 +26,10 @@ MeshTopology::MeshTopology(const SccConfig& config) : config_(config) {
   }
 }
 
+std::uint32_t MeshTopology::controllerForUe(int ue, int num_ues) const {
+  return controllerOfCore(coreForUe(ue, num_ues));
+}
+
 std::uint32_t MeshTopology::computeCoreForUe(std::uint32_t ue) const {
   // Enumerate the tiles of each quadrant (x side, y side); UE i lands in
   // quadrant i%4, filling each quadrant's tiles before using second cores.

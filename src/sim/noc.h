@@ -52,6 +52,12 @@ class MeshTopology {
   [[nodiscard]] std::uint32_t controllerOfCore(std::uint32_t core) const {
     return core_controller_[core];
   }
+  [[nodiscard]] std::uint32_t numControllers() const {
+    return config_.num_mem_controllers;
+  }
+  /// Controller serving logical UE `ue` — the identity a task registers as
+  /// its coalescing-horizon affinity (Engine::spawn resource id).
+  [[nodiscard]] std::uint32_t controllerForUe(int ue, int num_ues) const;
 
   /// Attachment tile of a controller (for hop counting).
   [[nodiscard]] std::uint32_t tileOfController(std::uint32_t mc) const {

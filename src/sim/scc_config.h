@@ -71,11 +71,17 @@ struct SccConfig {
   /// (see sim/engine.h's coalescing invariant). Never changes any Tick;
   /// exposed so equivalence tests and benchmarks can A/B the two paths.
   bool shm_coalescing = true;
+  /// Scope the coalescing safety horizon to the accessed memory controller
+  /// (Engine::nextEventTimeFor) instead of the whole event queue, so word
+  /// runs keep coalescing while *other* controllers have pending traffic.
+  /// Tick-exact either way; exposed so benchmarks and equivalence tests can
+  /// A/B per-controller against the legacy global horizon.
+  bool shm_per_controller_horizon = true;
   /// Words serviced per engine event inside a contention window (when other
   /// pending events forbid further provably-safe coalescing). 1 (default)
   /// reproduces the per-word interleaving exactly; larger values trade
   /// controller fairness accuracy for simulator speed and MAY change
-  /// simulated Ticks under contention.
+  /// simulated Ticks under contention (measured error: see ROADMAP.md).
   std::uint32_t shm_fairness_quantum_words = 1;
 
   // -- single-core multithread baseline (threadrt) --

@@ -70,9 +70,16 @@ SingleCoreRuntime::SingleCoreRuntime(sim::SccConfig config)
 void SingleCoreRuntime::launch(int num_threads, const ThreadProgram& program) {
   num_threads_ = num_threads;
   machine_.setupBarrier(num_threads);
+  // Every logical thread executes on core 0, so core 0's memory controller
+  // is the only controller timeline it can ever touch — register that
+  // affinity so the threads don't pin the other controllers' coalescing
+  // horizons to the global event queue. Mutex-grant and barrier-wake order
+  // at equal Ticks follows the engine's (time, task_id) contract, i.e.
+  // ascending tid, independent of how the wait queue was built.
+  const std::uint32_t core0_mc = machine_.mesh().controllerOfCore(0);
   for (int tid = 0; tid < num_threads; ++tid) {
     contexts_.push_back(std::make_unique<ThreadContext>(*this, tid, num_threads));
-    machine_.engine().spawn(program(*contexts_.back()));
+    machine_.engine().spawn(program(*contexts_.back()), 0, core0_mc);
   }
 }
 

@@ -29,15 +29,167 @@ TEST(Engine, EventsFireInTimeOrder) {
   EXPECT_EQ(log[3], 101);  // t=600
 }
 
-TEST(Engine, TieBreaksByInsertionOrder) {
+TEST(Engine, TieBreaksByTaskId) {
   Engine engine;
   std::vector<int> log;
-  engine.spawn(recorder(engine, log, 1, 100));
-  engine.spawn(recorder(engine, log, 2, 100));
+  engine.spawn(recorder(engine, log, 1, 100));  // task 0
+  engine.spawn(recorder(engine, log, 2, 100));  // task 1
   engine.run();
   ASSERT_EQ(log.size(), 4u);
   EXPECT_EQ(log[0], 1);
   EXPECT_EQ(log[1], 2);
+}
+
+SimTask twoStep(Engine& engine, std::vector<int>& log, int id, Tick first,
+                Tick second) {
+  co_await engine.delay(first);
+  log.push_back(id);
+  co_await engine.delay(second);
+  log.push_back(id + 100);
+}
+
+// The ordering contract (engine.h): equal-Tick events resume in ascending
+// task id, NOT in the order the events were inserted. Task 0's t=40 event is
+// inserted at t=30, after task 1 inserted its own t=40 event at t=10 — task 0
+// must still resume first. Event coalescing changes insertion sequences, so
+// anything downstream of an equal-Tick collision depends on this.
+TEST(Engine, EqualTickResumeFollowsTaskIdNotInsertionOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.spawn(twoStep(engine, log, 0, 30, 10));  // task 0: events at 30, 40
+  engine.spawn(twoStep(engine, log, 1, 10, 30));  // task 1: events at 10, 40
+  engine.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], 1);    // t=10
+  EXPECT_EQ(log[1], 0);    // t=30
+  EXPECT_EQ(log[2], 100);  // t=40: task 0 before task 1 despite later insertion
+  EXPECT_EQ(log[3], 101);  // t=40
+}
+
+// Same contract with many tasks colliding on one Tick: the first-leg delays
+// descend with task id, so the collision events are inserted in exactly
+// reversed task order; resume order must come out ascending anyway.
+TEST(Engine, EqualTickCollisionResumesInTaskIdOrderAcrossManyTasks) {
+  Engine engine;
+  std::vector<int> log;
+  constexpr int kTasks = 6;
+  constexpr Tick kCollision = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    const Tick first = kCollision - static_cast<Tick>(i + 1) * 10;
+    engine.spawn(twoStep(engine, log, i, first, kCollision - first));
+  }
+  engine.run();
+  ASSERT_EQ(log.size(), 2u * kTasks);
+  // Second half of the log is the collision at t=100: ascending task id.
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(log[static_cast<std::size_t>(kTasks + i)], i + 100);
+  }
+}
+
+// --- per-resource horizons ---------------------------------------------------
+
+SimTask probeHorizons(Engine& engine, Tick wait, std::vector<Tick>& out) {
+  co_await engine.delay(wait);
+  out.push_back(engine.nextEventTimeFor(0));
+  out.push_back(engine.nextEventTimeFor(1));
+  out.push_back(engine.nextEventTime());
+}
+
+SimTask idleUntil(Engine& engine, Tick when) { co_await engine.resumeAt(when); }
+
+TEST(Engine, NextEventTimeForScopesHorizonToResource) {
+  Engine engine;
+  engine.registerResources(2);
+  std::vector<Tick> horizons;
+  engine.spawn(idleUntil(engine, 500), 0, /*resource=*/0);   // task 0 on res 0
+  engine.spawn(probeHorizons(engine, 40, horizons), 0, 1);   // task 1 on res 1
+  engine.run();
+  ASSERT_EQ(horizons.size(), 3u);
+  EXPECT_EQ(horizons[0], 500u);            // res 0: task 0 pending at 500
+  EXPECT_EQ(horizons[1], Engine::kNever);  // res 1: only the probe itself
+  EXPECT_EQ(horizons[2], 500u);            // global sees everything
+}
+
+TEST(Engine, UnaffinedTaskBoundsEveryHorizon) {
+  Engine engine;
+  engine.registerResources(2);
+  std::vector<Tick> horizons;
+  engine.spawn(idleUntil(engine, 200));                      // unaffined
+  engine.spawn(probeHorizons(engine, 40, horizons), 0, 1);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 3u);
+  EXPECT_EQ(horizons[0], 200u);
+  EXPECT_EQ(horizons[1], 200u);
+}
+
+/// Parks the coroutine without scheduling any wake: from the engine's view
+/// the task is alive but has no pending event (like a lock/barrier waiter).
+struct ParkAwaiter {
+  std::coroutine_handle<>* slot;
+  std::size_t* task;
+  Engine* engine;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    *slot = h;
+    *task = engine->currentTaskId();
+  }
+  void await_resume() const noexcept {}
+};
+
+SimTask parkThenFinish(Engine& engine, std::coroutine_handle<>& slot,
+                       std::size_t& task) {
+  co_await ParkAwaiter{&slot, &task, &engine};
+}
+
+SimTask wakeParked(Engine& engine, Tick at, std::coroutine_handle<>& slot,
+                   std::size_t& task) {
+  co_await engine.resumeAt(at);
+  engine.schedule(engine.now(), slot, task);
+}
+
+// A blocked task in a resource's affinity class forces that resource's
+// horizon back to the global one: its wake may be scheduled by any event,
+// including one from another resource's task.
+TEST(Engine, BlockedTaskForcesGlobalHorizonFallback) {
+  Engine engine;
+  engine.registerResources(2);
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkThenFinish(engine, parked, parked_task), 0, 0);  // blocks on res 0
+  engine.spawn(idleUntil(engine, 900), 0, 0);                       // res 0 pending @900
+  engine.spawn(probeHorizons(engine, 40, horizons), 0, 1);          // probe on res 1
+  engine.spawn(wakeParked(engine, 700, parked, parked_task), 0, 1);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 3u);
+  // Res 0's only pending event is at 900, but the parked task makes the
+  // horizon collapse to the global next event — the res-1 waker at 700.
+  EXPECT_EQ(horizons[0], 700u);
+  // Res 1 has no blocked task: scoped to its own pending waker.
+  EXPECT_EQ(horizons[1], 700u);
+  EXPECT_EQ(horizons[2], 700u);
+}
+
+// A host-scheduled event (no task context) files as a pending unaffined
+// entry without a matching alive counter; it must not cancel a genuinely
+// blocked unaffined task out of the alive-minus-pending computation and
+// thereby skip the global-horizon fallback.
+TEST(Engine, HostScheduledEventsDoNotMaskBlockedTasks) {
+  Engine engine;
+  engine.registerResources(2);
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  engine.spawn(parkThenFinish(engine, parked, parked_task));  // unaffined
+  engine.run();  // drains: the task is now parked (blocked) at t=0
+  engine.schedule(60, parked);          // host wake, uncounted unaffined @60
+  engine.spawn(idleUntil(engine, 45), 0, 0);  // res-0 task pending @0
+  // Res 1's horizon must fall back to the global next event (0): the parked
+  // unaffined task is still blocked, host event notwithstanding. Without the
+  // uncounted-pending tally this would read 60 (the unaffined bucket min).
+  EXPECT_EQ(engine.nextEventTimeFor(1), 0u);
+  EXPECT_EQ(engine.nextEventTime(), 0u);
+  engine.run();
+  EXPECT_EQ(engine.now(), 60u);
 }
 
 TEST(Engine, CompletionTimesRecorded) {

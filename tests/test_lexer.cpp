@@ -2,13 +2,21 @@
 // literals, comments, preprocessor directive capture, and error recovery.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "lex/lexer.h"
 
 namespace hsm::lex {
 namespace {
 
 LexResult lex(const std::string& text, bool expect_clean = true) {
-  SourceBuffer buffer("test.c", text);
+  // Token::text views into the SourceBuffer, so the buffer must outlive the
+  // returned LexResult: park it in process-lifetime storage (test helper
+  // only; a few small strings per run).
+  static std::vector<std::unique_ptr<SourceBuffer>> buffers;
+  buffers.push_back(std::make_unique<SourceBuffer>("test.c", text));
+  SourceBuffer& buffer = *buffers.back();
   DiagnosticEngine diags;
   Lexer lexer(buffer, diags);
   LexResult result = lexer.lexAll();

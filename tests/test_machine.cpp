@@ -87,12 +87,15 @@ TEST(MeshTopology, ControllersPartitionQuadrants) {
 TEST(MeshTopology, UeSpreadBalancesControllers) {
   const SccConfig config;
   const MeshTopology mesh(config);
+  ASSERT_EQ(mesh.numControllers(), 4u);
   for (const int ues : {4, 8, 16, 32, 48}) {
     int per_mc[4] = {0, 0, 0, 0};
     for (int ue = 0; ue < ues; ++ue) {
       const std::uint32_t core = mesh.coreForUe(ue, ues);
       ASSERT_LT(core, config.num_cores);
-      ++per_mc[mesh.controllerOfCore(core)];
+      const std::uint32_t mc = mesh.controllerForUe(ue, ues);
+      ASSERT_EQ(mc, mesh.controllerOfCore(core));
+      ++per_mc[mc];
     }
     for (int mc = 0; mc < 4; ++mc) {
       EXPECT_EQ(per_mc[mc], ues / 4) << "ues=" << ues << " mc=" << mc;
@@ -429,9 +432,10 @@ SimTask streamKernel(CoreContext& ctx, std::uint64_t base, int blocks,
   }
 }
 
-SimResult runStream(bool coalescing, int ues) {
+SimResult runStream(bool coalescing, int ues, bool per_controller = true) {
   SccConfig cfg;
   cfg.shm_coalescing = coalescing;
+  cfg.shm_per_controller_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(16 * 4096);
   machine.launch(ues,
@@ -490,9 +494,10 @@ SimTask contendedKernel(CoreContext& ctx, std::uint64_t blocks_base,
   (*out)[static_cast<std::size_t>(ctx.ue())] = final_counter;
 }
 
-SimResult runContended(bool coalescing, int ues) {
+SimResult runContended(bool coalescing, int ues, bool per_controller = true) {
   SccConfig cfg;
   cfg.shm_coalescing = coalescing;
+  cfg.shm_per_controller_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t blocks = machine.shmalloc(static_cast<std::size_t>(ues) * 1024);
   const std::uint64_t counter = machine.shmalloc(8);
@@ -522,6 +527,115 @@ TEST(Machine, CoalescingBitIdenticalContendedMultiCore) {
   // Functional: every UE saw the fully-incremented counter (4 rounds x 8 UEs,
   // with the final read after the last barrier).
   for (const std::uint64_t seen : off.data) EXPECT_EQ(seen, 32u);
+}
+
+// Full equivalence matrix on the contended lock+barrier kernel: coalescing
+// off, global-horizon coalescing, and per-controller-horizon coalescing must
+// all produce bit-identical Ticks and workload output; tighter horizons may
+// only reduce the event count.
+TEST(Machine, HorizonModesEquivalenceMatrixContended) {
+  const SimResult off = runContended(false, 8);
+  const SimResult global = runContended(true, 8, /*per_controller=*/false);
+  const SimResult per_mc = runContended(true, 8, /*per_controller=*/true);
+  for (const SimResult* r : {&global, &per_mc}) {
+    EXPECT_EQ(r->makespan, off.makespan);
+    EXPECT_EQ(r->completions, off.completions);
+    EXPECT_EQ(r->data, off.data);
+    EXPECT_EQ(r->shm_words, off.shm_words);
+  }
+  EXPECT_LE(per_mc.events, global.events);
+  EXPECT_LE(global.events, off.events);
+}
+
+/// Compute phases skewed by UE followed by block IO: cores take turns at the
+/// controllers instead of hammering in lockstep, so there is always pending
+/// cross-controller traffic but only sparse same-controller traffic.
+SimTask staggeredKernel(CoreContext& ctx, std::uint64_t base, int iterations) {
+  std::vector<std::uint8_t> buf(4096);
+  const std::uint64_t mine = base + static_cast<std::uint64_t>(ctx.ue()) * 4096;
+  for (int i = 0; i < iterations; ++i) {
+    co_await ctx.compute(50000 + static_cast<std::uint64_t>(ctx.ue()) * 50000);
+    co_await ctx.shmRead(mine, buf.data(), buf.size());
+    co_await ctx.shmWrite(mine, buf.data(), buf.size());
+  }
+}
+
+SimResult runStaggered(bool per_controller) {
+  SccConfig cfg;
+  cfg.shm_per_controller_horizon = per_controller;
+  SccMachine machine(cfg);
+  const std::uint64_t base = machine.shmalloc(8 * 4096);
+  machine.launch(8, [&](CoreContext& ctx) { return staggeredKernel(ctx, base, 8); });
+  SimResult r;
+  r.makespan = machine.run();
+  for (int ue = 0; ue < 8; ++ue) {
+    r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.events = machine.engine().eventsProcessed();
+  r.shm_words = machine.shmWordsSimulated();
+  r.shm_word_events = machine.shmWordEvents();
+  return r;
+}
+
+// The tentpole claim: on a multi-controller contended mix (8 UEs spread
+// across the four controllers, desynchronized by compute skew), the
+// per-controller horizon keeps coalescing alive — pending traffic bound for
+// *other* controllers no longer truncates a word run — while the global
+// horizon degrades toward per-word events. Ticks stay bit-identical.
+TEST(Machine, PerControllerHorizonOutCoalescesGlobalAcrossControllers) {
+  const SimResult global = runStaggered(/*per_controller=*/false);
+  const SimResult per_mc = runStaggered(/*per_controller=*/true);
+  EXPECT_EQ(per_mc.makespan, global.makespan);
+  EXPECT_EQ(per_mc.completions, global.completions);
+  EXPECT_EQ(per_mc.shm_words, global.shm_words);
+  EXPECT_LT(per_mc.shm_word_events * 2, global.shm_word_events)
+      << "per-controller horizons should at least halve the word events that "
+         "survive on the staggered multi-controller mix";
+}
+
+/// Reverse-staggered arrivals into a barrier, then a lock dogpile: all wakes
+/// land on one release Tick and all lock requests are issued at that same
+/// Tick, so the recorded orders pin down the engine's (time, task_id)
+/// contract — wake order and lock-grant order must be ascending UE id,
+/// independent of arrival order AND of the coalescing mode (coalescing
+/// changes event insertion sequences, which must not leak into ordering).
+SimTask wakeOrderKernel(CoreContext& ctx, std::uint64_t base,
+                        std::vector<int>* wake_order, std::vector<int>* grant_order) {
+  std::vector<std::uint8_t> buf(512);
+  // Later UEs compute less, so UE 7 arrives first, UE 0 last.
+  co_await ctx.compute(
+      static_cast<std::uint64_t>(ctx.numUes() - ctx.ue()) * 5000);
+  co_await ctx.shmRead(base + static_cast<std::uint64_t>(ctx.ue()) * 512, buf.data(),
+                       buf.size());
+  co_await ctx.barrier();
+  wake_order->push_back(ctx.ue());
+  co_await ctx.lockAcquire(0);
+  grant_order->push_back(ctx.ue());
+  ctx.lockRelease(0);
+}
+
+std::pair<std::vector<int>, std::vector<int>> runWakeOrder(bool coalescing) {
+  SccConfig cfg;
+  cfg.shm_coalescing = coalescing;
+  SccMachine machine(cfg);
+  const std::uint64_t base = machine.shmalloc(8 * 512);
+  std::vector<int> wake_order;
+  std::vector<int> grant_order;
+  machine.launch(8, [&](CoreContext& ctx) {
+    return wakeOrderKernel(ctx, base, &wake_order, &grant_order);
+  });
+  machine.run();
+  return {wake_order, grant_order};
+}
+
+TEST(Machine, BarrierWakeAndLockGrantOrderFollowTaskIdInBothCoalescingModes) {
+  const auto on = runWakeOrder(true);
+  const auto off = runWakeOrder(false);
+  const std::vector<int> ascending{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(on.first, ascending);
+  EXPECT_EQ(off.first, ascending);
+  EXPECT_EQ(on.second, off.second);
+  EXPECT_EQ(on.second, ascending);
 }
 
 TEST(Machine, CoalescingStatsAccountAllWords) {

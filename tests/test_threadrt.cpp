@@ -98,18 +98,23 @@ TEST(SingleCoreRuntime, BarrierAcrossLogicalThreads) {
   for (const sim::Tick t : after) EXPECT_EQ(t, 1u);
 }
 
+// A free coroutine taking `repeats` by value: a capturing lambda coroutine
+// would keep referencing the lambda object after the temporary std::function
+// wrapping it is destroyed (stack-use-after-scope under ASan).
+SimTask repeatedRead(ThreadContext& ctx, int repeats) {
+  std::vector<std::uint8_t> buf(4096);
+  for (int r = 0; r < repeats; ++r) {
+    co_await ctx.memRead(0, buf.data(), buf.size());
+  }
+}
+
 TEST(SingleCoreRuntime, CachedMemoryFasterThanColdMemory) {
   // Second pass over the same buffer should be far cheaper (cache hits).
   sim::SccConfig config;
   auto pass = [&](int repeats) {
     SingleCoreRuntime rt(config);
     rt.machine().reservePrivate(0, 1 << 16);
-    rt.launch(1, [&](ThreadContext& ctx) -> SimTask {
-      std::vector<std::uint8_t> buf(4096);
-      for (int r = 0; r < repeats; ++r) {
-        co_await ctx.memRead(0, buf.data(), buf.size());
-      }
-    });
+    rt.launch(1, [&](ThreadContext& ctx) { return repeatedRead(ctx, repeats); });
     return rt.run();
   };
   const Tick once = pass(1);
