@@ -3,18 +3,21 @@
 // (BENCH_baseline.json is committed; CI regenerates BENCH_pr.json and
 // scripts/compare_bench.py gates regressions).
 //
-// The shared-memory scenarios run three ways — per-controller-horizon
-// coalescing, legacy global-horizon coalescing, and coalescing off — and
-// verify the engine's equivalence bar: coalescing may eliminate events but
-// must leave the makespan and every per-task completion Tick bit-identical
-// across all three modes. A violated bar makes the process exit non-zero,
-// so this binary doubles as a CI smoke test.
+// The coalescable scenarios (word-granular shared memory AND chunk-granular
+// MPB put/get) run four ways — per-resource-horizon coalescing with
+// sync-aware wake chains, legacy global-horizon coalescing, sync-blind
+// per-resource coalescing, and coalescing off — and verify the engine's
+// equivalence bar: coalescing may eliminate events but must leave the
+// makespan and every per-task completion Tick bit-identical across all
+// modes. A violated bar makes the process exit non-zero, so this binary
+// doubles as a CI smoke test.
 //
 // Reported per timed run: host wall seconds, engine events, events/sec,
-// simulated uncached words and the engine events they cost (their ratio is
-// the coalescing rate), plus derived speedup/reduction ratios per scenario.
-// A separate sweep quantifies the Tick error of shm_fairness_quantum_words
-// > 1 against the exact path on the contended scenarios.
+// simulated uncached words / MPB chunks and the engine events they cost
+// (their combined ratio is the coalescing rate), plus derived
+// speedup/reduction ratios per scenario. A separate sweep quantifies the
+// Tick error of the fairness quanta > 1 against the exact path on the
+// contended scenarios.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -33,9 +36,10 @@ using namespace hsm;
 using sim::Tick;
 
 struct Mode {
-  bool coalescing = true;
-  bool per_controller = true;
-  std::uint32_t quantum = 1;
+  bool coalescing = true;      ///< gates both shm_coalescing and mpb_coalescing
+  bool per_resource = true;    ///< scoped (controller/port) vs global horizon
+  std::uint32_t quantum = 1;   ///< shm word AND mpb chunk fairness quantum
+  bool sync_aware = true;      ///< wake-chain horizon refinement
 };
 
 struct RunStats {
@@ -43,6 +47,8 @@ struct RunStats {
   std::uint64_t events = 0;
   std::uint64_t shm_words = 0;
   std::uint64_t shm_word_events = 0;
+  std::uint64_t mpb_chunks = 0;
+  std::uint64_t mpb_chunk_events = 0;
   Tick makespan = 0;
   std::vector<Tick> completions;
 
@@ -54,10 +60,16 @@ struct RunStats {
   [[nodiscard]] double wordsPerSec() const {
     return wall_seconds > 0 ? static_cast<double>(shm_words) / wall_seconds : 0;
   }
-  /// Fraction of word transactions whose engine event was coalesced away.
+  [[nodiscard]] double chunksPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(mpb_chunks) / wall_seconds : 0;
+  }
+  /// Fraction of coalescable transactions (uncached shm words + MPB chunks)
+  /// whose engine event was coalesced away.
   [[nodiscard]] double coalescingRate() const {
-    return shm_words > 0
-               ? 1.0 - static_cast<double>(shm_word_events) / static_cast<double>(shm_words)
+    const std::uint64_t txns = shm_words + mpb_chunks;
+    const std::uint64_t txn_events = shm_word_events + mpb_chunk_events;
+    return txns > 0
+               ? 1.0 - static_cast<double>(txn_events) / static_cast<double>(txns)
                : 0.0;
   }
 };
@@ -74,8 +86,11 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
   for (int rep = 0; rep < w.repetitions; ++rep) {
     sim::SccConfig cfg;
     cfg.shm_coalescing = mode.coalescing;
-    cfg.shm_per_controller_horizon = mode.per_controller;
+    cfg.mpb_coalescing = mode.coalescing;
+    cfg.per_resource_horizon = mode.per_resource;
+    cfg.sync_aware_horizon = mode.sync_aware;
     cfg.shm_fairness_quantum_words = mode.quantum;
+    cfg.mpb_fairness_quantum_chunks = mode.quantum;
     sim::SccMachine machine(cfg);
     w.setup(machine);
     stats.makespan = machine.run();
@@ -83,6 +98,8 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
     stats.events += machine.engine().eventsProcessed();
     stats.shm_words += machine.shmWordsSimulated();
     stats.shm_word_events += machine.shmWordEvents();
+    stats.mpb_chunks += machine.mpbChunksSimulated();
+    stats.mpb_chunk_events += machine.mpbChunkEvents();
     if (rep == 0) {
       for (int ue = 0; ue < w.ues; ++ue) {
         stats.completions.push_back(
@@ -169,6 +186,53 @@ sim::SimTask barrierLoop(sim::CoreContext& ctx, int rounds) {
   for (int i = 0; i < rounds; ++i) co_await ctx.barrier();
 }
 
+/// RCCE put/get chunk-loop ring exchange: each UE deposits a 1 KB block into
+/// its right neighbour's MPB slice, then reads back what its left neighbour
+/// deposited into its own — the transport pattern the translator emits for
+/// neighbour exchanges. Every 1 KB transfer is 32 chunk transactions on the
+/// owning tile's port; the declared MpbScope ({self, right}) gives each task
+/// a tight port reach set so unrelated tiles' traffic cannot truncate runs.
+sim::SimTask rcceRing(sim::CoreContext& ctx, std::uint64_t slot, int rounds,
+                      std::size_t bytes) {
+  std::vector<std::uint8_t> buf(bytes, static_cast<std::uint8_t>(ctx.ue()));
+  const int right = (ctx.ue() + 1) % ctx.numUes();
+  // Double-buffered shift: round r reads the block the left neighbour
+  // deposited in round r-1 (parity (r+1)%2) and deposits into the right
+  // neighbour's other parity slot; one barrier per round bounds the skew so
+  // parities never collide. The per-UE compute stagger is the usual
+  // process-on-received-data phase of ring codes.
+  for (int r = 0; r < rounds; ++r) {
+    co_await ctx.compute(20000 + static_cast<std::uint64_t>(ctx.ue()) * 15000);
+    co_await rcce::get(ctx, ctx.ue(),
+                       slot + static_cast<std::uint64_t>((r + 1) % 2) * bytes,
+                       buf.data(), bytes);
+    co_await rcce::put(ctx, right,
+                       slot + static_cast<std::uint64_t>(r % 2) * bytes,
+                       buf.data(), bytes);
+    co_await ctx.barrier();
+  }
+}
+
+/// Mixed off-chip + on-chip traffic: word-granular shm block IO followed by
+/// an MPB deposit to the right neighbour, barrier-punctuated — both
+/// coalesced paths and the sync-aware horizon active in one workload.
+sim::SimTask mixedShmMpb(sim::CoreContext& ctx, std::uint64_t shm_base,
+                         std::uint64_t slot, int rounds, std::size_t block_bytes,
+                         std::size_t mpb_bytes) {
+  std::vector<std::uint8_t> buf(block_bytes);
+  const std::uint64_t mine =
+      shm_base + static_cast<std::uint64_t>(ctx.ue()) * block_bytes;
+  const int right = (ctx.ue() + 1) % ctx.numUes();
+  for (int r = 0; r < rounds; ++r) {
+    // ue%3 is coprime with the 4-quadrant UE spread, so controller-sharing
+    // UE pairs (ue, ue+4) land in different compute phases.
+    co_await ctx.compute(30000 + static_cast<std::uint64_t>(ctx.ue() % 3) * 25000);
+    co_await ctx.shmRead(mine, buf.data(), block_bytes);
+    co_await rcce::put(ctx, right, slot, buf.data(), mpb_bytes);
+    co_await ctx.barrier();
+  }
+}
+
 sim::SimTask mpbPingPong(sim::CoreContext& ctx, std::uint64_t off, int rounds) {
   std::uint8_t buf[64] = {};
   const int peer = ctx.ue() == 0 ? 1 : 0;
@@ -189,15 +253,19 @@ sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
 // --- JSON emission ----------------------------------------------------------
 
 void printRun(std::string* out, const char* key, const RunStats& s) {
-  char buf[640];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "      \"%s\": {\"wall_seconds\": %.6f, \"events\": %llu, "
                 "\"events_per_sec\": %.0f, \"shm_words\": %llu, "
                 "\"shm_word_events\": %llu, \"shm_words_per_sec\": %.0f, "
+                "\"mpb_chunks\": %llu, \"mpb_chunk_events\": %llu, "
+                "\"mpb_chunks_per_sec\": %.0f, "
                 "\"coalescing_rate\": %.4f, \"makespan_ps\": %llu}",
                 key, s.wall_seconds, static_cast<unsigned long long>(s.events),
                 s.eventsPerSec(), static_cast<unsigned long long>(s.shm_words),
                 static_cast<unsigned long long>(s.shm_word_events), s.wordsPerSec(),
+                static_cast<unsigned long long>(s.mpb_chunks),
+                static_cast<unsigned long long>(s.mpb_chunk_events), s.chunksPerSec(),
                 s.coalescingRate(), static_cast<unsigned long long>(s.makespan));
   *out += buf;
 }
@@ -248,19 +316,50 @@ int main() {
            return wordHammer(ctx, base, 512);
          });
        }},
+      {"rcce_ring_1k_8ue", 8, 30,
+       [&](sim::SccMachine& m) {
+         rcce::RcceEnv env(m);
+         // Two parity buffers of 1 KB each (rcceRing double-buffers).
+         const std::uint64_t slot = env.mpbMallocSymmetric(8, 2 * 1024);
+         m.launch(
+             8,
+             [=](sim::CoreContext& ctx) { return rcceRing(ctx, slot, 8, 1024); },
+             [](int ue, int num_ues) {
+               return std::vector<int>{ue, (ue + 1) % num_ues};
+             });
+       }},
+      {"mixed_shm_mpb_8ue", 8, 20,
+       [&](sim::SccMachine& m) {
+         rcce::RcceEnv env(m);
+         const std::uint64_t base = m.shmalloc(8 * kBlock);
+         const std::uint64_t slot = env.mpbMallocSymmetric(8, 512);
+         m.launch(
+             8,
+             [=](sim::CoreContext& ctx) {
+               return mixedShmMpb(ctx, base, slot, 8, kBlock, 512);
+             },
+             [](int ue, int num_ues) {
+               return std::vector<int>{ue, (ue + 1) % num_ues};
+             });
+       }},
   };
 
   bool first = true;
   std::map<std::string, RunStats> exact_stats;  // reused by the quantum sweep
   for (const Workload& w : ab) {
-    const RunStats on = runWorkload(w, Mode{true, true, 1});
+    const RunStats on = runWorkload(w, Mode{true, true, 1, true});
     exact_stats[w.name] = on;
-    const RunStats global = runWorkload(w, Mode{true, false, 1});
-    const RunStats off = runWorkload(w, Mode{false, false, 1});
+    const RunStats global = runWorkload(w, Mode{true, false, 1, true});
+    const RunStats off = runWorkload(w, Mode{false, false, 1, true});
+    // Sync-blind: scoped horizons but the blunt any-blocked-task-goes-global
+    // fallback — isolates what the wake-chain rule buys on synced phases.
+    const RunStats blind = runWorkload(w, Mode{true, true, 1, false});
     const bool identical = on.makespan == off.makespan &&
                            on.completions == off.completions &&
                            global.makespan == off.makespan &&
-                           global.completions == off.completions;
+                           global.completions == off.completions &&
+                           blind.makespan == off.makespan &&
+                           blind.completions == off.completions;
     all_identical = all_identical && identical;
 
     const double event_reduction =
@@ -280,6 +379,8 @@ int main() {
     printRun(&json, "coalesced", on);
     json += ",\n";
     printRun(&json, "global_horizon", global);
+    json += ",\n";
+    printRun(&json, "sync_blind", blind);
     json += ",\n";
     printRun(&json, "legacy", off);
     char buf[320];

@@ -27,17 +27,21 @@ int main() {
   std::printf("\n=== Stage 4 memory plan ===\n%s\n", result.plan.format().c_str());
   std::printf("=== Translated RCCE source ===\n%s\n", result.output_source.c_str());
 
-  // 2. Execute the workload on the simulated SCC in all three modes.
+  // 2. Execute the workload on the simulated SCC in all three modes. A
+  // failed verification fails the process, so CI smoke-running this binary
+  // gates the whole translator→simulator pipeline.
   const sim::SccConfig config;
   const auto stream = workloads::makeStream(0.5);
+  bool all_verified = true;
   std::printf("=== Simulated execution (32 units) ===\n");
   for (const workloads::Mode mode :
        {workloads::Mode::PthreadSingleCore, workloads::Mode::RcceOffChip,
         workloads::Mode::RcceMpb}) {
     const workloads::RunResult r = stream->run(mode, 32, config);
+    all_verified = all_verified && r.verified;
     std::printf("  %-16s %10.3f ms   verified=%s (%s)\n", workloads::modeName(mode),
                 sim::ticksToMilliseconds(r.makespan), r.verified ? "yes" : "NO",
                 r.detail.c_str());
   }
-  return 0;
+  return all_verified ? 0 : 1;
 }

@@ -10,10 +10,15 @@ Fails (exit 1) when:
   * the coalescing rate of a scenario's coalesced run drops below the
     baseline (beyond a small float-formatting epsilon).
 
+Scenarios present only in the PR run are reported as "new" (not failures):
+a PR may add scenarios without regenerating the committed baseline, which
+should then be refreshed in a follow-up so they join the gated trajectory.
+
 Throughput metric: shm_words_per_sec for word-granular scenarios (simulated
 work per host second — invariant to how many engine events that work costs,
 so better coalescing cannot read as a regression the way raw events/sec
-would), events_per_sec for substrate scenarios with no word traffic.
+would), mpb_chunks_per_sec for MPB-chunk scenarios without word traffic,
+events_per_sec for substrate scenarios with neither.
 
 The committed baseline was measured on one machine and CI runs on another,
 so raw events/sec comparisons would gate on hardware, not code. To separate
@@ -59,12 +64,15 @@ def main() -> int:
         )
 
     def throughput(run):
-        """(metric name, value): words/sec for word scenarios, else events/sec."""
+        """(metric name, value): simulated-work/sec if any, else events/sec."""
         if run.get("shm_words", 0) > 0:
             return "shm_words_per_sec", run["shm_words_per_sec"]
+        if run.get("mpb_chunks", 0) > 0:
+            return "mpb_chunks_per_sec", run["mpb_chunks_per_sec"]
         return "events_per_sec", run["events_per_sec"]
 
     pr_scenarios = {s["name"]: s for s in pr.get("scenarios", [])}
+    baseline_names = {s["name"] for s in baseline.get("scenarios", [])}
     pairs = []
     for base_scenario in baseline.get("scenarios", []):
         name = base_scenario["name"]
@@ -73,6 +81,17 @@ def main() -> int:
             failures.append(f"{name}: scenario missing from PR run")
             continue
         pairs.append((name, base_scenario["coalesced"], pr_scenario["coalesced"]))
+
+    for name, pr_scenario in pr_scenarios.items():
+        if name in baseline_names:
+            continue
+        metric, value = throughput(pr_scenario["coalesced"])
+        rate = pr_scenario["coalesced"].get("coalescing_rate", 0.0)
+        print(
+            f"new {name}: {metric} {value:.0f}, coalescing rate {rate:.4f} "
+            "(not in baseline, not gated — regenerate BENCH_baseline.json "
+            "to track it)"
+        )
 
     ratios = []
     for _, base_run, pr_run in pairs:

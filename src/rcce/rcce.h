@@ -44,16 +44,19 @@ class RcceEnv {
 
 /// UE-side operations (thin, documented aliases over CoreContext).
 /// `put` moves data into the *target* UE's MPB; `get` pulls from the
-/// *source* UE's MPB — the one-sided primitives RCCE is built on.
-[[nodiscard]] inline sim::ResumeAt put(sim::CoreContext& ctx, int target_ue,
-                                       std::uint64_t mpb_offset, const void* src,
-                                       std::size_t bytes) {
+/// *source* UE's MPB — the one-sided primitives RCCE is built on. Both are
+/// chunk loops over the owning tile's port; uncontended runs of chunks
+/// coalesce into single engine events (config.mpb_coalescing) with
+/// bit-identical Ticks.
+[[nodiscard]] inline sim::SubTask put(sim::CoreContext& ctx, int target_ue,
+                                      std::uint64_t mpb_offset, const void* src,
+                                      std::size_t bytes) {
   return ctx.mpbWrite(target_ue, mpb_offset, src, bytes);
 }
 
-[[nodiscard]] inline sim::ResumeAt get(sim::CoreContext& ctx, int source_ue,
-                                       std::uint64_t mpb_offset, void* dst,
-                                       std::size_t bytes) {
+[[nodiscard]] inline sim::SubTask get(sim::CoreContext& ctx, int source_ue,
+                                      std::uint64_t mpb_offset, void* dst,
+                                      std::size_t bytes) {
   return ctx.mpbRead(source_ue, mpb_offset, dst, bytes);
 }
 
@@ -90,7 +93,9 @@ class ShmArray {
   }
   [[nodiscard]] sim::SubTask write(sim::CoreContext& ctx, std::size_t i,
                                    const T& value) const {
-    // The value is captured by shmWrite before this temporary dies.
+    // shmWrite is a lazily-started coroutine: it captures the value only
+    // when first awaited, so the returned SubTask must be co_awaited within
+    // this full expression (do not store it past `value`'s lifetime).
     return ctx.shmWrite(byteOffset(i), &value, sizeof(T));
   }
   /// Word-granular block access (every word an independent uncached
@@ -137,22 +142,25 @@ class MpbArray {
     return reinterpret_cast<T*>(machine_->mpbData(ue, base_));
   }
 
-  [[nodiscard]] sim::ResumeAt read(sim::CoreContext& ctx, int owner_ue, std::size_t i,
-                                   T* out) const {
+  [[nodiscard]] sim::SubTask read(sim::CoreContext& ctx, int owner_ue, std::size_t i,
+                                  T* out) const {
     return ctx.mpbRead(owner_ue, base_ + i * sizeof(T), out, sizeof(T));
   }
-  [[nodiscard]] sim::ResumeAt write(sim::CoreContext& ctx, int owner_ue, std::size_t i,
-                                    const T& value) const {
+  [[nodiscard]] sim::SubTask write(sim::CoreContext& ctx, int owner_ue, std::size_t i,
+                                   const T& value) const {
+    // mpbWrite is a lazily-started coroutine: it copies the value only when
+    // first awaited, so the returned SubTask must be co_awaited within this
+    // full expression (do not store it past `value`'s lifetime).
     return ctx.mpbWrite(owner_ue, base_ + i * sizeof(T), &value, sizeof(T));
   }
-  [[nodiscard]] sim::ResumeAt readBlock(sim::CoreContext& ctx, int owner_ue,
-                                        std::size_t first, std::size_t count,
-                                        T* out) const {
+  [[nodiscard]] sim::SubTask readBlock(sim::CoreContext& ctx, int owner_ue,
+                                       std::size_t first, std::size_t count,
+                                       T* out) const {
     return ctx.mpbRead(owner_ue, base_ + first * sizeof(T), out, count * sizeof(T));
   }
-  [[nodiscard]] sim::ResumeAt writeBlock(sim::CoreContext& ctx, int owner_ue,
-                                         std::size_t first, std::size_t count,
-                                         const T* src) const {
+  [[nodiscard]] sim::SubTask writeBlock(sim::CoreContext& ctx, int owner_ue,
+                                        std::size_t first, std::size_t count,
+                                        const T* src) const {
     return ctx.mpbWrite(owner_ue, base_ + first * sizeof(T), src, count * sizeof(T));
   }
 

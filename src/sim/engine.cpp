@@ -15,32 +15,83 @@ void ResumeAt::await_suspend(std::coroutine_handle<> h) const {
 
 void Engine::schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id) {
   if (when < now_) when = now_;
-  const bool tracked = !resource_pending_.empty();
+  const bool tracked = !resource_classes_.empty();
   // Host events and tasks predating registerResources have no alive-counter
-  // entry: file them unaffined (bounding every horizon) and tally them
+  // entry: file them universal (bounding every horizon) and tally them
   // separately so the blocked computation stays exact.
   const bool counted = tracked && task_id != kNoTask && task_id >= counted_tasks_from_;
-  std::uint32_t resource = resourceOfTask(task_id);
-  if (tracked && !counted) resource = kNoResource;
+  const std::uint32_t cls = counted ? classOfTask(task_id) : kUniversalClass;
   if (tracked) {
-    pendingBucket(resource).push_back(when);
-    if (!counted) ++uncounted_unaffined_pending_;
+    if (cls == kUniversalClass) {
+      unaffined_pending_.push_back(when);
+      if (!counted) ++uncounted_unaffined_pending_;
+    } else {
+      classes_[cls].pending.push_back(when);
+    }
   }
-  events_.push_back(Event{when, task_id, next_seq_++, resource, tracked, counted, h});
+  if (task_id != kNoTask && task_id < task_pending_when_.size()) {
+    task_pending_when_[task_id] = when;
+    // A schedule aimed at a blocked task IS its wake: clear the park.
+    if (task_blocked_sync_[task_id] != kNoSync) {
+      task_blocked_sync_[task_id] = kNoSync;
+      const std::size_t i = task_blocked_index_[task_id];
+      const std::size_t last = blocked_tasks_.back();
+      blocked_tasks_[i] = last;
+      task_blocked_index_[last] = i;
+      blocked_tasks_.pop_back();
+      if (task_id >= counted_tasks_from_) {
+        const std::uint32_t bcls = classOfTask(task_id);
+        if (bcls == kUniversalClass) {
+          --universal_blocked_registered_;
+        } else if (bcls < classes_.size()) {
+          --classes_[bcls].blocked_registered;
+        }
+      }
+    }
+  }
+  events_.push_back(Event{when, task_id, next_seq_++, cls, tracked, counted, h});
   std::push_heap(events_.begin(), events_.end(), EventAfter{});
 }
 
 void Engine::registerResources(std::uint32_t count) {
-  resource_pending_.assign(count, {});
-  resource_alive_.assign(count, 0);
+  resource_classes_.assign(count, {});
+  classes_.clear();
+  // Earlier tasks' class ids would dangle into the cleared class table;
+  // demote them to universal reach (they are uncounted from here on anyway).
+  std::fill(task_class_.begin(), task_class_.end(), kUniversalClass);
   unaffined_pending_.clear();
   unaffined_alive_ = 0;
+  // Tasks still parked from before re-registration are uncounted from here
+  // on, matching the per-class registered-blocked bookkeeping.
+  universal_blocked_registered_ = 0;
   uncounted_unaffined_pending_ = 0;
   counted_tasks_from_ = tasks_.size();
 }
 
-void Engine::dropPending(std::uint32_t resource, Tick when) {
-  std::vector<Tick>& bucket = pendingBucket(resource);
+std::uint32_t Engine::internReachClass(std::vector<std::uint32_t> reach) {
+  std::sort(reach.begin(), reach.end());
+  reach.erase(std::unique(reach.begin(), reach.end()), reach.end());
+  if (reach.empty()) return kUniversalClass;
+  for (const std::uint32_t r : reach) {
+    // Any unregistered id degrades the whole set to universal reach: the
+    // caller promised something the kernel cannot account, stay conservative.
+    if (r == kNoResource || r >= resource_classes_.size()) return kUniversalClass;
+  }
+  for (std::uint32_t c = 0; c < classes_.size(); ++c) {
+    if (classes_[c].resources == reach) return c;
+  }
+  const auto cls = static_cast<std::uint32_t>(classes_.size());
+  classes_.push_back(ReachClass{reach, {}, 0});
+  for (const std::uint32_t r : reach) resource_classes_[r].push_back(cls);
+  return cls;
+}
+
+void Engine::dropPending(std::uint32_t cls, Tick when) {
+  // Events scheduled before a re-registration carry class ids into the
+  // since-cleared table; their buckets were wiped wholesale, nothing to drop.
+  if (cls != kUniversalClass && cls >= classes_.size()) return;
+  std::vector<Tick>& bucket =
+      cls == kUniversalClass ? unaffined_pending_ : classes_[cls].pending;
   for (std::size_t i = 0; i < bucket.size(); ++i) {
     if (bucket[i] == when) {
       bucket[i] = bucket.back();
@@ -50,49 +101,194 @@ void Engine::dropPending(std::uint32_t resource, Tick when) {
   }
 }
 
+Tick Engine::wakeBound(std::size_t task, std::vector<std::size_t>& visited) const {
+  const std::uint32_t sync =
+      task < task_blocked_sync_.size() ? task_blocked_sync_[task] : kNoSync;
+  if (sync == kNoSync || sync >= syncs_.size()) return nextEventTime();
+  const SyncObject& s = syncs_[sync];
+  if (!s.wakers_known) return nextEventTime();
+
+  if (s.rule == WakerRule::kAll) {
+    // Every waker must run before the wake can be scheduled: the bound is
+    // the latest of their earliest executions. A required waker that can
+    // never act again (the running task mid-batch, a finished task, a
+    // deadlocked chain) means the wake cannot fire within any horizon.
+    Tick bound = 0;
+    for (const std::size_t w : s.wakers) {
+      if (w == task) continue;
+      if (w == current_task_) return kNever;  // cannot arrive mid-batch
+      if (w < task_done_.size() && task_done_[w]) return kNever;
+      const Tick pending =
+          w < task_pending_when_.size() ? task_pending_when_[w] : kNever;
+      Tick earliest;
+      if (pending != kNever) {
+        earliest = pending;
+      } else if (w < task_blocked_sync_.size() && task_blocked_sync_[w] != kNoSync) {
+        if (std::find(visited.begin(), visited.end(), w) != visited.end()) {
+          return kNever;  // cycle of blocked wakers: the release never comes
+        }
+        // `visited` is the current recursion path: pop after returning so a
+        // waker explored in a sibling subtree is not mistaken for a cycle.
+        visited.push_back(w);
+        earliest = wakeBound(w, visited);
+        visited.pop_back();
+      } else {
+        // Unknown park: it could run as soon as the next event wakes it.
+        earliest = nextEventTime();
+      }
+      if (earliest == kNever) return kNever;
+      bound = std::max(bound, earliest);
+    }
+    return bound;
+  }
+
+  // kAny: one waker suffices — the earliest of their earliest executions.
+  Tick bound = kNever;
+  for (const std::size_t w : s.wakers) {
+    if (w == task) continue;  // a task cannot wake itself
+    // The running task performs no sync releases mid-batch (see header).
+    if (w == current_task_) continue;
+    if (w < task_done_.size() && task_done_[w]) continue;  // finished: inert
+    const Tick pending = w < task_pending_when_.size() ? task_pending_when_[w] : kNever;
+    if (pending != kNever) {
+      bound = std::min(bound, pending);
+      continue;
+    }
+    if (w < task_blocked_sync_.size() && task_blocked_sync_[w] != kNoSync) {
+      if (std::find(visited.begin(), visited.end(), w) != visited.end()) {
+        continue;  // cycle of blocked wakers: this chain can never fire
+      }
+      visited.push_back(w);
+      bound = std::min(bound, wakeBound(w, visited));
+      visited.pop_back();
+      continue;
+    }
+    // No pending event, not registered blocked, not done: parked by an
+    // unknown mechanism — any event could wake it.
+    return nextEventTime();
+  }
+  return bound;
+}
+
 Tick Engine::nextEventTimeFor(std::uint32_t resource) const {
-  if (resource_pending_.empty() || resource >= resource_pending_.size()) {
+  if (resource_classes_.empty() || resource >= resource_classes_.size()) {
     return nextEventTime();
   }
   // Blocked = alive but no pending event (parked on a lock/barrier). The
   // running task itself has no pending event either; it is excluded, not
-  // blocked. Any blocked task in this affinity class — or any blocked
-  // unaffined task — can be woken by whatever event fires next, so only the
-  // global horizon is safe then.
-  std::int64_t blocked_here = resource_alive_[resource] -
-                              static_cast<std::int64_t>(resource_pending_[resource].size());
-  std::int64_t blocked_unaffined =
-      unaffined_alive_ - static_cast<std::int64_t>(unaffined_pending_.size() -
-                                                   uncounted_unaffined_pending_);
-  if (current_task_ != kNoTask) {
-    const std::uint32_t cur = resourceOfTask(current_task_);
-    if (cur == resource) {
-      --blocked_here;
-    } else if (cur == kNoResource) {
-      --blocked_unaffined;
-    }
-  }
-  if (blocked_here > 0 || blocked_unaffined > 0) return nextEventTime();
+  // blocked. A blocked task reaching this resource collapses the horizon to
+  // the global one UNLESS every such task is registered against a sync
+  // object whose waker chain the kernel can bound (sync_aware_).
+  const bool adjust_cur = current_task_ != kNoTask &&
+                          current_task_ >= counted_tasks_from_ &&
+                          current_task_ < task_class_.size();
+  const std::uint32_t cur_cls = adjust_cur ? task_class_[current_task_] : 0;
 
   Tick horizon = kNever;
-  for (const Tick t : resource_pending_[resource]) horizon = std::min(horizon, t);
+  for (const std::uint32_t cls : resource_classes_[resource]) {
+    std::int64_t blocked = classes_[cls].alive -
+                           static_cast<std::int64_t>(classes_[cls].pending.size());
+    if (adjust_cur && cur_cls == cls) --blocked;
+    if (blocked > 0) {
+      if (!sync_aware_ || blocked > classes_[cls].blocked_registered) {
+        return nextEventTime();
+      }
+    }
+    for (const Tick t : classes_[cls].pending) horizon = std::min(horizon, t);
+  }
+
+  std::int64_t blocked_universal =
+      unaffined_alive_ - static_cast<std::int64_t>(unaffined_pending_.size() -
+                                                   uncounted_unaffined_pending_);
+  if (adjust_cur && cur_cls == kUniversalClass) --blocked_universal;
+  if (blocked_universal > 0) {
+    if (!sync_aware_ || blocked_universal > universal_blocked_registered_) {
+      return nextEventTime();
+    }
+  }
   for (const Tick t : unaffined_pending_) horizon = std::min(horizon, t);
+
+  if (sync_aware_) {
+    // Every registered blocked task that can reach this resource bounds the
+    // horizon by the earliest execution of its wake chain.
+    for (const std::size_t b : blocked_tasks_) {
+      const std::uint32_t cls = classOfTask(b);
+      if (cls != kUniversalClass && !classReaches(cls, resource)) continue;
+      wake_path_.clear();
+      wake_path_.push_back(b);
+      horizon = std::min(horizon, wakeBound(b, wake_path_));
+    }
+  }
   return horizon;
 }
 
-std::size_t Engine::spawn(SimTask task, Tick start, std::uint32_t resource) {
-  const std::size_t id = tasks_.size();
-  if (resource != kNoResource &&
-      (resource_pending_.empty() || resource >= resource_pending_.size())) {
-    resource = kNoResource;  // unregistered affinity: stay conservative
+std::uint32_t Engine::registerSyncObject() {
+  syncs_.push_back({});
+  return static_cast<std::uint32_t>(syncs_.size() - 1);
+}
+
+void Engine::setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
+                           WakerRule rule) {
+  if (sync >= syncs_.size()) return;
+  syncs_[sync].wakers = std::move(wakers);
+  syncs_[sync].wakers_known = true;
+  syncs_[sync].rule = rule;
+}
+
+void Engine::removeSyncWaker(std::uint32_t sync, std::size_t task) {
+  if (sync >= syncs_.size() || !syncs_[sync].wakers_known) return;
+  std::vector<std::size_t>& wakers = syncs_[sync].wakers;
+  for (std::size_t i = 0; i < wakers.size(); ++i) {
+    if (wakers[i] == task) {
+      wakers[i] = wakers.back();
+      wakers.pop_back();
+      return;
+    }
   }
-  if (task_resource_.size() <= id) task_resource_.resize(id + 1, kNoResource);
-  task_resource_[id] = resource;
-  if (!resource_pending_.empty()) {
-    if (resource == kNoResource) {
+}
+
+void Engine::clearSyncWakers(std::uint32_t sync) {
+  if (sync >= syncs_.size()) return;
+  syncs_[sync].wakers.clear();
+  syncs_[sync].wakers_known = false;
+}
+
+void Engine::blockOnSync(std::size_t task, std::uint32_t sync) {
+  if (task == kNoTask || task >= task_blocked_sync_.size()) return;
+  if (task_blocked_sync_[task] == kNoSync) {
+    task_blocked_index_[task] = blocked_tasks_.size();
+    blocked_tasks_.push_back(task);
+    if (task >= counted_tasks_from_) {
+      const std::uint32_t cls = classOfTask(task);
+      if (cls == kUniversalClass) {
+        ++universal_blocked_registered_;
+      } else if (cls < classes_.size()) {
+        ++classes_[cls].blocked_registered;
+      }
+    }
+  }
+  task_blocked_sync_[task] = sync;
+}
+
+std::size_t Engine::spawnReaching(SimTask task, Tick start,
+                                  std::vector<std::uint32_t> reach) {
+  const std::size_t id = tasks_.size();
+  const std::uint32_t cls = resource_classes_.empty()
+                                ? kUniversalClass
+                                : internReachClass(std::move(reach));
+  if (task_class_.size() <= id) {
+    task_class_.resize(id + 1, kUniversalClass);
+    task_pending_when_.resize(id + 1, kNever);
+    task_blocked_sync_.resize(id + 1, kNoSync);
+    task_blocked_index_.resize(id + 1, 0);
+    task_done_.resize(id + 1, false);
+  }
+  task_class_[id] = cls;
+  if (!resource_classes_.empty()) {
+    if (cls == kUniversalClass) {
       ++unaffined_alive_;
     } else {
-      ++resource_alive_[resource];
+      ++classes_[cls].alive;
     }
   }
   task.handle().promise().engine = this;
@@ -103,6 +299,12 @@ std::size_t Engine::spawn(SimTask task, Tick start, std::uint32_t resource) {
   return id;
 }
 
+std::size_t Engine::spawn(SimTask task, Tick start, std::uint32_t resource) {
+  std::vector<std::uint32_t> reach;
+  if (resource != kNoResource) reach.push_back(resource);
+  return spawnReaching(std::move(task), start, std::move(reach));
+}
+
 Tick Engine::run() {
   const auto wall_start = std::chrono::steady_clock::now();
   while (!events_.empty()) {
@@ -110,8 +312,15 @@ Tick Engine::run() {
     const Event ev = events_.back();
     events_.pop_back();
     if (ev.tracked) {
-      dropPending(ev.resource, ev.when);
-      if (!ev.counted) --uncounted_unaffined_pending_;
+      dropPending(ev.cls, ev.when);
+      // Guard the tally against events predating a re-registration, whose
+      // uncounted entries were wiped with the buckets.
+      if (!ev.counted && uncounted_unaffined_pending_ > 0) {
+        --uncounted_unaffined_pending_;
+      }
+    }
+    if (ev.task != kNoTask && ev.task < task_pending_when_.size()) {
+      task_pending_when_[ev.task] = kNever;
     }
     now_ = ev.when;
     current_task_ = ev.task;

@@ -19,23 +19,45 @@
 // and barrier-wake order at equal-Tick collisions.
 //
 // Coalescing invariant (per-resource horizons): platform models sitting
-// above this kernel (e.g. SccMachine's word-granular shared-memory path) may
-// collapse a run of per-operation suspensions into one analytically-computed
-// event, but ONLY while every skipped suspension would provably have
-// executed before any other coroutine could touch the same resource
-// timeline. Tasks declare at spawn time which registered resource (memory
-// controller) they are affined to — meaning that resource's timeline is the
-// only one they ever touch. `nextEventTimeFor(resource)` then returns the
-// coalescing horizon for that resource: the earliest pending event among
-// tasks affined to it plus all unaffined tasks. Whenever some task that
-// could reach the resource is *blocked* — alive but with no pending event,
-// i.e. parked on a lock or barrier whose wake a task on any other resource
-// may schedule the moment it runs — the horizon conservatively falls back to
-// the global `nextEventTime()`. Under that rule coalescing may reduce
-// `eventsProcessed()` but never changes any Tick: makespan, per-task
-// completion times, and every resource-timeline state transition are
-// bit-identical with coalescing on or off, and with per-resource or global
-// horizons.
+// above this kernel (SccMachine's word-granular shared-memory path and its
+// chunk-granular MPB path) may collapse a run of per-operation suspensions
+// into one analytically-computed event, but ONLY while every skipped
+// suspension would provably have executed before any other coroutine could
+// touch the same resource timeline. The kernel hosts a single namespace of
+// serially-reusable resources — the platform registers every coalescable
+// timeline (memory controllers AND per-tile MPB ports) under one id space —
+// and every task declares at spawn time the *reach set* of registered
+// resources it may ever touch (single-resource affinity is the degenerate
+// case; no declaration means "may touch anything"). `nextEventTimeFor(r)`
+// then returns the coalescing horizon for resource r: the earliest pending
+// event among tasks whose reach set contains r, plus all universal-reach
+// tasks.
+//
+// Blocked tasks and the wake-chain rule: a task that is alive but has no
+// pending event is parked on some synchronization object, and its wake may
+// be scheduled the moment another task runs. A blocked task whose reach set
+// contains r therefore bounds r's horizon too. If the parking mechanism is
+// unknown to the kernel, the only safe bound is the global
+// `nextEventTime()` (any event could schedule the wake). But when the sync
+// object is registered (`registerSyncObject`) and keeps its *potential
+// waker* set current (`setSyncWakers` — the lock holder, the barrier's
+// not-yet-arrived participants), the kernel can bound the blocked task's
+// earliest interference through its wake chain. Under the kAny rule (locks:
+// one release suffices) the bound is the MIN of the wakers' earliest
+// executions; under the kAll rule (barriers: the last arrival releases,
+// so every waker must run first) it is the MAX. A waker with a pending
+// event contributes that event's time; a waker that is itself blocked
+// recurses into its own sync object's wakers; a cycle of blocked wakers
+// can never fire. The currently running task is excluded as a waker — the
+// horizon is only ever consulted mid-batch, and a batch replaces a
+// contiguous run of memory operations during which the caller performs no
+// sync-object operations — so a kAny sync skips it and a kAll sync whose
+// wakers include it can never release mid-batch at all.
+// Under these rules coalescing may reduce `eventsProcessed()` but never
+// changes any Tick: makespan, per-task completion times, and every
+// resource-timeline state transition are bit-identical with coalescing on
+// or off, with per-resource or global horizons, and with sync-aware wake
+// chains on or off.
 #pragma once
 
 #include <algorithm>
@@ -173,6 +195,8 @@ class Engine {
   /// Resource affinity of tasks that never declared one: such tasks are
   /// assumed able to touch ANY resource, so they bound every horizon.
   static constexpr std::uint32_t kNoResource = static_cast<std::uint32_t>(-1);
+  /// Sync-object id of tasks not blocked on any registered sync object.
+  static constexpr std::uint32_t kNoSync = static_cast<std::uint32_t>(-1);
 
   [[nodiscard]] Tick now() const { return now_; }
 
@@ -184,7 +208,8 @@ class Engine {
   /// Schedule a wake for a task other than the running one (lock grants,
   /// barrier releases): `task_id` must be the id the woken coroutine runs
   /// under, recorded when it blocked, so the (time, task_id) ordering
-  /// contract holds for the wake event.
+  /// contract holds for the wake event. Scheduling for a task that was
+  /// registered as blocked on a sync object clears its blocked state.
   void schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id);
 
   /// Id of the root task whose event is currently being processed
@@ -200,17 +225,53 @@ class Engine {
     return events_.empty() ? kNever : events_.front().when;
   }
 
-  /// Declare `count` coalescable resources (memory controllers). Must be
-  /// called before tasks that use resource affinities are spawned; calling
-  /// it resets all affinity bookkeeping.
+  /// Declare `count` coalescable resources (memory controllers, MPB ports —
+  /// one shared id namespace). Must be called before tasks that use reach
+  /// sets are spawned; calling it resets all reach bookkeeping.
   void registerResources(std::uint32_t count);
 
   /// Per-resource coalescing horizon: earliest pending event among tasks
-  /// affined to `resource` and unaffined tasks — or the global
-  /// nextEventTime() while any such task is blocked without a pending event
-  /// (its wake may be scheduled, by a task on any resource, as soon as the
-  /// next event fires). See the header comment for the exactness argument.
+  /// whose reach set contains `resource` plus universal-reach tasks,
+  /// bounded further by the wake chains of blocked tasks reaching
+  /// `resource` (see the header comment for the exactness argument). Falls
+  /// back to the global nextEventTime() when a blocked task's waker set is
+  /// unknown or sync-aware horizons are disabled.
   [[nodiscard]] Tick nextEventTimeFor(std::uint32_t resource) const;
+
+  /// Toggle the sync-aware wake-chain refinement of nextEventTimeFor()
+  /// (default on). Off reproduces the blunt rule: any blocked task that can
+  /// reach the queried resource collapses the horizon to the global one.
+  void setSyncAwareHorizon(bool enabled) { sync_aware_ = enabled; }
+
+  // -- synchronization-object registry (wake-chain tracking) --
+  /// How a sync object's waker set gates its waiters' wakes. kAny: any
+  /// single waker can schedule the wake (a lock's holder/grant chain) — the
+  /// wake bound is the MIN of the wakers' earliest executions. kAll: every
+  /// waker must run before the wake can be scheduled (a barrier's
+  /// not-yet-arrived participants; the last arrival releases) — the bound
+  /// is the MAX, and if the currently running task is itself a required
+  /// waker the wake cannot happen mid-batch at all.
+  enum class WakerRule : std::uint8_t { kAny, kAll };
+  /// Register a synchronization object (lock, barrier). Blocked tasks
+  /// reported against it are bounded by its waker set instead of the global
+  /// horizon. Wakers start out UNKNOWN (conservative).
+  std::uint32_t registerSyncObject();
+  /// Declare the complete set of tasks that could schedule a wake on `sync`
+  /// (the lock holder, a barrier's not-yet-arrived participants). Must be
+  /// kept current by the sync object; an over-approximation is safe for
+  /// kAny (an under-approximation for kAll), a missing kAny waker is not.
+  void setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
+                     WakerRule rule = WakerRule::kAny);
+  /// Drop one task from `sync`'s waker set in place (a barrier participant
+  /// that just arrived can no longer be the releasing waker). O(wakers),
+  /// allocation-free — the per-arrival hot path.
+  void removeSyncWaker(std::uint32_t sync, std::size_t task);
+  /// Forget the waker set of `sync`: blocked tasks on it fall back to the
+  /// global horizon (the safe default when a waker cannot be identified).
+  void clearSyncWakers(std::uint32_t sync);
+  /// Report that `task` parked on `sync` with no pending event. Cleared
+  /// automatically when a wake is scheduled for the task.
+  void blockOnSync(std::size_t task, std::uint32_t sync);
 
   /// Pre-size the event heap (one slot per concurrently pending coroutine
   /// is enough; larger reservations just avoid early regrowth).
@@ -222,6 +283,11 @@ class Engine {
   /// `completionTime`.
   std::size_t spawn(SimTask task, Tick start = 0,
                     std::uint32_t resource = kNoResource);
+  /// Adopt a task whose reach set is `reach`: the registered resource
+  /// timelines it may ever touch. An empty set, or any unregistered id in
+  /// it, degrades to universal reach (may touch anything — conservative).
+  std::size_t spawnReaching(SimTask task, Tick start,
+                            std::vector<std::uint32_t> reach);
 
   /// Run until the event queue drains. Returns the time of the last event.
   Tick run();
@@ -236,13 +302,14 @@ class Engine {
   /// decrement counters they never incremented.
   void onRootDone(std::size_t task_id) {
     if (task_id < completion_.size()) completion_[task_id] = now_;
-    if (!resource_pending_.empty() && task_id >= counted_tasks_from_ &&
-        task_id < task_resource_.size()) {
-      const std::uint32_t res = task_resource_[task_id];
-      if (res == kNoResource) {
+    if (task_id < task_done_.size()) task_done_[task_id] = true;
+    if (!resource_classes_.empty() && task_id >= counted_tasks_from_ &&
+        task_id < task_class_.size()) {
+      const std::uint32_t cls = task_class_[task_id];
+      if (cls == kUniversalClass) {
         --unaffined_alive_;
       } else {
-        --resource_alive_[res];
+        --classes_[cls].alive;
       }
     }
   }
@@ -265,12 +332,16 @@ class Engine {
   [[nodiscard]] ResumeAt resumeAt(Tick when) { return ResumeAt{*this, when}; }
 
  private:
+  /// Reach-class id of tasks with universal reach (and of all tasks spawned
+  /// before registerResources()).
+  static constexpr std::uint32_t kUniversalClass = static_cast<std::uint32_t>(-1);
+
   struct Event {
     Tick when;
     std::size_t task;        ///< root task the handle runs under (kNoTask: host)
     std::uint64_t seq;       ///< insertion sequence — tertiary tie-break only
-    std::uint32_t resource;  ///< affinity resolved at schedule time
-    bool tracked;            ///< filed in the per-resource pending accounting
+    std::uint32_t cls;       ///< reach class resolved at schedule time
+    bool tracked;            ///< filed in the per-class pending accounting
     bool counted;            ///< task has a matching alive-counter entry
     std::coroutine_handle<> handle;
   };
@@ -285,13 +356,37 @@ class Engine {
     }
   };
 
-  [[nodiscard]] std::uint32_t resourceOfTask(std::size_t task) const {
-    return task < task_resource_.size() ? task_resource_[task] : kNoResource;
+  /// A distinct reach set shared by one or more tasks. Tasks with equal
+  /// sets are interned into one class, so scheduling stays O(1) per event
+  /// no matter how large the sets are; per-resource queries scan the few
+  /// classes whose set contains the resource.
+  struct ReachClass {
+    std::vector<std::uint32_t> resources;  ///< sorted, unique
+    std::vector<Tick> pending;             ///< `when` of pending events
+    std::int64_t alive = 0;                ///< spawned minus finished
+    std::int64_t blocked_registered = 0;   ///< parked via blockOnSync
+  };
+
+  struct SyncObject {
+    std::vector<std::size_t> wakers;
+    bool wakers_known = false;
+    WakerRule rule = WakerRule::kAny;
+  };
+
+  [[nodiscard]] std::uint32_t classOfTask(std::size_t task) const {
+    return task < task_class_.size() ? task_class_[task] : kUniversalClass;
   }
-  [[nodiscard]] std::vector<Tick>& pendingBucket(std::uint32_t resource) {
-    return resource == kNoResource ? unaffined_pending_ : resource_pending_[resource];
+  [[nodiscard]] bool classReaches(std::uint32_t cls, std::uint32_t resource) const {
+    const std::vector<std::uint32_t>& rs = classes_[cls].resources;
+    return std::binary_search(rs.begin(), rs.end(), resource);
   }
-  void dropPending(std::uint32_t resource, Tick when);
+  std::uint32_t internReachClass(std::vector<std::uint32_t> reach);
+  void dropPending(std::uint32_t cls, Tick when);
+  /// Earliest time any waker chain of blocked `task` could execute (see
+  /// header comment). `visited` carries the chain walked so far for cycle
+  /// detection; the global nextEventTime() is the unknown-waker fallback.
+  [[nodiscard]] Tick wakeBound(std::size_t task,
+                               std::vector<std::size_t>& visited) const;
 
   std::vector<Event> events_;  ///< binary heap via std::push_heap/pop_heap
   Tick now_ = 0;
@@ -303,22 +398,35 @@ class Engine {
   std::vector<Tick> completion_;
 
   // -- per-resource horizon accounting (empty unless registerResources ran) --
-  // Buckets hold the `when` of every pending event of tasks in that affinity
-  // class (a handful of entries: one per concurrently pending same-resource
+  // Classes hold the `when` of every pending event of tasks in that reach
+  // class (a handful of entries: one per concurrently pending same-class
   // task), scanned linearly. Events with no matching alive entry — scheduled
   // from host context (kNoTask) or by tasks spawned before
-  // registerResources() — are filed in the unaffined bucket (so they still
+  // registerResources() — are filed in the universal bucket (so they still
   // bound every horizon) but tallied separately in
   // uncounted_unaffined_pending_, otherwise they would offset the
   // alive-minus-pending blocked computation and mask a genuinely blocked
   // task.
-  std::vector<std::uint32_t> task_resource_;     ///< per spawned task
-  std::vector<std::vector<Tick>> resource_pending_;
+  std::vector<ReachClass> classes_;
+  std::vector<std::vector<std::uint32_t>> resource_classes_;  ///< per resource
+  std::vector<std::uint32_t> task_class_;  ///< per spawned task
   std::vector<Tick> unaffined_pending_;
-  std::vector<std::int64_t> resource_alive_;     ///< spawned minus finished
   std::int64_t unaffined_alive_ = 0;
+  std::int64_t universal_blocked_registered_ = 0;
   std::size_t uncounted_unaffined_pending_ = 0;
   std::size_t counted_tasks_from_ = 0;  ///< ids below predate registerResources
+
+  // -- sync-object / wake-chain tracking --
+  bool sync_aware_ = true;
+  std::vector<SyncObject> syncs_;
+  std::vector<std::uint32_t> task_blocked_sync_;  ///< per task: sync or kNoSync
+  std::vector<std::size_t> blocked_tasks_;        ///< registered blocked tasks
+  std::vector<std::size_t> task_blocked_index_;   ///< position in blocked_tasks_
+  std::vector<Tick> task_pending_when_;  ///< per task: pending event or kNever
+  std::vector<bool> task_done_;
+  /// Scratch recursion path for wakeBound (reused across queries to keep
+  /// the per-batch horizon computation allocation-free).
+  mutable std::vector<std::size_t> wake_path_;
 };
 
 inline void SimTask::promise_type::FinalAwaiter::await_suspend(

@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include <algorithm>
 #include <new>
 #include <stdexcept>
 
@@ -9,41 +10,91 @@ namespace hsm::sim {
 // SyncBarrier / TasLock
 // ---------------------------------------------------------------------------
 
+void SyncBarrier::setParticipantTasks(std::vector<std::size_t> tasks) {
+  participant_tasks_ = std::move(tasks);
+  publishWakers();
+}
+
+void SyncBarrier::publishWakers() {
+  if (participant_tasks_.empty()) return;  // unknown: engine stays conservative
+  // A waiter can only be released by a participant that has not arrived yet
+  // (the last arrival schedules every wake).
+  std::vector<std::size_t> wakers;
+  wakers.reserve(participant_tasks_.size() - waiting_.size());
+  for (const std::size_t t : participant_tasks_) {
+    bool waiting = false;
+    for (const Waiter& w : waiting_) {
+      if (w.task == t) {
+        waiting = true;
+        break;
+      }
+    }
+    if (!waiting) wakers.push_back(t);
+  }
+  engine_.setSyncWakers(sync_, std::move(wakers), Engine::WakerRule::kAll);
+}
+
 void SyncBarrier::onArrive(std::coroutine_handle<> h) {
   const Tick arrival = engine_.now() + arrive_cost_;
   if (arrival > latest_arrival_) latest_arrival_ = arrival;
-  waiting_.push_back({h, engine_.currentTaskId()});
+  const std::size_t task = engine_.currentTaskId();
+  waiting_.push_back({h, task});
+  if (task != Engine::kNoTask) engine_.blockOnSync(task, sync_);
+  // Hot path: an arrived participant can no longer be the releasing waker —
+  // drop it in place instead of recomputing the whole set.
+  if (!participant_tasks_.empty()) engine_.removeSyncWaker(sync_, task);
   ++arrived_;
   if (arrived_ >= participants_) {
     const Tick release = latest_arrival_ + release_cost_;
     // All wakes land at one Tick; the engine's (time, task_id) key resumes
     // them in task-id order no matter what order arrivals happened in.
+    // Each schedule also clears the waiter's blocked-on-sync state.
     for (const Waiter& w : waiting_) engine_.schedule(release, w.handle, w.task);
     waiting_.clear();
     arrived_ = 0;
     latest_arrival_ = 0;
     ++episodes_;
+    publishWakers();  // next episode: every participant is a waker again
   }
 }
 
 void TasLock::onAcquire(std::coroutine_handle<> h) {
   if (!held_) {
     held_ = true;
+    holder_ = engine_.currentTaskId();
+    // While held, only the holder can start the grant chain.
+    if (holder_ != Engine::kNoTask) {
+      engine_.setSyncWakers(sync_, {holder_});
+    } else {
+      engine_.clearSyncWakers(sync_);
+    }
     engine_.schedule(engine_.now() + roundtrip_, h);
   } else {
     ++contention_;
-    queue_.push_back({h, engine_.currentTaskId()});
+    const std::size_t task = engine_.currentTaskId();
+    queue_.push_back({h, task});
+    if (task != Engine::kNoTask) engine_.blockOnSync(task, sync_);
   }
 }
 
 void TasLock::release() {
   if (queue_.empty()) {
     held_ = false;
+    holder_ = Engine::kNoTask;
+    // No waiters and no holder: nothing blocked on this object, an empty
+    // known waker set is vacuously sound.
+    engine_.setSyncWakers(sync_, {});
     return;
   }
   const Waiter next = queue_.front();
   queue_.pop_front();
+  holder_ = next.task;
   engine_.schedule(engine_.now() + roundtrip_, next.handle, next.task);
+  if (holder_ != Engine::kNoTask) {
+    engine_.setSyncWakers(sync_, {holder_});
+  } else {
+    engine_.clearSyncWakers(sync_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -116,18 +167,32 @@ ResumeAt CoreContext::shmWriteBulk(std::uint64_t offset, const void* src,
   return machine_.engine().resumeAt(done);
 }
 
-ResumeAt CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
-                              std::size_t bytes) {
-  const Tick done = machine_.mpbAccessCompletion(core_, owner_ue, now(), offset, bytes,
-                                                 false, out, nullptr);
-  return machine_.engine().resumeAt(done);
+SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
+                             std::size_t bytes) {
+  const std::size_t chunk = machine_.config().cache_line_bytes;
+  std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+  while (chunks > 0) {
+    std::size_t serviced = 0;
+    const Tick done =
+        machine_.mpbChunksCompletion(core_, ue_, owner_ue, now(), chunks, &serviced);
+    co_await machine_.engine().resumeAt(done);
+    chunks -= serviced;
+  }
+  if (out != nullptr) std::memcpy(out, machine_.mpbData(owner_ue, offset), bytes);
 }
 
-ResumeAt CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
-                               std::size_t bytes) {
-  const Tick done = machine_.mpbAccessCompletion(core_, owner_ue, now(), offset, bytes,
-                                                 true, nullptr, src);
-  return machine_.engine().resumeAt(done);
+SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
+                              std::size_t bytes) {
+  if (src != nullptr) std::memcpy(machine_.mpbData(owner_ue, offset), src, bytes);
+  const std::size_t chunk = machine_.config().cache_line_bytes;
+  std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+  while (chunks > 0) {
+    std::size_t serviced = 0;
+    const Tick done =
+        machine_.mpbChunksCompletion(core_, ue_, owner_ue, now(), chunks, &serviced);
+    co_await machine_.engine().resumeAt(done);
+    chunks -= serviced;
+  }
 }
 
 SyncBarrier::Awaiter CoreContext::barrier() { return machine_.barrier().arrive(); }
@@ -170,9 +235,13 @@ SccMachine::SccMachine(SccConfig config)
   }
   uncached_overhead_ticks_ = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
   word_service_ticks_ = dram_clock_.cycles(config_.dram_word_service_cycles);
-  // Each memory controller is a coalescing-horizon resource; launch() affines
-  // every task to its core's controller — the only controller it can touch.
-  engine_.registerResources(config_.num_mem_controllers);
+  mpb_overhead_ticks_ = core_clock_.cycles(config_.mpb_local_core_cycles);
+  chunk_service_ticks_ = mesh_clock_.cycles(config_.mpb_chunk_service_mesh_cycles);
+  // One unified namespace of coalescing-horizon resources: the memory
+  // controllers plus every tile's MPB port. launch() gives each task a reach
+  // set of its core's controller and the ports it may touch.
+  engine_.registerResources(mesh_.numResources());
+  engine_.setSyncAwareHorizon(config_.sync_aware_horizon);
   engine_.reserveEvents(config_.num_cores * 2);
 }
 
@@ -227,16 +296,44 @@ void SccMachine::setupBarrier(int participants) {
                                            arrive, arrive);
 }
 
-void SccMachine::launch(int num_ues, const CoreProgram& program) {
+void SccMachine::launch(int num_ues, const CoreProgram& program,
+                        const MpbScope& scope) {
   setupBarrier(num_ues);
+  // Place every UE first: a scope may name owner UEs that have not been
+  // iterated yet, and coreOfUe must already know their cores.
   ue_to_core_.resize(static_cast<std::size_t>(num_ues));
   for (int ue = 0; ue < num_ues; ++ue) {
-    const std::uint32_t core = mesh_.coreForUe(ue, num_ues);
-    ue_to_core_[static_cast<std::size_t>(ue)] = core;
+    ue_to_core_[static_cast<std::size_t>(ue)] = mesh_.coreForUe(ue, num_ues);
+  }
+  ue_port_reach_.assign(static_cast<std::size_t>(num_ues), {});
+  std::vector<std::size_t> task_ids;
+  task_ids.reserve(static_cast<std::size_t>(num_ues));
+  for (int ue = 0; ue < num_ues; ++ue) {
+    const std::uint32_t core = ue_to_core_[static_cast<std::size_t>(ue)];
+    std::vector<std::uint32_t> reach;
+    reach.push_back(core_mc_[core]);
+    if (scope) {
+      std::vector<std::uint32_t> ports;
+      for (const int owner : scope(ue, num_ues)) {
+        ports.push_back(mesh_.portResourceId(mesh_.tileOfCore(coreOfUe(owner))));
+      }
+      std::sort(ports.begin(), ports.end());
+      ports.erase(std::unique(ports.begin(), ports.end()), ports.end());
+      reach.insert(reach.end(), ports.begin(), ports.end());
+      ue_port_reach_[static_cast<std::size_t>(ue)] = std::move(ports);
+    } else {
+      for (std::uint32_t tile = 0; tile < mesh_.numTiles(); ++tile) {
+        reach.push_back(mesh_.portResourceId(tile));
+      }
+    }
     contexts_.push_back(
         std::make_unique<CoreContext>(*this, ue, num_ues, static_cast<int>(core)));
-    engine_.spawn(program(*contexts_.back()), 0, core_mc_[core]);
+    task_ids.push_back(
+        engine_.spawnReaching(program(*contexts_.back()), 0, std::move(reach)));
   }
+  // The barrier's potential wakers are exactly the launched tasks: enables
+  // the engine's sync-aware wake-chain horizon for barrier waiters.
+  barrier_->setParticipantTasks(std::move(task_ids));
 }
 
 Tick SccMachine::run() {
@@ -317,45 +414,81 @@ Tick SccMachine::shmAccessCompletion(int core, Tick start, std::uint64_t offset,
   return t;
 }
 
-Tick SccMachine::shmWordsCompletion(int core, Tick start, std::size_t max_words,
-                                    std::size_t* words_done) {
-  const std::uint32_t mc_id = core_mc_[static_cast<std::size_t>(core)];
-  ResourceTimeline& mc = mc_[mc_id];
-  const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
-  const std::size_t quantum =
-      config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
-
-  // Safety horizon: word i+1's request is issued (in the per-word execution)
-  // at word i's completion time. As long as that instant lies strictly
-  // before the horizon, no coroutine that can touch this core's memory
-  // controller runs in between, so computing the word here (at the same
-  // recurrence, in the same order) is indistinguishable from suspending. The
-  // horizon is scoped to this controller's affinity class — pending traffic
-  // bound for the other three controllers no longer breaks the run, which is
-  // what keeps coalescing alive in contended multi-controller sweeps
-  // (Engine::nextEventTimeFor falls back to the global horizon itself while
-  // any task that could reach this controller is blocked on a lock/barrier).
-  // The first word is always safe: its request is issued "now", while this
+Tick SccMachine::coalescedCompletion(std::uint32_t resource, ResourceTimeline& timeline,
+                                     bool coalescing, std::size_t quantum,
+                                     Tick issue_overhead, Tick hop_one_way, Tick service,
+                                     Tick start, std::size_t max_txns,
+                                     std::size_t* done) {
+  // Safety horizon: transaction i+1's request is issued (in the per-event
+  // execution) at transaction i's completion time. As long as that instant
+  // lies strictly before the horizon, no coroutine that can touch this
+  // resource's timeline runs in between, so computing the transaction here
+  // (at the same recurrence, in the same order) is indistinguishable from
+  // suspending. The horizon is scoped to the resource's reach classes —
+  // pending traffic bound for other resources no longer breaks the run
+  // (Engine::nextEventTimeFor bounds blocked tasks by their wake chains and
+  // falls back to the global horizon itself when it cannot). The first
+  // transaction is always safe: its request is issued "now", while this
   // coroutine holds the engine. With coalescing off the horizon degenerates
-  // to 0, i.e. every word after the quantum is contended.
+  // to 0, i.e. every transaction after the quantum is contended.
   Tick horizon = 0;
-  if (config_.shm_coalescing) {
-    horizon = config_.shm_per_controller_horizon ? engine_.nextEventTimeFor(mc_id)
-                                                 : engine_.nextEventTime();
+  if (coalescing) {
+    horizon = config_.per_resource_horizon ? engine_.nextEventTimeFor(resource)
+                                           : engine_.nextEventTime();
   }
 
   Tick t = start;
-  std::size_t done = 0;
-  while (done < max_words) {
-    if (done > 0 && t >= horizon && done >= quantum) break;
-    const Tick serviced =
-        mc.acquire(t + uncached_overhead_ticks_ + hop_one_way, word_service_ticks_);
+  std::size_t n = 0;
+  while (n < max_txns) {
+    if (n > 0 && t >= horizon && n >= quantum) break;
+    const Tick serviced = timeline.acquire(t + issue_overhead + hop_one_way, service);
     t = serviced + hop_one_way;
-    ++done;
+    ++n;
   }
-  shm_words_ += done;
+  *done = n;
+  return t;
+}
+
+Tick SccMachine::shmWordsCompletion(int core, Tick start, std::size_t max_words,
+                                    std::size_t* words_done) {
+  const std::uint32_t mc_id = core_mc_[static_cast<std::size_t>(core)];
+  const std::size_t quantum =
+      config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
+  const Tick t = coalescedCompletion(
+      mc_id, mc_[mc_id], config_.shm_coalescing, quantum, uncached_overhead_ticks_,
+      core_mc_hop_ticks_[static_cast<std::size_t>(core)], word_service_ticks_, start,
+      max_words, words_done);
+  shm_words_ += *words_done;
   ++shm_word_events_;
-  *words_done = done;
+  return t;
+}
+
+Tick SccMachine::mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
+                                     std::size_t max_chunks, std::size_t* chunks_done) {
+  const std::uint32_t owner_core = coreOfUe(owner_ue);
+  const std::uint32_t tile = mesh_.tileOfCore(owner_core);
+  const std::uint32_t port_id = mesh_.portResourceId(tile);
+  const auto u = static_cast<std::size_t>(ue);
+  if (u < ue_port_reach_.size() && !ue_port_reach_[u].empty() &&
+      !std::binary_search(ue_port_reach_[u].begin(), ue_port_reach_[u].end(),
+                          port_id)) {
+    // The declared MpbScope was a promise the engine's reach sets rely on;
+    // still service the access, but flag that port isolation is void.
+    ++mpb_scope_violations_;
+  }
+  const std::uint32_t hops =
+      mesh_.hopsBetweenCores(static_cast<std::uint32_t>(core), owner_core);
+  const Tick hop_one_way =
+      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) * hops);
+  const std::size_t quantum = config_.mpb_fairness_quantum_chunks > 0
+                                  ? config_.mpb_fairness_quantum_chunks
+                                  : 1;
+  const Tick t = coalescedCompletion(port_id, mpb_port_[tile], config_.mpb_coalescing,
+                                     quantum, mpb_overhead_ticks_, hop_one_way,
+                                     chunk_service_ticks_, start, max_chunks,
+                                     chunks_done);
+  mpb_chunks_ += *chunks_done;
+  ++mpb_chunk_events_;
   return t;
 }
 
@@ -379,34 +512,6 @@ Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
     std::memcpy(&shared_dram_[offset], data_in, bytes);
   } else if (!write && data_out != nullptr) {
     std::memcpy(data_out, &shared_dram_[offset], bytes);
-  }
-  return t;
-}
-
-Tick SccMachine::mpbAccessCompletion(int core, int owner_ue, Tick start,
-                                     std::uint64_t offset, std::size_t bytes, bool write,
-                                     void* data_out, const void* data_in) {
-  const std::uint32_t owner_core = coreOfUe(owner_ue);
-  const std::uint32_t tile = mesh_.tileOfCore(owner_core);
-  ResourceTimeline& port = mpb_port_[tile];
-  const std::uint32_t hops =
-      mesh_.hopsBetweenCores(static_cast<std::uint32_t>(core), owner_core);
-  const Tick hop_one_way =
-      mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) * hops);
-  const std::size_t chunk = config_.cache_line_bytes;  // MPB moves 32 B chunks
-  const std::size_t chunks = (bytes + chunk - 1) / chunk;
-
-  Tick t = start + core_clock_.cycles(config_.mpb_local_core_cycles);
-  const Tick arrival = t + hop_one_way;
-  const Tick serviced = port.acquire(
-      arrival, mesh_clock_.cycles(chunks * config_.mpb_chunk_service_mesh_cycles));
-  t = serviced + hop_one_way;
-
-  std::uint8_t* backing = mpbData(owner_ue, offset);
-  if (write && data_in != nullptr) {
-    std::memcpy(backing, data_in, bytes);
-  } else if (!write && data_out != nullptr) {
-    std::memcpy(data_out, backing, bytes);
   }
   return t;
 }

@@ -39,7 +39,7 @@ class SyncBarrier {
   SyncBarrier(Engine& engine, std::size_t participants, Tick arrive_cost,
               Tick release_cost)
       : engine_(engine), participants_(participants), arrive_cost_(arrive_cost),
-        release_cost_(release_cost) {}
+        release_cost_(release_cost), sync_(engine.registerSyncObject()) {}
 
   struct Awaiter {
     SyncBarrier& barrier;
@@ -52,6 +52,13 @@ class SyncBarrier {
   [[nodiscard]] std::size_t participants() const { return participants_; }
   [[nodiscard]] std::uint64_t episodes() const { return episodes_; }
 
+  /// Declare the engine task ids of the participating tasks. Enables the
+  /// sync-aware wake-chain horizon: waiters are then bounded by the
+  /// not-yet-arrived participants (their only potential wakers) instead of
+  /// forcing the global-horizon fallback. Without this call the barrier's
+  /// wakers stay unknown and the engine remains conservative.
+  void setParticipantTasks(std::vector<std::size_t> tasks);
+
  private:
   friend struct Awaiter;
   struct Waiter {
@@ -59,14 +66,19 @@ class SyncBarrier {
     std::size_t task;  ///< engine task id the wake event is filed under
   };
   void onArrive(std::coroutine_handle<> h);
+  /// Re-derive the potential waker set (participants that have not arrived
+  /// yet) after every arrival/release.
+  void publishWakers();
 
   Engine& engine_;
   std::size_t participants_;
   Tick arrive_cost_;
   Tick release_cost_;
+  std::uint32_t sync_;
   std::size_t arrived_ = 0;
   Tick latest_arrival_ = 0;
   std::vector<Waiter> waiting_;
+  std::vector<std::size_t> participant_tasks_;  ///< empty: unknown
   std::uint64_t episodes_ = 0;
 };
 
@@ -74,7 +86,8 @@ class SyncBarrier {
 /// keeps the simulation deterministic.
 class TasLock {
  public:
-  TasLock(Engine& engine, Tick roundtrip) : engine_(engine), roundtrip_(roundtrip) {}
+  TasLock(Engine& engine, Tick roundtrip)
+      : engine_(engine), roundtrip_(roundtrip), sync_(engine.registerSyncObject()) {}
 
   struct Awaiter {
     TasLock& lock;
@@ -100,7 +113,9 @@ class TasLock {
 
   Engine& engine_;
   Tick roundtrip_;
+  std::uint32_t sync_;
   bool held_ = false;
+  std::size_t holder_ = Engine::kNoTask;  ///< sole potential waker while held
   std::deque<Waiter> queue_;  // FIFO, O(1) pop_front
   std::uint64_t contention_ = 0;
 };
@@ -145,10 +160,15 @@ class CoreContext {
                                       std::size_t bytes);
 
   // -- MPB (on-chip shared SRAM) --
-  [[nodiscard]] ResumeAt mpbRead(int owner_ue, std::uint64_t offset, void* out,
+  // Chunk-granular: every cache-line-sized chunk is an independent blocking
+  // transaction through the owning tile's MPB port (the core moves MPB data
+  // line by line, as RCCE put/get do). Runs of provably-uncontended chunks
+  // are coalesced into a single engine event (config.mpb_coalescing),
+  // mirroring the shared-memory word path; Ticks are identical either way.
+  [[nodiscard]] SubTask mpbRead(int owner_ue, std::uint64_t offset, void* out,
+                                std::size_t bytes);
+  [[nodiscard]] SubTask mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
                                  std::size_t bytes);
-  [[nodiscard]] ResumeAt mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
-                                  std::size_t bytes);
 
   // -- synchronization --
   [[nodiscard]] SyncBarrier::Awaiter barrier();
@@ -188,8 +208,18 @@ class SccMachine {
 
   // -- program execution --
   using CoreProgram = std::function<SimTask(CoreContext&)>;
+  /// Optional MPB communication scope: for a UE, the owner UEs whose MPB
+  /// slices it will ever access (its put/get targets *and* its own slice if
+  /// it reads that back). Declaring a scope shrinks the task's engine reach
+  /// set to the corresponding tile ports, so traffic on unrelated tiles'
+  /// ports cannot truncate its coalesced chunk runs. The scope is a
+  /// promise; accesses outside it are still serviced but counted in
+  /// mpbScopeViolations() (they void the port-isolation guarantee).
+  using MpbScope = std::function<std::vector<int>(int ue, int num_ues)>;
   /// Spawn `num_ues` copies of `program`, one per core, sharing one barrier.
-  void launch(int num_ues, const CoreProgram& program);
+  /// Without a scope every task's reach set is its memory controller plus
+  /// every MPB port (sound, but port horizons then see all tasks).
+  void launch(int num_ues, const CoreProgram& program, const MpbScope& scope = {});
   /// Create the machine barrier for `participants` without launching
   /// (used by runtimes that spawn their own tasks, e.g. threadrt).
   void setupBarrier(int participants);
@@ -203,6 +233,9 @@ class SccMachine {
   [[nodiscard]] const ResourceTimeline& memController(std::uint32_t mc) const {
     return mc_[mc];
   }
+  [[nodiscard]] const ResourceTimeline& mpbPort(std::uint32_t tile) const {
+    return mpb_port_[tile];
+  }
   [[nodiscard]] const Cache& l1(int core) const { return l1_[static_cast<std::size_t>(core)]; }
   [[nodiscard]] const Cache& l2(int core) const { return l2_[static_cast<std::size_t>(core)]; }
   /// Uncached word transactions simulated through the word-granular path.
@@ -210,6 +243,14 @@ class SccMachine {
   /// Engine events those words cost (== shmWordsSimulated() with coalescing
   /// off; the gap is the number of events coalescing eliminated).
   [[nodiscard]] std::uint64_t shmWordEvents() const { return shm_word_events_; }
+  /// MPB chunk transactions simulated through the chunk-granular path.
+  [[nodiscard]] std::uint64_t mpbChunksSimulated() const { return mpb_chunks_; }
+  /// Engine events those chunks cost (== mpbChunksSimulated() with
+  /// mpb_coalescing off).
+  [[nodiscard]] std::uint64_t mpbChunkEvents() const { return mpb_chunk_events_; }
+  /// MPB accesses that fell outside the task's declared MpbScope. Any
+  /// non-zero count voids the port-isolation timing guarantee of that run.
+  [[nodiscard]] std::uint64_t mpbScopeViolations() const { return mpb_scope_violations_; }
 
   // -- timing/functional primitives (used by CoreContext and threadrt) --
   Tick privAccessCompletion(int core, Tick start, std::uint64_t addr, std::size_t bytes,
@@ -220,19 +261,39 @@ class SccMachine {
   /// `start`, coalescing as many as the coalescing horizon proves safe (at
   /// least one; exactly one when contended with the default fairness
   /// quantum). The horizon is scoped to this core's memory controller
-  /// (Engine::nextEventTimeFor) so pending traffic on *other* controllers
-  /// does not break the run; config.shm_per_controller_horizon=false falls
-  /// back to the global horizon. Returns the completion Tick of the serviced
+  /// (Engine::nextEventTimeFor) so pending traffic on *other* resources
+  /// does not break the run; config.per_resource_horizon=false falls back
+  /// to the global horizon. Returns the completion Tick of the serviced
   /// words and stores how many were serviced in `*words_done`. The
   /// arithmetic is the exact per-word recurrence, so Ticks match the
   /// per-event path bit for bit.
   Tick shmWordsCompletion(int core, Tick start, std::size_t max_words,
                           std::size_t* words_done);
+  /// MPB twin of shmWordsCompletion: service up to `max_chunks` cache-line
+  /// chunks of `ue`'s transfer against owner_ue's tile port, coalescing as
+  /// many as the port's horizon proves safe. Same exact recurrence, same
+  /// bit-identity guarantee (config.mpb_coalescing gates batching).
+  Tick mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
+                           std::size_t max_chunks, std::size_t* chunks_done);
   Tick shmBulkCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
                          bool write, void* data_out, const void* data_in);
-  Tick mpbAccessCompletion(int core, int owner_ue, Tick start, std::uint64_t offset,
-                           std::size_t bytes, bool write, void* data_out,
-                           const void* data_in);
+
+ private:
+  // (The private member block proper continues further down; this helper
+  // sits here to stay next to the completion functions it powers.)
+  /// The shared engine of both coalesced paths: run up to `max_txns`
+  /// back-to-back transactions of one serially-reusable `resource` —
+  /// request issued `issue_overhead + hop_one_way` after the previous
+  /// completion, serviced for `service`, completion seen `hop_one_way`
+  /// later — batching while the resource's coalescing horizon proves no
+  /// other coroutine can interleave (at least one transaction; at most
+  /// `quantum` once contended). The recurrence is exactly the per-event
+  /// execution's, so Ticks are bit-identical whether a run is one event or
+  /// many.
+  Tick coalescedCompletion(std::uint32_t resource, ResourceTimeline& timeline,
+                           bool coalescing, std::size_t quantum, Tick issue_overhead,
+                           Tick hop_one_way, Tick service, Tick start,
+                           std::size_t max_txns, std::size_t* done);
 
  private:
   SccConfig config_;
@@ -248,9 +309,14 @@ class SccMachine {
   std::vector<Tick> core_mc_hop_ticks_;
   Tick uncached_overhead_ticks_ = 0;  ///< per-word issue overhead
   Tick word_service_ticks_ = 0;       ///< controller service per word
+  Tick mpb_overhead_ticks_ = 0;       ///< per-chunk core-side issue overhead
+  Tick chunk_service_ticks_ = 0;      ///< port service per chunk
 
   std::uint64_t shm_words_ = 0;
   std::uint64_t shm_word_events_ = 0;
+  std::uint64_t mpb_chunks_ = 0;
+  std::uint64_t mpb_chunk_events_ = 0;
+  std::uint64_t mpb_scope_violations_ = 0;
 
   std::vector<std::uint8_t> shared_dram_;
   std::vector<std::uint8_t> mpb_;                    // num_cores x slice
@@ -265,6 +331,9 @@ class SccMachine {
   std::vector<std::unique_ptr<TasLock>> locks_;
   std::vector<std::unique_ptr<CoreContext>> contexts_;
   std::vector<std::uint32_t> ue_to_core_;  ///< set at launch; identity otherwise
+  /// Per UE: sorted port resource ids of its declared MpbScope (empty:
+  /// unrestricted). Used to count scope violations.
+  std::vector<std::vector<std::uint32_t>> ue_port_reach_;
 
  public:
   [[nodiscard]] std::uint32_t coreOfUe(int ue) const {

@@ -59,6 +59,24 @@ class MeshTopology {
   /// its coalescing-horizon affinity (Engine::spawn resource id).
   [[nodiscard]] std::uint32_t controllerForUe(int ue, int num_ues) const;
 
+  // -- unified serially-reusable resource namespace --
+  // The engine hosts ONE id space of coalescable resources. Memory
+  // controllers take ids [0, num_mem_controllers); each tile's MPB port
+  // takes id num_mem_controllers + tile. Every task's reach set is built
+  // from these ids (Engine::spawnReaching).
+  [[nodiscard]] std::uint32_t numResources() const {
+    return config_.num_mem_controllers + numTiles();
+  }
+  [[nodiscard]] std::uint32_t numTiles() const { return config_.numTiles(); }
+  /// Engine resource id of tile `tile`'s MPB port.
+  [[nodiscard]] std::uint32_t portResourceId(std::uint32_t tile) const {
+    return config_.num_mem_controllers + tile;
+  }
+  /// Engine resource id of the MPB port serving `core`'s tile.
+  [[nodiscard]] std::uint32_t portResourceIdForCore(std::uint32_t core) const {
+    return portResourceId(tileOfCore(core));
+  }
+
   /// Attachment tile of a controller (for hop counting).
   [[nodiscard]] std::uint32_t tileOfController(std::uint32_t mc) const {
     const bool east = (mc & 1u) != 0;

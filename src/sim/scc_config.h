@@ -71,18 +71,33 @@ struct SccConfig {
   /// (see sim/engine.h's coalescing invariant). Never changes any Tick;
   /// exposed so equivalence tests and benchmarks can A/B the two paths.
   bool shm_coalescing = true;
-  /// Scope the coalescing safety horizon to the accessed memory controller
-  /// (Engine::nextEventTimeFor) instead of the whole event queue, so word
-  /// runs keep coalescing while *other* controllers have pending traffic.
-  /// Tick-exact either way; exposed so benchmarks and equivalence tests can
-  /// A/B per-controller against the legacy global horizon.
-  bool shm_per_controller_horizon = true;
+  /// Coalesce runs of MPB chunk transactions (RCCE put/get loops) the same
+  /// way, against the owning tile's port timeline. Never changes any Tick;
+  /// mirrors shm_coalescing for the on-chip path.
+  bool mpb_coalescing = true;
+  /// Scope the coalescing safety horizon to the accessed serially-reusable
+  /// resource — the memory controller for shared-memory words, the tile's
+  /// MPB port for chunk transfers (Engine::nextEventTimeFor) — instead of
+  /// the whole event queue, so runs keep coalescing while *other* resources
+  /// have pending traffic. Tick-exact either way; exposed so benchmarks and
+  /// equivalence tests can A/B per-resource against the legacy global
+  /// horizon.
+  bool per_resource_horizon = true;
+  /// Refine blocked-task horizon fallbacks through registered sync objects:
+  /// a task parked on a lock/barrier bounds a horizon by its potential
+  /// waker chain's earliest execution instead of collapsing it to the
+  /// global event queue (sim/engine.h's wake-chain rule). Tick-exact either
+  /// way; off reproduces the blunt any-blocked-task-goes-global fallback.
+  bool sync_aware_horizon = true;
   /// Words serviced per engine event inside a contention window (when other
   /// pending events forbid further provably-safe coalescing). 1 (default)
   /// reproduces the per-word interleaving exactly; larger values trade
   /// controller fairness accuracy for simulator speed and MAY change
   /// simulated Ticks under contention (measured error: see ROADMAP.md).
   std::uint32_t shm_fairness_quantum_words = 1;
+  /// MPB counterpart of shm_fairness_quantum_words: chunks serviced per
+  /// engine event inside a port contention window.
+  std::uint32_t mpb_fairness_quantum_chunks = 1;
 
   // -- single-core multithread baseline (threadrt) --
   std::uint32_t context_switch_core_cycles = 4000;

@@ -71,16 +71,22 @@ void SingleCoreRuntime::launch(int num_threads, const ThreadProgram& program) {
   num_threads_ = num_threads;
   machine_.setupBarrier(num_threads);
   // Every logical thread executes on core 0, so core 0's memory controller
-  // is the only controller timeline it can ever touch — register that
-  // affinity so the threads don't pin the other controllers' coalescing
-  // horizons to the global event queue. Mutex-grant and barrier-wake order
-  // at equal Ticks follows the engine's (time, task_id) contract, i.e.
-  // ascending tid, independent of how the wait queue was built.
+  // is the only resource timeline it can ever touch (threadrt never uses
+  // the MPB) — register that reach so the threads don't pin any other
+  // resource's coalescing horizon to the global event queue. Mutex-grant
+  // and barrier-wake order at equal Ticks follows the engine's
+  // (time, task_id) contract, i.e. ascending tid, independent of how the
+  // wait queue was built.
   const std::uint32_t core0_mc = machine_.mesh().controllerOfCore(0);
+  std::vector<std::size_t> task_ids;
+  task_ids.reserve(static_cast<std::size_t>(num_threads));
   for (int tid = 0; tid < num_threads; ++tid) {
     contexts_.push_back(std::make_unique<ThreadContext>(*this, tid, num_threads));
-    machine_.engine().spawn(program(*contexts_.back()), 0, core0_mc);
+    task_ids.push_back(machine_.engine().spawn(program(*contexts_.back()), 0, core0_mc));
   }
+  // Threads are the barrier's only potential wakers: lets blocked waiters
+  // keep sync-aware horizons narrow instead of forcing the global fallback.
+  machine_.barrier().setParticipantTasks(std::move(task_ids));
 }
 
 sim::Tick SingleCoreRuntime::run() {

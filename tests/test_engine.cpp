@@ -192,6 +192,253 @@ TEST(Engine, HostScheduledEventsDoNotMaskBlockedTasks) {
   EXPECT_EQ(engine.now(), 60u);
 }
 
+// --- reach sets (unified resource namespace) ---------------------------------
+
+TEST(Engine, ReachSetBoundsEveryDeclaredResource) {
+  Engine engine;
+  engine.registerResources(3);
+  std::vector<Tick> horizons;
+  engine.spawnReaching(idleUntil(engine, 500), 0, {0, 2});  // task 0 reaches 0 and 2
+  engine.spawn(probeHorizons(engine, 40, horizons), 0, 1);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 3u);
+  EXPECT_EQ(horizons[0], 500u);            // res 0: reached by task 0
+  EXPECT_EQ(horizons[1], Engine::kNever);  // res 1: only the probe itself
+  EXPECT_EQ(horizons[2], 500u);            // global
+}
+
+TEST(Engine, UnregisteredIdInReachSetDegradesToUniversal) {
+  Engine engine;
+  engine.registerResources(2);
+  std::vector<Tick> horizons;
+  engine.spawnReaching(idleUntil(engine, 300), 0, {0, 99});  // 99 unregistered
+  engine.spawn(probeHorizons(engine, 40, horizons), 0, 1);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 3u);
+  EXPECT_EQ(horizons[0], 300u);  // universal reach bounds every horizon
+  EXPECT_EQ(horizons[1], 300u);
+}
+
+// --- sync-aware wake-chain horizons ------------------------------------------
+
+/// Parks the coroutine and registers it as blocked on `sync` (exactly what
+/// TasLock/SyncBarrier do for their waiters).
+struct ParkOnSyncAwaiter {
+  std::coroutine_handle<>* slot;
+  std::size_t* task;
+  Engine* engine;
+  std::uint32_t sync;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    *slot = h;
+    *task = engine->currentTaskId();
+    engine->blockOnSync(*task, sync);
+  }
+  void await_resume() const noexcept {}
+};
+
+SimTask parkOnSync(Engine& engine, std::uint32_t sync, std::coroutine_handle<>& slot,
+                   std::size_t& task) {
+  co_await ParkOnSyncAwaiter{&slot, &task, &engine, sync};
+}
+
+SimTask probeOne(Engine& engine, Tick at, std::uint32_t resource,
+                 std::vector<Tick>& out) {
+  co_await engine.resumeAt(at);
+  out.push_back(engine.nextEventTimeFor(resource));
+}
+
+// The satellite case: a blocked-on-lock task reaching the queried resource,
+// whose only potential waker is a task that cannot reach that resource and
+// runs late. The sync-aware horizon stays narrow (the blocked task cannot be
+// woken before its waker runs); the blunt rule would collapse to the global
+// next event — here an unrelated early other-resource event.
+TEST(Engine, BlockedTaskBoundedByLateWakerKeepsNarrowHorizon) {
+  for (const bool sync_aware : {true, false}) {
+    Engine engine;
+    engine.setSyncAwareHorizon(sync_aware);
+    engine.registerResources(2);
+    const std::uint32_t lock = engine.registerSyncObject();
+    std::coroutine_handle<> parked;
+    std::size_t parked_task = Engine::kNoTask;
+    std::vector<Tick> horizons;
+    engine.spawn(parkOnSync(engine, lock, parked, parked_task), 0, 0);
+    engine.spawn(idleUntil(engine, 100), 0, 0);  // res-0 pending @100
+    const std::size_t waker =
+        engine.spawn(wakeParked(engine, 700, parked, parked_task), 0, 1);
+    engine.spawn(idleUntil(engine, 50), 0, 1);  // unrelated res-1 @50
+    engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+    engine.setSyncWakers(lock, {waker});
+    engine.run();
+    ASSERT_EQ(horizons.size(), 1u);
+    // Sync-aware: min(scoped @100, waker bound @700) = 100. Blunt: the
+    // blocked task forces the global next event, the unrelated @50.
+    EXPECT_EQ(horizons[0], sync_aware ? 100u : 50u);
+  }
+}
+
+// A lock whose holder is the probing task itself: the holder cannot release
+// mid-batch, so the blocked waiter contributes nothing and the horizon stays
+// scoped even though an unrelated event fires much earlier.
+TEST(Engine, BlockedTaskWhoseOnlyWakerIsCurrentKeepsNarrowHorizon) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t lock = engine.registerSyncObject();
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, lock, parked, parked_task), 0, 0);
+  engine.spawn(idleUntil(engine, 100), 0, 0);  // res-0 pending @100
+  engine.spawn(idleUntil(engine, 50), 0, 1);   // unrelated res-1 @50
+  const std::size_t prober = engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncWakers(lock, {prober});
+  engine.run();
+  // Drain leaves the parked task parked; wake it so the run can be reused.
+  engine.schedule(engine.now(), parked, parked_task);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  EXPECT_EQ(horizons[0], 100u);
+}
+
+TEST(Engine, BlockedTaskWithUnknownWakersForcesGlobalFallback) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t lock = engine.registerSyncObject();  // wakers never set
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, lock, parked, parked_task), 0, 0);
+  engine.spawn(idleUntil(engine, 100), 0, 0);
+  engine.spawn(idleUntil(engine, 50), 0, 1);
+  engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.run();
+  engine.schedule(engine.now(), parked, parked_task);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  EXPECT_EQ(horizons[0], 50u);  // global fallback
+}
+
+// Wake chains recurse: the blocked task's waker is itself blocked on a
+// second sync object whose waker runs at 800 on another resource. The
+// horizon is bounded by the end of the chain, not the global next event.
+TEST(Engine, WakeChainRecursesThroughBlockedWakers) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t lock_a = engine.registerSyncObject();
+  const std::uint32_t lock_b = engine.registerSyncObject();
+  std::coroutine_handle<> parked_a;
+  std::size_t task_a = Engine::kNoTask;
+  std::coroutine_handle<> parked_b;
+  std::size_t task_b = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, lock_a, parked_a, task_a), 0, 0);
+  const std::size_t chained =
+      engine.spawn(parkOnSync(engine, lock_b, parked_b, task_b), 0, 1);
+  engine.spawn(idleUntil(engine, 900), 0, 0);  // res-0 pending @900
+  const std::size_t releaser =
+      engine.spawn(wakeParked(engine, 800, parked_b, task_b), 0, 1);
+  engine.spawn(idleUntil(engine, 50), 0, 1);  // unrelated res-1 @50
+  engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncWakers(lock_a, {chained});
+  engine.setSyncWakers(lock_b, {releaser});
+  engine.run();
+  engine.schedule(engine.now(), parked_a, task_a);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  // min(scoped @900, chain: chained's waker runs @800) = 800, not global 50.
+  EXPECT_EQ(horizons[0], 800u);
+}
+
+// The kAll rule (barriers): the wake needs EVERY waker to have run, so the
+// bound is the latest of their earliest executions; kAny (locks) keeps the
+// earliest.
+TEST(Engine, AllWakersRuleBoundsByLatestWaker) {
+  for (const Engine::WakerRule rule :
+       {Engine::WakerRule::kAny, Engine::WakerRule::kAll}) {
+    Engine engine;
+    engine.registerResources(2);
+    const std::uint32_t barrier = engine.registerSyncObject();
+    std::coroutine_handle<> parked;
+    std::size_t parked_task = Engine::kNoTask;
+    std::vector<Tick> horizons;
+    engine.spawn(parkOnSync(engine, barrier, parked, parked_task), 0, 0);
+    const std::size_t w1 = engine.spawn(idleUntil(engine, 100), 0, 1);
+    const std::size_t w2 = engine.spawn(idleUntil(engine, 600), 0, 1);
+    engine.spawn(idleUntil(engine, 400), 0, 0);  // res-0 pending @400
+    engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+    engine.setSyncWakers(barrier, {w1, w2}, rule);
+    engine.run();
+    engine.schedule(engine.now(), parked, parked_task);
+    engine.run();
+    ASSERT_EQ(horizons.size(), 1u);
+    // kAll: min(scoped @400, max(100, 600)) = 400.
+    // kAny: min(scoped @400, min(100, 600)) = 100.
+    EXPECT_EQ(horizons[0], rule == Engine::WakerRule::kAll ? 400u : 100u);
+  }
+}
+
+// The recursion-path regression: a waker reached through two sibling
+// subtrees of a kAll sync (w1's chain goes through w2; w2 is also a direct
+// waker) must not be mistaken for a cycle on the second visit — the chain
+// can fire, bounded by the pending event at its end.
+TEST(Engine, SharedWakerAcrossSiblingSubtreesIsNotACycle) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t barrier = engine.registerSyncObject();
+  const std::uint32_t lock_1 = engine.registerSyncObject();
+  const std::uint32_t lock_2 = engine.registerSyncObject();
+  std::coroutine_handle<> parked_b;
+  std::size_t task_b = Engine::kNoTask;
+  std::coroutine_handle<> parked_w1;
+  std::size_t task_w1 = Engine::kNoTask;
+  std::coroutine_handle<> parked_w2;
+  std::size_t task_w2 = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, barrier, parked_b, task_b), 0, 0);
+  const std::size_t w1 =
+      engine.spawn(parkOnSync(engine, lock_1, parked_w1, task_w1), 0, 1);
+  const std::size_t w2 =
+      engine.spawn(parkOnSync(engine, lock_2, parked_w2, task_w2), 0, 1);
+  const std::size_t w3 = engine.spawn(idleUntil(engine, 800), 0, 1);
+  engine.spawn(idleUntil(engine, 900), 0, 0);  // res-0 pending @900
+  engine.spawn(idleUntil(engine, 50), 0, 1);   // unrelated res-1 @50
+  engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncWakers(barrier, {w1, w2}, Engine::WakerRule::kAll);
+  engine.setSyncWakers(lock_1, {w2});
+  engine.setSyncWakers(lock_2, {w3});
+  engine.run();
+  for (auto [h, t] : {std::pair{parked_w2, task_w2}, std::pair{parked_w1, task_w1},
+                      std::pair{parked_b, task_b}}) {
+    engine.schedule(engine.now(), h, t);
+    engine.run();
+  }
+  ASSERT_EQ(horizons.size(), 1u);
+  // Both kAll subtrees bottom out at w3's pending event: max(800, 800),
+  // min'd with the scoped res-0 event @900. A false cycle would yield 900.
+  EXPECT_EQ(horizons[0], 800u);
+}
+
+// A kAll sync whose required wakers include the running task can never
+// release mid-batch: the blocked waiter contributes nothing at all.
+TEST(Engine, AllWakersRuleWithCurrentTaskRequiredNeverFiresMidBatch) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t barrier = engine.registerSyncObject();
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, barrier, parked, parked_task), 0, 0);
+  const std::size_t w1 = engine.spawn(idleUntil(engine, 10), 0, 1);  // early waker
+  engine.spawn(idleUntil(engine, 400), 0, 0);
+  const std::size_t prober = engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncWakers(barrier, {w1, prober}, Engine::WakerRule::kAll);
+  engine.run();
+  engine.schedule(engine.now(), parked, parked_task);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  EXPECT_EQ(horizons[0], 400u);  // only the scoped pending event remains
+}
+
 TEST(Engine, CompletionTimesRecorded) {
   Engine engine;
   std::vector<int> log;

@@ -435,7 +435,7 @@ SimTask streamKernel(CoreContext& ctx, std::uint64_t base, int blocks,
 SimResult runStream(bool coalescing, int ues, bool per_controller = true) {
   SccConfig cfg;
   cfg.shm_coalescing = coalescing;
-  cfg.shm_per_controller_horizon = per_controller;
+  cfg.per_resource_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(16 * 4096);
   machine.launch(ues,
@@ -497,7 +497,7 @@ SimTask contendedKernel(CoreContext& ctx, std::uint64_t blocks_base,
 SimResult runContended(bool coalescing, int ues, bool per_controller = true) {
   SccConfig cfg;
   cfg.shm_coalescing = coalescing;
-  cfg.shm_per_controller_horizon = per_controller;
+  cfg.per_resource_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t blocks = machine.shmalloc(static_cast<std::size_t>(ues) * 1024);
   const std::uint64_t counter = machine.shmalloc(8);
@@ -562,7 +562,7 @@ SimTask staggeredKernel(CoreContext& ctx, std::uint64_t base, int iterations) {
 
 SimResult runStaggered(bool per_controller) {
   SccConfig cfg;
-  cfg.shm_per_controller_horizon = per_controller;
+  cfg.per_resource_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(8 * 4096);
   machine.launch(8, [&](CoreContext& ctx) { return staggeredKernel(ctx, base, 8); });
@@ -645,6 +645,209 @@ TEST(Machine, CoalescingStatsAccountAllWords) {
   EXPECT_LE(on.shm_word_events, on.shm_words);
   const SimResult off = runStream(false, 1);
   EXPECT_EQ(off.shm_word_events, off.shm_words);
+}
+
+// --- MPB chunk coalescing ----------------------------------------------------
+// The same hard bar as the shm word path, now for the chunk-granular MPB
+// path: identical makespan, per-task completion Ticks, and workload output
+// across mpb_coalescing on (per-resource horizon), on (global horizon), and
+// off — while the coalesced runs process fewer engine events.
+
+struct MpbResult {
+  Tick makespan = 0;
+  std::vector<Tick> completions;
+  std::uint64_t events = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t chunk_events = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Contended multi-UE put/get: every UE hammers blocks into its right
+/// neighbour's slice and reads its own back with no compute stagger, so the
+/// port timelines see overlapping traffic and equal-Tick collisions.
+SimTask mpbContendedKernel(CoreContext& ctx, std::uint64_t slot, int rounds,
+                           std::size_t bytes, std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> buf(bytes, static_cast<std::uint8_t>(ctx.ue() + 1));
+  const int right = (ctx.ue() + 1) % ctx.numUes();
+  for (int r = 0; r < rounds; ++r) {
+    co_await ctx.mpbWrite(right, slot, buf.data(), bytes);
+    co_await ctx.barrier();
+    co_await ctx.mpbRead(ctx.ue(), slot, buf.data(), bytes);
+    co_await ctx.barrier();
+  }
+  (*out)[static_cast<std::size_t>(ctx.ue())] = buf[bytes - 1];
+}
+
+MpbResult runMpbContended(bool coalescing, bool per_resource, int ues) {
+  SccConfig cfg;
+  cfg.mpb_coalescing = coalescing;
+  cfg.per_resource_horizon = per_resource;
+  SccMachine machine(cfg);
+  const std::uint64_t slot = machine.mpbMalloc(0, 1024);
+  for (int ue = 1; ue < ues; ++ue) machine.mpbMalloc(ue, 1024);
+  MpbResult r;
+  r.data.resize(static_cast<std::size_t>(ues), 0);
+  machine.launch(ues, [&](CoreContext& ctx) {
+    return mpbContendedKernel(ctx, slot, 4, 1024, &r.data);
+  });
+  r.makespan = machine.run();
+  for (int ue = 0; ue < ues; ++ue) {
+    r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.events = machine.engine().eventsProcessed();
+  r.chunks = machine.mpbChunksSimulated();
+  r.chunk_events = machine.mpbChunkEvents();
+  return r;
+}
+
+TEST(Machine, MpbCoalescingBitIdenticalContendedPutGet) {
+  const MpbResult off = runMpbContended(false, false, 6);
+  const MpbResult global = runMpbContended(true, false, 6);
+  const MpbResult per_res = runMpbContended(true, true, 6);
+  for (const MpbResult* r : {&global, &per_res}) {
+    EXPECT_EQ(r->makespan, off.makespan);
+    EXPECT_EQ(r->completions, off.completions);
+    EXPECT_EQ(r->data, off.data);
+    EXPECT_EQ(r->chunks, off.chunks);
+  }
+  EXPECT_LE(per_res.events, global.events);
+  EXPECT_LE(global.events, off.events);
+  // With coalescing off every chunk is its own event.
+  EXPECT_EQ(off.chunk_events, off.chunks);
+  // Four rounds of ring shift: each UE ends up with the byte that started
+  // four places to its left, value (ue - 4 mod 6) + 1.
+  for (int ue = 0; ue < 6; ++ue) {
+    EXPECT_EQ(off.data[static_cast<std::size_t>(ue)],
+              static_cast<std::uint8_t>((ue + 2) % 6 + 1));
+  }
+}
+
+/// Two independent writer→reader streams on different tiles, with declared
+/// MpbScopes and deliberately overlapping timing: the compute gaps (400/570
+/// core cycles) are shorter than a 32-chunk put, so while either writer
+/// streams, the other pair almost always has a pending event in the queue.
+SimTask portPairKernel(CoreContext& ctx, std::uint64_t slot, int rounds) {
+  std::vector<std::uint8_t> buf(1024);
+  if (ctx.ue() == 0 || ctx.ue() == 2) {  // writers
+    const int reader = ctx.ue() + 1;
+    const std::uint64_t cycles = 400 + static_cast<std::uint64_t>(ctx.ue()) * 85;
+    for (int r = 0; r < rounds; ++r) {
+      co_await ctx.compute(cycles);
+      co_await ctx.mpbWrite(reader, slot, buf.data(), buf.size());
+    }
+  }
+  co_await ctx.barrier();
+}
+
+MpbResult runPortPairs(bool per_resource) {
+  SccConfig cfg;
+  cfg.per_resource_horizon = per_resource;
+  SccMachine machine(cfg);
+  std::uint64_t slot = 0;
+  for (int ue = 0; ue < 4; ++ue) slot = machine.mpbMalloc(ue, 1024);
+  MpbResult r;
+  machine.launch(
+      4, [&](CoreContext& ctx) { return portPairKernel(ctx, slot, 16); },
+      [](int ue, int) {
+        // Writer ue touches only its reader's slice; readers touch their own.
+        return std::vector<int>{(ue == 0 || ue == 2) ? ue + 1 : ue};
+      });
+  r.makespan = machine.run();
+  for (int ue = 0; ue < 4; ++ue) {
+    r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.chunks = machine.mpbChunksSimulated();
+  r.chunk_events = machine.mpbChunkEvents();
+  return r;
+}
+
+// Port-horizon isolation: traffic bound for tile A's port must not truncate
+// coalesced runs on tile B's port. Under the global horizon each writer's
+// batch breaks at the other stream's next pending event; with per-resource
+// horizons and disjoint declared scopes both streams coalesce fully. Ticks
+// stay bit-identical.
+TEST(Machine, PortHorizonIsolationAcrossTiles) {
+  const MpbResult global = runPortPairs(false);
+  const MpbResult per_res = runPortPairs(true);
+  EXPECT_EQ(per_res.makespan, global.makespan);
+  EXPECT_EQ(per_res.completions, global.completions);
+  EXPECT_EQ(per_res.chunks, global.chunks);
+  EXPECT_LT(per_res.chunk_events * 2, global.chunk_events)
+      << "per-port horizons should at least halve the chunk events that "
+         "survive on independent per-tile streams";
+}
+
+TEST(Machine, MpbScopeViolationsCounted) {
+  {
+    SccMachine machine;
+    std::uint64_t slot = 0;
+    for (int ue = 0; ue < 2; ++ue) slot = machine.mpbMalloc(ue, 64);
+    std::vector<std::uint8_t> sink(2);
+    machine.launch(
+        2,
+        [&](CoreContext& ctx) { return mpbContendedKernel(ctx, slot, 1, 64, &sink); },
+        [](int ue, int) { return std::vector<int>{ue}; });  // scope misses the put target
+    machine.run();
+    EXPECT_GT(machine.mpbScopeViolations(), 0u);
+  }
+  {
+    SccMachine machine;
+    std::uint64_t slot = 0;
+    for (int ue = 0; ue < 2; ++ue) slot = machine.mpbMalloc(ue, 64);
+    std::vector<std::uint8_t> sink(2);
+    machine.launch(2, [&](CoreContext& ctx) {
+      return mpbContendedKernel(ctx, slot, 1, 64, &sink);
+    });  // unrestricted: nothing to violate
+    machine.run();
+    EXPECT_EQ(machine.mpbScopeViolations(), 0u);
+  }
+}
+
+TEST(Machine, MpbChunkStatsAccountAllChunks) {
+  const MpbResult off = runMpbContended(false, false, 4);
+  // 4 rounds x (1024B put + 1024B get) / 32B chunks per UE.
+  EXPECT_EQ(off.chunks, 4u * 4u * 2u * (1024u / 32u));
+  EXPECT_EQ(off.chunk_events, off.chunks);
+  const MpbResult on = runMpbContended(true, true, 4);
+  EXPECT_EQ(on.chunks, off.chunks);
+  EXPECT_LE(on.chunk_events, off.chunk_events);
+}
+
+// --- sync-aware horizons at machine level ------------------------------------
+
+SimResult runContendedSyncAware(bool sync_aware) {
+  SccConfig cfg;
+  cfg.sync_aware_horizon = sync_aware;
+  SccMachine machine(cfg);
+  const std::uint64_t blocks = machine.shmalloc(8 * 1024);
+  const std::uint64_t counter = machine.shmalloc(8);
+  SimResult r;
+  r.data.resize(8, 0);
+  machine.launch(8, [&](CoreContext& ctx) {
+    return contendedKernel(ctx, blocks, counter, &r.data);
+  });
+  r.makespan = machine.run();
+  for (int ue = 0; ue < 8; ++ue) {
+    r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.events = machine.engine().eventsProcessed();
+  r.shm_words = machine.shmWordsSimulated();
+  r.shm_word_events = machine.shmWordEvents();
+  return r;
+}
+
+// The wake-chain rule must change only the event count, never a Tick: the
+// lock+barrier kernel runs bit-identically with sync-aware horizons on and
+// off, and the sync-aware run coalesces strictly better (the blunt fallback
+// forfeits whole batches whenever any sibling is parked).
+TEST(Machine, SyncAwareHorizonBitIdenticalAndCoalescesBetter) {
+  const SimResult blunt = runContendedSyncAware(false);
+  const SimResult aware = runContendedSyncAware(true);
+  EXPECT_EQ(aware.makespan, blunt.makespan);
+  EXPECT_EQ(aware.completions, blunt.completions);
+  EXPECT_EQ(aware.data, blunt.data);
+  EXPECT_EQ(aware.shm_words, blunt.shm_words);
+  EXPECT_LT(aware.shm_word_events, blunt.shm_word_events);
 }
 
 TEST(Machine, FairnessQuantumApproximationCompletes) {
