@@ -40,37 +40,60 @@ struct Mode {
   bool per_resource = true;    ///< scoped (controller/port) vs global horizon
   std::uint32_t quantum = 1;   ///< shm word AND mpb chunk fairness quantum
   bool sync_aware = true;      ///< wake-chain horizon refinement
+  /// Shared-memory routing: 0 = uncached words, 1 = swcache write-back,
+  /// 2 = swcache write-through no-allocate.
+  int swcache = 0;
 };
 
 struct RunStats {
   double wall_seconds = 0;
   std::uint64_t events = 0;
-  std::uint64_t shm_words = 0;
+  std::uint64_t shm_words = 0;       ///< uncached word transactions
   std::uint64_t shm_word_events = 0;
   std::uint64_t mpb_chunks = 0;
   std::uint64_t mpb_chunk_events = 0;
+  std::uint64_t swcache_words = 0;   ///< words served through the swcache
+  std::uint64_t swcache_word_hits = 0;
+  std::uint64_t swcache_wt_words = 0;  ///< written-through subset (also in shm_words)
+  std::uint64_t swcache_line_txns = 0;  ///< line fills + dirty write-backs
+  std::uint64_t swcache_line_events = 0;
   Tick makespan = 0;
   std::vector<Tick> completions;
+  std::vector<std::uint8_t> result_bytes;  ///< extracted output region
 
   [[nodiscard]] double eventsPerSec() const {
     return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
   }
-  /// Simulated uncached words per host second — the throughput that
-  /// actually bounds sweep turnaround for word-granular workloads.
+  /// Logical shared-memory words: uncached transactions plus words served
+  /// through the swcache, minus the written-through subset (those words are
+  /// swcache accesses AND uncached transactions — counting both would
+  /// inflate write-through runs by their write volume).
+  [[nodiscard]] std::uint64_t logicalWords() const {
+    return shm_words + swcache_words - swcache_wt_words;
+  }
+  /// Simulated logical shared-memory words per host second — the throughput
+  /// that bounds sweep turnaround. Invariant to the routing and to how (or
+  /// whether) those words hit engine events.
   [[nodiscard]] double wordsPerSec() const {
-    return wall_seconds > 0 ? static_cast<double>(shm_words) / wall_seconds : 0;
+    return wall_seconds > 0 ? static_cast<double>(logicalWords()) / wall_seconds : 0;
   }
   [[nodiscard]] double chunksPerSec() const {
     return wall_seconds > 0 ? static_cast<double>(mpb_chunks) / wall_seconds : 0;
   }
-  /// Fraction of coalescable transactions (uncached shm words + MPB chunks)
-  /// whose engine event was coalesced away.
+  /// Fraction of coalescable transactions (uncached shm words, MPB chunks,
+  /// swcache line transfers) whose engine event was coalesced away.
   [[nodiscard]] double coalescingRate() const {
-    const std::uint64_t txns = shm_words + mpb_chunks;
-    const std::uint64_t txn_events = shm_word_events + mpb_chunk_events;
+    const std::uint64_t txns = shm_words + mpb_chunks + swcache_line_txns;
+    const std::uint64_t txn_events =
+        shm_word_events + mpb_chunk_events + swcache_line_events;
     return txns > 0
                ? 1.0 - static_cast<double>(txn_events) / static_cast<double>(txns)
                : 0.0;
+  }
+  [[nodiscard]] double swcacheHitRate() const {
+    return swcache_words > 0 ? static_cast<double>(swcache_word_hits) /
+                                   static_cast<double>(swcache_words)
+                             : 0.0;
   }
 };
 
@@ -79,6 +102,16 @@ struct Workload {
   int ues = 1;
   int repetitions = 1;  ///< timed repetitions, wall time accumulated
   std::function<void(sim::SccMachine&)> setup;  ///< shmalloc etc., then launch
+  /// Optional output region [offset, offset+bytes) of shared DRAM extracted
+  /// after the first rep — the functional result the cached/uncached A/B
+  /// must reproduce bit-identically (allocation order is deterministic, so
+  /// fixed offsets are stable across machines).
+  std::uint64_t extract_offset = 0;
+  std::size_t extract_bytes = 0;
+  /// Minimum swcache hit rate the cached run must clear (0 = ungated).
+  /// Feeds the process exit code: a silent protocol regression that stops
+  /// caching read-mostly data must fail CI, not just shift a metric.
+  double min_hit_rate = 0.0;
 };
 
 RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
@@ -91,6 +124,8 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
     cfg.sync_aware_horizon = mode.sync_aware;
     cfg.shm_fairness_quantum_words = mode.quantum;
     cfg.mpb_fairness_quantum_chunks = mode.quantum;
+    cfg.shm_swcache = mode.swcache != 0;
+    cfg.swcache_policy = mode.swcache == 2 ? 1 : 0;
     sim::SccMachine machine(cfg);
     w.setup(machine);
     stats.makespan = machine.run();
@@ -100,10 +135,20 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
     stats.shm_word_events += machine.shmWordEvents();
     stats.mpb_chunks += machine.mpbChunksSimulated();
     stats.mpb_chunk_events += machine.mpbChunkEvents();
+    const sim::SwCacheStats sw = machine.swcacheTotals();
+    stats.swcache_words += sw.word_accesses;
+    stats.swcache_word_hits += sw.word_hits;
+    stats.swcache_wt_words += sw.writethrough_words;
+    stats.swcache_line_txns += machine.swcacheLinesSimulated();
+    stats.swcache_line_events += machine.swcacheLineEvents();
     if (rep == 0) {
       for (int ue = 0; ue < w.ues; ++ue) {
         stats.completions.push_back(
             machine.engine().completionTime(static_cast<std::size_t>(ue)));
+      }
+      if (w.extract_bytes > 0) {
+        const std::uint8_t* out = machine.shmData(w.extract_offset);
+        stats.result_bytes.assign(out, out + w.extract_bytes);
       }
     }
   }
@@ -166,7 +211,7 @@ sim::SimTask syncedMix(sim::CoreContext& ctx, std::uint64_t base,
     co_await ctx.shmRead(counter_off, &counter, sizeof(counter));
     ++counter;
     co_await ctx.shmWrite(counter_off, &counter, sizeof(counter));
-    ctx.lockRelease(0);
+    co_await ctx.lockRelease(0);
     co_await ctx.barrier();
   }
 }
@@ -233,6 +278,61 @@ sim::SimTask mixedShmMpb(sim::CoreContext& ctx, std::uint64_t shm_base,
   }
 }
 
+/// Read-mostly shared data (the swcache's target workload): each UE sweeps
+/// its 4 KB window of a shared grid `sweeps` times between barriers,
+/// folding the bytes into a checksum, then publishes a small result block.
+/// Uncached, every word of every sweep is a controller transaction; with the
+/// swcache, the window is filled once per round (barrier departure
+/// self-invalidates) and re-read from fast private memory.
+sim::SimTask stencilReadMostly(sim::CoreContext& ctx, std::uint64_t grid,
+                               std::uint64_t out, int rounds, int sweeps,
+                               std::size_t window_bytes) {
+  std::vector<std::uint64_t> buf(window_bytes / 8);
+  const std::uint64_t mine =
+      grid + static_cast<std::uint64_t>(ctx.ue()) * window_bytes;
+  std::uint64_t results[8] = {};
+  for (int r = 0; r < rounds; ++r) {
+    std::uint64_t acc = 0;
+    for (int s = 0; s < sweeps; ++s) {
+      co_await ctx.shmRead(mine, buf.data(), window_bytes);
+      for (const std::uint64_t v : buf) acc += v * (static_cast<std::uint64_t>(s) + 1);
+      co_await ctx.computeOps(buf.size(), sim::OpClass::IntAlu);
+    }
+    for (std::uint64_t& v : results) v = acc ^ (v << 1);
+    co_await ctx.shmWrite(out + static_cast<std::uint64_t>(ctx.ue()) * sizeof(results),
+                          results, sizeof(results));
+    co_await ctx.barrier();
+  }
+}
+
+/// LU-style elimination over a shared matrix: in round k every UE updates
+/// its own rows r > k (striped r % UEs) against pivot row k, re-reading the
+/// pivot from shared memory per own row. DRF: the pivot row was last
+/// written in round k-1 (flushed at that barrier) and each row has one
+/// writer. The swcache turns the repeated pivot reads and the
+/// read-modify-write of own rows into hits with dirty lines flushed at the
+/// barrier.
+sim::SimTask luSharedCached(sim::CoreContext& ctx, std::uint64_t m0, std::size_t n,
+                            int rounds) {
+  const auto ues = static_cast<std::size_t>(ctx.numUes());
+  std::vector<double> pivot(n), row(n);
+  for (int k = 0; k < rounds; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    for (std::size_t r = ku + 1; r < n; ++r) {
+      if (r % ues != static_cast<std::size_t>(ctx.ue())) continue;
+      co_await ctx.shmRead(m0 + ku * n * 8, pivot.data(), n * 8);
+      co_await ctx.shmRead(m0 + r * n * 8, row.data(), n * 8);
+      const double factor = row[ku] / pivot[ku];
+      row[ku] = factor;
+      for (std::size_t j = ku + 1; j < n; ++j) row[j] -= factor * pivot[j];
+      co_await ctx.computeOps(1, sim::OpClass::FpDiv);
+      co_await ctx.computeOps(2 * (n - ku - 1), sim::OpClass::FpAdd);
+      co_await ctx.shmWrite(m0 + r * n * 8, row.data(), n * 8);
+    }
+    co_await ctx.barrier();
+  }
+}
+
 sim::SimTask mpbPingPong(sim::CoreContext& ctx, std::uint64_t off, int rounds) {
   std::uint8_t buf[64] = {};
   const int peer = ctx.ue() == 0 ? 1 : 0;
@@ -253,20 +353,30 @@ sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
 // --- JSON emission ----------------------------------------------------------
 
 void printRun(std::string* out, const char* key, const RunStats& s) {
-  char buf[768];
+  // "shm_words"/"shm_words_per_sec" cover the *logical* shared-word workload
+  // (RunStats::logicalWords) so the compare_bench.py throughput metric stays
+  // invariant to the routing.
+  char buf[1024];
   std::snprintf(buf, sizeof(buf),
                 "      \"%s\": {\"wall_seconds\": %.6f, \"events\": %llu, "
                 "\"events_per_sec\": %.0f, \"shm_words\": %llu, "
                 "\"shm_word_events\": %llu, \"shm_words_per_sec\": %.0f, "
                 "\"mpb_chunks\": %llu, \"mpb_chunk_events\": %llu, "
                 "\"mpb_chunks_per_sec\": %.0f, "
+                "\"swcache_words\": %llu, \"swcache_line_txns\": %llu, "
+                "\"swcache_line_events\": %llu, \"swcache_hit_rate\": %.4f, "
                 "\"coalescing_rate\": %.4f, \"makespan_ps\": %llu}",
                 key, s.wall_seconds, static_cast<unsigned long long>(s.events),
-                s.eventsPerSec(), static_cast<unsigned long long>(s.shm_words),
+                s.eventsPerSec(),
+                static_cast<unsigned long long>(s.logicalWords()),
                 static_cast<unsigned long long>(s.shm_word_events), s.wordsPerSec(),
                 static_cast<unsigned long long>(s.mpb_chunks),
                 static_cast<unsigned long long>(s.mpb_chunk_events), s.chunksPerSec(),
-                s.coalescingRate(), static_cast<unsigned long long>(s.makespan));
+                static_cast<unsigned long long>(s.swcache_words),
+                static_cast<unsigned long long>(s.swcache_line_txns),
+                static_cast<unsigned long long>(s.swcache_line_events),
+                s.swcacheHitRate(), s.coalescingRate(),
+                static_cast<unsigned long long>(s.makespan));
   *out += buf;
 }
 
@@ -420,6 +530,77 @@ int main() {
     printRun(&json, "coalesced", s);
     json += "}";
   }
+
+  // Swcache scenarios: shared-memory routing A/B (software-managed
+  // release-consistency cache vs the uncached word path). The "coalesced"
+  // run is the cached one (write-back policy) — the configuration whose
+  // trajectory compare_bench.py gates, including its swcache_hit_rate; the
+  // "uncached"/"writethrough" runs are references. DRF programs must
+  // produce bit-identical functional results on every routing; the stencil
+  // scenario must also clear the 90% hit-rate bar. Both checks feed the
+  // process exit code.
+  bool swcache_ok = true;
+  {
+    const std::size_t kWindow = 4096;
+    std::vector<Workload> cached_ab = {
+        {"stencil_readmostly_8ue", 8, 6,
+         [&](sim::SccMachine& m) {
+           const std::uint64_t grid = m.shmalloc(8 * kWindow);
+           const std::uint64_t out = m.shmalloc(8 * 64);
+           auto* g = reinterpret_cast<std::uint64_t*>(m.shmData(grid));
+           for (std::size_t i = 0; i < 8 * kWindow / 8; ++i) {
+             g[i] = 0x9e3779b97f4a7c15ull * (i + 1);
+           }
+           m.launch(8, [=](sim::CoreContext& ctx) {
+             return stencilReadMostly(ctx, grid, out, 4, 16, kWindow);
+           });
+         },
+         /*extract_offset=*/8 * kWindow, /*extract_bytes=*/8 * 64,
+         /*min_hit_rate=*/0.90},
+        {"lu_shared_cached", 8, 4,
+         [&](sim::SccMachine& m) {
+           const std::size_t n = 64;
+           const std::uint64_t m0 = m.shmalloc(n * n * 8);
+           auto* mat = reinterpret_cast<double*>(m.shmData(m0));
+           for (std::size_t i = 0; i < n; ++i) {
+             for (std::size_t j = 0; j < n; ++j) {
+               mat[i * n + j] = i == j ? 2.0 * static_cast<double>(n)
+                                       : 1.0 / (1.0 + static_cast<double>(i + 2 * j));
+             }
+           }
+           m.launch(8, [=](sim::CoreContext& ctx) {
+             return luSharedCached(ctx, m0, n, 32);
+           });
+         },
+         /*extract_offset=*/0, /*extract_bytes=*/64 * 64 * 8},
+    };
+    for (const Workload& w : cached_ab) {
+      const RunStats cached = runWorkload(w, Mode{true, true, 1, true, 1});
+      const RunStats uncached = runWorkload(w, Mode{true, true, 1, true, 0});
+      const RunStats wthrough = runWorkload(w, Mode{true, true, 1, true, 2});
+      const bool functional = cached.result_bytes == uncached.result_bytes &&
+                              wthrough.result_bytes == uncached.result_bytes;
+      const double hit_rate = cached.swcacheHitRate();
+      const bool hit_ok = hit_rate >= w.min_hit_rate;
+      swcache_ok = swcache_ok && functional && hit_ok;
+      const double words_speedup = uncached.wordsPerSec() > 0
+                                       ? cached.wordsPerSec() / uncached.wordsPerSec()
+                                       : 0.0;
+      json += ",\n    {\"name\": \"" + w.name + "\",\n";
+      printRun(&json, "coalesced", cached);
+      json += ",\n";
+      printRun(&json, "uncached", uncached);
+      json += ",\n";
+      printRun(&json, "writethrough", wthrough);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    ",\n      \"functional_identical\": %s, "
+                    "\"swcache_hit_rate\": %.4f, "
+                    "\"words_speedup_vs_uncached\": %.2f}",
+                    functional ? "true" : "false", hit_rate, words_speedup);
+      json += buf;
+    }
+  }
   json += "\n  ],\n";
 
   // Fairness-quantum error sweep: Tick error of shm_fairness_quantum_words
@@ -457,7 +638,9 @@ int main() {
   json += "\n  ],\n";
 
   json += std::string("  \"ticks_identical_all\": ") +
-          (all_identical ? "true" : "false") + "\n}\n";
+          (all_identical ? "true" : "false") + ",\n";
+  json += std::string("  \"swcache_checks_ok\": ") + (swcache_ok ? "true" : "false") +
+          "\n}\n";
   std::fputs(json.c_str(), stdout);
-  return all_identical ? 0 : 1;
+  return all_identical && swcache_ok ? 0 : 1;
 }

@@ -3,7 +3,16 @@
 // source-to-source translator, show the generated RCCE program, and then
 // execute the simulator twin of the same workload in all three
 // configurations (the paper's Figs. 6.1/6.2 data points for Stream).
+//
+// The translator's stage-4 memory plan also yields the workload's MPB
+// communication scope: on-chip placements are realized as symmetric per-UE
+// slice allocations that each UE stages through locally, and reductions
+// funnel through UE 0's slot. That scope is passed to launch(), giving the
+// translated workload tight per-port engine reach sets (port-isolated
+// coalescing) for free; any access outside the promise is counted and fails
+// this example.
 #include <cstdio>
+#include <vector>
 
 #include "translator/translator.h"
 #include "workloads/benchmark.h"
@@ -27,9 +36,20 @@ int main() {
   std::printf("\n=== Stage 4 memory plan ===\n%s\n", result.plan.format().c_str());
   std::printf("=== Translated RCCE source ===\n%s\n", result.output_source.c_str());
 
-  // 2. Execute the workload on the simulated SCC in all three modes. A
-  // failed verification fails the process, so CI smoke-running this binary
-  // gates the whole translator→simulator pipeline.
+  // 2. Derive the MPB scope from the stage-4 plan: every UE touches its own
+  // symmetric slice (on-chip staging) plus UE 0's (reduction root). The
+  // declared set is a promise the engine's per-port reach isolation relies
+  // on — violations below void it and fail the example.
+  const sim::SccMachine::MpbScope scope = [](int ue, int /*num_ues*/) {
+    return std::vector<int>{ue, 0};
+  };
+  std::printf("=== MPB scope from stage-4 plan: {ue, 0} per UE (%zu B on-chip) ===\n",
+              result.plan.onchip_used);
+
+  // 3. Execute the workload on the simulated SCC in all three modes. A
+  // failed verification (or a scope violation) fails the process, so CI
+  // smoke-running this binary gates the whole translator→simulator pipeline
+  // including the plan-derived port isolation.
   const sim::SccConfig config;
   const auto stream = workloads::makeStream(0.5);
   bool all_verified = true;
@@ -37,11 +57,17 @@ int main() {
   for (const workloads::Mode mode :
        {workloads::Mode::PthreadSingleCore, workloads::Mode::RcceOffChip,
         workloads::Mode::RcceMpb}) {
-    const workloads::RunResult r = stream->run(mode, 32, config);
-    all_verified = all_verified && r.verified;
-    std::printf("  %-16s %10.3f ms   verified=%s (%s)\n", workloads::modeName(mode),
+    const workloads::RunResult r = stream->run(mode, 32, config, scope);
+    const bool scope_ok = r.mpb_scope_violations == 0;
+    all_verified = all_verified && r.verified && scope_ok;
+    std::printf("  %-16s %10.3f ms   verified=%s (%s)%s\n", workloads::modeName(mode),
                 sim::ticksToMilliseconds(r.makespan), r.verified ? "yes" : "NO",
-                r.detail.c_str());
+                r.detail.c_str(),
+                scope_ok ? "" : "  MPB SCOPE VIOLATED");
+    if (!scope_ok) {
+      std::printf("    %llu accesses outside the declared MpbScope\n",
+                  static_cast<unsigned long long>(r.mpb_scope_violations));
+    }
   }
   return all_verified ? 0 : 1;
 }

@@ -3,22 +3,28 @@
 
 Fails (exit 1) when:
   * any Tick equivalence check in the PR run is violated,
+  * any swcache check (DRF functional identity across cached/uncached
+    routings, the read-mostly hit-rate bar) in the PR run is violated,
   * a scenario present in the baseline is missing from the PR run,
   * simulator throughput of a scenario's coalesced run regresses more than
     the tolerance (default 15%, override with --tolerance) after normalizing
     for overall machine speed,
   * the coalescing rate of a scenario's coalesced run drops below the
-    baseline (beyond a small float-formatting epsilon).
+    baseline (beyond a small float-formatting epsilon),
+  * the swcache hit rate of a scenario's coalesced run drops below the
+    baseline (same epsilon) — both rates are deterministic, so any drop is
+    a code change, not noise.
 
 Scenarios present only in the PR run are reported as "new" (not failures):
 a PR may add scenarios without regenerating the committed baseline, which
 should then be refreshed in a follow-up so they join the gated trajectory.
 
 Throughput metric: shm_words_per_sec for word-granular scenarios (simulated
-work per host second — invariant to how many engine events that work costs,
-so better coalescing cannot read as a regression the way raw events/sec
-would), mpb_chunks_per_sec for MPB-chunk scenarios without word traffic,
-events_per_sec for substrate scenarios with neither.
+shared words — uncached transactions plus words served through the swcache —
+per host second: invariant to how many engine events that work costs, so
+better coalescing or caching cannot read as a regression the way raw
+events/sec would), mpb_chunks_per_sec for MPB-chunk scenarios without word
+traffic, events_per_sec for substrate scenarios with neither.
 
 The committed baseline was measured on one machine and CI runs on another,
 so raw events/sec comparisons would gate on hardware, not code. To separate
@@ -61,6 +67,12 @@ def main() -> int:
     if not pr.get("ticks_identical_all", False):
         failures.append(
             "ticks_identical_all is false: coalescing produced diverging Ticks"
+        )
+    # Absent in pre-swcache result files; present files must pass.
+    if not pr.get("swcache_checks_ok", True):
+        failures.append(
+            "swcache_checks_ok is false: DRF functional identity or the "
+            "read-mostly hit-rate bar was violated"
         )
 
     def throughput(run):
@@ -123,10 +135,20 @@ def main() -> int:
                 f"{name}: coalescing rate dropped {base_rate:.4f} -> {pr_rate:.4f}"
             )
 
+        hit_note = ""
+        base_hit = base_run.get("swcache_hit_rate", 0.0)
+        pr_hit = pr_run.get("swcache_hit_rate", 0.0)
+        if base_hit > 0.0:
+            if pr_hit < base_hit - RATE_EPSILON:
+                failures.append(
+                    f"{name}: swcache hit rate dropped {base_hit:.4f} -> {pr_hit:.4f}"
+                )
+            hit_note = f", swcache hit rate {base_hit:.4f} -> {pr_hit:.4f}"
+
         print(
             f"ok {name}: {metric} {base_value:.0f} -> {pr_value:.0f} "
             f"({normalized:.0f} normalized), "
-            f"coalescing rate {base_rate:.4f} -> {pr_rate:.4f}"
+            f"coalescing rate {base_rate:.4f} -> {pr_rate:.4f}" + hit_note
         )
 
     if failures:

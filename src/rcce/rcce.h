@@ -60,15 +60,25 @@ class RcceEnv {
   return ctx.mpbRead(source_ue, mpb_offset, dst, bytes);
 }
 
-[[nodiscard]] inline sim::SyncBarrier::Awaiter barrier(sim::CoreContext& ctx) {
+/// RCCE_barrier / RCCE_acquire_lock / RCCE_release_lock. These are the
+/// swcache reconciliation points (config.shm_swcache): the barrier and the
+/// release flush dirty cached lines first, the barrier and the acquire
+/// self-invalidate clean lines after — so releaseLock is awaitable too and
+/// MUST be co_awaited (a discarded return value releases nothing). With the
+/// swcache off they forward to the raw sync operations, frame-free.
+[[nodiscard]] inline sim::CoreContext::SyncAwaiter barrier(sim::CoreContext& ctx) {
   return ctx.barrier();
 }
 
-[[nodiscard]] inline sim::TasLock::Awaiter acquireLock(sim::CoreContext& ctx, int lock) {
+[[nodiscard]] inline sim::CoreContext::SyncAwaiter acquireLock(sim::CoreContext& ctx,
+                                                               int lock) {
   return ctx.lockAcquire(lock);
 }
 
-inline void releaseLock(sim::CoreContext& ctx, int lock) { ctx.lockRelease(lock); }
+[[nodiscard]] inline sim::CoreContext::SyncAwaiter releaseLock(sim::CoreContext& ctx,
+                                                               int lock) {
+  return ctx.lockRelease(lock);
+}
 
 /// Typed view of an off-chip shared array (offsets in elements).
 template <typename T>
@@ -110,13 +120,19 @@ class ShmArray {
                                         std::size_t count, const T* src) const {
     return ctx.shmWrite(byteOffset(first), src, count * sizeof(T));
   }
-  /// RCCE-style bulk copy (sequential burst, row-buffer friendly).
-  [[nodiscard]] sim::ResumeAt readBulk(sim::CoreContext& ctx, std::size_t first,
-                                       std::size_t count, T* out) const {
+  /// RCCE-style bulk copy (sequential burst, row-buffer friendly). Bypasses
+  /// the swcache but stays coherent with this core's cached lines.
+  [[nodiscard]] sim::CoreContext::BulkAwaiter readBulk(sim::CoreContext& ctx,
+                                                       std::size_t first,
+                                                       std::size_t count, T* out) const {
     return ctx.shmReadBulk(byteOffset(first), out, count * sizeof(T));
   }
-  [[nodiscard]] sim::ResumeAt writeBulk(sim::CoreContext& ctx, std::size_t first,
-                                        std::size_t count, const T* src) const {
+  [[nodiscard]] sim::CoreContext::BulkAwaiter writeBulk(sim::CoreContext& ctx,
+                                                        std::size_t first,
+                                                        std::size_t count,
+                                                        const T* src) const {
+    // With the swcache enabled this is lazily started — co_await within the
+    // full expression, do not store past `src`'s lifetime.
     return ctx.shmWriteBulk(byteOffset(first), src, count * sizeof(T));
   }
 

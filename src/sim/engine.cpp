@@ -230,27 +230,46 @@ std::uint32_t Engine::registerSyncObject() {
 void Engine::setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
                            WakerRule rule) {
   if (sync >= syncs_.size()) return;
-  syncs_[sync].wakers = std::move(wakers);
-  syncs_[sync].wakers_known = true;
-  syncs_[sync].rule = rule;
+  SyncObject& s = syncs_[sync];
+  // Rebuild the membership index: clear the old members' slots in place
+  // (cheaper than re-zeroing the whole index every barrier episode), then
+  // file the new set.
+  for (const std::size_t old : s.wakers) {
+    if (old < s.waker_pos.size()) s.waker_pos[old] = 0;
+  }
+  s.wakers = std::move(wakers);
+  for (std::size_t i = 0; i < s.wakers.size(); ++i) {
+    const std::size_t w = s.wakers[i];
+    if (w == kNoTask) continue;  // host wakers are never removed by id
+    if (w >= s.waker_pos.size()) s.waker_pos.resize(w + 1, 0);
+    s.waker_pos[w] = i + 1;
+  }
+  s.wakers_known = true;
+  s.rule = rule;
 }
 
 void Engine::removeSyncWaker(std::uint32_t sync, std::size_t task) {
   if (sync >= syncs_.size() || !syncs_[sync].wakers_known) return;
-  std::vector<std::size_t>& wakers = syncs_[sync].wakers;
-  for (std::size_t i = 0; i < wakers.size(); ++i) {
-    if (wakers[i] == task) {
-      wakers[i] = wakers.back();
-      wakers.pop_back();
-      return;
-    }
-  }
+  SyncObject& s = syncs_[sync];
+  if (task >= s.waker_pos.size()) return;  // also filters kNoTask
+  const std::size_t pos = s.waker_pos[task];
+  if (pos == 0) return;
+  const std::size_t i = pos - 1;
+  const std::size_t last = s.wakers.back();
+  s.wakers[i] = last;
+  if (last < s.waker_pos.size()) s.waker_pos[last] = i + 1;
+  s.wakers.pop_back();
+  s.waker_pos[task] = 0;
 }
 
 void Engine::clearSyncWakers(std::uint32_t sync) {
   if (sync >= syncs_.size()) return;
-  syncs_[sync].wakers.clear();
-  syncs_[sync].wakers_known = false;
+  SyncObject& s = syncs_[sync];
+  for (const std::size_t old : s.wakers) {
+    if (old < s.waker_pos.size()) s.waker_pos[old] = 0;
+  }
+  s.wakers.clear();
+  s.wakers_known = false;
 }
 
 void Engine::blockOnSync(std::size_t task, std::uint32_t sync) {

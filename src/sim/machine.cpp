@@ -131,6 +131,10 @@ ResumeAt CoreContext::privTouch(std::uint64_t addr, std::size_t bytes, bool writ
 }
 
 SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes) {
+  if (machine_.swcacheEnabled()) {
+    co_await swcacheRw(offset, out, nullptr, bytes, false);
+    co_return;
+  }
   const std::size_t txn = machine_.config().shm_transaction_bytes;
   std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
   while (words > 0) {
@@ -143,6 +147,10 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
 }
 
 SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
+  if (machine_.swcacheEnabled()) {
+    co_await swcacheRw(offset, nullptr, src, bytes, true);
+    co_return;
+  }
   if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
   const std::size_t txn = machine_.config().shm_transaction_bytes;
   std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
@@ -154,17 +162,91 @@ SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t
   }
 }
 
-ResumeAt CoreContext::shmReadBulk(std::uint64_t offset, void* out, std::size_t bytes) {
-  const Tick done =
-      machine_.shmBulkCompletion(core_, now(), offset, bytes, false, out, nullptr);
-  return machine_.engine().resumeAt(done);
+SubTask CoreContext::swcacheRw(std::uint64_t offset, void* out, const void* src,
+                               std::size_t bytes, bool write) {
+  // Functional phase: serve the whole access against the line store now (one
+  // atomic snapshot, the same granularity the uncached path's single memcpy
+  // has — racy interleavings below sync granularity are outside the DRF
+  // contract either way). The plan records what to charge.
+  const SwCache::AccessPlan plan =
+      machine_.swcacheAccess(core_, offset, bytes, write, out, src);
+  // Timed phase: aggregated hit-touch time first, then the batched line
+  // transfers, then written-through words (write-through policy only).
+  const Tick hit_ticks = machine_.swcacheHitTicks(plan.hit_touches);
+  if (hit_ticks > 0) co_await machine_.engine().delay(hit_ticks);
+  std::size_t lines = plan.line_txns;
+  while (lines > 0) {
+    std::size_t serviced = 0;
+    const Tick done = machine_.swcacheLinesCompletion(core_, now(), lines, &serviced);
+    co_await machine_.engine().resumeAt(done);
+    lines -= serviced;
+  }
+  std::size_t words = plan.writethrough_words;
+  while (words > 0) {
+    std::size_t serviced = 0;
+    const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
+    co_await machine_.engine().resumeAt(done);
+    words -= serviced;
+  }
 }
 
-ResumeAt CoreContext::shmWriteBulk(std::uint64_t offset, const void* src,
-                                   std::size_t bytes) {
+SubTask CoreContext::swcacheLines(std::size_t lines) {
+  while (lines > 0) {
+    std::size_t serviced = 0;
+    const Tick done = machine_.swcacheLinesCompletion(core_, now(), lines, &serviced);
+    co_await machine_.engine().resumeAt(done);
+    lines -= serviced;
+  }
+}
+
+SubTask CoreContext::swcacheRelease() {
+  co_await swcacheLines(machine_.swcacheFlush(core_));
+}
+
+bool CoreContext::BulkAwaiter::await_ready() const noexcept {
+  if (fenced_) return fenced_.await_ready();
+  // Zero-cost completions continue inline, exactly like ResumeAt.
+  return when_ <= engine_.now();
+}
+
+std::coroutine_handle<> CoreContext::BulkAwaiter::await_suspend(
+    std::coroutine_handle<> h) {
+  if (fenced_) return fenced_.await_suspend(h);
+  engine_.schedule(when_, h);
+  return std::noop_coroutine();
+}
+
+SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src,
+                                std::size_t bytes, bool write) {
+  // Bulk read: write back overlapping dirty lines so the burst observes this
+  // core's own program-order-earlier writes (clean copies may stay). Bulk
+  // write: additionally drop every overlapping line — the burst supersedes
+  // any cached copy, and the prior write-back keeps untouched bytes of
+  // partially-overlapped lines correct.
+  co_await swcacheLines(machine_.swcacheSyncRange(core_, offset, bytes, write));
   const Tick done =
-      machine_.shmBulkCompletion(core_, now(), offset, bytes, true, nullptr, src);
-  return machine_.engine().resumeAt(done);
+      machine_.shmBulkCompletion(core_, now(), offset, bytes, write, out, src);
+  co_await machine_.engine().resumeAt(done);
+}
+
+CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* out,
+                                                  std::size_t bytes) {
+  if (machine_.swcacheEnabled()) {
+    return BulkAwaiter(machine_.engine(), bulkFenced(offset, out, nullptr, bytes, false));
+  }
+  return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
+                                            core_, now(), offset, bytes, false, out,
+                                            nullptr));
+}
+
+CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
+                                                   const void* src, std::size_t bytes) {
+  if (machine_.swcacheEnabled()) {
+    return BulkAwaiter(machine_.engine(), bulkFenced(offset, nullptr, src, bytes, true));
+  }
+  return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
+                                            core_, now(), offset, bytes, true, nullptr,
+                                            src));
 }
 
 SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
@@ -195,13 +277,64 @@ SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* sr
   }
 }
 
-SyncBarrier::Awaiter CoreContext::barrier() { return machine_.barrier().arrive(); }
-
-TasLock::Awaiter CoreContext::lockAcquire(int lock_id) {
-  return machine_.lock(lock_id).acquire();
+bool CoreContext::SyncAwaiter::await_ready() {
+  if (reconcile_) return reconcile_.await_ready();
+  if (op_ == Op::kRelease) {
+    // No reconciliation: release is synchronous, exactly the pre-swcache
+    // behavior — perform it here and never suspend.
+    ctx_.machine_.lock(lock_id_).release();
+    return true;
+  }
+  return false;
 }
 
-void CoreContext::lockRelease(int lock_id) { machine_.lock(lock_id).release(); }
+std::coroutine_handle<> CoreContext::SyncAwaiter::await_suspend(
+    std::coroutine_handle<> h) {
+  if (reconcile_) return reconcile_.await_suspend(h);
+  if (op_ == Op::kBarrier) {
+    ctx_.machine_.barrier().arrive().await_suspend(h);
+  } else {
+    ctx_.machine_.lock(lock_id_).acquire().await_suspend(h);
+  }
+  return std::noop_coroutine();
+}
+
+CoreContext::SyncAwaiter CoreContext::barrier() {
+  return SyncAwaiter(*this, SyncAwaiter::Op::kBarrier, 0,
+                     machine_.swcacheEnabled() ? barrierReconcile() : SubTask{});
+}
+
+CoreContext::SyncAwaiter CoreContext::lockAcquire(int lock_id) {
+  return SyncAwaiter(*this, SyncAwaiter::Op::kAcquire, lock_id,
+                     machine_.swcacheEnabled() ? lockAcquireReconcile(lock_id)
+                                               : SubTask{});
+}
+
+CoreContext::SyncAwaiter CoreContext::lockRelease(int lock_id) {
+  return SyncAwaiter(*this, SyncAwaiter::Op::kRelease, lock_id,
+                     machine_.swcacheEnabled() ? lockReleaseReconcile(lock_id)
+                                               : SubTask{});
+}
+
+SubTask CoreContext::barrierReconcile() {
+  // A barrier is both a release (writes before it must become visible) and
+  // an acquire (reads after it must not see stale lines).
+  co_await swcacheRelease();
+  co_await machine_.barrier().arrive();
+  machine_.swcacheAcquire(core_);
+}
+
+SubTask CoreContext::lockAcquireReconcile(int lock_id) {
+  co_await machine_.lock(lock_id).acquire();
+  machine_.swcacheAcquire(core_);
+}
+
+SubTask CoreContext::lockReleaseReconcile(int lock_id) {
+  // The flush completes BEFORE the lock is released: the next holder's
+  // acquire-side invalidation then refills from reconciled DRAM.
+  co_await swcacheRelease();
+  machine_.lock(lock_id).release();
+}
 
 // ---------------------------------------------------------------------------
 // SccMachine
@@ -237,6 +370,19 @@ SccMachine::SccMachine(SccConfig config)
   word_service_ticks_ = dram_clock_.cycles(config_.dram_word_service_cycles);
   mpb_overhead_ticks_ = core_clock_.cycles(config_.mpb_local_core_cycles);
   chunk_service_ticks_ = mesh_clock_.cycles(config_.mpb_chunk_service_mesh_cycles);
+  swcache_hit_ticks_ = core_clock_.cycles(config_.swcache_hit_core_cycles);
+  swcache_line_overhead_ticks_ =
+      core_clock_.cycles(config_.swcache_line_core_overhead_cycles);
+  line_service_ticks_ = dram_clock_.cycles(config_.dram_line_service_cycles);
+  if (config_.shm_swcache) {
+    const auto policy = config_.swcache_policy == 0 ? SwCachePolicy::kWriteBack
+                                                    : SwCachePolicy::kWriteThrough;
+    const std::size_t lines = config_.swcache_lines > 0 ? config_.swcache_lines : 1;
+    swcache_.reserve(config_.num_cores);
+    for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+      swcache_.emplace_back(lines, config_.cache_line_bytes, policy);
+    }
+  }
   // One unified namespace of coalescing-horizon resources: the memory
   // controllers plus every tile's MPB port. launch() gives each task a reach
   // set of its core's controller and the ports it may touch.
@@ -338,7 +484,48 @@ void SccMachine::launch(int num_ues, const CoreProgram& program,
 
 Tick SccMachine::run() {
   engine_.run();
+  // End-of-run drain: dirty lines a program never released (it should — see
+  // docs/memory_model.md) are written back functionally and untimed so that
+  // host-side verification reads final values. Not counted in the stats.
+  for (SwCache& c : swcache_) {
+    c.flushDirty(shared_dram_.data(), shared_dram_.size(), /*count_stats=*/false);
+  }
   return engine_.makespan();
+}
+
+const SwCacheStats& SccMachine::swcacheStats(int core) const {
+  static const SwCacheStats kEmpty;
+  const auto c = static_cast<std::size_t>(core);
+  return c < swcache_.size() ? swcache_[c].stats() : kEmpty;
+}
+
+SwCacheStats SccMachine::swcacheTotals() const {
+  SwCacheStats total;
+  for (const SwCache& c : swcache_) total += c.stats();
+  return total;
+}
+
+SwCache::AccessPlan SccMachine::swcacheAccess(int core, std::uint64_t offset,
+                                              std::size_t bytes, bool write,
+                                              void* data_out, const void* data_in) {
+  return swcache_[static_cast<std::size_t>(core)].access(
+      offset, bytes, write, data_out, data_in, shared_dram_.data(),
+      shared_dram_.size(), config_.shm_transaction_bytes);
+}
+
+std::size_t SccMachine::swcacheFlush(int core) {
+  return swcache_[static_cast<std::size_t>(core)].flushDirty(shared_dram_.data(),
+                                                             shared_dram_.size());
+}
+
+void SccMachine::swcacheAcquire(int core) {
+  swcache_[static_cast<std::size_t>(core)].invalidateClean();
+}
+
+std::size_t SccMachine::swcacheSyncRange(int core, std::uint64_t offset,
+                                         std::size_t bytes, bool drop) {
+  return swcache_[static_cast<std::size_t>(core)].syncRange(
+      offset, bytes, drop, shared_dram_.data(), shared_dram_.size());
 }
 
 TasLock& SccMachine::lock(int id) {
@@ -460,6 +647,20 @@ Tick SccMachine::shmWordsCompletion(int core, Tick start, std::size_t max_words,
       max_words, words_done);
   shm_words_ += *words_done;
   ++shm_word_events_;
+  return t;
+}
+
+Tick SccMachine::swcacheLinesCompletion(int core, Tick start, std::size_t max_lines,
+                                        std::size_t* lines_done) {
+  const std::uint32_t mc_id = core_mc_[static_cast<std::size_t>(core)];
+  const std::size_t quantum =
+      config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
+  const Tick t = coalescedCompletion(
+      mc_id, mc_[mc_id], config_.shm_coalescing, quantum,
+      swcache_line_overhead_ticks_, core_mc_hop_ticks_[static_cast<std::size_t>(core)],
+      line_service_ticks_, start, max_lines, lines_done);
+  swcache_lines_sim_ += *lines_done;
+  ++swcache_line_events_;
   return t;
 }
 

@@ -8,8 +8,12 @@
 //
 // Address spaces:
 //   * private  — per-core, cacheable, backed by per-core byte arrays;
-//   * shared off-chip (DRAM) — uncacheable, one byte array, word-at-a-time
-//     accesses each paying the full core-mesh-controller round trip;
+//   * shared off-chip (DRAM) — hardware-uncacheable, one byte array;
+//     word-at-a-time accesses each pay the full core-mesh-controller round
+//     trip, OR (config.shm_swcache) the per-core software-managed
+//     release-consistency cache serves line-granular accesses from fast
+//     private memory and reconciles at sync points (sim/swcache/swcache.h,
+//     docs/memory_model.md);
 //   * MPB — per-core 8 KB slices of on-chip SRAM, accessed in 32-byte
 //     chunks at core-local latencies plus mesh hops to the owning tile.
 #pragma once
@@ -24,6 +28,7 @@
 #include "sim/engine.h"
 #include "sim/noc.h"
 #include "sim/scc_config.h"
+#include "sim/swcache/swcache.h"
 
 namespace hsm::sim {
 
@@ -144,20 +149,51 @@ class CoreContext {
   /// (for kernels that keep their live values in registers).
   [[nodiscard]] ResumeAt privTouch(std::uint64_t addr, std::size_t bytes, bool write);
 
-  // -- shared off-chip DRAM (uncached) --
-  // Word-granular: every word is an independent blocking transaction through
-  // the core's memory controller (the uncached-access semantics of the SCC's
-  // shared pages). Runs of words that are provably uncontended are coalesced
-  // into a single engine event (config.shm_coalescing); contention windows
-  // fall back to per-word events so concurrent cores interleave fairly.
-  // Either way the simulated Ticks are identical — see sim/engine.h.
+  // -- shared off-chip DRAM --
+  // Default (hardware-uncached) routing is word-granular: every word is an
+  // independent blocking transaction through the core's memory controller
+  // (the uncached-access semantics of the SCC's shared pages). Runs of words
+  // that are provably uncontended are coalesced into a single engine event
+  // (config.shm_coalescing); contention windows fall back to per-word events
+  // so concurrent cores interleave fairly. Either way the simulated Ticks
+  // are identical — see sim/engine.h.
+  //
+  // With config.shm_swcache the same calls route through the per-core
+  // software-managed release-consistency cache instead: hits are served from
+  // fast private memory, misses fill whole lines (batched like the word
+  // path), and the sync operations below reconcile (flush at release,
+  // self-invalidate at acquire). Functional results are identical for
+  // data-race-free programs; timing is a different (cached) model.
   [[nodiscard]] SubTask shmRead(std::uint64_t offset, void* out, std::size_t bytes);
   [[nodiscard]] SubTask shmWrite(std::uint64_t offset, const void* src, std::size_t bytes);
+  /// Awaitable of the bulk transfers below: with the swcache disabled the
+  /// completion Tick was computed eagerly and this suspends straight to it
+  /// (no coroutine frame — the pre-swcache ResumeAt behavior, bit-identical
+  /// and allocation-free); with it enabled it runs the coherence-fence
+  /// coroutine.
+  class [[nodiscard]] BulkAwaiter {
+   public:
+    BulkAwaiter(Engine& engine, Tick when) : engine_(engine), when_(when) {}
+    BulkAwaiter(Engine& engine, SubTask fenced)
+        : engine_(engine), fenced_(std::move(fenced)) {}
+    [[nodiscard]] bool await_ready() const noexcept;
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+
+   private:
+    Engine& engine_;
+    Tick when_ = 0;
+    SubTask fenced_;  ///< engaged only when the swcache is enabled
+  };
   /// Sequential bulk transfer (RCCE-style block copy): pays one transaction
-  /// setup and then streams lines at row-buffer-hit service rates.
-  [[nodiscard]] ResumeAt shmReadBulk(std::uint64_t offset, void* out, std::size_t bytes);
-  [[nodiscard]] ResumeAt shmWriteBulk(std::uint64_t offset, const void* src,
-                                      std::size_t bytes);
+  /// setup and then streams lines at row-buffer-hit service rates. Bypasses
+  /// the swcache but stays coherent with this core's own cached lines
+  /// (overlapping dirty lines are written back first; a bulk write also
+  /// invalidates overlapping cached copies).
+  [[nodiscard]] BulkAwaiter shmReadBulk(std::uint64_t offset, void* out,
+                                        std::size_t bytes);
+  [[nodiscard]] BulkAwaiter shmWriteBulk(std::uint64_t offset, const void* src,
+                                         std::size_t bytes);
 
   // -- MPB (on-chip shared SRAM) --
   // Chunk-granular: every cache-line-sized chunk is an independent blocking
@@ -171,11 +207,58 @@ class CoreContext {
                                  std::size_t bytes);
 
   // -- synchronization --
-  [[nodiscard]] SyncBarrier::Awaiter barrier();
-  [[nodiscard]] TasLock::Awaiter lockAcquire(int lock_id);
-  void lockRelease(int lock_id);
+  // These are the swcache protocol's reconciliation points: with
+  // config.shm_swcache on, barrier() and lockRelease() flush this core's
+  // dirty lines BEFORE the release takes effect, and barrier() and
+  // lockAcquire() self-invalidate clean lines once the acquire completes.
+  // The swcache discipline requires synchronizing through these wrappers —
+  // touching machine().barrier()/lock() directly skips reconciliation.
+  //
+  // The returned SyncAwaiter dispatches: with the swcache disabled it
+  // forwards straight to the underlying SyncBarrier/TasLock operation — no
+  // coroutine frame, no extra events, no extra Ticks, so the uncached modes
+  // stay bit-identical AND the sync hot path stays allocation-free; with it
+  // enabled it runs the reconciliation coroutine. Either way it MUST be
+  // co_awaited (a discarded lockRelease releases nothing).
+  class [[nodiscard]] SyncAwaiter {
+   public:
+    enum class Op : std::uint8_t { kBarrier, kAcquire, kRelease };
+    SyncAwaiter(CoreContext& ctx, Op op, int lock_id, SubTask reconcile)
+        : ctx_(ctx), op_(op), lock_id_(lock_id), reconcile_(std::move(reconcile)) {}
+    [[nodiscard]] bool await_ready();
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+
+   private:
+    CoreContext& ctx_;
+    Op op_;
+    int lock_id_;
+    SubTask reconcile_;  ///< engaged only when the swcache is enabled
+  };
+  [[nodiscard]] SyncAwaiter barrier();
+  [[nodiscard]] SyncAwaiter lockAcquire(int lock_id);
+  [[nodiscard]] SyncAwaiter lockRelease(int lock_id);
 
  private:
+  /// Shared-memory access through the software-managed cache: functional
+  /// phase first (line store <-> backing), then the timed phase charges hit
+  /// touches, batched line transfers, and written-through words.
+  SubTask swcacheRw(std::uint64_t offset, void* out, const void* src,
+                    std::size_t bytes, bool write);
+  /// Charge `lines` batched swcache line transfers (fills/write-backs).
+  SubTask swcacheLines(std::size_t lines);
+  /// Release point: functionally flush dirty lines, then charge the
+  /// write-back transfers.
+  SubTask swcacheRelease();
+  /// Coherence-fenced bulk transfer behind BulkAwaiter (swcache enabled
+  /// only): sync overlapping cached lines, then the bypassing burst copy.
+  SubTask bulkFenced(std::uint64_t offset, void* out, const void* src,
+                     std::size_t bytes, bool write);
+  // Reconciliation coroutines behind SyncAwaiter (swcache enabled only).
+  SubTask barrierReconcile();
+  SubTask lockAcquireReconcile(int lock_id);
+  SubTask lockReleaseReconcile(int lock_id);
+
   SccMachine& machine_;
   int ue_;
   int num_ues_;
@@ -252,6 +335,35 @@ class SccMachine {
   /// non-zero count voids the port-isolation timing guarantee of that run.
   [[nodiscard]] std::uint64_t mpbScopeViolations() const { return mpb_scope_violations_; }
 
+  // -- software-managed shared-memory cache (config.shm_swcache) --
+  [[nodiscard]] bool swcacheEnabled() const { return config_.shm_swcache; }
+  /// Per-core hit/miss/flush counters (zero-valued stats when disabled).
+  [[nodiscard]] const SwCacheStats& swcacheStats(int core) const;
+  /// Chip-wide aggregate of the per-core counters.
+  [[nodiscard]] SwCacheStats swcacheTotals() const;
+  /// Swcache line transfers (fills + dirty write-backs) simulated.
+  [[nodiscard]] std::uint64_t swcacheLinesSimulated() const { return swcache_lines_sim_; }
+  /// Engine events those line transfers cost (the gap to
+  /// swcacheLinesSimulated() is what fill/flush batching eliminated).
+  [[nodiscard]] std::uint64_t swcacheLineEvents() const { return swcache_line_events_; }
+
+  // -- swcache functional primitives (used by CoreContext) --
+  /// Functional walk of one access through `core`'s swcache (data movement +
+  /// tag transitions); returns the counts the timed phase must charge.
+  SwCache::AccessPlan swcacheAccess(int core, std::uint64_t offset, std::size_t bytes,
+                                    bool write, void* data_out, const void* data_in);
+  /// Functional release-point flush; returns line write-backs to charge.
+  std::size_t swcacheFlush(int core);
+  /// Acquire point: self-invalidate `core`'s clean lines (local tag
+  /// operation — no simulated time).
+  void swcacheAcquire(int core);
+  /// Coherence fence before a bypassing bulk access (see CoreContext).
+  std::size_t swcacheSyncRange(int core, std::uint64_t offset, std::size_t bytes,
+                               bool drop);
+  [[nodiscard]] Tick swcacheHitTicks(std::size_t touches) const {
+    return static_cast<Tick>(touches) * swcache_hit_ticks_;
+  }
+
   // -- timing/functional primitives (used by CoreContext and threadrt) --
   Tick privAccessCompletion(int core, Tick start, std::uint64_t addr, std::size_t bytes,
                             bool write, void* data_out, const void* data_in);
@@ -275,6 +387,13 @@ class SccMachine {
   /// bit-identity guarantee (config.mpb_coalescing gates batching).
   Tick mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
                            std::size_t max_chunks, std::size_t* chunks_done);
+  /// Swcache twin of shmWordsCompletion: service up to `max_lines` swcache
+  /// line transfers (fills or dirty write-backs) against the core's memory
+  /// controller, coalescing as many as the controller's horizon proves safe
+  /// (config.shm_coalescing / shm_fairness_quantum_words gate batching, the
+  /// same knobs as the word path they replace).
+  Tick swcacheLinesCompletion(int core, Tick start, std::size_t max_lines,
+                              std::size_t* lines_done);
   Tick shmBulkCompletion(int core, Tick start, std::uint64_t offset, std::size_t bytes,
                          bool write, void* data_out, const void* data_in);
 
@@ -311,14 +430,20 @@ class SccMachine {
   Tick word_service_ticks_ = 0;       ///< controller service per word
   Tick mpb_overhead_ticks_ = 0;       ///< per-chunk core-side issue overhead
   Tick chunk_service_ticks_ = 0;      ///< port service per chunk
+  Tick swcache_hit_ticks_ = 0;        ///< per hitting line touch
+  Tick swcache_line_overhead_ticks_ = 0;  ///< per line-transfer issue
+  Tick line_service_ticks_ = 0;       ///< controller service per 32 B line
 
   std::uint64_t shm_words_ = 0;
   std::uint64_t shm_word_events_ = 0;
   std::uint64_t mpb_chunks_ = 0;
   std::uint64_t mpb_chunk_events_ = 0;
   std::uint64_t mpb_scope_violations_ = 0;
+  std::uint64_t swcache_lines_sim_ = 0;
+  std::uint64_t swcache_line_events_ = 0;
 
   std::vector<std::uint8_t> shared_dram_;
+  std::vector<SwCache> swcache_;                     // per core; empty if disabled
   std::vector<std::uint8_t> mpb_;                    // num_cores x slice
   std::vector<std::vector<std::uint8_t>> private_mem_;  // grown on demand
   std::vector<Cache> l1_;

@@ -1,0 +1,150 @@
+// Software-managed release-consistency cache for the shared off-chip
+// address space (`swcache`).
+//
+// The SCC's shared pages are hardware-uncacheable: PR 1–3 made that
+// word-granular path fast, but every access still pays a full
+// core–mesh–controller round trip. The paper's architecture is *hybrid*,
+// and the second enabler for pthreads-style workloads is letting each core
+// cache shared data in its fast private memory and reconcile at
+// synchronization points — the software-managed coherence of
+// shared-virtual-memory systems (Hechtman & Sorin) and user-space hybrid
+// page caches (hmem-sigsegv).
+//
+// Protocol (release consistency over data-race-free programs):
+//   * reads miss into line-granular fills from shared DRAM;
+//   * writes (write-back policy) dirty the per-core line store and do NOT
+//     touch shared DRAM until reconciliation;
+//   * RELEASE points (lock release, barrier arrival) write every dirty line
+//     back — afterwards shared DRAM holds this core's writes;
+//   * ACQUIRE points (lock acquire, barrier departure) self-invalidate every
+//     *clean* line — stale copies of other cores' data are dropped, while
+//     dirty lines (this core's own unreleased writes, which no other core
+//     may race with in a DRF program) are retained;
+//   * evictions write dirty victims back early, which is only ever
+//     conservative (visibility before the release is harmless under DRF).
+//
+// The fallback `kWriteThrough` policy allocates on reads only; writes update
+// shared DRAM immediately (word-granular, through the uncached path) and
+// refresh a cached copy in place, so no line is ever dirty and release
+// points are free.
+//
+// For data-race-free programs the functional results are bit-identical with
+// the cache on or off (docs/memory_model.md states the contract); racy
+// programs observe unspecified-but-deterministic values. Timing is a NEW
+// model — swcache runs make no Tick-identity promise against the uncached
+// path (that guarantee continues to hold among the uncached modes).
+//
+// This class is purely functional + bookkeeping: it moves bytes between the
+// per-core line store and the shared-DRAM backing and reports what a timed
+// caller (SccMachine) must charge — line-touch hits, line fills, victim
+// write-backs, written-through words. SccMachine turns those counts into
+// controller transactions, batching provably-uncontended runs through the
+// same coalescedCompletion helper as the word and MPB-chunk paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.h"
+
+namespace hsm::sim {
+
+enum class SwCachePolicy : std::uint8_t {
+  kWriteBack,     ///< write-allocate, dirty lines reconcile at release points
+  kWriteThrough,  ///< no-allocate writes go straight to DRAM (word-granular)
+};
+
+/// Per-core counters (word granularity matches the uncached path's metric:
+/// one word = one 8-byte shared-memory transaction equivalent).
+struct SwCacheStats {
+  std::uint64_t word_accesses = 0;  ///< words served through the cache
+  std::uint64_t word_hits = 0;      ///< words whose line was already present
+  std::uint64_t line_fills = 0;     ///< line loads from shared DRAM
+  std::uint64_t writebacks = 0;     ///< dirty-line stores (evictions + flushes)
+  std::uint64_t flushes = 0;        ///< release-point flush operations
+  std::uint64_t invalidated_lines = 0;  ///< clean lines dropped at acquires
+  std::uint64_t writethrough_words = 0;  ///< words written through (no-allocate)
+
+  [[nodiscard]] double hitRate() const {
+    return word_accesses > 0
+               ? static_cast<double>(word_hits) / static_cast<double>(word_accesses)
+               : 0.0;
+  }
+  SwCacheStats& operator+=(const SwCacheStats& o) {
+    word_accesses += o.word_accesses;
+    word_hits += o.word_hits;
+    line_fills += o.line_fills;
+    writebacks += o.writebacks;
+    flushes += o.flushes;
+    invalidated_lines += o.invalidated_lines;
+    writethrough_words += o.writethrough_words;
+    return *this;
+  }
+};
+
+class SwCache {
+ public:
+  SwCache(std::size_t num_lines, std::size_t line_bytes, SwCachePolicy policy);
+
+  /// What a timed caller must charge for one access (see header comment).
+  struct AccessPlan {
+    std::size_t hit_touches = 0;  ///< line touches served from the line store
+    std::size_t line_txns = 0;    ///< controller line transfers (fills + victim
+                                  ///< write-backs), batchable back-to-back
+    std::size_t writethrough_words = 0;  ///< uncached word transactions
+  };
+
+  /// Functionally perform a read (`data_out`) or write (`data_in`) of
+  /// [offset, offset+bytes) against the cache, line segment by line segment,
+  /// filling from / writing back to the `dram` backing store as the protocol
+  /// requires. Returns the timing plan. `word_bytes` is the uncached
+  /// transaction size the stats count in (the FSB beat, 8 bytes).
+  AccessPlan access(std::uint64_t offset, std::size_t bytes, bool write,
+                    void* data_out, const void* data_in, std::uint8_t* dram,
+                    std::size_t dram_bytes, std::size_t word_bytes);
+
+  /// RELEASE: write every dirty line back to `dram` and mark it clean.
+  /// Returns the number of line write-backs the caller must charge.
+  /// `count_stats=false` is the end-of-run drain (host-side convenience,
+  /// untimed, not part of the protocol's measured behavior).
+  std::size_t flushDirty(std::uint8_t* dram, std::size_t dram_bytes,
+                         bool count_stats = true);
+
+  /// ACQUIRE: self-invalidate every clean line; dirty lines are retained
+  /// (they are this core's own unreleased writes). Returns lines dropped.
+  std::size_t invalidateClean();
+
+  /// Coherence fence for accesses that bypass the cache (bulk transfers):
+  /// write back dirty lines overlapping [offset, offset+bytes) and, when
+  /// `drop` (a bypassing WRITE makes cached copies stale), invalidate every
+  /// overlapping line. Returns the write-backs the caller must charge.
+  std::size_t syncRange(std::uint64_t offset, std::size_t bytes, bool drop,
+                        std::uint8_t* dram, std::size_t dram_bytes);
+
+  [[nodiscard]] const SwCacheStats& stats() const { return stats_; }
+  [[nodiscard]] SwCachePolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t lineBytes() const { return line_bytes_; }
+  /// Valid lines currently resident (for tests).
+  [[nodiscard]] std::size_t residentLines() const;
+  [[nodiscard]] std::size_t dirtyLines() const;
+
+ private:
+  [[nodiscard]] std::uint8_t* linePtr(std::size_t index) {
+    return &data_[index * line_bytes_];
+  }
+  /// Copy slot `index`'s line data to backing offset `addr` (the clamp rule
+  /// for region-tail lines lives here, shared by evictions and flushes).
+  void storeLineAt(std::uint64_t addr, std::size_t index, std::uint8_t* dram,
+                   std::size_t dram_bytes);
+  /// storeLineAt at the slot's own tag address (flush/syncRange path).
+  void storeLine(std::size_t index, std::uint8_t* dram, std::size_t dram_bytes);
+
+  Cache tags_;  ///< the tag store (sim/cache.h); data_ pairs with its slots
+  std::size_t line_bytes_;
+  SwCachePolicy policy_;
+  std::vector<std::uint8_t> data_;  ///< num_lines x line_bytes line store
+  SwCacheStats stats_;
+};
+
+}  // namespace hsm::sim

@@ -54,7 +54,10 @@ sim::TasLock::Awaiter ThreadContext::lockAcquire(int lock_id) {
   return rt_.machine().lock(lock_id).acquire();
 }
 
-void ThreadContext::lockRelease(int lock_id) { rt_.machine().lock(lock_id).release(); }
+bool ThreadContext::ReleaseAwaiter::await_ready() {
+  rt.machine().lock(lock_id).release();
+  return true;
+}
 
 sim::SyncBarrier::Awaiter ThreadContext::barrier() {
   return rt_.machine().barrier().arrive();

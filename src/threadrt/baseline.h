@@ -39,7 +39,22 @@ class ThreadContext {
                                        std::size_t bytes);
   /// A pthread mutex on a single core: uncontended fast path cost.
   [[nodiscard]] sim::TasLock::Awaiter lockAcquire(int lock_id);
-  void lockRelease(int lock_id);
+  /// Awaitable for call-site symmetry with CoreContext::lockRelease (which
+  /// became awaitable for the swcache release-point flush) so kernels stay
+  /// writable once against either context. Process memory is cacheable and
+  /// hardware-coherent on one core, so no reconciliation happens here: the
+  /// release runs in await_ready and the awaiter never suspends — no
+  /// coroutine frame, same cost as the old plain call.
+  struct [[nodiscard]] ReleaseAwaiter {
+    SingleCoreRuntime& rt;
+    int lock_id;
+    [[nodiscard]] bool await_ready();
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] ReleaseAwaiter lockRelease(int lock_id) {
+    return ReleaseAwaiter{rt_, lock_id};
+  }
   /// pthread_barrier_wait across the logical threads.
   [[nodiscard]] sim::SyncBarrier::Awaiter barrier();
 

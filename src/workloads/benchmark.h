@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/machine.h"
 #include "sim/scc_config.h"
 #include "sim/time.h"
 
@@ -31,14 +32,23 @@ struct RunResult {
   sim::Tick makespan = 0;
   bool verified = false;
   std::string detail;        ///< human-readable result summary
+  /// MPB accesses outside the declared MpbScope (RCCE modes; 0 when no
+  /// scope was passed). Non-zero voids the run's port-isolation guarantee.
+  std::uint64_t mpb_scope_violations = 0;
 };
 
 class Benchmark {
  public:
   virtual ~Benchmark() = default;
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Execute in `mode` on `units` threads/cores. `mpb_scope` (RCCE modes)
+  /// is forwarded to SccMachine::launch so callers that know the workload's
+  /// MPB communication pattern — e.g. the translator's stage-4 memory plan —
+  /// get tight per-port reach sets; violations are reported in the result.
   [[nodiscard]] virtual RunResult run(Mode mode, int units,
-                                      const sim::SccConfig& config) const = 0;
+                                      const sim::SccConfig& config,
+                                      const sim::SccMachine::MpbScope& mpb_scope = {})
+      const = 0;
 };
 
 // Factories. `scale` multiplies the default problem size (1.0 = the sizes

@@ -62,7 +62,7 @@ sim::SimTask primesThread(threadrt::ThreadContext& ctx, PrimesParams p,
   co_await ctx.memRead(count_addr, &global, sizeof(global));
   global += primes;
   co_await ctx.memWrite(count_addr, &global, sizeof(global));
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
 }
 
 sim::SimTask primesRcce(sim::CoreContext& ctx, PrimesParams p,
@@ -95,7 +95,7 @@ sim::SimTask primesRcce(sim::CoreContext& ctx, PrimesParams p,
     global += primes;
     co_await acc.write(ctx, 0, global);
   }
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
   co_await ctx.barrier();
 }
 
@@ -108,8 +108,11 @@ class CountPrimes final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "CountPrimes"; }
 
-  [[nodiscard]] RunResult run(Mode mode, int units,
-                              const sim::SccConfig& config) const override {
+  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // static type — Benchmark::run's declaration owns it.)
+  [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
+                              const sim::SccMachine::MpbScope& mpb_scope)
+      const override {
     RunResult result;
     result.benchmark = name();
     result.mode = mode;
@@ -136,8 +139,9 @@ class CountPrimes final : public Benchmark {
       const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return primesRcce(ctx, p, acc, mpb_acc, use_mpb);
-      });
+      }, mpb_scope);
       result.makespan = machine.run();
+      result.mpb_scope_violations = machine.mpbScopeViolations();
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 

@@ -48,7 +48,7 @@ sim::SimTask dotThread(threadrt::ThreadContext& ctx, DotParams p, std::uint64_t 
   co_await ctx.memRead(sum_addr, &global, sizeof(global));
   global += sum;
   co_await ctx.memWrite(sum_addr, &global, sizeof(global));
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
 }
 
 sim::SimTask dotRcce(sim::CoreContext& ctx, DotParams p, rcce::ShmArray<double> a,
@@ -83,7 +83,7 @@ sim::SimTask dotRcce(sim::CoreContext& ctx, DotParams p, rcce::ShmArray<double> 
   co_await acc.read(ctx, 0, &global);
   global += sum;
   co_await acc.write(ctx, 0, global);
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
   co_await ctx.barrier();
 }
 
@@ -96,8 +96,11 @@ class DotProduct final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "DotProduct"; }
 
-  [[nodiscard]] RunResult run(Mode mode, int units,
-                              const sim::SccConfig& config) const override {
+  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // static type — Benchmark::run's declaration owns it.)
+  [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
+                              const sim::SccMachine::MpbScope& mpb_scope)
+      const override {
     RunResult result;
     result.benchmark = name();
     result.mode = mode;
@@ -138,8 +141,9 @@ class DotProduct final : public Benchmark {
       const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return dotRcce(ctx, p, a, b, acc, stage, use_mpb);
-      });
+      }, mpb_scope);
       result.makespan = machine.run();
+      result.mpb_scope_violations = machine.mpbScopeViolations();
       computed = *acc.hostData();
     }
 

@@ -127,8 +127,11 @@ class LuDecomposition final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "LU"; }
 
-  [[nodiscard]] RunResult run(Mode mode, int units,
-                              const sim::SccConfig& config) const override {
+  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // static type — Benchmark::run's declaration owns it.)
+  [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
+                              const sim::SccMachine::MpbScope& mpb_scope)
+      const override {
     RunResult result;
     result.benchmark = name();
     result.mode = mode;
@@ -156,8 +159,9 @@ class LuDecomposition final : public Benchmark {
       const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return luRcce(ctx, p, m, pivot_stage, use_mpb);
-      });
+      }, mpb_scope);
       result.makespan = machine.run();
+      result.mpb_scope_violations = machine.mpbScopeViolations();
       verified = verifyLu(m.hostData(), p.n);
     }
 

@@ -48,7 +48,7 @@ sim::SimTask piThread(threadrt::ThreadContext& ctx, PiParams p,
   co_await ctx.memRead(sum_addr, &global, sizeof(double));
   global += sum * step;
   co_await ctx.memWrite(sum_addr, &global, sizeof(double));
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
 }
 
 sim::SimTask piRcce(sim::CoreContext& ctx, PiParams p, rcce::ShmArray<double> acc,
@@ -76,7 +76,7 @@ sim::SimTask piRcce(sim::CoreContext& ctx, PiParams p, rcce::ShmArray<double> ac
     global += sum * step;
     co_await acc.write(ctx, 0, global);
   }
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
   co_await ctx.barrier();
 }
 
@@ -89,8 +89,11 @@ class PiApprox final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "PiApprox"; }
 
-  [[nodiscard]] RunResult run(Mode mode, int units,
-                              const sim::SccConfig& config) const override {
+  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // static type — Benchmark::run's declaration owns it.)
+  [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
+                              const sim::SccMachine::MpbScope& mpb_scope)
+      const override {
     RunResult result;
     result.benchmark = name();
     result.mode = mode;
@@ -117,8 +120,9 @@ class PiApprox final : public Benchmark {
       const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return piRcce(ctx, p, acc, mpb_acc, use_mpb);
-      });
+      }, mpb_scope);
       result.makespan = machine.run();
+      result.mpb_scope_violations = machine.mpbScopeViolations();
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 

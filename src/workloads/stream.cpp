@@ -196,8 +196,11 @@ class Stream final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "Stream"; }
 
-  [[nodiscard]] RunResult run(Mode mode, int units,
-                              const sim::SccConfig& config) const override {
+  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // static type — Benchmark::run's declaration owns it.)
+  [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
+                              const sim::SccMachine::MpbScope& mpb_scope)
+      const override {
     RunResult result;
     result.benchmark = name();
     result.mode = mode;
@@ -233,8 +236,9 @@ class Stream final : public Benchmark {
       const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return streamRcce(ctx, p, a, b, c, stage, use_mpb);
-      });
+      }, mpb_scope);
       result.makespan = machine.run();
+      result.mpb_scope_violations = machine.mpbScopeViolations();
       verified = checkArrays(a.hostData(), b.hostData(), c.hostData(), p.n);
     }
 

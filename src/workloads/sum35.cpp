@@ -45,7 +45,7 @@ sim::SimTask sum35Thread(threadrt::ThreadContext& ctx, Sum35Params p,
   co_await ctx.memRead(sum_addr, &global, sizeof(global));
   global += sum;
   co_await ctx.memWrite(sum_addr, &global, sizeof(global));
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
 }
 
 sim::SimTask sum35Rcce(sim::CoreContext& ctx, Sum35Params p,
@@ -70,7 +70,7 @@ sim::SimTask sum35Rcce(sim::CoreContext& ctx, Sum35Params p,
     global += sum;
     co_await acc.write(ctx, 0, global);
   }
-  ctx.lockRelease(kSumLock);
+  co_await ctx.lockRelease(kSumLock);
   co_await ctx.barrier();
 }
 
@@ -83,8 +83,11 @@ class Sum35 final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "3-5-Sum"; }
 
-  [[nodiscard]] RunResult run(Mode mode, int units,
-                              const sim::SccConfig& config) const override {
+  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // static type — Benchmark::run's declaration owns it.)
+  [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
+                              const sim::SccMachine::MpbScope& mpb_scope)
+      const override {
     RunResult result;
     result.benchmark = name();
     result.mode = mode;
@@ -111,8 +114,9 @@ class Sum35 final : public Benchmark {
       const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return sum35Rcce(ctx, p, acc, mpb_acc, use_mpb);
-      });
+      }, mpb_scope);
       result.makespan = machine.run();
+      result.mpb_scope_violations = machine.mpbScopeViolations();
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 

@@ -357,7 +357,7 @@ SimTask criticalSection(CoreContext& ctx, int* counter, bool* race) {
     co_await ctx.compute(50);
     if (*counter != seen) *race = true;  // someone else got in
     *counter = seen + 1;
-    ctx.lockRelease(0);
+    co_await ctx.lockRelease(0);
   }
 }
 
@@ -486,7 +486,7 @@ SimTask contendedKernel(CoreContext& ctx, std::uint64_t blocks_base,
     co_await ctx.shmRead(counter_off, &counter, sizeof(counter));
     ++counter;
     co_await ctx.shmWrite(counter_off, &counter, sizeof(counter));
-    ctx.lockRelease(0);
+    co_await ctx.lockRelease(0);
     co_await ctx.barrier();
   }
   std::uint64_t final_counter = 0;
@@ -611,7 +611,7 @@ SimTask wakeOrderKernel(CoreContext& ctx, std::uint64_t base,
   wake_order->push_back(ctx.ue());
   co_await ctx.lockAcquire(0);
   grant_order->push_back(ctx.ue());
-  ctx.lockRelease(0);
+  co_await ctx.lockRelease(0);
 }
 
 std::pair<std::vector<int>, std::vector<int>> runWakeOrder(bool coalescing) {

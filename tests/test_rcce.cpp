@@ -93,7 +93,7 @@ SimTask lockedIncrement(CoreContext& ctx, ShmArray<long long> acc) {
     long long v = 0;
     co_await acc.read(ctx, 0, &v);
     co_await acc.write(ctx, 0, v + 1);
-    releaseLock(ctx, 3);
+    co_await releaseLock(ctx, 3);
   }
 }
 

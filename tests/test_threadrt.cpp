@@ -69,7 +69,7 @@ SimTask mutexThread(ThreadContext& ctx, std::uint64_t addr) {
     co_await ctx.memRead(addr, &v, sizeof(v));
     v += 1;
     co_await ctx.memWrite(addr, &v, sizeof(v));
-    ctx.lockRelease(0);
+    co_await ctx.lockRelease(0);
   }
 }
 
