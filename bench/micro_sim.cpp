@@ -9,8 +9,12 @@
 // per-resource coalescing, and coalescing off — and verify the engine's
 // equivalence bar: coalescing may eliminate events but must leave the
 // makespan and every per-task completion Tick bit-identical across all
-// modes. A violated bar makes the process exit non-zero, so this binary
-// doubles as a CI smoke test.
+// modes. Scenarios with a plan-driven twin (ExecutionPlan-launched,
+// regions mapped in the cacheability map) hold the twin to the same
+// bit-identity bar, and the mixed_policy_8ue scenario gates the
+// ExecutionPlan payoff: a per-region cached/uncached split must beat both
+// machine-wide settings. A violated bar makes the process exit non-zero,
+// so this binary doubles as a CI smoke test.
 //
 // Reported per timed run: host wall seconds, engine events, events/sec,
 // simulated uncached words / MPB chunks and the engine events they cost
@@ -27,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "partition/execution_plan.h"
 #include "rcce/rcce.h"
 #include "sim/machine.h"
 
@@ -57,6 +62,7 @@ struct RunStats {
   std::uint64_t swcache_wt_words = 0;  ///< written-through subset (also in shm_words)
   std::uint64_t swcache_line_txns = 0;  ///< line fills + dirty write-backs
   std::uint64_t swcache_line_events = 0;
+  std::uint64_t mpb_scope_violations = 0;  ///< accesses outside a declared plan
   Tick makespan = 0;
   std::vector<Tick> completions;
   std::vector<std::uint8_t> result_bytes;  ///< extracted output region
@@ -112,9 +118,15 @@ struct Workload {
   /// Feeds the process exit code: a silent protocol regression that stops
   /// caching read-mostly data must fail CI, not just shift a metric.
   double min_hit_rate = 0.0;
+  /// Optional plan-driven twin of `setup` (ExecutionPlan-launched, regions
+  /// mapped in the cacheability map): when present, its Ticks must be
+  /// bit-identical to the legacy-knob runs — the plan API cutover must not
+  /// move a single Tick on existing scenarios.
+  std::function<void(sim::SccMachine&)> setup_plan;
 };
 
-RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
+RunStats runWorkloadOnce(const Workload& w, const Mode& mode,
+                         bool plan_setup = false) {
   RunStats stats;
   for (int rep = 0; rep < w.repetitions; ++rep) {
     sim::SccConfig cfg;
@@ -127,7 +139,7 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
     cfg.shm_swcache = mode.swcache != 0;
     cfg.swcache_policy = mode.swcache == 2 ? 1 : 0;
     sim::SccMachine machine(cfg);
-    w.setup(machine);
+    (plan_setup ? w.setup_plan : w.setup)(machine);
     stats.makespan = machine.run();
     stats.wall_seconds += machine.engine().wallSeconds();
     stats.events += machine.engine().eventsProcessed();
@@ -141,6 +153,7 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
     stats.swcache_wt_words += sw.writethrough_words;
     stats.swcache_line_txns += machine.swcacheLinesSimulated();
     stats.swcache_line_events += machine.swcacheLineEvents();
+    stats.mpb_scope_violations += machine.mpbScopeViolations();
     if (rep == 0) {
       for (int ue = 0; ue < w.ues; ++ue) {
         stats.completions.push_back(
@@ -159,10 +172,10 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode) {
 /// are identical per trial), only host wall time varies, so the minimum wall
 /// is the peak-throughput measurement the BENCH_*.json trajectory tracks —
 /// far more stable across runs and machines than a single timing.
-RunStats runWorkload(const Workload& w, const Mode& mode) {
-  RunStats best = runWorkloadOnce(w, mode);
+RunStats runWorkload(const Workload& w, const Mode& mode, bool plan_setup = false) {
+  RunStats best = runWorkloadOnce(w, mode, plan_setup);
   for (int trial = 1; trial < 3; ++trial) {
-    RunStats next = runWorkloadOnce(w, mode);
+    RunStats next = runWorkloadOnce(w, mode, plan_setup);
     if (next.wall_seconds < best.wall_seconds) best = std::move(next);
   }
   return best;
@@ -333,6 +346,41 @@ sim::SimTask luSharedCached(sim::CoreContext& ctx, std::uint64_t m0, std::size_t
   }
 }
 
+/// The ExecutionPlan mixed-policy showcase: ONE run combining a read-mostly
+/// lookup table (where caching wins) with a lock-guarded reduction cell
+/// (where uncached words win — every cached update costs a line fill plus a
+/// release-point write-back instead of two cheap word transactions). Neither
+/// machine-wide swcache setting can serve both; the per-region cacheability
+/// map can.
+sim::SimTask mixedPolicy(sim::CoreContext& ctx, std::uint64_t table,
+                         std::uint64_t cell, std::uint64_t out, int rounds,
+                         int sweeps, int updates, std::size_t window_bytes) {
+  std::vector<std::uint64_t> buf(window_bytes / 8);
+  const std::uint64_t mine =
+      table + static_cast<std::uint64_t>(ctx.ue()) * window_bytes;
+  std::uint64_t results[8] = {};
+  for (int r = 0; r < rounds; ++r) {
+    std::uint64_t acc = 0;
+    for (int s = 0; s < sweeps; ++s) {
+      co_await ctx.shmRead(mine, buf.data(), window_bytes);
+      for (const std::uint64_t v : buf) acc += v * (static_cast<std::uint64_t>(s) + 1);
+      co_await ctx.computeOps(buf.size(), sim::OpClass::IntAlu);
+    }
+    for (int u = 0; u < updates; ++u) {
+      co_await ctx.lockAcquire(0);
+      std::uint64_t value = 0;
+      co_await ctx.shmRead(cell, &value, sizeof(value));
+      value += 1 + (acc & 1);
+      co_await ctx.shmWrite(cell, &value, sizeof(value));
+      co_await ctx.lockRelease(0);
+    }
+    for (std::uint64_t& v : results) v = acc ^ (v << 1);
+    co_await ctx.shmWrite(out + static_cast<std::uint64_t>(ctx.ue()) * sizeof(results),
+                          results, sizeof(results));
+    co_await ctx.barrier();
+  }
+}
+
 sim::SimTask mpbPingPong(sim::CoreContext& ctx, std::uint64_t off, int rounds) {
   std::uint8_t buf[64] = {};
   const int peer = ctx.ue() == 0 ? 1 : 0;
@@ -395,7 +443,23 @@ int main() {
   // Shared-memory word-granular scenarios: three-way equivalence matrix
   // (per-controller horizon / legacy global horizon / coalescing off) with a
   // hard tick-equivalence check across all modes.
+  //
+  // The two MPB scenarios launch plan-driven: an ExecutionPlan supplies the
+  // per-UE owner sets that used to be hand-built MpbScope lambdas. The plans
+  // outlive the setup lambdas that capture them.
   const std::size_t kBlock = 4096;
+  using partition::ExecutionPlan;
+  using partition::MpbPattern;
+  using partition::PlacementClass;
+  using partition::RegionPlan;
+  const ExecutionPlan ring_plan{{RegionPlan{
+      "ring_slot", PlacementClass::kOnChipResident, MpbPattern::kNeighborRing,
+      2 * 1024}}};
+  const ExecutionPlan mixed_plan{
+      {RegionPlan{"blocks", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                  8 * kBlock},
+       RegionPlan{"slot", PlacementClass::kOnChipResident, MpbPattern::kNeighborRing,
+                  512}}};
   std::vector<Workload> ab = {
       {"shm_words_single_ue", 1, 200,
        [&](sim::SccMachine& m) {
@@ -429,29 +493,49 @@ int main() {
       {"rcce_ring_1k_8ue", 8, 30,
        [&](sim::SccMachine& m) {
          rcce::RcceEnv env(m);
-         // Two parity buffers of 1 KB each (rcceRing double-buffers).
+         // Two parity buffers of 1 KB each (rcceRing double-buffers). The
+         // plan's neighbor-ring pattern materializes the {ue, right} owner
+         // sets the hand-built lambda used to declare.
          const std::uint64_t slot = env.mpbMallocSymmetric(8, 2 * 1024);
          m.launch(
-             8,
-             [=](sim::CoreContext& ctx) { return rcceRing(ctx, slot, 8, 1024); },
-             [](int ue, int num_ues) {
-               return std::vector<int>{ue, (ue + 1) % num_ues};
-             });
+             8, [=](sim::CoreContext& ctx) { return rcceRing(ctx, slot, 8, 1024); },
+             &ring_plan);
        }},
       {"mixed_shm_mpb_8ue", 8, 20,
        [&](sim::SccMachine& m) {
          rcce::RcceEnv env(m);
          const std::uint64_t base = m.shmalloc(8 * kBlock);
          const std::uint64_t slot = env.mpbMallocSymmetric(8, 512);
+         m.setShmCacheability(base, base + 8 * kBlock, false);  // plan: uncached
          m.launch(
              8,
              [=](sim::CoreContext& ctx) {
                return mixedShmMpb(ctx, base, slot, 8, kBlock, 512);
              },
-             [](int ue, int num_ues) {
-               return std::vector<int>{ue, (ue + 1) % num_ues};
-             });
+             &mixed_plan);
        }},
+  };
+  // Plan-driven twins of two legacy-knob word scenarios: identical kernels,
+  // but regions explicitly mapped off-chip-uncached in the cacheability map
+  // and launched through an (MPB-free) ExecutionPlan. The identity check
+  // below requires their Ticks to match the legacy runs bit for bit — the
+  // acceptance bar for the ExecutionPlan API cutover.
+  static const ExecutionPlan word_plan{{RegionPlan{
+      "blocks", PlacementClass::kOffChipUncached, MpbPattern::kNone, 9 * kBlock}}};
+  ab[1].setup_plan = [&](sim::SccMachine& m) {
+    const std::uint64_t base = m.shmalloc(8 * kBlock);
+    m.setShmCacheability(base, base + 8 * kBlock, false);
+    m.launch(8, [=](sim::CoreContext& ctx) {
+      return staggeredMix(ctx, base, 16, kBlock);
+    }, &word_plan);
+  };
+  ab[2].setup_plan = [&](sim::SccMachine& m) {
+    const std::uint64_t base = m.shmalloc(8 * kBlock + 8);
+    const std::uint64_t counter = m.shmalloc(8);
+    m.setShmCacheability(base, counter + 8, false);
+    m.launch(8, [=](sim::CoreContext& ctx) {
+      return syncedMix(ctx, base, counter, 8, kBlock);
+    }, &word_plan);
   };
 
   bool first = true;
@@ -464,12 +548,20 @@ int main() {
     // Sync-blind: scoped horizons but the blunt any-blocked-task-goes-global
     // fallback — isolates what the wake-chain rule buys on synced phases.
     const RunStats blind = runWorkload(w, Mode{true, true, 1, false});
-    const bool identical = on.makespan == off.makespan &&
-                           on.completions == off.completions &&
-                           global.makespan == off.makespan &&
-                           global.completions == off.completions &&
-                           blind.makespan == off.makespan &&
-                           blind.completions == off.completions;
+    bool identical = on.makespan == off.makespan &&
+                     on.completions == off.completions &&
+                     global.makespan == off.makespan &&
+                     global.completions == off.completions &&
+                     blind.makespan == off.makespan &&
+                     blind.completions == off.completions;
+    if (w.setup_plan) {
+      // ExecutionPlan-launched, cacheability-mapped twin: the plan-driven
+      // API must not move a single Tick on legacy-knob scenarios.
+      const RunStats plan_run =
+          runWorkload(w, Mode{true, true, 1, true}, /*plan_setup=*/true);
+      identical = identical && plan_run.makespan == off.makespan &&
+                  plan_run.completions == off.completions;
+    }
     all_identical = all_identical && identical;
 
     const double event_reduction =
@@ -601,6 +693,99 @@ int main() {
       json += buf;
     }
   }
+
+  // Mixed-policy scenario (the ExecutionPlan payoff run): a cached
+  // read-mostly table plus an uncached lock-guarded reduction cell in ONE
+  // run, via the per-region cacheability map. Gated: the mixed plan must
+  // beat BOTH machine-wide settings on simulated words per simulated second
+  // (deterministic, so an exact comparison), produce bit-identical
+  // functional results, clear the table hit-rate bar, and record zero MPB
+  // scope violations under its (MPB-free) declared plan.
+  bool policy_ok = true;
+  {
+    constexpr std::size_t kWindow = 4096;
+    constexpr int kRounds = 4, kSweeps = 8, kUpdates = 32;
+    const ExecutionPlan policy_plan{
+        {RegionPlan{"table", PlacementClass::kOffChipCached, MpbPattern::kNone,
+                    8 * kWindow},
+         RegionPlan{"cell", PlacementClass::kOffChipUncached, MpbPattern::kNone, 64},
+         RegionPlan{"out", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    8 * 64}}};
+    // policy: 0 = plan-driven mixed map, 1 = everything cached (the
+    // machine-wide shm_swcache knob), 2 = everything uncached.
+    auto makeWorkload = [&](int policy) {
+      Workload w;
+      w.name = "mixed_policy_8ue";
+      w.ues = 8;
+      w.repetitions = 6;
+      w.extract_offset = 8 * kWindow;        // cell (line-padded) + out region
+      w.extract_bytes = 64 + 8 * 64;
+      // (No min_hit_rate: that field only gates the swcache A/B loop above.
+      // The mixed run's bar — exactly 7/8 steady state with 8 sweeps/round,
+      // the first sweep of each round fills every line — is enforced in
+      // policy_ok below.)
+      w.setup = [&policy_plan, policy, kWindow, kRounds, kSweeps,
+                 kUpdates](sim::SccMachine& m) {
+        const std::uint64_t table = m.shmalloc(8 * kWindow);
+        const std::uint64_t cell = m.shmalloc(64);  // own line: no false sharing
+        const std::uint64_t out = m.shmalloc(8 * 64);
+        auto* g = reinterpret_cast<std::uint64_t*>(m.shmData(table));
+        for (std::size_t i = 0; i < 8 * kWindow / 8; ++i) {
+          g[i] = 0x9e3779b97f4a7c15ull * (i + 1);
+        }
+        if (policy == 0) {
+          m.setShmCacheability(table, table + 8 * kWindow, true);
+          m.setShmCacheability(cell, cell + 64, false);
+          m.setShmCacheability(out, out + 8 * 64, false);
+        }
+        m.launch(8,
+                 [=](sim::CoreContext& ctx) {
+                   return mixedPolicy(ctx, table, cell, out, kRounds, kSweeps,
+                                      kUpdates, kWindow);
+                 },
+                 policy == 0 ? &policy_plan : nullptr);
+      };
+      return w;
+    };
+    const RunStats mixed = runWorkload(makeWorkload(0), Mode{true, true, 1, true, 0});
+    const RunStats cached = runWorkload(makeWorkload(1), Mode{true, true, 1, true, 1});
+    const RunStats uncached = runWorkload(makeWorkload(2), Mode{true, true, 1, true, 0});
+
+    // Simulated words per simulated second: deterministic (derived from the
+    // makespan, not host wall time), so the "mixed beats both" bar is exact.
+    auto simRate = [](const RunStats& s, int reps) {
+      return s.makespan > 0 ? static_cast<double>(s.logicalWords() /
+                                                  static_cast<std::uint64_t>(reps)) /
+                                  (static_cast<double>(s.makespan) * 1e-12)
+                            : 0.0;
+    };
+    const double mixed_rate = simRate(mixed, 6);
+    const double cached_rate = simRate(cached, 6);
+    const double uncached_rate = simRate(uncached, 6);
+    const bool functional = mixed.result_bytes == uncached.result_bytes &&
+                            cached.result_bytes == uncached.result_bytes;
+    policy_ok = functional && mixed.swcacheHitRate() >= 0.85 &&
+                mixed.mpb_scope_violations == 0 && mixed_rate > cached_rate &&
+                mixed_rate > uncached_rate;
+
+    json += ",\n    {\"name\": \"mixed_policy_8ue\",\n";
+    printRun(&json, "coalesced", mixed);
+    json += ",\n";
+    printRun(&json, "all_cached", cached);
+    json += ",\n";
+    printRun(&json, "all_uncached", uncached);
+    char buf[400];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"functional_identical\": %s, "
+                  "\"swcache_hit_rate\": %.4f, \"mpb_scope_violations\": %llu, "
+                  "\"sim_words_per_sim_sec\": {\"mixed\": %.0f, \"all_cached\": %.0f, "
+                  "\"all_uncached\": %.0f}, \"policy_wins\": %s}",
+                  functional ? "true" : "false", mixed.swcacheHitRate(),
+                  static_cast<unsigned long long>(mixed.mpb_scope_violations),
+                  mixed_rate, cached_rate, uncached_rate,
+                  policy_ok ? "true" : "false");
+    json += buf;
+  }
   json += "\n  ],\n";
 
   // Fairness-quantum error sweep: Tick error of shm_fairness_quantum_words
@@ -640,7 +825,9 @@ int main() {
   json += std::string("  \"ticks_identical_all\": ") +
           (all_identical ? "true" : "false") + ",\n";
   json += std::string("  \"swcache_checks_ok\": ") + (swcache_ok ? "true" : "false") +
+          ",\n";
+  json += std::string("  \"policy_checks_ok\": ") + (policy_ok ? "true" : "false") +
           "\n}\n";
   std::fputs(json.c_str(), stdout);
-  return all_identical && swcache_ok ? 0 : 1;
+  return all_identical && swcache_ok && policy_ok ? 0 : 1;
 }

@@ -41,5 +41,23 @@ int main() {
                 freq ? "frequency-aware" : "size-ascending (Alg 3)",
                 result.plan.onchipAccessFraction());
   }
+
+  // The full translator→runtime contract per paper benchmark: placement
+  // classes refined from the stage-2 sharing tables plus the exact per-UE
+  // MPB put/get owner sets the runtime's port isolation relies on
+  // (docs/execution_plan.md).
+  std::printf("\n=== ExecutionPlan per paper benchmark (8 UEs) ===\n");
+  for (const std::string& name : workloads::pthreadSourceNames()) {
+    translator::Translator translator;
+    const auto result =
+        translator.analyzeOnly(workloads::pthreadSource(name), name + ".c");
+    if (!result.ok) {
+      std::printf("%s: analysis failed:\n%s\n", name.c_str(),
+                  result.diagnostics.c_str());
+      return 1;
+    }
+    std::printf("\n--- %s ---\n%s", name.c_str(),
+                result.execution_plan.format(8).c_str());
+  }
   return 0;
 }

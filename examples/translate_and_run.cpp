@@ -1,18 +1,16 @@
-// End-to-end workflow on one benchmark: take the Pthreads C source of the
-// Stream benchmark (paper Algorithms 13–16), run it through the
-// source-to-source translator, show the generated RCCE program, and then
-// execute the simulator twin of the same workload in all three
-// configurations (the paper's Figs. 6.1/6.2 data points for Stream).
+// End-to-end workflow over the whole suite: take the Pthreads C source of
+// each paper benchmark, run it through the source-to-source translator, and
+// execute the simulator twin in plan-driven mode — the translator's
+// ExecutionPlan (per-variable placement classes, exact per-UE MPB owner
+// sets, per-region cacheability; docs/execution_plan.md) drives the
+// workload's realization end to end instead of hand-reasoned use_mpb bools
+// and MpbScope lambdas.
 //
-// The translator's stage-4 memory plan also yields the workload's MPB
-// communication scope: on-chip placements are realized as symmetric per-UE
-// slice allocations that each UE stages through locally, and reductions
-// funnel through UE 0's slot. That scope is passed to launch(), giving the
-// translated workload tight per-port engine reach sets (port-isolated
-// coalescing) for free; any access outside the promise is counted and fails
-// this example.
+// CI smoke-runs this binary: any verification failure or any MPB access
+// outside the plan's declared owner sets exits non-zero, gating the whole
+// translator→simulator pipeline including the plan-derived port isolation
+// and per-region swcache routing.
 #include <cstdio>
-#include <vector>
 
 #include "translator/translator.h"
 #include "workloads/benchmark.h"
@@ -20,54 +18,64 @@
 int main() {
   using namespace hsm;
 
-  // 1. Translate the Pthreads source.
-  const std::string& source = workloads::pthreadSource("Stream");
-  translator::Translator translator;
-  const translator::TranslationResult result = translator.translate(source, "stream.c");
-  if (!result.ok) {
-    std::printf("translation failed:\n%s\n", result.diagnostics.c_str());
-    return 1;
-  }
-  std::printf("=== Stage 1-3 analysis: shared data in stream.c ===\n");
-  for (const auto* v : result.analysis.sharedVariables()) {
-    std::printf("  %-8s %6zu bytes, ~%.0f accesses\n", v->name.c_str(), v->byte_size,
-                v->totalWeightedAccesses());
-  }
-  std::printf("\n=== Stage 4 memory plan ===\n%s\n", result.plan.format().c_str());
-  std::printf("=== Translated RCCE source ===\n%s\n", result.output_source.c_str());
-
-  // 2. Derive the MPB scope from the stage-4 plan: every UE touches its own
-  // symmetric slice (on-chip staging) plus UE 0's (reduction root). The
-  // declared set is a promise the engine's per-port reach isolation relies
-  // on — violations below void it and fail the example.
-  const sim::SccMachine::MpbScope scope = [](int ue, int /*num_ues*/) {
-    return std::vector<int>{ue, 0};
-  };
-  std::printf("=== MPB scope from stage-4 plan: {ue, 0} per UE (%zu B on-chip) ===\n",
-              result.plan.onchip_used);
-
-  // 3. Execute the workload on the simulated SCC in all three modes. A
-  // failed verification (or a scope violation) fails the process, so CI
-  // smoke-running this binary gates the whole translator→simulator pipeline
-  // including the plan-derived port isolation.
   const sim::SccConfig config;
-  const auto stream = workloads::makeStream(0.5);
-  bool all_verified = true;
-  std::printf("=== Simulated execution (32 units) ===\n");
-  for (const workloads::Mode mode :
-       {workloads::Mode::PthreadSingleCore, workloads::Mode::RcceOffChip,
-        workloads::Mode::RcceMpb}) {
-    const workloads::RunResult r = stream->run(mode, 32, config, scope);
-    const bool scope_ok = r.mpb_scope_violations == 0;
-    all_verified = all_verified && r.verified && scope_ok;
-    std::printf("  %-16s %10.3f ms   verified=%s (%s)%s\n", workloads::modeName(mode),
-                sim::ticksToMilliseconds(r.makespan), r.verified ? "yes" : "NO",
-                r.detail.c_str(),
-                scope_ok ? "" : "  MPB SCOPE VIOLATED");
-    if (!scope_ok) {
-      std::printf("    %llu accesses outside the declared MpbScope\n",
-                  static_cast<unsigned long long>(r.mpb_scope_violations));
+  constexpr int kUnits = 16;
+  bool all_ok = true;
+
+  for (const auto& bench : workloads::standardSuite(0.4)) {
+    // 1. Translate the Pthreads source.
+    const std::string& source = workloads::pthreadSource(bench->name());
+    translator::Translator translator;
+    const translator::TranslationResult result =
+        translator.translate(source, bench->name() + ".c");
+    if (!result.ok) {
+      std::printf("%s: translation failed:\n%s\n", bench->name().c_str(),
+                  result.diagnostics.c_str());
+      return 1;
     }
+
+    std::printf("=== %s: stage-4 memory plan ===\n%s\n", bench->name().c_str(),
+                result.plan.format().c_str());
+    std::printf("=== %s: ExecutionPlan (translator→runtime contract) ===\n%s\n",
+                bench->name().c_str(), result.execution_plan.format(kUnits).c_str());
+
+    // 2. Execute the simulator twin with the translated plan driving
+    // placement, scope, and cacheability. A failed verification or a scope
+    // violation fails the process.
+    for (const workloads::Mode mode :
+         {workloads::Mode::RcceOffChip, workloads::Mode::RcceMpb}) {
+      const workloads::RunResult r =
+          bench->run(mode, kUnits, config, &result.execution_plan);
+      const bool scope_ok = r.mpb_scope_violations == 0;
+      // Unrealized regions mean translator/workload region-name drift: the
+      // plan asked for behavior nobody realized — fail loudly, not silently.
+      const bool plan_ok = r.plan_regions_unrealized == 0;
+      all_ok = all_ok && r.verified && scope_ok && plan_ok;
+      std::printf("  %-16s %10.3f ms   verified=%s (%s)%s%s\n",
+                  workloads::modeName(mode), sim::ticksToMilliseconds(r.makespan),
+                  r.verified ? "yes" : "NO", r.detail.c_str(),
+                  scope_ok ? "" : "  MPB SCOPE VIOLATED",
+                  plan_ok ? "" : "  PLAN REGION UNREALIZED");
+      if (!scope_ok) {
+        std::printf("    %llu accesses outside the plan's owner sets\n",
+                    static_cast<unsigned long long>(r.mpb_scope_violations));
+      }
+      if (!plan_ok) {
+        std::printf("    %llu plan region(s) not recognized by the workload twin\n",
+                    static_cast<unsigned long long>(r.plan_regions_unrealized));
+      }
+    }
+    std::printf("\n");
   }
-  return all_verified ? 0 : 1;
+
+  // 3. One single-core pthread baseline (Stream, the old example's anchor)
+  // so the translated speedups above stay interpretable.
+  const auto stream = workloads::makeStream(0.4);
+  const workloads::RunResult base =
+      stream->run(workloads::Mode::PthreadSingleCore, kUnits, config);
+  all_ok = all_ok && base.verified;
+  std::printf("=== Stream pthread-1core baseline: %.3f ms, verified=%s ===\n",
+              sim::ticksToMilliseconds(base.makespan), base.verified ? "yes" : "NO");
+
+  return all_ok ? 0 : 1;
 }

@@ -2,9 +2,15 @@
 """Gate the micro_sim bench trajectory: BENCH_pr.json vs BENCH_baseline.json.
 
 Fails (exit 1) when:
-  * any Tick equivalence check in the PR run is violated,
+  * any Tick equivalence check in the PR run is violated (this includes the
+    ExecutionPlan-driven twins: plan-launched runs must match the
+    legacy-knob Ticks bit for bit),
   * any swcache check (DRF functional identity across cached/uncached
     routings, the read-mostly hit-rate bar) in the PR run is violated,
+  * any mixed-policy check is violated (mixed_policy_8ue: the per-region
+    plan must beat both machine-wide cacheability settings on simulated
+    words per simulated second, with bit-identical functional results and
+    zero MPB scope violations),
   * a scenario present in the baseline is missing from the PR run,
   * simulator throughput of a scenario's coalesced run regresses more than
     the tolerance (default 15%, override with --tolerance) after normalizing
@@ -73,6 +79,13 @@ def main() -> int:
         failures.append(
             "swcache_checks_ok is false: DRF functional identity or the "
             "read-mostly hit-rate bar was violated"
+        )
+    # Absent in pre-ExecutionPlan result files; present files must pass.
+    if not pr.get("policy_checks_ok", True):
+        failures.append(
+            "policy_checks_ok is false: the mixed per-region plan no longer "
+            "beats both machine-wide cacheability settings (or its "
+            "functional/hit-rate/scope checks failed)"
         )
 
     def throughput(run):

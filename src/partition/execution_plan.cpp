@@ -1,0 +1,134 @@
+#include "partition/execution_plan.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hsm::partition {
+namespace {
+
+void appendOwners(std::vector<int>* out, MpbPattern pattern, bool put, int ue,
+                  int num_ues) {
+  switch (pattern) {
+    case MpbPattern::kNone:
+      break;
+    case MpbPattern::kSelfStage:
+      out->push_back(ue);
+      break;
+    case MpbPattern::kRootFunnel:
+      out->push_back(0);
+      break;
+    case MpbPattern::kRotatingBroadcast:
+      if (put) {
+        out->push_back(ue);  // each UE publishes from its own slice in turn
+      } else {
+        for (int u = 0; u < num_ues; ++u) out->push_back(u);
+      }
+      break;
+    case MpbPattern::kNeighborRing:
+      out->push_back(put ? (ue + 1) % num_ues : ue);
+      break;
+  }
+}
+
+void sortUnique(std::vector<int>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+std::string ownerListString(const std::vector<int>& owners, int num_ues) {
+  if (owners.size() == static_cast<std::size_t>(num_ues) && num_ues > 2) {
+    return "{all}";
+  }
+  std::string s = "{";
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(owners[i]);
+  }
+  return s + "}";
+}
+
+}  // namespace
+
+const char* placementName(PlacementClass c) {
+  switch (c) {
+    case PlacementClass::kOnChipResident: return "on-chip-resident";
+    case PlacementClass::kOnChipStaged: return "on-chip-staged";
+    case PlacementClass::kOffChipUncached: return "off-chip-uncached";
+    case PlacementClass::kOffChipCached: return "off-chip-cached";
+  }
+  return "?";
+}
+
+const char* mpbPatternName(MpbPattern p) {
+  switch (p) {
+    case MpbPattern::kNone: return "none";
+    case MpbPattern::kSelfStage: return "self-stage";
+    case MpbPattern::kRootFunnel: return "root-funnel";
+    case MpbPattern::kRotatingBroadcast: return "rotating-broadcast";
+    case MpbPattern::kNeighborRing: return "neighbor-ring";
+  }
+  return "?";
+}
+
+const RegionPlan* ExecutionPlan::find(std::string_view name) const {
+  for (const RegionPlan& r : regions) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+ExecutionPlan::OwnerSets ExecutionPlan::mpbOwners(int ue, int num_ues) const {
+  OwnerSets sets;
+  for (const RegionPlan& r : regions) {
+    if (!r.onChip()) continue;
+    appendOwners(&sets.put, r.pattern, /*put=*/true, ue, num_ues);
+    appendOwners(&sets.get, r.pattern, /*put=*/false, ue, num_ues);
+  }
+  sortUnique(&sets.put);
+  sortUnique(&sets.get);
+  return sets;
+}
+
+std::vector<int> ExecutionPlan::mpbScopeOwners(int ue, int num_ues) const {
+  OwnerSets sets = mpbOwners(ue, num_ues);
+  sets.put.insert(sets.put.end(), sets.get.begin(), sets.get.end());
+  sortUnique(&sets.put);
+  return std::move(sets.put);
+}
+
+bool ExecutionPlan::anyMpbTraffic() const {
+  for (const RegionPlan& r : regions) {
+    if (r.onChip() && r.pattern != MpbPattern::kNone) return true;
+  }
+  return false;
+}
+
+bool ExecutionPlan::anyCachedRegion() const {
+  for (const RegionPlan& r : regions) {
+    if (r.cached()) return true;
+  }
+  return false;
+}
+
+std::string ExecutionPlan::format(int num_ues) const {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "Region" << std::setw(10) << "Bytes"
+     << std::setw(19) << "Placement" << std::setw(20) << "MPB pattern" << '\n';
+  os << std::string(63, '-') << '\n';
+  for (const RegionPlan& r : regions) {
+    os << std::left << std::setw(14) << r.name << std::setw(10) << r.bytes
+       << std::setw(19) << placementName(r.placement) << std::setw(20)
+       << mpbPatternName(r.pattern) << '\n';
+  }
+  os << "per-UE MPB owner sets at " << num_ues << " UEs:\n";
+  for (int ue = 0; ue < num_ues; ++ue) {
+    const OwnerSets sets = mpbOwners(ue, num_ues);
+    os << "  ue " << std::setw(2) << ue << "  put " << std::setw(12)
+       << ownerListString(sets.put, num_ues) << " get "
+       << ownerListString(sets.get, num_ues) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hsm::partition

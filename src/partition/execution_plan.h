@@ -1,0 +1,105 @@
+// The translator→runtime execution contract.
+//
+// Stage 4 (partition/memory_plan.h) decides *where* each shared variable
+// lives; this header carries that decision — refined by the stage-2 sharing
+// tables into per-variable placement classes, exact per-UE MPB put/get owner
+// sets, and a per-region shared-memory cacheability policy — across the
+// translator→simulator boundary as ONE first-class value. It replaces the
+// former scatter of ad-hoc channels: per-workload `use_mpb` bools, the
+// machine-wide `config.shm_swcache` switch, and hand-reasoned
+// `SccMachine::MpbScope` lambdas.
+//
+// Deliberately self-contained (std types only): the simulator consumes it
+// (`SccMachine::launch`, `rcce::ShmArray`) without pulling in the analysis
+// layer. Derivation from analysis results lives in memory_plan.h
+// (`deriveExecutionPlan`). Contract semantics: docs/execution_plan.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsm::partition {
+
+/// Refinement of the stage-4 OnChip/OffChip split into the four execution
+/// regimes the runtime actually distinguishes.
+enum class PlacementClass : std::uint8_t {
+  /// The object itself lives in MPB slices (fits the per-UE 8 KB slice);
+  /// UEs access it with RCCE put/get at on-chip latencies.
+  kOnChipResident,
+  /// Master copy in off-chip DRAM, too big for a slice; blocks are staged
+  /// through MPB slices per phase (the paper's Fig. 6.2 configurations).
+  kOnChipStaged,
+  /// Off-chip DRAM, word-granular hardware-uncached access (Fig. 6.1).
+  kOffChipUncached,
+  /// Off-chip DRAM routed through the per-core software-managed
+  /// release-consistency cache (read-mostly data; docs/memory_model.md).
+  kOffChipCached,
+};
+
+[[nodiscard]] const char* placementName(PlacementClass c);
+
+[[nodiscard]] constexpr bool isOnChip(PlacementClass c) {
+  return c == PlacementClass::kOnChipResident || c == PlacementClass::kOnChipStaged;
+}
+
+/// How UEs touch MPB slices for one on-chip (resident or staged) region —
+/// the generator of the exact per-UE put/get owner sets.
+enum class MpbPattern : std::uint8_t {
+  kNone,           ///< no runtime MPB traffic (e.g. read-only config scalars
+                   ///< broadcast at initialization, off-chip regions)
+  kSelfStage,      ///< each UE stages through its OWN slice: put {ue}, get {ue}
+  kRootFunnel,     ///< reduction through UE 0's slot: put {0}, get {0}
+  kRotatingBroadcast,  ///< iteration-dependent owner publishes, everyone
+                       ///< fetches (LU pivot rows): put {ue}, get {all}
+  kNeighborRing,   ///< ring exchange: put {(ue+1) % n}, get {ue}
+};
+
+[[nodiscard]] const char* mpbPatternName(MpbPattern p);
+
+/// Plan for one shared region (one translated variable).
+struct RegionPlan {
+  std::string name;  ///< source variable name (the workload's region key)
+  PlacementClass placement = PlacementClass::kOffChipUncached;
+  MpbPattern pattern = MpbPattern::kNone;
+  std::size_t bytes = 0;
+
+  [[nodiscard]] bool onChip() const {
+    return placement == PlacementClass::kOnChipResident ||
+           placement == PlacementClass::kOnChipStaged;
+  }
+  /// Shared-DRAM bytes of this region route through the swcache.
+  [[nodiscard]] bool cached() const {
+    return placement == PlacementClass::kOffChipCached;
+  }
+};
+
+/// The complete translator→runtime contract for one program.
+struct ExecutionPlan {
+  std::vector<RegionPlan> regions;
+
+  [[nodiscard]] const RegionPlan* find(std::string_view name) const;
+
+  /// Exact MPB owner sets of one UE at a given UE count: the owner UEs whose
+  /// slices it puts into / gets from, unioned over every region's pattern.
+  /// Sorted, duplicate-free.
+  struct OwnerSets {
+    std::vector<int> put;
+    std::vector<int> get;
+  };
+  [[nodiscard]] OwnerSets mpbOwners(int ue, int num_ues) const;
+  /// put ∪ get — the reach promise `SccMachine::launch` turns into per-port
+  /// engine reach sets. Sorted, duplicate-free.
+  [[nodiscard]] std::vector<int> mpbScopeOwners(int ue, int num_ues) const;
+
+  [[nodiscard]] bool anyMpbTraffic() const;
+  [[nodiscard]] bool anyCachedRegion() const;
+
+  /// Human-readable rendering: per-region placements plus the materialized
+  /// per-UE owner sets at `num_ues` units.
+  [[nodiscard]] std::string format(int num_ues) const;
+};
+
+}  // namespace hsm::partition

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/variable_info.h"
+#include "partition/execution_plan.h"
 
 namespace hsm::partition {
 
@@ -33,6 +34,11 @@ enum class Placement : std::uint8_t { OnChip, OffChip };
 struct PlacementDecision {
   const analysis::VariableInfo* variable = nullptr;
   Placement placement = Placement::OffChip;
+  /// Execution-regime refinement of `placement` (OnChip → resident,
+  /// OffChip → uncached by default; `deriveExecutionPlan` sharpens it from
+  /// the stage-2 sharing tables: read-mostly → cached, spilled-but-staged →
+  /// on-chip-staged).
+  PlacementClass cls = PlacementClass::kOffChipUncached;
   std::size_t bytes = 0;
   std::size_t offset = 0;  ///< byte offset within the chosen region
   double weighted_accesses = 0;
@@ -77,5 +83,25 @@ class FrequencyAwarePlanner {
   [[nodiscard]] MemoryPlan plan(const std::vector<const analysis::VariableInfo*>& shared,
                                 const HsmMemorySpec& spec) const;
 };
+
+/// Refine a stage-4 memory plan into the full translator→runtime contract
+/// using the stage-2 sharing tables (execution_plan.h):
+///   * on-chip reduction objects (thread-written, gathered in main or under
+///     a lock) → resident root-funnel through UE 0's slot;
+///   * other thread-written on-chip data → resident self-stage;
+///   * read-only on-chip scalars → resident, no runtime MPB traffic
+///     (broadcast at initialization);
+///   * spilled arrays that threads only read → off-chip-cached (the swcache
+///     serves read-mostly data; docs/memory_model.md);
+///   * spilled thread-written arrays → on-chip-staged, broadcast-staged when
+///     the program barriers inside its thread functions (cross-thread row
+///     reuse, LU's pivot rows), self-staged otherwise (disjoint streaming
+///     slices);
+///   * everything else → off-chip-uncached.
+/// Also back-fills each PlacementDecision's `cls`. Pthread bookkeeping
+/// objects (mutexes, barriers, thread handles) are excluded — stage 5 lowers
+/// them to RCCE sync primitives, not memory regions.
+[[nodiscard]] ExecutionPlan deriveExecutionPlan(const analysis::AnalysisResult& analysis,
+                                                MemoryPlan& plan);
 
 }  // namespace hsm::partition

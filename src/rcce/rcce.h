@@ -85,8 +85,36 @@ template <typename T>
 class ShmArray {
  public:
   ShmArray() = default;
+  /// Legacy allocation: the region stays UNMAPPED in the machine's
+  /// cacheability map, so config.shm_swcache (the global default) governs
+  /// its routing — exactly the pre-ExecutionPlan behavior.
   ShmArray(RcceEnv& env, std::size_t count)
       : machine_(&env.machine()), base_(env.shmalloc(count * sizeof(T))), count_(count) {}
+  /// Plan-carrying allocation: the region records its ExecutionPlan
+  /// placement class and registers its cacheability with the machine —
+  /// kOffChipCached routes through the swcache, every other class pins the
+  /// region to the uncached word path regardless of config.shm_swcache.
+  /// Cached regions are line-aligned and line-padded: the swcache moves
+  /// whole lines, so a cached region must never share a line with a
+  /// neighboring uncached region (a whole-line write-back would clobber
+  /// the neighbor's uncached updates — cross-policy false sharing).
+  ShmArray(RcceEnv& env, std::size_t count, partition::PlacementClass placement)
+      : machine_(&env.machine()), count_(count), placement_(placement) {
+    const std::size_t bytes = count * sizeof(T);
+    if (placement == partition::PlacementClass::kOffChipCached) {
+      const std::size_t line = machine_->config().cache_line_bytes;
+      base_ = machine_->shmalloc(((bytes + line - 1) / line) * line, line);
+    } else {
+      base_ = env.shmalloc(bytes);
+    }
+    machine_->setShmCacheability(
+        base_, base_ + bytes,
+        placement == partition::PlacementClass::kOffChipCached);
+  }
+
+  /// This region's placement attribute (kOffChipUncached for legacy
+  /// allocations that never carried a plan).
+  [[nodiscard]] partition::PlacementClass placement() const { return placement_; }
 
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::uint64_t byteOffset(std::size_t i) const {
@@ -140,6 +168,7 @@ class ShmArray {
   sim::SccMachine* machine_ = nullptr;
   std::uint64_t base_ = 0;
   std::size_t count_ = 0;
+  partition::PlacementClass placement_ = partition::PlacementClass::kOffChipUncached;
 };
 
 /// Typed view of per-UE MPB buffers at a symmetric offset.

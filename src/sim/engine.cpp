@@ -115,6 +115,7 @@ Tick Engine::wakeBound(std::size_t task, std::vector<std::size_t>& visited) cons
     // deadlocked chain) means the wake cannot fire within any horizon.
     Tick bound = 0;
     for (const std::size_t w : s.wakers) {
+      if (s.episodic && s.removedThisEpisode(w)) continue;  // already arrived
       if (w == task) continue;
       if (w == current_task_) return kNever;  // cannot arrive mid-batch
       if (w < task_done_.size() && task_done_[w]) return kNever;
@@ -145,6 +146,7 @@ Tick Engine::wakeBound(std::size_t task, std::vector<std::size_t>& visited) cons
   // kAny: one waker suffices — the earliest of their earliest executions.
   Tick bound = kNever;
   for (const std::size_t w : s.wakers) {
+    if (s.episodic && s.removedThisEpisode(w)) continue;  // inert this episode
     if (w == task) continue;  // a task cannot wake itself
     // The running task performs no sync releases mid-batch (see header).
     if (w == current_task_) continue;
@@ -232,8 +234,8 @@ void Engine::setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
   if (sync >= syncs_.size()) return;
   SyncObject& s = syncs_[sync];
   // Rebuild the membership index: clear the old members' slots in place
-  // (cheaper than re-zeroing the whole index every barrier episode), then
-  // file the new set.
+  // (cheaper than re-zeroing the whole index every call), then file the
+  // new set.
   for (const std::size_t old : s.wakers) {
     if (old < s.waker_pos.size()) s.waker_pos[old] = 0;
   }
@@ -244,13 +246,44 @@ void Engine::setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
     if (w >= s.waker_pos.size()) s.waker_pos.resize(w + 1, 0);
     s.waker_pos[w] = i + 1;
   }
+  s.episodic = false;
   s.wakers_known = true;
   s.rule = rule;
+}
+
+void Engine::setSyncEpisodeWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
+                                  WakerRule rule) {
+  if (sync >= syncs_.size()) return;
+  SyncObject& s = syncs_[sync];
+  for (const std::size_t old : s.wakers) {
+    if (old < s.waker_pos.size()) s.waker_pos[old] = 0;  // leave no stale index
+  }
+  s.wakers = std::move(wakers);
+  std::size_t max_id = 0;
+  for (const std::size_t w : s.wakers) {
+    if (w != kNoTask && w >= max_id) max_id = w + 1;
+  }
+  s.removed_gen.assign(max_id, 0);
+  s.generation = 1;
+  s.episodic = true;
+  s.wakers_known = true;
+  s.rule = rule;
+}
+
+void Engine::resetSyncEpisode(std::uint32_t sync) {
+  if (sync >= syncs_.size() || !syncs_[sync].episodic) return;
+  // All removal stamps of the finished episode become stale at once.
+  ++syncs_[sync].generation;
 }
 
 void Engine::removeSyncWaker(std::uint32_t sync, std::size_t task) {
   if (sync >= syncs_.size() || !syncs_[sync].wakers_known) return;
   SyncObject& s = syncs_[sync];
+  if (s.episodic) {
+    // Also filters kNoTask: only declared members have a stamp slot.
+    if (task < s.removed_gen.size()) s.removed_gen[task] = s.generation;
+    return;
+  }
   if (task >= s.waker_pos.size()) return;  // also filters kNoTask
   const std::size_t pos = s.waker_pos[task];
   if (pos == 0) return;
@@ -269,6 +302,8 @@ void Engine::clearSyncWakers(std::uint32_t sync) {
     if (old < s.waker_pos.size()) s.waker_pos[old] = 0;
   }
   s.wakers.clear();
+  s.removed_gen.clear();
+  s.episodic = false;
   s.wakers_known = false;
 }
 

@@ -267,6 +267,17 @@ class Engine {
   /// kAny (an under-approximation for kAll), a missing kAny waker is not.
   void setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
                      WakerRule rule = WakerRule::kAny);
+  /// Episodic variant for barrier-style objects whose waker set is the SAME
+  /// full membership at the start of every episode: declare it once, then
+  /// start each new episode with resetSyncEpisode — O(1) instead of the
+  /// O(participants) rebuild setSyncWakers would cost per episode.
+  /// removeSyncWaker still drops arrivals in O(1) (a generation stamp).
+  void setSyncEpisodeWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
+                            WakerRule rule = WakerRule::kAll);
+  /// Start a new episode on an episodic sync object: every declared waker
+  /// is a member again. O(1) — bumps the generation counter, invalidating
+  /// all removal stamps at once.
+  void resetSyncEpisode(std::uint32_t sync);
   /// Drop one task from `sync`'s waker set in place (a barrier participant
   /// that just arrived can no longer be the releasing waker). O(1) through
   /// the sync object's intrusive membership index, allocation-free in steady
@@ -380,9 +391,22 @@ class Engine {
     /// (barrier arrivals used to scan the waker set linearly, ~30% of
     /// barrier-only microbench time at 32 participants). Sized to the
     /// largest waker task id ever set; swap-removals keep it current.
+    /// Unused in episodic mode (removal is a generation stamp there).
     std::vector<std::size_t> waker_pos;
+    /// Episodic mode (setSyncEpisodeWakers): `wakers` is the immutable full
+    /// membership; a task is currently removed iff its stamp equals the
+    /// current generation. resetSyncEpisode bumps `generation`, making every
+    /// member current again without touching the vectors — the lazy rebuild
+    /// that replaced the per-episode O(participants) setSyncWakers churn.
+    std::vector<std::uint64_t> removed_gen;  ///< per task id; 0 = never
+    std::uint64_t generation = 1;
+    bool episodic = false;
     bool wakers_known = false;
     WakerRule rule = WakerRule::kAny;
+
+    [[nodiscard]] bool removedThisEpisode(std::size_t task) const {
+      return task < removed_gen.size() && removed_gen[task] == generation;
+    }
   };
 
   [[nodiscard]] std::uint32_t classOfTask(std::size_t task) const {

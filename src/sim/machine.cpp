@@ -12,26 +12,12 @@ namespace hsm::sim {
 
 void SyncBarrier::setParticipantTasks(std::vector<std::size_t> tasks) {
   participant_tasks_ = std::move(tasks);
-  publishWakers();
-}
-
-void SyncBarrier::publishWakers() {
   if (participant_tasks_.empty()) return;  // unknown: engine stays conservative
   // A waiter can only be released by a participant that has not arrived yet
-  // (the last arrival schedules every wake).
-  std::vector<std::size_t> wakers;
-  wakers.reserve(participant_tasks_.size() - waiting_.size());
-  for (const std::size_t t : participant_tasks_) {
-    bool waiting = false;
-    for (const Waiter& w : waiting_) {
-      if (w.task == t) {
-        waiting = true;
-        break;
-      }
-    }
-    if (!waiting) wakers.push_back(t);
-  }
-  engine_.setSyncWakers(sync_, std::move(wakers), Engine::WakerRule::kAll);
+  // (the last arrival schedules every wake). Declared episodically: each
+  // arrival is an O(1) removeSyncWaker stamp, each release an O(1)
+  // resetSyncEpisode — membership never gets rebuilt.
+  engine_.setSyncEpisodeWakers(sync_, participant_tasks_, Engine::WakerRule::kAll);
 }
 
 void SyncBarrier::onArrive(std::coroutine_handle<> h) {
@@ -54,7 +40,8 @@ void SyncBarrier::onArrive(std::coroutine_handle<> h) {
     arrived_ = 0;
     latest_arrival_ = 0;
     ++episodes_;
-    publishWakers();  // next episode: every participant is a waker again
+    // Next episode: every participant is a waker again — one counter bump.
+    if (!participant_tasks_.empty()) engine_.resetSyncEpisode(sync_);
   }
 }
 
@@ -131,7 +118,7 @@ ResumeAt CoreContext::privTouch(std::uint64_t addr, std::size_t bytes, bool writ
 }
 
 SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes) {
-  if (machine_.swcacheEnabled()) {
+  if (machine_.shmCached(offset)) {
     co_await swcacheRw(offset, out, nullptr, bytes, false);
     co_return;
   }
@@ -147,7 +134,7 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
 }
 
 SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
-  if (machine_.swcacheEnabled()) {
+  if (machine_.shmCached(offset)) {
     co_await swcacheRw(offset, nullptr, src, bytes, true);
     co_return;
   }
@@ -231,7 +218,7 @@ SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src
 
 CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* out,
                                                   std::size_t bytes) {
-  if (machine_.swcacheEnabled()) {
+  if (machine_.swcacheActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, out, nullptr, bytes, false));
   }
   return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
@@ -241,7 +228,7 @@ CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* ou
 
 CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
                                                    const void* src, std::size_t bytes) {
-  if (machine_.swcacheEnabled()) {
+  if (machine_.swcacheActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, nullptr, src, bytes, true));
   }
   return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
@@ -301,18 +288,18 @@ std::coroutine_handle<> CoreContext::SyncAwaiter::await_suspend(
 
 CoreContext::SyncAwaiter CoreContext::barrier() {
   return SyncAwaiter(*this, SyncAwaiter::Op::kBarrier, 0,
-                     machine_.swcacheEnabled() ? barrierReconcile() : SubTask{});
+                     machine_.swcacheActive() ? barrierReconcile() : SubTask{});
 }
 
 CoreContext::SyncAwaiter CoreContext::lockAcquire(int lock_id) {
   return SyncAwaiter(*this, SyncAwaiter::Op::kAcquire, lock_id,
-                     machine_.swcacheEnabled() ? lockAcquireReconcile(lock_id)
+                     machine_.swcacheActive() ? lockAcquireReconcile(lock_id)
                                                : SubTask{});
 }
 
 CoreContext::SyncAwaiter CoreContext::lockRelease(int lock_id) {
   return SyncAwaiter(*this, SyncAwaiter::Op::kRelease, lock_id,
-                     machine_.swcacheEnabled() ? lockReleaseReconcile(lock_id)
+                     machine_.swcacheActive() ? lockReleaseReconcile(lock_id)
                                                : SubTask{});
 }
 
@@ -374,21 +361,48 @@ SccMachine::SccMachine(SccConfig config)
   swcache_line_overhead_ticks_ =
       core_clock_.cycles(config_.swcache_line_core_overhead_cycles);
   line_service_ticks_ = dram_clock_.cycles(config_.dram_line_service_cycles);
-  if (config_.shm_swcache) {
-    const auto policy = config_.swcache_policy == 0 ? SwCachePolicy::kWriteBack
-                                                    : SwCachePolicy::kWriteThrough;
-    const std::size_t lines = config_.swcache_lines > 0 ? config_.swcache_lines : 1;
-    swcache_.reserve(config_.num_cores);
-    for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
-      swcache_.emplace_back(lines, config_.cache_line_bytes, policy);
-    }
-  }
+  if (config_.shm_swcache) ensureSwcache();
   // One unified namespace of coalescing-horizon resources: the memory
   // controllers plus every tile's MPB port. launch() gives each task a reach
   // set of its core's controller and the ports it may touch.
   engine_.registerResources(mesh_.numResources());
   engine_.setSyncAwareHorizon(config_.sync_aware_horizon);
   engine_.reserveEvents(config_.num_cores * 2);
+}
+
+void SccMachine::ensureSwcache() {
+  if (!swcache_.empty()) return;
+  const auto policy = config_.swcache_policy == 0 ? SwCachePolicy::kWriteBack
+                                                  : SwCachePolicy::kWriteThrough;
+  const std::size_t lines = config_.swcache_lines > 0 ? config_.swcache_lines : 1;
+  swcache_.reserve(config_.num_cores);
+  for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+    swcache_.emplace_back(lines, config_.cache_line_bytes, policy);
+  }
+}
+
+void SccMachine::setShmCacheability(std::uint64_t begin, std::uint64_t end,
+                                    bool cached) {
+  if (end <= begin) return;
+  if (cached) {
+    // The swcache fills and writes back WHOLE lines, so a cached range is
+    // line-granular by construction: round it outward. Any partial head or
+    // tail line would be moved in full anyway, and keeping every byte of
+    // such a line under the cached discipline prevents cross-policy false
+    // sharing — an uncached word sharing a cached line could otherwise be
+    // silently reverted by a whole-line write-back.
+    const std::uint64_t line = config_.cache_line_bytes;
+    begin -= begin % line;
+    end = ((end + line - 1) / line) * line;
+  }
+  shm_cache_map_.push_back(ShmCacheRange{begin, end, cached});
+  if (cached) ensureSwcache();
+}
+
+std::uint64_t SccMachine::shmalloc(std::size_t bytes, std::size_t align) {
+  if (align < 8) align = 8;
+  shm_brk_ = (shm_brk_ + align - 1) & ~static_cast<std::uint64_t>(align - 1);
+  return shmalloc(bytes);  // the 8-byte re-align inside is a no-op
 }
 
 std::uint64_t SccMachine::shmalloc(std::size_t bytes) {
@@ -452,6 +466,7 @@ void SccMachine::launch(int num_ues, const CoreProgram& program,
     ue_to_core_[static_cast<std::size_t>(ue)] = mesh_.coreForUe(ue, num_ues);
   }
   ue_port_reach_.assign(static_cast<std::size_t>(num_ues), {});
+  mpb_scope_declared_ = static_cast<bool>(scope);
   std::vector<std::size_t> task_ids;
   task_ids.reserve(static_cast<std::size_t>(num_ues));
   for (int ue = 0; ue < num_ues; ++ue) {
@@ -480,6 +495,19 @@ void SccMachine::launch(int num_ues, const CoreProgram& program,
   // The barrier's potential wakers are exactly the launched tasks: enables
   // the engine's sync-aware wake-chain horizon for barrier waiters.
   barrier_->setParticipantTasks(std::move(task_ids));
+}
+
+void SccMachine::launch(int num_ues, const CoreProgram& program,
+                        const partition::ExecutionPlan* plan) {
+  if (plan == nullptr) {
+    launch(num_ues, program);
+    return;
+  }
+  if (plan->anyCachedRegion()) ensureSwcache();
+  // The plan's owner sets ARE the scope promise — including "no MPB traffic
+  // at all" (empty sets), under which any MPB access counts as a violation.
+  launch(num_ues, program,
+         [plan](int ue, int n) { return plan->mpbScopeOwners(ue, n); });
 }
 
 Tick SccMachine::run() {
@@ -670,11 +698,12 @@ Tick SccMachine::mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
   const std::uint32_t tile = mesh_.tileOfCore(owner_core);
   const std::uint32_t port_id = mesh_.portResourceId(tile);
   const auto u = static_cast<std::size_t>(ue);
-  if (u < ue_port_reach_.size() && !ue_port_reach_[u].empty() &&
+  if (mpb_scope_declared_ && u < ue_port_reach_.size() &&
       !std::binary_search(ue_port_reach_[u].begin(), ue_port_reach_[u].end(),
                           port_id)) {
-    // The declared MpbScope was a promise the engine's reach sets rely on;
-    // still service the access, but flag that port isolation is void.
+    // The declared scope was a promise the engine's reach sets rely on
+    // (an empty declared set promises no MPB traffic at all); still service
+    // the access, but flag that port isolation is void.
     ++mpb_scope_violations_;
   }
   const std::uint32_t hops =

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "partition/execution_plan.h"
 #include "sim/cache.h"
 #include "sim/engine.h"
 #include "sim/noc.h"
@@ -61,7 +62,10 @@ class SyncBarrier {
   /// sync-aware wake-chain horizon: waiters are then bounded by the
   /// not-yet-arrived participants (their only potential wakers) instead of
   /// forcing the global-horizon fallback. Without this call the barrier's
-  /// wakers stay unknown and the engine remains conservative.
+  /// wakers stay unknown and the engine remains conservative. Declared ONCE
+  /// as the engine's episodic waker set: arrivals drop out in O(1) and each
+  /// release restores full membership in O(1) (Engine::resetSyncEpisode) —
+  /// no per-episode O(participants) rebuild.
   void setParticipantTasks(std::vector<std::size_t> tasks);
 
  private:
@@ -71,9 +75,6 @@ class SyncBarrier {
     std::size_t task;  ///< engine task id the wake event is filed under
   };
   void onArrive(std::coroutine_handle<> h);
-  /// Re-derive the potential waker set (participants that have not arrived
-  /// yet) after every arrival/release.
-  void publishWakers();
 
   Engine& engine_;
   std::size_t participants_;
@@ -158,12 +159,17 @@ class CoreContext {
   // so concurrent cores interleave fairly. Either way the simulated Ticks
   // are identical — see sim/engine.h.
   //
-  // With config.shm_swcache the same calls route through the per-core
-  // software-managed release-consistency cache instead: hits are served from
-  // fast private memory, misses fill whole lines (batched like the word
-  // path), and the sync operations below reconcile (flush at release,
-  // self-invalidate at acquire). Functional results are identical for
-  // data-race-free programs; timing is a different (cached) model.
+  // Routing is PER REGION: accesses whose offset falls in a range registered
+  // cacheable (SccMachine::setShmCacheability — typically by an
+  // rcce::ShmArray carrying an ExecutionPlan placement) go through the
+  // per-core software-managed release-consistency cache instead: hits are
+  // served from fast private memory, misses fill whole lines (batched like
+  // the word path), and the sync operations below reconcile (flush at
+  // release, self-invalidate at acquire). config.shm_swcache is only the
+  // DEFAULT for offsets outside every registered range. Functional results
+  // are identical for data-race-free programs; timing is a different
+  // (cached) model. Accesses must not straddle a region boundary (regions
+  // are whole translated variables, so they never do).
   [[nodiscard]] SubTask shmRead(std::uint64_t offset, void* out, std::size_t bytes);
   [[nodiscard]] SubTask shmWrite(std::uint64_t offset, const void* src, std::size_t bytes);
   /// Awaitable of the bulk transfers below: with the swcache disabled the
@@ -276,6 +282,9 @@ class SccMachine {
   // -- shared memory management (host-side setup) --
   /// Bump-allocate from the off-chip shared region (8-byte aligned).
   std::uint64_t shmalloc(std::size_t bytes);
+  /// Bump-allocate with explicit alignment (power of two, >= 8) — e.g. one
+  /// cache line for regions the swcache will move whole lines of.
+  std::uint64_t shmalloc(std::size_t bytes, std::size_t align);
   /// Bump-allocate from `ue`'s MPB slice; throws std::bad_alloc if the 8 KB
   /// slice is exhausted.
   std::uint64_t mpbMalloc(int ue, std::size_t bytes);
@@ -303,6 +312,14 @@ class SccMachine {
   /// Without a scope every task's reach set is its memory controller plus
   /// every MPB port (sound, but port horizons then see all tasks).
   void launch(int num_ues, const CoreProgram& program, const MpbScope& scope = {});
+  /// Plan-driven launch: the ExecutionPlan's per-UE MPB owner sets become
+  /// the declared scope (subsuming hand-built MpbScope lambdas), and any
+  /// cached region in the plan activates the swcache instances. A null plan
+  /// is the unrestricted legacy launch. Region cacheability itself is
+  /// registered by the plan-carrying rcce::ShmArray allocations (or
+  /// setShmCacheability directly) — the machine cannot know region offsets.
+  void launch(int num_ues, const CoreProgram& program,
+              const partition::ExecutionPlan* plan);
   /// Create the machine barrier for `participants` without launching
   /// (used by runtimes that spawn their own tasks, e.g. threadrt).
   void setupBarrier(int participants);
@@ -335,8 +352,31 @@ class SccMachine {
   /// non-zero count voids the port-isolation timing guarantee of that run.
   [[nodiscard]] std::uint64_t mpbScopeViolations() const { return mpb_scope_violations_; }
 
-  // -- software-managed shared-memory cache (config.shm_swcache) --
+  // -- software-managed shared-memory cache --
+  /// Default routing for shared-DRAM offsets outside every registered
+  /// region (config.shm_swcache; the pre-ExecutionPlan global knob).
   [[nodiscard]] bool swcacheEnabled() const { return config_.shm_swcache; }
+  /// Any core-side cache instances exist (config default on, or at least
+  /// one region registered cacheable): sync points then reconcile and bulk
+  /// transfers fence. False keeps every sync/bulk path frame-free and
+  /// Tick-bit-identical to the uncached-only machine.
+  [[nodiscard]] bool swcacheActive() const { return !swcache_.empty(); }
+  /// Declare the swcache routing of shared-DRAM range [begin, end) — the
+  /// per-region cacheability policy of an ExecutionPlan. Later registrations
+  /// win on overlap; offsets outside every range use config.shm_swcache.
+  /// Cached ranges are line-granular (the swcache moves whole lines) and
+  /// are rounded OUTWARD to line boundaries; allocate cached regions
+  /// line-aligned (shmalloc with align = cache_line_bytes, as the
+  /// plan-carrying rcce::ShmArray does) so the rounding never reaches into
+  /// a neighboring region.
+  void setShmCacheability(std::uint64_t begin, std::uint64_t end, bool cached);
+  /// Routing of the region containing `offset`.
+  [[nodiscard]] bool shmCached(std::uint64_t offset) const {
+    for (auto it = shm_cache_map_.rbegin(); it != shm_cache_map_.rend(); ++it) {
+      if (offset >= it->begin && offset < it->end) return it->cached;
+    }
+    return config_.shm_swcache;
+  }
   /// Per-core hit/miss/flush counters (zero-valued stats when disabled).
   [[nodiscard]] const SwCacheStats& swcacheStats(int core) const;
   /// Chip-wide aggregate of the per-core counters.
@@ -456,9 +496,23 @@ class SccMachine {
   std::vector<std::unique_ptr<TasLock>> locks_;
   std::vector<std::unique_ptr<CoreContext>> contexts_;
   std::vector<std::uint32_t> ue_to_core_;  ///< set at launch; identity otherwise
-  /// Per UE: sorted port resource ids of its declared MpbScope (empty:
-  /// unrestricted). Used to count scope violations.
+  /// Per UE: sorted port resource ids of its declared MpbScope. Only
+  /// consulted when a scope was declared at launch; a declared-but-empty set
+  /// means "no MPB traffic promised", so ANY access violates it.
   std::vector<std::vector<std::uint32_t>> ue_port_reach_;
+  bool mpb_scope_declared_ = false;
+  /// Per-region shared-DRAM cacheability overrides (ExecutionPlan policy);
+  /// scanned newest-first so later registrations win.
+  struct ShmCacheRange {
+    std::uint64_t begin;
+    std::uint64_t end;
+    bool cached;
+  };
+  std::vector<ShmCacheRange> shm_cache_map_;
+
+  /// Instantiate the per-core swcaches if not already present (config
+  /// default on, or first cacheable region registered).
+  void ensureSwcache();
 
  public:
   [[nodiscard]] std::uint32_t coreOfUe(int ue) const {

@@ -52,6 +52,7 @@ TranslationResult Translator::analyzeOnly(const std::string& source,
   analysis::Analyzer analyzer;
   result.analysis = analyzer.analyze(context);
   result.plan = makePlan(result.analysis, options_);
+  result.execution_plan = partition::deriveExecutionPlan(result.analysis, result.plan);
   result.diagnostics = diags.format(buffer);
   result.ok = true;
   return result;
@@ -72,6 +73,9 @@ TranslationResult Translator::translate(const std::string& source,
   analysis::Analyzer analyzer;
   result.analysis = analyzer.analyze(context);
   result.plan = makePlan(result.analysis, options_);
+  // Derive the runtime contract BEFORE stage 5: the passes rename main and
+  // strip pthread bookkeeping, and the derivation reads both.
+  result.execution_plan = partition::deriveExecutionPlan(result.analysis, result.plan);
 
   transform::PassContext pass_ctx{context, result.analysis, result.plan, diags};
   transform::Driver driver;

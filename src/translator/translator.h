@@ -36,6 +36,12 @@ struct TranslationResult {
   std::shared_ptr<ast::ASTContext> context;
   analysis::AnalysisResult analysis;  ///< Tables 4.1 / 4.2 data
   partition::MemoryPlan plan;         ///< Stage 4 decisions
+  /// The translator→runtime contract derived from the stage-2 sharing
+  /// tables + the stage-4 plan: per-variable placement classes, exact
+  /// per-UE MPB put/get owner sets, per-region cacheability. Consumed by
+  /// `SccMachine::launch`, `rcce::ShmArray`, and `workloads::Benchmark::run`
+  /// (docs/execution_plan.md).
+  partition::ExecutionPlan execution_plan;
 
   /// Convenience: paper-style table renderings.
   [[nodiscard]] std::string variableTable() const { return analysis.formatVariableTable(); }

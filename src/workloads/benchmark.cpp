@@ -13,6 +13,38 @@ const char* modeName(Mode mode) {
   return "?";
 }
 
+partition::PlacementClass resolvePlacement(const partition::ExecutionPlan* plan,
+                                           const char* name, Mode mode,
+                                           partition::PlacementClass mpb_default) {
+  using partition::PlacementClass;
+  PlacementClass cls = mode == Mode::RcceMpb ? mpb_default
+                                             : PlacementClass::kOffChipUncached;
+  if (plan != nullptr) {
+    if (const partition::RegionPlan* r = plan->find(name)) cls = r->placement;
+  }
+  if (mode == Mode::RcceOffChip && partition::isOnChip(cls)) {
+    cls = PlacementClass::kOffChipUncached;  // Fig. 6.1: no on-chip placement
+  }
+  return cls;
+}
+
+std::uint64_t countUnrealizedRegions(const partition::ExecutionPlan* plan,
+                                     std::initializer_list<const char*> known) {
+  if (plan == nullptr) return 0;
+  std::uint64_t unrealized = 0;
+  for (const partition::RegionPlan& r : plan->regions) {
+    const bool consequential =
+        r.cached() || (r.onChip() && r.pattern != partition::MpbPattern::kNone);
+    if (!consequential) continue;
+    bool matched = false;
+    for (const char* name : known) {
+      matched = matched || r.name == name;
+    }
+    if (!matched) ++unrealized;
+  }
+  return unrealized;
+}
+
 Slice blockSlice(std::size_t n, int units, int u) {
   const std::size_t per = n / static_cast<std::size_t>(units);
   const std::size_t extra = n % static_cast<std::size_t>(units);

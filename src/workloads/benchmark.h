@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "partition/execution_plan.h"
+#include "rcce/rcce.h"
 #include "sim/machine.h"
 #include "sim/scc_config.h"
 #include "sim/time.h"
@@ -32,24 +34,68 @@ struct RunResult {
   sim::Tick makespan = 0;
   bool verified = false;
   std::string detail;        ///< human-readable result summary
-  /// MPB accesses outside the declared MpbScope (RCCE modes; 0 when no
-  /// scope was passed). Non-zero voids the run's port-isolation guarantee.
+  /// MPB accesses outside the plan's declared owner sets (RCCE modes; 0
+  /// when no plan was passed). Non-zero voids the port-isolation guarantee.
   std::uint64_t mpb_scope_violations = 0;
+  /// Plan regions with runtime consequences (an on-chip MPB pattern or
+  /// cached routing) whose names this workload did not recognize. Name
+  /// drift between the translated source and the workload twin would
+  /// otherwise silently disable the plan — resolvePlacement falls back to
+  /// the legacy defaults on a failed lookup. 0 when no plan was passed.
+  std::uint64_t plan_regions_unrealized = 0;
 };
 
 class Benchmark {
  public:
   virtual ~Benchmark() = default;
   [[nodiscard]] virtual std::string name() const = 0;
-  /// Execute in `mode` on `units` threads/cores. `mpb_scope` (RCCE modes)
-  /// is forwarded to SccMachine::launch so callers that know the workload's
-  /// MPB communication pattern — e.g. the translator's stage-4 memory plan —
-  /// get tight per-port reach sets; violations are reported in the result.
+  /// Execute in `mode` on `units` threads/cores. `plan` (RCCE modes) is the
+  /// translator→runtime contract (docs/execution_plan.md): per-variable
+  /// placement classes choose the MPB/staged/uncached/cached realization of
+  /// each shared region, the plan's per-UE owner sets become the machine's
+  /// declared MPB scope (tight per-port reach; violations reported in the
+  /// result), and cached regions route through the swcache. A null plan
+  /// reproduces the legacy mode defaults (RcceMpb: the hand-written MPB
+  /// configuration; RcceOffChip: everything uncached off-chip) bit for bit.
+  /// In RcceOffChip mode on-chip placements demote to off-chip-uncached —
+  /// the Fig. 6.1 configuration — while cacheability is still honored.
   [[nodiscard]] virtual RunResult run(Mode mode, int units,
                                       const sim::SccConfig& config,
-                                      const sim::SccMachine::MpbScope& mpb_scope = {})
+                                      const partition::ExecutionPlan* plan = nullptr)
       const = 0;
 };
+
+/// Placement of workload region `name` under `plan` in `mode`: the plan's
+/// class when the region is present, otherwise the legacy default
+/// (`mpb_default` in RcceMpb mode, off-chip-uncached in RcceOffChip mode).
+/// RcceOffChip demotes on-chip classes to off-chip-uncached.
+[[nodiscard]] partition::PlacementClass resolvePlacement(
+    const partition::ExecutionPlan* plan, const char* name, Mode mode,
+    partition::PlacementClass mpb_default);
+
+/// Count the plan's consequential regions (on-chip MPB pattern or cached
+/// routing) that are NOT in the workload's `known` region names — the
+/// drift detector behind RunResult::plan_regions_unrealized. Regions with
+/// no runtime behavior (off-chip-uncached, pattern-free resident scalars)
+/// don't count: failing to look them up changes nothing.
+[[nodiscard]] std::uint64_t countUnrealizedRegions(
+    const partition::ExecutionPlan* plan, std::initializer_list<const char*> known);
+
+/// Allocate a workload's shared array for plan region `name`: plan-carrying
+/// (placement attribute + registered cacheability) when the plan names the
+/// region, legacy unmapped (config.shm_swcache governs) otherwise — so
+/// plan-less runs stay bit-identical to the pre-ExecutionPlan behavior.
+template <typename T>
+[[nodiscard]] rcce::ShmArray<T> makeShmArray(rcce::RcceEnv& env, std::size_t count,
+                                             const partition::ExecutionPlan* plan,
+                                             const char* name, Mode mode,
+                                             partition::PlacementClass mpb_default) {
+  if (plan != nullptr && plan->find(name) != nullptr) {
+    return rcce::ShmArray<T>(env, count,
+                             resolvePlacement(plan, name, mode, mpb_default));
+  }
+  return rcce::ShmArray<T>(env, count);
+}
 
 // Factories. `scale` multiplies the default problem size (1.0 = the sizes
 // used by the bench harness; tests use smaller scales).

@@ -108,10 +108,10 @@ class CountPrimes final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "CountPrimes"; }
 
-  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // (No repeated default for plan: defaults on virtuals bind to the
   // static type — Benchmark::run's declaration owns it.)
   [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
-                              const sim::SccMachine::MpbScope& mpb_scope)
+                              const partition::ExecutionPlan* plan)
       const override {
     RunResult result;
     result.benchmark = name();
@@ -132,16 +132,21 @@ class CountPrimes final : public Benchmark {
     } else {
       sim::SccMachine machine(config);
       rcce::RcceEnv env(machine);
-      rcce::ShmArray<long long> acc(env, 1);
+      // "total" is the source's per-thread count array, summed in main:
+      // on-chip placement funnels the reduction through UE 0's slot.
+      const bool use_mpb = partition::isOnChip(resolvePlacement(
+          plan, "total", mode, partition::PlacementClass::kOnChipResident));
+      rcce::ShmArray<long long> acc = makeShmArray<long long>(
+          env, 1, plan, "total", mode, partition::PlacementClass::kOnChipResident);
       rcce::MpbArray<long long> mpb_acc(env, units, 1);
       *acc.hostData() = 0;
       *mpb_acc.hostData(0) = 0;
-      const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return primesRcce(ctx, p, acc, mpb_acc, use_mpb);
-      }, mpb_scope);
+      }, plan);
       result.makespan = machine.run();
       result.mpb_scope_violations = machine.mpbScopeViolations();
+      result.plan_regions_unrealized = countUnrealizedRegions(plan, {"total"});
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 

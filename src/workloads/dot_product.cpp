@@ -53,14 +53,15 @@ sim::SimTask dotThread(threadrt::ThreadContext& ctx, DotParams p, std::uint64_t 
 
 sim::SimTask dotRcce(sim::CoreContext& ctx, DotParams p, rcce::ShmArray<double> a,
                      rcce::ShmArray<double> b, rcce::ShmArray<double> acc,
-                     rcce::MpbArray<double> stage, bool use_mpb) {
+                     rcce::MpbArray<double> stage, rcce::MpbArray<double> mpb_acc,
+                     bool stage_ab, bool acc_mpb) {
   const Slice s = blockSlice(p.n, ctx.numUes(), ctx.ue());
   std::vector<double> a_buf(kChunk), b_buf(kChunk);
   double sum = 0.0;
   const int me = ctx.ue();
   for (std::size_t i = s.first; i < s.last; i += kChunk) {
     const std::size_t c = std::min(kChunk, s.last - i);
-    if (use_mpb) {
+    if (stage_ab) {
       // Bulk copies are DMAs into this core's MPB slice; depositing into
       // the backing store is untimed (the bulk op carries the cost), then
       // the core reads the staged data on-chip.
@@ -80,9 +81,16 @@ sim::SimTask dotRcce(sim::CoreContext& ctx, DotParams p, rcce::ShmArray<double> 
   }
   co_await ctx.lockAcquire(kSumLock);
   double global = 0.0;
-  co_await acc.read(ctx, 0, &global);
-  global += sum;
-  co_await acc.write(ctx, 0, global);
+  if (acc_mpb) {
+    // Plan-driven on-chip accumulator: root-funnel through UE 0's slot.
+    co_await mpb_acc.read(ctx, 0, 0, &global);
+    global += sum;
+    co_await mpb_acc.write(ctx, 0, 0, global);
+  } else {
+    co_await acc.read(ctx, 0, &global);
+    global += sum;
+    co_await acc.write(ctx, 0, global);
+  }
   co_await ctx.lockRelease(kSumLock);
   co_await ctx.barrier();
 }
@@ -96,10 +104,10 @@ class DotProduct final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "DotProduct"; }
 
-  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // (No repeated default for plan: defaults on virtuals bind to the
   // static type — Benchmark::run's declaration owns it.)
   [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
-                              const sim::SccMachine::MpbScope& mpb_scope)
+                              const partition::ExecutionPlan* plan)
       const override {
     RunResult result;
     result.benchmark = name();
@@ -129,22 +137,36 @@ class DotProduct final : public Benchmark {
     } else {
       sim::SccMachine machine(config);
       rcce::RcceEnv env(machine);
-      rcce::ShmArray<double> a(env, p.n);
-      rcce::ShmArray<double> b(env, p.n);
-      rcce::ShmArray<double> acc(env, 1);
+      using partition::PlacementClass;
+      // "a"/"b" are the streamed input vectors (legacy RcceMpb stages them
+      // through the UE's own slice; the translator classifies them
+      // read-mostly → off-chip-cached); "partial" is the reduction.
+      const bool stage_ab = partition::isOnChip(
+          resolvePlacement(plan, "a", mode, PlacementClass::kOnChipStaged));
+      const bool acc_mpb = partition::isOnChip(
+          resolvePlacement(plan, "partial", mode, PlacementClass::kOffChipUncached));
+      rcce::ShmArray<double> a =
+          makeShmArray<double>(env, p.n, plan, "a", mode, PlacementClass::kOnChipStaged);
+      rcce::ShmArray<double> b =
+          makeShmArray<double>(env, p.n, plan, "b", mode, PlacementClass::kOnChipStaged);
+      rcce::ShmArray<double> acc = makeShmArray<double>(
+          env, 1, plan, "partial", mode, PlacementClass::kOffChipUncached);
       rcce::MpbArray<double> stage(env, units, 2 * kChunk);
+      rcce::MpbArray<double> mpb_acc(env, units, 1);
       for (std::size_t i = 0; i < p.n; ++i) {
         a.hostData()[i] = elemA(i);
         b.hostData()[i] = elemB(i);
       }
       *acc.hostData() = 0.0;
-      const bool use_mpb = mode == Mode::RcceMpb;
+      *mpb_acc.hostData(0) = 0.0;
       machine.launch(units, [&](sim::CoreContext& ctx) {
-        return dotRcce(ctx, p, a, b, acc, stage, use_mpb);
-      }, mpb_scope);
+        return dotRcce(ctx, p, a, b, acc, stage, mpb_acc, stage_ab, acc_mpb);
+      }, plan);
       result.makespan = machine.run();
       result.mpb_scope_violations = machine.mpbScopeViolations();
-      computed = *acc.hostData();
+      result.plan_regions_unrealized =
+          countUnrealizedRegions(plan, {"a", "b", "partial"});
+      computed = acc_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 
     const double expected = referenceDot(p.n);

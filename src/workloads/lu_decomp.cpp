@@ -127,10 +127,10 @@ class LuDecomposition final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "LU"; }
 
-  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // (No repeated default for plan: defaults on virtuals bind to the
   // static type — Benchmark::run's declaration owns it.)
   [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
-                              const sim::SccMachine::MpbScope& mpb_scope)
+                              const partition::ExecutionPlan* plan)
       const override {
     RunResult result;
     result.benchmark = name();
@@ -153,15 +153,22 @@ class LuDecomposition final : public Benchmark {
     } else {
       sim::SccMachine machine(config);
       rcce::RcceEnv env(machine);
-      rcce::ShmArray<double> m(env, p.n * p.n);
+      using partition::PlacementClass;
+      // "m" is the thread-written matrix with cross-thread pivot reuse: the
+      // translator stages it via rotating broadcast (each step's pivot owner
+      // publishes from its own slice, everyone fetches).
+      const bool use_mpb = partition::isOnChip(
+          resolvePlacement(plan, "m", mode, PlacementClass::kOnChipStaged));
+      rcce::ShmArray<double> m = makeShmArray<double>(
+          env, p.n * p.n, plan, "m", mode, PlacementClass::kOnChipStaged);
       rcce::MpbArray<double> pivot_stage(env, units, p.n);
       initMatrix(m.hostData(), p.n);
-      const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return luRcce(ctx, p, m, pivot_stage, use_mpb);
-      }, mpb_scope);
+      }, plan);
       result.makespan = machine.run();
       result.mpb_scope_violations = machine.mpbScopeViolations();
+      result.plan_regions_unrealized = countUnrealizedRegions(plan, {"m"});
       verified = verifyLu(m.hostData(), p.n);
     }
 

@@ -89,10 +89,10 @@ class PiApprox final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "PiApprox"; }
 
-  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // (No repeated default for plan: defaults on virtuals bind to the
   // static type — Benchmark::run's declaration owns it.)
   [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
-                              const sim::SccMachine::MpbScope& mpb_scope)
+                              const partition::ExecutionPlan* plan)
       const override {
     RunResult result;
     result.benchmark = name();
@@ -113,16 +113,21 @@ class PiApprox final : public Benchmark {
     } else {
       sim::SccMachine machine(config);
       rcce::RcceEnv env(machine);
-      rcce::ShmArray<double> acc(env, 1);
+      // "gsum" is the source accumulator: on-chip placement realizes it as
+      // the root-funnel slot in UE 0's MPB slice (the legacy RcceMpb shape).
+      const bool use_mpb = partition::isOnChip(resolvePlacement(
+          plan, "gsum", mode, partition::PlacementClass::kOnChipResident));
+      rcce::ShmArray<double> acc = makeShmArray<double>(
+          env, 1, plan, "gsum", mode, partition::PlacementClass::kOnChipResident);
       rcce::MpbArray<double> mpb_acc(env, units, 1);
       *acc.hostData() = 0.0;
       *mpb_acc.hostData(0) = 0.0;
-      const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return piRcce(ctx, p, acc, mpb_acc, use_mpb);
-      }, mpb_scope);
+      }, plan);
       result.makespan = machine.run();
       result.mpb_scope_violations = machine.mpbScopeViolations();
+      result.plan_regions_unrealized = countUnrealizedRegions(plan, {"gsum"});
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 

@@ -196,10 +196,10 @@ class Stream final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "Stream"; }
 
-  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // (No repeated default for plan: defaults on virtuals bind to the
   // static type — Benchmark::run's declaration owns it.)
   [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
-                              const sim::SccMachine::MpbScope& mpb_scope)
+                              const partition::ExecutionPlan* plan)
       const override {
     RunResult result;
     result.benchmark = name();
@@ -228,17 +228,26 @@ class Stream final : public Benchmark {
     } else {
       sim::SccMachine machine(config);
       rcce::RcceEnv env(machine);
-      rcce::ShmArray<double> a(env, p.n);
-      rcce::ShmArray<double> b(env, p.n);
-      rcce::ShmArray<double> c(env, p.n);
+      using partition::PlacementClass;
+      // The three source arrays are thread-written streamed slices: the
+      // translator stages them through each UE's own slice (self-stage).
+      const bool use_mpb = partition::isOnChip(
+          resolvePlacement(plan, "a", mode, PlacementClass::kOnChipStaged));
+      rcce::ShmArray<double> a =
+          makeShmArray<double>(env, p.n, plan, "a", mode, PlacementClass::kOnChipStaged);
+      rcce::ShmArray<double> b =
+          makeShmArray<double>(env, p.n, plan, "b", mode, PlacementClass::kOnChipStaged);
+      rcce::ShmArray<double> c =
+          makeShmArray<double>(env, p.n, plan, "c", mode, PlacementClass::kOnChipStaged);
       rcce::MpbArray<double> stage(env, units, kChunk);
       initArrays(a.hostData(), b.hostData(), c.hostData(), p.n);
-      const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return streamRcce(ctx, p, a, b, c, stage, use_mpb);
-      }, mpb_scope);
+      }, plan);
       result.makespan = machine.run();
       result.mpb_scope_violations = machine.mpbScopeViolations();
+      result.plan_regions_unrealized =
+          countUnrealizedRegions(plan, {"a", "b", "c"});
       verified = checkArrays(a.hostData(), b.hostData(), c.hostData(), p.n);
     }
 

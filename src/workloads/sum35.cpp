@@ -83,10 +83,10 @@ class Sum35 final : public Benchmark {
 
   [[nodiscard]] std::string name() const override { return "3-5-Sum"; }
 
-  // (No repeated default for mpb_scope: defaults on virtuals bind to the
+  // (No repeated default for plan: defaults on virtuals bind to the
   // static type — Benchmark::run's declaration owns it.)
   [[nodiscard]] RunResult run(Mode mode, int units, const sim::SccConfig& config,
-                              const sim::SccMachine::MpbScope& mpb_scope)
+                              const partition::ExecutionPlan* plan)
       const override {
     RunResult result;
     result.benchmark = name();
@@ -107,16 +107,21 @@ class Sum35 final : public Benchmark {
     } else {
       sim::SccMachine machine(config);
       rcce::RcceEnv env(machine);
-      rcce::ShmArray<long long> acc(env, 1);
+      // "partial" is the source's per-thread slot array, gathered in main:
+      // on-chip placement funnels the reduction through UE 0's slot.
+      const bool use_mpb = partition::isOnChip(resolvePlacement(
+          plan, "partial", mode, partition::PlacementClass::kOnChipResident));
+      rcce::ShmArray<long long> acc = makeShmArray<long long>(
+          env, 1, plan, "partial", mode, partition::PlacementClass::kOnChipResident);
       rcce::MpbArray<long long> mpb_acc(env, units, 1);
       *acc.hostData() = 0;
       *mpb_acc.hostData(0) = 0;
-      const bool use_mpb = mode == Mode::RcceMpb;
       machine.launch(units, [&](sim::CoreContext& ctx) {
         return sum35Rcce(ctx, p, acc, mpb_acc, use_mpb);
-      }, mpb_scope);
+      }, plan);
       result.makespan = machine.run();
       result.mpb_scope_violations = machine.mpbScopeViolations();
+      result.plan_regions_unrealized = countUnrealizedRegions(plan, {"partial"});
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }
 

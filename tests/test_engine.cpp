@@ -377,6 +377,86 @@ TEST(Engine, AllWakersRuleBoundsByLatestWaker) {
   }
 }
 
+// --- episodic waker sets (barrier episode upkeep) ----------------------------
+
+// setSyncEpisodeWakers declares the full membership once; removeSyncWaker
+// stamps a member out for the CURRENT episode only. Semantics must match
+// what a full setSyncWakers rebuild without the removed member would give.
+TEST(Engine, EpisodicRemovalMatchesRebuiltWakerSet) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t barrier = engine.registerSyncObject();
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, barrier, parked, parked_task), 0, 0);
+  const std::size_t w1 = engine.spawn(idleUntil(engine, 100), 0, 1);
+  const std::size_t w2 = engine.spawn(idleUntil(engine, 600), 0, 1);
+  engine.spawn(idleUntil(engine, 400), 0, 0);  // res-0 pending @400
+  engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncEpisodeWakers(barrier, {w1, w2}, Engine::WakerRule::kAll);
+  // w2 "arrived": only w1 remains a potential waker, so the kAll bound drops
+  // from max(100, 600) = 600 to 100 and undercuts the scoped @400.
+  engine.removeSyncWaker(barrier, w2);
+  engine.run();
+  engine.schedule(engine.now(), parked, parked_task);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  EXPECT_EQ(horizons[0], 100u);
+}
+
+// A new episode restores full membership in O(1): after resetSyncEpisode the
+// previously removed member counts again, exactly as if the set had been
+// rebuilt from scratch.
+TEST(Engine, ResetSyncEpisodeRestoresFullMembership) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t barrier = engine.registerSyncObject();
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, barrier, parked, parked_task), 0, 0);
+  const std::size_t w1 = engine.spawn(idleUntil(engine, 100), 0, 1);
+  const std::size_t w2 = engine.spawn(idleUntil(engine, 600), 0, 1);
+  engine.spawn(idleUntil(engine, 400), 0, 0);
+  engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncEpisodeWakers(barrier, {w1, w2}, Engine::WakerRule::kAll);
+  engine.removeSyncWaker(barrier, w2);
+  engine.resetSyncEpisode(barrier);  // next episode: w2 is a waker again
+  engine.run();
+  engine.schedule(engine.now(), parked, parked_task);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  // Full set again: min(scoped @400, max(100, 600)) = 400.
+  EXPECT_EQ(horizons[0], 400u);
+}
+
+// Removal stamps from an earlier episode must not leak into the next one,
+// and re-removal after a reset must work (the generation counter, not the
+// membership vector, carries the state).
+TEST(Engine, EpisodicRemovalIsPerEpisode) {
+  Engine engine;
+  engine.registerResources(2);
+  const std::uint32_t barrier = engine.registerSyncObject();
+  std::coroutine_handle<> parked;
+  std::size_t parked_task = Engine::kNoTask;
+  std::vector<Tick> horizons;
+  engine.spawn(parkOnSync(engine, barrier, parked, parked_task), 0, 0);
+  const std::size_t w1 = engine.spawn(idleUntil(engine, 100), 0, 1);
+  const std::size_t w2 = engine.spawn(idleUntil(engine, 600), 0, 1);
+  engine.spawn(idleUntil(engine, 400), 0, 0);
+  engine.spawn(probeOne(engine, 40, 0, horizons), 0, 0);
+  engine.setSyncEpisodeWakers(barrier, {w1, w2}, Engine::WakerRule::kAll);
+  engine.removeSyncWaker(barrier, w2);
+  engine.resetSyncEpisode(barrier);
+  engine.removeSyncWaker(barrier, w2);  // re-removed in the NEW episode
+  engine.run();
+  engine.schedule(engine.now(), parked, parked_task);
+  engine.run();
+  ASSERT_EQ(horizons.size(), 1u);
+  EXPECT_EQ(horizons[0], 100u);  // only w1 remains, as in the first test
+}
+
 // The recursion-path regression: a waker reached through two sibling
 // subtrees of a kAll sync (w1's chain goes through w2; w2 is also a direct
 // waker) must not be mistaken for a cycle on the second visit — the chain
