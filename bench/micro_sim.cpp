@@ -398,6 +398,124 @@ sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
   }
 }
 
+// --- fault sweep ------------------------------------------------------------
+
+/// The fault-sweep kernel: every faultable machine path in ONE workload — a
+/// cached per-UE window (single-writer DRF, dirty lines flushed at barrier
+/// releases → swcache-flush faults), uncached block publishes (→ shm-write
+/// faults + controller stalls), an MPB ring exchange (→ MPB transfer
+/// faults), and a lock-guarded shared counter between barriers (→ the
+/// sync-timeout / deadlock-watchdog surface). All computed values are
+/// timing-independent, so the final shared memory must be byte-identical
+/// between a faulty run (all faults recovered) and a fault-free one.
+sim::SimTask faultMix(sim::CoreContext& ctx, std::uint64_t table,
+                      std::uint64_t blocks, std::uint64_t counter_off,
+                      std::uint64_t out, std::uint64_t slot, int rounds,
+                      std::size_t window_bytes, std::size_t block_bytes,
+                      std::size_t mpb_bytes) {
+  const auto ue = static_cast<std::uint64_t>(ctx.ue());
+  std::vector<std::uint64_t> win(window_bytes / 8);
+  std::vector<std::uint8_t> blk(block_bytes);
+  std::vector<std::uint8_t> ring(mpb_bytes, static_cast<std::uint8_t>(ue + 1));
+  const std::uint64_t my_win = table + ue * window_bytes;
+  const std::uint64_t my_blk = blocks + ue * block_bytes;
+  const int right = (ctx.ue() + 1) % ctx.numUes();
+  std::uint64_t acc = ue + 1;
+  for (int r = 0; r < rounds; ++r) {
+    co_await ctx.compute(20000 + (ue % 3) * 30000);
+    // Cached read-modify-write of the own window (one writer per window).
+    co_await ctx.shmRead(my_win, win.data(), window_bytes);
+    for (std::uint64_t& v : win) {
+      acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+      v += acc & 0xff;
+    }
+    co_await ctx.shmWrite(my_win, win.data(), window_bytes);
+    // Uncached block publish.
+    for (std::size_t i = 0; i < block_bytes; ++i) {
+      blk[i] = static_cast<std::uint8_t>(acc + i + static_cast<std::uint64_t>(r));
+    }
+    co_await ctx.shmWrite(my_blk, blk.data(), block_bytes);
+    // MPB ring: deposit into the right neighbour's parity slot, barrier,
+    // read back what the left neighbour deposited into ours.
+    co_await rcce::put(ctx, right,
+                       slot + static_cast<std::uint64_t>(r % 2) * mpb_bytes,
+                       ring.data(), mpb_bytes);
+    co_await ctx.barrier();
+    co_await rcce::get(ctx, ctx.ue(),
+                       slot + static_cast<std::uint64_t>(r % 2) * mpb_bytes,
+                       ring.data(), mpb_bytes);
+    // Lock-guarded counter: increments are commutative, so the final value
+    // is order- (hence timing-) independent.
+    co_await ctx.lockAcquire(0);
+    std::uint64_t c = 0;
+    co_await ctx.shmRead(counter_off, &c, sizeof(c));
+    c += ring[0] + 1u;
+    co_await ctx.shmWrite(counter_off, &c, sizeof(c));
+    co_await ctx.lockRelease(0);
+    co_await ctx.barrier();
+  }
+  co_await ctx.shmWrite(out + ue * 8, &acc, sizeof(acc));
+}
+
+/// Outcome of one fault-sweep run, including how it ended: normally, in a
+/// detected deadlock, or in a sync timeout.
+struct FaultRun {
+  Tick makespan = 0;
+  std::vector<Tick> completions;
+  std::vector<std::uint8_t> memory;  ///< full shared region after the run
+  sim::FaultStats stats;
+  bool deadlock = false;
+  bool sync_timeout = false;
+  bool frozen_named = false;  ///< hang report names the permafrost task,
+                              ///< parked with no sync object (wedged)
+};
+
+FaultRun runFaultSweep(const sim::FaultPlan& plan, Tick sync_timeout_ticks) {
+  constexpr int kUes = 8, kRounds = 6;
+  constexpr std::size_t kWindowB = 2048, kBlockB = 1024, kMpbB = 512;
+  sim::SccConfig cfg;
+  cfg.fault = plan;
+  cfg.sync_timeout_ticks = sync_timeout_ticks;
+  sim::SccMachine m(cfg);
+  rcce::RcceEnv env(m);
+  const std::uint64_t table = m.shmalloc(kUes * kWindowB);
+  const std::uint64_t blocks = m.shmalloc(kUes * kBlockB);
+  const std::uint64_t counter = m.shmalloc(64);
+  const std::uint64_t out = m.shmalloc(kUes * 8);
+  auto* g = reinterpret_cast<std::uint64_t*>(m.shmData(table));
+  for (std::size_t i = 0; i < kUes * kWindowB / 8; ++i) {
+    g[i] = 0x9e3779b97f4a7c15ull * (i + 1);
+  }
+  m.setShmCacheability(table, table + kUes * kWindowB, true);
+  const std::uint64_t slot = env.mpbMallocSymmetric(kUes, 2 * kMpbB);
+  m.launch(kUes, [=](sim::CoreContext& ctx) {
+    return faultMix(ctx, table, blocks, counter, out, slot, kRounds, kWindowB,
+                    kBlockB, kMpbB);
+  });
+  FaultRun res;
+  try {
+    res.makespan = m.run();
+  } catch (const sim::DeadlockError& e) {
+    res.deadlock = true;
+    for (const sim::HangReport::Waiter& w : e.report().waiters) {
+      if (static_cast<int>(w.task) == plan.permafrost_ue &&
+          w.sync == sim::Engine::kNoSync) {
+        res.frozen_named = true;
+      }
+    }
+  } catch (const sim::SyncTimeout&) {
+    res.sync_timeout = true;
+  }
+  for (int ue = 0; ue < kUes; ++ue) {
+    res.completions.push_back(
+        m.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  const std::uint8_t* base = m.shmData(table);
+  res.memory.assign(base, base + (out + kUes * 8 - table));
+  res.stats = m.faultStats();
+  return res;
+}
+
 // --- JSON emission ----------------------------------------------------------
 
 void printRun(std::string* out, const char* key, const RunStats& s) {
@@ -436,7 +554,19 @@ double relError(Tick approx, Tick exact) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --scenario NAME runs just that scenario (CI uses it to run the fault
+  // sweep under sanitizers without paying for the full matrix). Skipped
+  // sections leave their ok-flags true and their JSON entries absent;
+  // compare_bench.py only gates full runs.
+  std::string only;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--scenario") only = argv[i + 1];
+  }
+  const auto want = [&only](const std::string& name) {
+    return only.empty() || only == name;
+  };
+
   bool all_identical = true;
   std::string json = "{\n  \"bench\": \"micro_sim\",\n  \"scenarios\": [\n";
 
@@ -541,6 +671,7 @@ int main() {
   bool first = true;
   std::map<std::string, RunStats> exact_stats;  // reused by the quantum sweep
   for (const Workload& w : ab) {
+    if (!want(w.name)) continue;
     const RunStats on = runWorkload(w, Mode{true, true, 1, true});
     exact_stats[w.name] = on;
     const RunStats global = runWorkload(w, Mode{true, false, 1, true});
@@ -617,8 +748,11 @@ int main() {
        }},
   };
   for (const Workload& w : substrate) {
+    if (!want(w.name)) continue;
     const RunStats s = runWorkload(w, Mode{true, true, 1});
-    json += ",\n    {\"name\": \"" + w.name + "\",\n";
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + w.name + "\",\n";
     printRun(&json, "coalesced", s);
     json += "}";
   }
@@ -667,6 +801,7 @@ int main() {
          /*extract_offset=*/0, /*extract_bytes=*/64 * 64 * 8},
     };
     for (const Workload& w : cached_ab) {
+      if (!want(w.name)) continue;
       const RunStats cached = runWorkload(w, Mode{true, true, 1, true, 1});
       const RunStats uncached = runWorkload(w, Mode{true, true, 1, true, 0});
       const RunStats wthrough = runWorkload(w, Mode{true, true, 1, true, 2});
@@ -678,7 +813,9 @@ int main() {
       const double words_speedup = uncached.wordsPerSec() > 0
                                        ? cached.wordsPerSec() / uncached.wordsPerSec()
                                        : 0.0;
-      json += ",\n    {\"name\": \"" + w.name + "\",\n";
+      if (!first) json += ",\n";
+      first = false;
+      json += "    {\"name\": \"" + w.name + "\",\n";
       printRun(&json, "coalesced", cached);
       json += ",\n";
       printRun(&json, "uncached", uncached);
@@ -702,7 +839,7 @@ int main() {
   // functional results, clear the table hit-rate bar, and record zero MPB
   // scope violations under its (MPB-free) declared plan.
   bool policy_ok = true;
-  {
+  if (want("mixed_policy_8ue")) {
     constexpr std::size_t kWindow = 4096;
     constexpr int kRounds = 4, kSweeps = 8, kUpdates = 32;
     const ExecutionPlan policy_plan{
@@ -768,7 +905,9 @@ int main() {
                 mixed.mpb_scope_violations == 0 && mixed_rate > cached_rate &&
                 mixed_rate > uncached_rate;
 
-    json += ",\n    {\"name\": \"mixed_policy_8ue\",\n";
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"mixed_policy_8ue\",\n";
     printRun(&json, "coalesced", mixed);
     json += ",\n";
     printRun(&json, "all_cached", cached);
@@ -786,6 +925,102 @@ int main() {
                   policy_ok ? "true" : "false");
     json += buf;
   }
+
+  // Fault-injection sweep: the robustness acceptance run (docs/fault_model.md).
+  // Five configurations of ONE kernel exercising every faultable path:
+  //   * fault_free   — plan disabled (the baseline the rest compare against);
+  //   * zero_rate    — plan ENABLED with every rate zero: must be
+  //                    bit-identical to fault_free (makespan, completions,
+  //                    final memory) — the armed-but-quiet determinism bar;
+  //   * faulty       — seeded rates on every class: every transient
+  //                    MPB/DRAM fault must be detected and repaired
+  //                    (unrecovered == 0, recovery rate 1.0) and the final
+  //                    shared memory must be byte-identical to fault_free;
+  //   * faulty again — same seed: identical makespan, stats, and memory
+  //                    (the same-seed replay determinism bar);
+  //   * permafrost   — UE 2 wedges permanently mid-run: the run must END in
+  //                    a DeadlockError whose wait-for graph names the frozen
+  //                    task (parked with no sync object), not hang;
+  //   * sync-timeout — a deliberately sub-realistic lock/barrier timeout:
+  //                    the first wait must raise SyncTimeout.
+  // All six checks fold into fault_checks_ok and the process exit code.
+  bool fault_ok = true;
+  double fault_recovery_rate = 1.0;
+  if (want("fault_sweep_8ue")) {
+    using sim::FaultClass;
+    const auto idx = [](FaultClass c) { return static_cast<std::size_t>(c); };
+    sim::FaultPlan off{};  // enabled = false
+    sim::FaultPlan zero{};
+    zero.enabled = true;
+    sim::FaultPlan hot{};
+    hot.enabled = true;
+    hot.mpb_transfer.rate = 0.08;
+    hot.shm_write.rate = 0.06;
+    hot.swcache_flush.rate = 0.15;
+    hot.mc_stall.rate = 0.02;
+    hot.core_freeze.rate = 0.005;
+    sim::FaultPlan frost{};
+    frost.enabled = true;
+    frost.permafrost_ue = 2;
+    frost.permafrost_after_ops = 10;
+
+    const FaultRun ff = runFaultSweep(off, 0);
+    const FaultRun zr = runFaultSweep(zero, 0);
+    const FaultRun hr = runFaultSweep(hot, 0);
+    const FaultRun hr2 = runFaultSweep(hot, 0);
+    const FaultRun pf = runFaultSweep(frost, 0);
+    const FaultRun to = runFaultSweep(off, 1000);  // 1 ns: any real wait trips
+
+    const bool zero_identical = zr.makespan == ff.makespan &&
+                                zr.completions == ff.completions &&
+                                zr.memory == ff.memory;
+    const bool recovery_ok =
+        !hr.deadlock && !hr.sync_timeout &&
+        hr.stats.injected[idx(FaultClass::kMpbTransfer)] > 0 &&
+        hr.stats.injected[idx(FaultClass::kShmWrite)] > 0 &&
+        hr.stats.injected[idx(FaultClass::kSwcacheFlush)] > 0 &&
+        hr.stats.unrecovered == 0 && hr.stats.recoveryRate() == 1.0 &&
+        hr.memory == ff.memory;
+    const bool replay_identical =
+        hr2.makespan == hr.makespan && hr2.completions == hr.completions &&
+        hr2.memory == hr.memory &&
+        hr2.stats.totalInjected() == hr.stats.totalInjected() &&
+        hr2.stats.retries == hr.stats.retries &&
+        hr2.stats.stall_ticks == hr.stats.stall_ticks;
+    const bool deadlock_reported = pf.deadlock && pf.frozen_named;
+    const bool timeout_raised = to.sync_timeout;
+    fault_ok = zero_identical && recovery_ok && replay_identical &&
+               deadlock_reported && timeout_raised;
+    fault_recovery_rate = hr.stats.recoveryRate();
+
+    if (!first) json += ",\n";
+    first = false;
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"fault_sweep_8ue\",\n"
+        "      \"fault_free_makespan_ps\": %llu, \"faulty_makespan_ps\": %llu,\n"
+        "      \"faults_injected\": %llu, \"faults_recovered\": %llu, "
+        "\"fault_retries\": %llu, \"faults_unrecovered\": %llu, "
+        "\"stall_ticks\": %llu, \"freezes\": %llu,\n"
+        "      \"recovery_rate\": %.4f, \"zero_rate_identical\": %s, "
+        "\"recovery_ok\": %s, \"replay_identical\": %s, "
+        "\"deadlock_reported\": %s, \"sync_timeout_raised\": %s, "
+        "\"fault_checks_ok\": %s}",
+        static_cast<unsigned long long>(ff.makespan),
+        static_cast<unsigned long long>(hr.makespan),
+        static_cast<unsigned long long>(hr.stats.totalInjected()),
+        static_cast<unsigned long long>(hr.stats.totalRecovered()),
+        static_cast<unsigned long long>(hr.stats.retries),
+        static_cast<unsigned long long>(hr.stats.unrecovered),
+        static_cast<unsigned long long>(hr.stats.stall_ticks),
+        static_cast<unsigned long long>(hr.stats.freezes), fault_recovery_rate,
+        zero_identical ? "true" : "false", recovery_ok ? "true" : "false",
+        replay_identical ? "true" : "false",
+        deadlock_reported ? "true" : "false", timeout_raised ? "true" : "false",
+        fault_ok ? "true" : "false");
+    json += buf;
+  }
   json += "\n  ],\n";
 
   // Fairness-quantum error sweep: Tick error of shm_fairness_quantum_words
@@ -796,6 +1031,7 @@ int main() {
   bool first_q = true;
   for (const Workload& w : ab) {
     if (w.name == "shm_words_single_ue") continue;  // no contention window
+    if (exact_stats.find(w.name) == exact_stats.end()) continue;  // filtered out
     const RunStats& exact = exact_stats.at(w.name);  // measured in the A/B loop
     for (const std::uint32_t q : {4u, 16u, 64u}) {
       const RunStats approx = runWorkload(w, Mode{true, true, q});
@@ -827,7 +1063,13 @@ int main() {
   json += std::string("  \"swcache_checks_ok\": ") + (swcache_ok ? "true" : "false") +
           ",\n";
   json += std::string("  \"policy_checks_ok\": ") + (policy_ok ? "true" : "false") +
-          "\n}\n";
+          ",\n";
+  json += std::string("  \"fault_checks_ok\": ") + (fault_ok ? "true" : "false") +
+          ",\n";
+  char rate_buf[64];
+  std::snprintf(rate_buf, sizeof(rate_buf), "  \"fault_recovery_rate\": %.4f\n}\n",
+                fault_recovery_rate);
+  json += rate_buf;
   std::fputs(json.c_str(), stdout);
-  return all_identical && swcache_ok && policy_ok ? 0 : 1;
+  return all_identical && swcache_ok && policy_ok && fault_ok ? 0 : 1;
 }

@@ -87,6 +87,27 @@ def main() -> int:
             "beats both machine-wide cacheability settings (or its "
             "functional/hit-rate/scope checks failed)"
         )
+    # Absent in pre-fault-injection result files; present files must pass.
+    if not pr.get("fault_checks_ok", True):
+        failures.append(
+            "fault_checks_ok is false: zero-rate bit-identity, fault "
+            "recovery, same-seed replay, the deadlock report, or the sync "
+            "timeout check failed (see fault_sweep_8ue in BENCH_pr.json)"
+        )
+    # Retry-success rate of the seeded fault sweep: deterministic, so any
+    # drop below the baseline is a recovery-layer code change, not noise.
+    base_recovery = baseline.get("fault_recovery_rate")
+    pr_recovery = pr.get("fault_recovery_rate")
+    if base_recovery is not None and pr_recovery is not None:
+        if pr_recovery < base_recovery - RATE_EPSILON:
+            failures.append(
+                f"fault_recovery_rate dropped {base_recovery:.4f} -> "
+                f"{pr_recovery:.4f}"
+            )
+        else:
+            print(
+                f"ok fault_recovery_rate {base_recovery:.4f} -> {pr_recovery:.4f}"
+            )
 
     def throughput(run):
         """(metric name, value): simulated-work/sec if any, else events/sec."""
@@ -105,10 +126,14 @@ def main() -> int:
         if pr_scenario is None:
             failures.append(f"{name}: scenario missing from PR run")
             continue
+        # Check-only scenarios (fault_sweep_8ue) carry flags, not timed runs;
+        # they are gated via fault_checks_ok / fault_recovery_rate above.
+        if "coalesced" not in base_scenario or "coalesced" not in pr_scenario:
+            continue
         pairs.append((name, base_scenario["coalesced"], pr_scenario["coalesced"]))
 
     for name, pr_scenario in pr_scenarios.items():
-        if name in baseline_names:
+        if name in baseline_names or "coalesced" not in pr_scenario:
             continue
         metric, value = throughput(pr_scenario["coalesced"])
         rate = pr_scenario["coalesced"].get("coalescing_rate", 0.0)

@@ -1,8 +1,38 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace hsm::sim {
+
+std::string HangReport::format() const {
+  std::string out = "no-progress report at t=" + std::to_string(at) + " ps: " +
+                    std::to_string(waiters.size()) + " unfinished task(s)\n";
+  for (const Waiter& w : waiters) {
+    out += "  task " + std::to_string(w.task);
+    if (w.sync == static_cast<std::uint32_t>(-1)) {
+      out += " parked by an unknown mechanism (wedged/frozen: no wake-for edge)";
+    } else {
+      out += " blocked on sync " + std::to_string(w.sync) + " since t=" +
+             std::to_string(w.blocked_since);
+      if (!w.wakers_known) {
+        out += ", wakers unknown";
+      } else {
+        out += w.all_wakers_required ? ", waits for ALL of {" : ", waits for ANY of {";
+        for (std::size_t i = 0; i < w.wakers.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += std::to_string(w.wakers[i]);
+        }
+        out += "}";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+SimHangError::SimHangError(Kind kind, HangReport report)
+    : std::runtime_error(report.format()), kind_(kind), report_(std::move(report)) {}
 
 bool ResumeAt::await_ready() const noexcept {
   // Zero-cost operations continue inline; anything in the future suspends.
@@ -311,6 +341,7 @@ void Engine::blockOnSync(std::size_t task, std::uint32_t sync) {
   if (task == kNoTask || task >= task_blocked_sync_.size()) return;
   if (task_blocked_sync_[task] == kNoSync) {
     task_blocked_index_[task] = blocked_tasks_.size();
+    task_blocked_at_[task] = now_;
     blocked_tasks_.push_back(task);
     if (task >= counted_tasks_from_) {
       const std::uint32_t cls = classOfTask(task);
@@ -335,6 +366,7 @@ std::size_t Engine::spawnReaching(SimTask task, Tick start,
     task_pending_when_.resize(id + 1, kNever);
     task_blocked_sync_.resize(id + 1, kNoSync);
     task_blocked_index_.resize(id + 1, 0);
+    task_blocked_at_.resize(id + 1, 0);
     task_done_.resize(id + 1, false);
   }
   task_class_[id] = cls;
@@ -359,8 +391,63 @@ std::size_t Engine::spawn(SimTask task, Tick start, std::uint32_t resource) {
   return spawnReaching(std::move(task), start, std::move(reach));
 }
 
+std::size_t Engine::unfinishedTasks() const {
+  std::size_t n = 0;
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    if (id >= task_done_.size() || !task_done_[id]) ++n;
+  }
+  return n;
+}
+
+HangReport Engine::hangReport() const {
+  HangReport report;
+  report.at = now_;
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    if (id < task_done_.size() && task_done_[id]) continue;
+    HangReport::Waiter w;
+    w.task = id;
+    const std::uint32_t sync =
+        id < task_blocked_sync_.size() ? task_blocked_sync_[id] : kNoSync;
+    w.sync = sync;
+    if (sync != kNoSync && sync < syncs_.size()) {
+      w.blocked_since = task_blocked_at_[id];
+      const SyncObject& s = syncs_[sync];
+      w.wakers_known = s.wakers_known;
+      w.all_wakers_required = s.rule == WakerRule::kAll;
+      for (const std::size_t waker : s.wakers) {
+        if (s.episodic && s.removedThisEpisode(waker)) continue;  // arrived
+        if (waker == id) continue;
+        if (waker < task_done_.size() && task_done_[waker]) continue;
+        w.wakers.push_back(waker);
+      }
+    }
+    report.waiters.push_back(std::move(w));
+  }
+  return report;
+}
+
+void Engine::checkSyncTimeouts() const {
+  for (const std::size_t task : blocked_tasks_) {
+    if (task < task_blocked_at_.size() &&
+        now_ - task_blocked_at_[task] > sync_timeout_) {
+      throw SyncTimeout(hangReport());
+    }
+  }
+}
+
 Tick Engine::run() {
   const auto wall_start = std::chrono::steady_clock::now();
+  // Accumulate host wall time on every exit path, including the structured
+  // hang/timeout/watchdog throws below.
+  struct WallGuard {
+    Engine& e;
+    std::chrono::steady_clock::time_point start;
+    ~WallGuard() {
+      e.wall_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+    }
+  } wall_guard{*this, wall_start};
   while (!events_.empty()) {
     std::pop_heap(events_.begin(), events_.end(), EventAfter{});
     const Event ev = events_.back();
@@ -376,15 +463,29 @@ Tick Engine::run() {
     if (ev.task != kNoTask && ev.task < task_pending_when_.size()) {
       task_pending_when_[ev.task] = kNever;
     }
+    if (watchdog_limit_ != 0) {
+      same_tick_events_ = ev.when == now_ ? same_tick_events_ + 1 : 0;
+      if (same_tick_events_ > watchdog_limit_) {
+        current_task_ = kNoTask;
+        throw WatchdogError(hangReport());
+      }
+    }
     now_ = ev.when;
     current_task_ = ev.task;
     ++events_processed_;
     ev.handle.resume();
+    if (sync_timeout_ != 0 && !blocked_tasks_.empty()) {
+      current_task_ = kNoTask;
+      checkSyncTimeouts();  // throws SyncTimeout on an overstayed park
+    }
   }
   current_task_ = kNoTask;
-  wall_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
-          .count();
+  if (hang_detection_ && unfinishedTasks() > 0) {
+    // Satellite fix for the silent-hang bug: the heap drained while tasks
+    // were still alive (parked on a lock/barrier, or wedged). Fail loudly
+    // with the wait-for graph instead of returning as if the run finished.
+    throw DeadlockError(hangReport());
+  }
   return now_;
 }
 

@@ -66,6 +66,8 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/time.h"
@@ -73,6 +75,65 @@
 namespace hsm::sim {
 
 class Engine;
+
+/// Snapshot of every unfinished task at a detected hang — the wait-for
+/// graph the deadlock detector, sync timeout, and watchdog all report.
+struct HangReport {
+  struct Waiter {
+    std::size_t task = 0;
+    /// Registered sync object the task is parked on; Engine::kNoSync when
+    /// the task is parked by an unknown mechanism (or wedged outright, e.g.
+    /// an injected permanent core freeze) — it has no wake-for edge at all.
+    std::uint32_t sync = static_cast<std::uint32_t>(-1);
+    Tick blocked_since = 0;     ///< when the park was registered (0: unknown)
+    bool wakers_known = false;  ///< the sync object declared its waker set
+    bool all_wakers_required = false;  ///< kAll rule (barrier) vs kAny (lock)
+    std::vector<std::size_t> wakers;   ///< current potential waker tasks
+  };
+  Tick at = 0;  ///< simulated time the hang was detected
+  std::vector<Waiter> waiters;
+  /// Multi-line human-readable rendering of the wait-for graph.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Base of the structured no-progress errors Engine::run can raise. These
+/// are thrown from the host-side run loop, never from inside a coroutine
+/// frame (whose unhandled_exception would terminate).
+class SimHangError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t { kDeadlock, kSyncTimeout, kWatchdog };
+  SimHangError(Kind kind, HangReport report);
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const HangReport& report() const { return report_; }
+
+ private:
+  Kind kind_;
+  HangReport report_;
+};
+
+/// The event heap drained while tasks were still alive (satellite fix for
+/// the silent-hang bug: a lock/barrier bug used to just end the run).
+class DeadlockError : public SimHangError {
+ public:
+  explicit DeadlockError(HangReport report)
+      : SimHangError(Kind::kDeadlock, std::move(report)) {}
+};
+
+/// A task sat blocked on a lock/barrier longer than the configured acquire/
+/// arrival timeout (Engine::setSyncTimeout).
+class SyncTimeout : public SimHangError {
+ public:
+  explicit SyncTimeout(HangReport report)
+      : SimHangError(Kind::kSyncTimeout, std::move(report)) {}
+};
+
+/// The progress watchdog: too many events processed without simulated time
+/// advancing (a livelock — e.g. a zero-delay self-rescheduling loop).
+class WatchdogError : public SimHangError {
+ public:
+  explicit WatchdogError(HangReport report)
+      : SimHangError(Kind::kWatchdog, std::move(report)) {}
+};
 
 /// A simulated thread of execution (one per core / logical thread).
 /// Root-level only: operations are awaited inline, not via nested tasks.
@@ -307,7 +368,32 @@ class Engine {
                             std::vector<std::uint32_t> reach);
 
   /// Run until the event queue drains. Returns the time of the last event.
+  /// With hang detection on (setHangDetection) a drain that leaves
+  /// unfinished tasks behind throws DeadlockError instead of returning; the
+  /// sync-timeout and watchdog knobs below can additionally raise
+  /// SyncTimeout / WatchdogError mid-run. All three are thrown from this
+  /// host-side loop, never from inside a coroutine frame.
   Tick run();
+
+  // -- robustness / no-progress detection --
+  /// Treat a heap drain with unfinished tasks as a deadlock (DeadlockError
+  /// carrying the wait-for graph). Default OFF: a bare Engine legitimately
+  /// parks tasks across run() calls (host code schedules their wakes later);
+  /// SccMachine turns it on, where a drain with parked tasks is always the
+  /// silent-hang bug.
+  void setHangDetection(bool enabled) { hang_detection_ = enabled; }
+  /// Raise SyncTimeout when any task registered via blockOnSync has waited
+  /// longer than `ticks` of simulated time (0 = off, the default). This is
+  /// the lock-acquire / barrier-arrival timeout of the fault model.
+  void setSyncTimeout(Tick ticks) { sync_timeout_ = ticks; }
+  /// Raise WatchdogError after more than `events` consecutive events fire
+  /// without simulated time advancing (0 = off, the default).
+  void setWatchdogEventLimit(std::uint64_t events) { watchdog_limit_ = events; }
+  /// Unfinished (spawned, not yet completed) tasks right now.
+  [[nodiscard]] std::size_t unfinishedTasks() const;
+  /// Snapshot the current wait-for graph (every unfinished task, its sync
+  /// object if registered, and that object's potential wakers).
+  [[nodiscard]] HangReport hangReport() const;
 
   /// Completion time of a spawned task (valid after run()); 0 if not done.
   [[nodiscard]] Tick completionTime(std::size_t task_id) const {
@@ -423,6 +509,9 @@ class Engine {
   /// detection; the global nextEventTime() is the unknown-waker fallback.
   [[nodiscard]] Tick wakeBound(std::size_t task,
                                std::vector<std::size_t>& visited) const;
+  /// Throw SyncTimeout if any registered blocked task overstayed
+  /// sync_timeout_. Called per event from run(); cheap when nothing blocks.
+  void checkSyncTimeouts() const;
 
   std::vector<Event> events_;  ///< binary heap via std::push_heap/pop_heap
   Tick now_ = 0;
@@ -459,7 +548,14 @@ class Engine {
   std::vector<std::size_t> blocked_tasks_;        ///< registered blocked tasks
   std::vector<std::size_t> task_blocked_index_;   ///< position in blocked_tasks_
   std::vector<Tick> task_pending_when_;  ///< per task: pending event or kNever
+  std::vector<Tick> task_blocked_at_;    ///< per task: when blockOnSync ran
   std::vector<bool> task_done_;
+
+  // -- robustness / no-progress detection --
+  bool hang_detection_ = false;
+  Tick sync_timeout_ = 0;              ///< 0 = off
+  std::uint64_t watchdog_limit_ = 0;   ///< 0 = off
+  std::uint64_t same_tick_events_ = 0;  ///< events fired at now_ so far
   /// Scratch recursion path for wakeBound (reused across queries to keep
   /// the per-batch horizon computation allocation-free).
   mutable std::vector<std::size_t> wake_path_;

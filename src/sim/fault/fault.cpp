@@ -1,0 +1,123 @@
+#include "sim/fault/fault.h"
+
+namespace hsm::sim {
+namespace {
+
+/// splitmix64 finalizer: the counter-based hash behind every draw. Chosen
+/// for full avalanche at two multiplies — decisions at adjacent indices are
+/// statistically independent without any sequential PRNG state.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr double kInv64 = 1.0 / 18446744073709551616.0;  // 2^-64
+
+}  // namespace
+
+const char* faultClassName(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kMpbTransfer: return "mpb_transfer";
+    case FaultClass::kShmWrite: return "shm_write";
+    case FaultClass::kSwcacheFlush: return "swcache_flush";
+    case FaultClass::kMcStall: return "mc_stall";
+    case FaultClass::kCoreFreeze: return "core_freeze";
+  }
+  return "?";
+}
+
+double FaultStats::recoveryRate() const {
+  const auto c = [&](FaultClass f) { return static_cast<std::size_t>(f); };
+  const std::uint64_t inj = injected[c(FaultClass::kMpbTransfer)] +
+                            injected[c(FaultClass::kShmWrite)] +
+                            injected[c(FaultClass::kSwcacheFlush)];
+  const std::uint64_t rec = recovered[c(FaultClass::kMpbTransfer)] +
+                            recovered[c(FaultClass::kShmWrite)] +
+                            recovered[c(FaultClass::kSwcacheFlush)];
+  return inj > 0 ? static_cast<double>(rec) / static_cast<double>(inj) : 1.0;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  enabled_ = plan_.enabled;
+  if (!enabled_) return;
+  for (std::size_t i = 0; i < kNumFaultClasses; ++i) {
+    armed_[i] = spec(static_cast<FaultClass>(i)).rate > 0.0;
+  }
+  if (plan_.permafrost_ue >= 0) {
+    armed_[static_cast<std::size_t>(FaultClass::kCoreFreeze)] = true;
+  }
+  for (const bool a : armed_) any_armed_ = any_armed_ || a;
+}
+
+const FaultClassSpec& FaultInjector::spec(FaultClass cls) const {
+  switch (cls) {
+    case FaultClass::kMpbTransfer: return plan_.mpb_transfer;
+    case FaultClass::kShmWrite: return plan_.shm_write;
+    case FaultClass::kSwcacheFlush: return plan_.swcache_flush;
+    case FaultClass::kMcStall: return plan_.mc_stall;
+    case FaultClass::kCoreFreeze: break;
+  }
+  return plan_.core_freeze;
+}
+
+std::uint64_t FaultInjector::draw(FaultClass cls, std::uint64_t stream,
+                                  std::uint64_t index) const {
+  // Three chained rounds so (class, stream, index) each perturb the whole
+  // state; no coordinate can alias another's schedule.
+  std::uint64_t h = mix64(plan_.seed ^ (0xf417ULL + static_cast<std::uint64_t>(cls)));
+  h = mix64(h ^ stream);
+  return mix64(h ^ index);
+}
+
+bool FaultInjector::fires(FaultClass cls, std::uint64_t stream,
+                          std::uint64_t index, Tick now) const {
+  if (!armed_[static_cast<std::size_t>(cls)]) return false;
+  const FaultClassSpec& s = spec(cls);
+  if (s.rate <= 0.0 || !s.window.contains(now)) return false;
+  return static_cast<double>(draw(cls, stream, index)) * kInv64 < s.rate;
+}
+
+void FaultInjector::corruptBytes(void* data, std::size_t bytes, FaultClass cls,
+                                 std::uint64_t stream, std::uint64_t index) const {
+  if (data == nullptr || bytes == 0) return;
+  const std::uint64_t h = draw(cls, stream, index ^ 0xc0de'c0deULL);
+  auto* p = static_cast<std::uint8_t*>(data);
+  const std::size_t at = static_cast<std::size_t>(h % bytes);
+  // Non-zero XOR mask: the corruption always changes the byte, so an exact
+  // compare against the intended payload always detects it.
+  const auto mask = static_cast<std::uint8_t>((h >> 32) | 0x01U);
+  p[at] = static_cast<std::uint8_t>(p[at] ^ mask);
+}
+
+std::size_t FaultInjector::pick(std::size_t count, FaultClass cls,
+                                std::uint64_t stream, std::uint64_t index) const {
+  if (count == 0) return 0;
+  return static_cast<std::size_t>(draw(cls, stream, index ^ 0x9'1ceULL) % count);
+}
+
+Tick FaultInjector::stallTicks(std::uint32_t resource, std::uint64_t txn_index,
+                               Tick arrival, Tick base_service) const {
+  if (!fires(FaultClass::kMcStall, resource, txn_index, arrival)) return 0;
+  return base_service * plan_.mc_stall_service_multiple;
+}
+
+Tick FaultInjector::freezeTicks(int ue, std::uint64_t op_index, Tick now) const {
+  if (plan_.permafrost_ue == ue && op_index >= plan_.permafrost_after_ops) {
+    return kFreezeForever;
+  }
+  if (!fires(FaultClass::kCoreFreeze, static_cast<std::uint64_t>(ue), op_index, now)) {
+    return 0;
+  }
+  return plan_.core_freeze_ticks;
+}
+
+Tick FaultInjector::backoff(std::uint32_t attempt) const {
+  // Exponential in simulated ticks, capped at 20 doublings (already hours of
+  // simulated time; guards shift overflow, not a realistic schedule).
+  const std::uint32_t shift = attempt < 20 ? attempt : 20;
+  return plan_.retry_backoff_base_ticks << shift;
+}
+
+}  // namespace hsm::sim

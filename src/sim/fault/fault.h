@@ -1,0 +1,188 @@
+// Deterministic fault injection for the simulated machine.
+//
+// The simulator so far assumed perfect hardware: MPB transfers always land,
+// controllers never stall, DRAM never flips a bit, cores never wedge. Real
+// SCC-class parts are not so polite, and the runtime layers the paper builds
+// (RCCE-style transfers, software-managed coherence) are exactly where
+// software must supply the guarantees hardware omits. This module provides
+// the *fault side* of that story; the recovery side (checksum-verify +
+// bounded retry with exponential backoff, sync timeouts, the engine's
+// deadlock watchdog) lives in machine.cpp / engine.cpp.
+//
+// Determinism contract (docs/fault_model.md):
+//   * Every fault decision is a pure function of (seed, fault class, stream,
+//     index) through a splitmix64 counter-based hash — no mutable PRNG
+//     state, so decisions are independent of the order in which call sites
+//     draw them. Streams are stable logical ids (the UE for core-side
+//     faults, the resource id for controller stalls) and indices are
+//     per-stream operation counters, so the schedule survives event
+//     coalescing: coalescing changes how many engine events an operation
+//     costs, never the operation sequence per stream.
+//   * Same plan (seed + rates + windows) => identical fault schedule =>
+//     bit-identical simulated Ticks across runs and coalescing modes.
+//   * `enabled = false` leaves every hot path untouched (one branch on a
+//     cached bool) — zero-fault runs are bit-identical to a build without
+//     this module. `enabled = true` with all rates zero draws no faults and
+//     adds no simulated time either (verification is modeled as untimed
+//     redundancy the hardware DMA performs anyway).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hsm::sim {
+
+/// Fault classes the plan can arm independently.
+enum class FaultClass : std::uint8_t {
+  kMpbTransfer,   ///< transient MPB chunk-transfer corruption (drop/flip)
+  kShmWrite,      ///< transient shared-DRAM word flip on an uncached write
+  kSwcacheFlush,  ///< transient DRAM corruption of a just-flushed dirty line
+  kMcStall,       ///< memory-controller stall / service latency spike
+  kCoreFreeze,    ///< core wedges for N ticks before an operation
+};
+inline constexpr std::size_t kNumFaultClasses = 5;
+
+[[nodiscard]] const char* faultClassName(FaultClass cls);
+
+/// Half-open simulated-time window [begin, end) a fault class is armed in.
+/// The default (0, kNever-ish max) arms it for the whole run.
+struct FaultWindow {
+  Tick begin = 0;
+  Tick end = static_cast<Tick>(-1);
+  [[nodiscard]] bool contains(Tick t) const { return t >= begin && t < end; }
+};
+
+/// Per-class injection spec: `rate` is the probability (0..1) that one
+/// draw of this class fires inside its window.
+struct FaultClassSpec {
+  double rate = 0.0;
+  FaultWindow window{};
+};
+
+/// The seed-driven fault schedule plus the recovery-layer knobs. Embedded in
+/// SccConfig; everything is plain data so configs stay copyable/comparable.
+struct FaultPlan {
+  bool enabled = false;     ///< master gate; false = zero-cost passthrough
+  std::uint64_t seed = 0x5cc0ffee;
+
+  FaultClassSpec mpb_transfer{};   ///< per MPB read/write attempt
+  FaultClassSpec shm_write{};      ///< per uncached shm/bulk write attempt
+  FaultClassSpec swcache_flush{};  ///< per release-point flush attempt
+  FaultClassSpec mc_stall{};       ///< per controller transaction
+  FaultClassSpec core_freeze{};    ///< per timed core operation
+
+  /// Extra controller service charged when a kMcStall fires, as a multiple
+  /// of the transaction's base service time.
+  std::uint32_t mc_stall_service_multiple = 8;
+  /// Simulated duration of a transient kCoreFreeze.
+  Tick core_freeze_ticks = 2'000'000;  // 2 us
+  /// UE whose first timed operation at/after `permafrost_after_ops` freezes
+  /// PERMANENTLY (the task never resumes — exercises the deadlock
+  /// watchdog). -1 = no permanent freeze.
+  int permafrost_ue = -1;
+  std::uint64_t permafrost_after_ops = 0;
+
+  // -- recovery layer --
+  /// Verify-retry attempts after the initial try for MPB/DRAM transfers.
+  std::uint32_t max_retries = 4;
+  /// Backoff before retry k (0-based) is `retry_backoff_base_ticks << k`.
+  Tick retry_backoff_base_ticks = 500'000;  // 0.5 us
+};
+
+/// Recovery-layer counters, aggregated machine-wide.
+struct FaultStats {
+  std::uint64_t injected[kNumFaultClasses] = {};   ///< faults that fired
+  std::uint64_t recovered[kNumFaultClasses] = {};  ///< detected + repaired
+  std::uint64_t retries = 0;        ///< transfer re-executions performed
+  std::uint64_t stall_ticks = 0;    ///< extra controller service injected
+  std::uint64_t freezes = 0;        ///< transient core freezes served
+  std::uint64_t unrecovered = 0;    ///< retry budget exhausted (data at risk)
+
+  [[nodiscard]] std::uint64_t totalInjected() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : injected) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t totalRecovered() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : recovered) n += c;
+    return n;
+  }
+  /// Fraction of recoverable injected faults (everything but stalls, which
+  /// are absorbed by timing, and freezes, which are served not repaired)
+  /// that the retry layer repaired. 1.0 when nothing was injected.
+  [[nodiscard]] double recoveryRate() const;
+};
+
+/// Stateless draw engine over a FaultPlan. All methods are const apart from
+/// the stats sink; decisions depend only on (seed, class, stream, index).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Any class armed with a non-zero rate or a permanent freeze configured
+  /// (the per-op fast gate for hot paths).
+  [[nodiscard]] bool anyArmed() const { return any_armed_; }
+  [[nodiscard]] bool armed(FaultClass cls) const {
+    return armed_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Does draw (`cls`, `stream`, `index`) fire at simulated time `now`?
+  [[nodiscard]] bool fires(FaultClass cls, std::uint64_t stream,
+                           std::uint64_t index, Tick now) const;
+
+  /// Deterministic corruption of `bytes` at `data`: XORs a non-zero mask
+  /// into one byte picked from the same draw coordinates, so an injected
+  /// corruption is always detectable by exact compare. No-op on empty
+  /// buffers.
+  void corruptBytes(void* data, std::size_t bytes, FaultClass cls,
+                    std::uint64_t stream, std::uint64_t index) const;
+  /// Pick an element index in [0, count) from the draw coordinates.
+  [[nodiscard]] std::size_t pick(std::size_t count, FaultClass cls,
+                                 std::uint64_t stream, std::uint64_t index) const;
+
+  /// Extra controller service for transaction `txn_index` of `resource`
+  /// arriving at `arrival` (0 when the stall class does not fire). Keyed by
+  /// the per-resource transaction order, which is identical across
+  /// coalescing modes.
+  [[nodiscard]] Tick stallTicks(std::uint32_t resource, std::uint64_t txn_index,
+                                Tick arrival, Tick base_service) const;
+
+  /// Freeze duration for timed operation `op_index` of `ue` at `now`:
+  /// 0 = none, kFreezeForever = permanent (never resumes), else a transient
+  /// stall of that many ticks.
+  static constexpr Tick kFreezeForever = static_cast<Tick>(-1);
+  [[nodiscard]] Tick freezeTicks(int ue, std::uint64_t op_index, Tick now) const;
+
+  [[nodiscard]] std::uint32_t maxRetries() const { return plan_.max_retries; }
+  /// Simulated backoff before 0-based retry `attempt`.
+  [[nodiscard]] Tick backoff(std::uint32_t attempt) const;
+
+  // -- stats sink (mutable by the recovery layer) --
+  [[nodiscard]] FaultStats& stats() { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  void noteInjected(FaultClass cls) {
+    ++stats_.injected[static_cast<std::size_t>(cls)];
+  }
+  void noteRecovered(FaultClass cls) {
+    ++stats_.recovered[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t draw(FaultClass cls, std::uint64_t stream,
+                                   std::uint64_t index) const;
+  [[nodiscard]] const FaultClassSpec& spec(FaultClass cls) const;
+
+  FaultPlan plan_{};
+  bool enabled_ = false;
+  bool any_armed_ = false;
+  bool armed_[kNumFaultClasses] = {};
+  FaultStats stats_{};
+};
+
+}  // namespace hsm::sim

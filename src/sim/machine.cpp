@@ -90,6 +90,23 @@ void TasLock::release() {
 
 Tick CoreContext::now() const { return machine_.engine().now(); }
 
+SubTask CoreContext::faultPreOp() {
+  FaultInjector& inj = machine_.faultInjector();
+  const std::uint64_t op = timed_op_seq_++;
+  const Tick freeze = inj.freezeTicks(ue_, op, now());
+  if (freeze == FaultInjector::kFreezeForever) {
+    // Permanent wedge: suspend with no pending event and no sync object.
+    // The heap eventually drains and the engine's deadlock detector reports
+    // this task as frozen instead of letting the run end silently.
+    inj.noteInjected(FaultClass::kCoreFreeze);
+    co_await FreezeForever{};
+  } else if (freeze > 0) {
+    inj.noteInjected(FaultClass::kCoreFreeze);
+    ++inj.stats().freezes;
+    co_await machine_.engine().delay(freeze);
+  }
+}
+
 ResumeAt CoreContext::compute(std::uint64_t core_cycles) {
   const Tick dt = machine_.config().coreClock().cycles(core_cycles);
   return machine_.engine().delay(dt);
@@ -118,6 +135,7 @@ ResumeAt CoreContext::privTouch(std::uint64_t addr, std::size_t bytes, bool writ
 }
 
 SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes) {
+  if (machine_.faultsActive()) co_await faultPreOp();
   if (machine_.shmCached(offset)) {
     co_await swcacheRw(offset, out, nullptr, bytes, false);
     co_return;
@@ -134,18 +152,52 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
 }
 
 SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
+  FaultInjector& inj = machine_.faultInjector();
+  if (inj.anyArmed()) co_await faultPreOp();
   if (machine_.shmCached(offset)) {
     co_await swcacheRw(offset, nullptr, src, bytes, true);
     co_return;
   }
-  if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
   const std::size_t txn = machine_.config().shm_transaction_bytes;
-  std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
-  while (words > 0) {
-    std::size_t serviced = 0;
-    const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
-    co_await machine_.engine().resumeAt(done);
-    words -= serviced;
+  // Transient shared-DRAM word-flip faults: retry with checksum-verify and
+  // exponential backoff. The verify (an exact compare of the landed bytes
+  // against the intended payload) is modeled untimed — redundancy the MIU's
+  // store path provides — so zero-rate fault runs add no simulated time.
+  const bool check = inj.anyArmed() && inj.armed(FaultClass::kShmWrite) &&
+                     src != nullptr && bytes > 0;
+  const std::uint64_t xfer = check ? shm_write_seq_++ : 0;
+  std::uint64_t faults_here = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
+    std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+    while (words > 0) {
+      std::size_t serviced = 0;
+      const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
+      co_await machine_.engine().resumeAt(done);
+      words -= serviced;
+    }
+    if (!check) co_return;
+    const std::uint64_t draw = (xfer << 16) ^ attempt;
+    if (inj.fires(FaultClass::kShmWrite, static_cast<std::uint64_t>(ue_), draw,
+                  now())) {
+      inj.corruptBytes(machine_.shmData(offset), bytes, FaultClass::kShmWrite,
+                       static_cast<std::uint64_t>(ue_), draw);
+      inj.noteInjected(FaultClass::kShmWrite);
+      ++faults_here;
+    }
+    if (std::memcmp(machine_.shmData(offset), src, bytes) == 0) {
+      constexpr auto kCls = static_cast<std::size_t>(FaultClass::kShmWrite);
+      inj.stats().recovered[kCls] += faults_here;
+      co_return;
+    }
+    if (attempt >= inj.maxRetries()) {
+      // Retry budget exhausted: record it for the harness to gate on (no
+      // exception — coroutine frames must not throw; see engine.h).
+      ++inj.stats().unrecovered;
+      co_return;
+    }
+    ++inj.stats().retries;
+    co_await machine_.engine().delay(inj.backoff(attempt));
   }
 }
 
@@ -187,7 +239,12 @@ SubTask CoreContext::swcacheLines(std::size_t lines) {
 }
 
 SubTask CoreContext::swcacheRelease() {
-  co_await swcacheLines(machine_.swcacheFlush(core_));
+  FaultInjector& inj = machine_.faultInjector();
+  if (inj.anyArmed() && inj.armed(FaultClass::kSwcacheFlush)) {
+    co_await swcacheLines(machine_.swcacheFlushChecked(core_, flush_seq_++));
+  } else {
+    co_await swcacheLines(machine_.swcacheFlush(core_));
+  }
 }
 
 bool CoreContext::BulkAwaiter::await_ready() const noexcept {
@@ -210,10 +267,46 @@ SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src
   // write: additionally drop every overlapping line — the burst supersedes
   // any cached copy, and the prior write-back keeps untouched bytes of
   // partially-overlapped lines correct.
-  co_await swcacheLines(machine_.swcacheSyncRange(core_, offset, bytes, write));
-  const Tick done =
-      machine_.shmBulkCompletion(core_, now(), offset, bytes, write, out, src);
-  co_await machine_.engine().resumeAt(done);
+  if (machine_.swcacheActive()) {
+    co_await swcacheLines(machine_.swcacheSyncRange(core_, offset, bytes, write));
+  }
+  FaultInjector& inj = machine_.faultInjector();
+  const bool check = inj.anyArmed() && inj.armed(FaultClass::kShmWrite) && write &&
+                     src != nullptr && bytes > 0;
+  if (!check) {
+    const Tick done =
+        machine_.shmBulkCompletion(core_, now(), offset, bytes, write, out, src);
+    co_await machine_.engine().resumeAt(done);
+    co_return;
+  }
+  // Bulk writes share the shm_write fault class and the same verify/retry/
+  // backoff discipline as the word path above.
+  const std::uint64_t xfer = shm_write_seq_++;
+  std::uint64_t faults_here = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const Tick done =
+        machine_.shmBulkCompletion(core_, now(), offset, bytes, true, nullptr, src);
+    co_await machine_.engine().resumeAt(done);
+    const std::uint64_t draw = (xfer << 16) ^ attempt;
+    if (inj.fires(FaultClass::kShmWrite, static_cast<std::uint64_t>(ue_), draw,
+                  now())) {
+      inj.corruptBytes(machine_.shmData(offset), bytes, FaultClass::kShmWrite,
+                       static_cast<std::uint64_t>(ue_), draw);
+      inj.noteInjected(FaultClass::kShmWrite);
+      ++faults_here;
+    }
+    if (std::memcmp(machine_.shmData(offset), src, bytes) == 0) {
+      constexpr auto kCls = static_cast<std::size_t>(FaultClass::kShmWrite);
+      inj.stats().recovered[kCls] += faults_here;
+      co_return;
+    }
+    if (attempt >= inj.maxRetries()) {
+      ++inj.stats().unrecovered;
+      co_return;
+    }
+    ++inj.stats().retries;
+    co_await machine_.engine().delay(inj.backoff(attempt));
+  }
 }
 
 CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* out,
@@ -228,7 +321,7 @@ CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* ou
 
 CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
                                                    const void* src, std::size_t bytes) {
-  if (machine_.swcacheActive()) {
+  if (machine_.swcacheActive() || machine_.faultsActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, nullptr, src, bytes, true));
   }
   return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
@@ -238,29 +331,93 @@ CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
 
 SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
                              std::size_t bytes) {
+  FaultInjector& inj = machine_.faultInjector();
+  if (inj.anyArmed()) co_await faultPreOp();
   const std::size_t chunk = machine_.config().cache_line_bytes;
-  std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
-  while (chunks > 0) {
-    std::size_t serviced = 0;
-    const Tick done =
-        machine_.mpbChunksCompletion(core_, ue_, owner_ue, now(), chunks, &serviced);
-    co_await machine_.engine().resumeAt(done);
-    chunks -= serviced;
+  // Transient MPB transfer faults (rcce::get is a thin wrapper over this
+  // path): the landed destination buffer is corrupted; an untimed exact
+  // compare against the MPB source detects it and the transfer retries with
+  // exponential backoff in simulated ticks.
+  const bool check = inj.anyArmed() && inj.armed(FaultClass::kMpbTransfer) &&
+                     out != nullptr && bytes > 0;
+  const std::uint64_t xfer = check ? mpb_xfer_seq_++ : 0;
+  std::uint64_t faults_here = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+    while (chunks > 0) {
+      std::size_t serviced = 0;
+      const Tick done =
+          machine_.mpbChunksCompletion(core_, ue_, owner_ue, now(), chunks, &serviced);
+      co_await machine_.engine().resumeAt(done);
+      chunks -= serviced;
+    }
+    if (out != nullptr) std::memcpy(out, machine_.mpbData(owner_ue, offset), bytes);
+    if (!check) co_return;
+    const std::uint64_t draw = (xfer << 16) ^ attempt;
+    if (inj.fires(FaultClass::kMpbTransfer, static_cast<std::uint64_t>(ue_), draw,
+                  now())) {
+      inj.corruptBytes(out, bytes, FaultClass::kMpbTransfer,
+                       static_cast<std::uint64_t>(ue_), draw);
+      inj.noteInjected(FaultClass::kMpbTransfer);
+      ++faults_here;
+    }
+    if (std::memcmp(out, machine_.mpbData(owner_ue, offset), bytes) == 0) {
+      constexpr auto kCls = static_cast<std::size_t>(FaultClass::kMpbTransfer);
+      inj.stats().recovered[kCls] += faults_here;
+      co_return;
+    }
+    if (attempt >= inj.maxRetries()) {
+      ++inj.stats().unrecovered;
+      co_return;
+    }
+    ++inj.stats().retries;
+    co_await machine_.engine().delay(inj.backoff(attempt));
   }
-  if (out != nullptr) std::memcpy(out, machine_.mpbData(owner_ue, offset), bytes);
 }
 
 SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
                               std::size_t bytes) {
-  if (src != nullptr) std::memcpy(machine_.mpbData(owner_ue, offset), src, bytes);
+  FaultInjector& inj = machine_.faultInjector();
+  if (inj.anyArmed()) co_await faultPreOp();
   const std::size_t chunk = machine_.config().cache_line_bytes;
-  std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
-  while (chunks > 0) {
-    std::size_t serviced = 0;
-    const Tick done =
-        machine_.mpbChunksCompletion(core_, ue_, owner_ue, now(), chunks, &serviced);
-    co_await machine_.engine().resumeAt(done);
-    chunks -= serviced;
+  // Transient MPB transfer faults on the put side (rcce::put wraps this):
+  // the landed MPB bytes are corrupted, detected by comparing against the
+  // source payload, and the transfer retries — same discipline as mpbRead.
+  const bool check = inj.anyArmed() && inj.armed(FaultClass::kMpbTransfer) &&
+                     src != nullptr && bytes > 0;
+  const std::uint64_t xfer = check ? mpb_xfer_seq_++ : 0;
+  std::uint64_t faults_here = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (src != nullptr) std::memcpy(machine_.mpbData(owner_ue, offset), src, bytes);
+    std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+    while (chunks > 0) {
+      std::size_t serviced = 0;
+      const Tick done =
+          machine_.mpbChunksCompletion(core_, ue_, owner_ue, now(), chunks, &serviced);
+      co_await machine_.engine().resumeAt(done);
+      chunks -= serviced;
+    }
+    if (!check) co_return;
+    const std::uint64_t draw = (xfer << 16) ^ attempt;
+    if (inj.fires(FaultClass::kMpbTransfer, static_cast<std::uint64_t>(ue_), draw,
+                  now())) {
+      inj.corruptBytes(machine_.mpbData(owner_ue, offset), bytes,
+                       FaultClass::kMpbTransfer, static_cast<std::uint64_t>(ue_),
+                       draw);
+      inj.noteInjected(FaultClass::kMpbTransfer);
+      ++faults_here;
+    }
+    if (std::memcmp(machine_.mpbData(owner_ue, offset), src, bytes) == 0) {
+      constexpr auto kCls = static_cast<std::size_t>(FaultClass::kMpbTransfer);
+      inj.stats().recovered[kCls] += faults_here;
+      co_return;
+    }
+    if (attempt >= inj.maxRetries()) {
+      ++inj.stats().unrecovered;
+      co_return;
+    }
+    ++inj.stats().retries;
+    co_await machine_.engine().delay(inj.backoff(attempt));
   }
 }
 
@@ -368,6 +525,14 @@ SccMachine::SccMachine(SccConfig config)
   engine_.registerResources(mesh_.numResources());
   engine_.setSyncAwareHorizon(config_.sync_aware_horizon);
   engine_.reserveEvents(config_.num_cores * 2);
+  // Robustness layer: at machine level a drained heap with live tasks is
+  // ALWAYS the silent-hang bug (machine tasks never park across run()
+  // calls), so hang detection is unconditional; the timeout and watchdog
+  // knobs come from the config (off by default).
+  fault_ = FaultInjector(config_.fault);
+  engine_.setHangDetection(true);
+  engine_.setSyncTimeout(config_.sync_timeout_ticks);
+  engine_.setWatchdogEventLimit(config_.watchdog_events_per_tick);
 }
 
 void SccMachine::ensureSwcache() {
@@ -533,6 +698,16 @@ SwCacheStats SccMachine::swcacheTotals() const {
   return total;
 }
 
+std::size_t SccMachine::swcacheDirtyLines(int core) const {
+  const auto c = static_cast<std::size_t>(core);
+  return c < swcache_.size() ? swcache_[c].dirtyLines() : 0;
+}
+
+std::size_t SccMachine::swcacheResidentLines(int core) const {
+  const auto c = static_cast<std::size_t>(core);
+  return c < swcache_.size() ? swcache_[c].residentLines() : 0;
+}
+
 SwCache::AccessPlan SccMachine::swcacheAccess(int core, std::uint64_t offset,
                                               std::size_t bytes, bool write,
                                               void* data_out, const void* data_in) {
@@ -544,6 +719,47 @@ SwCache::AccessPlan SccMachine::swcacheAccess(int core, std::uint64_t offset,
 std::size_t SccMachine::swcacheFlush(int core) {
   return swcache_[static_cast<std::size_t>(core)].flushDirty(shared_dram_.data(),
                                                              shared_dram_.size());
+}
+
+std::size_t SccMachine::swcacheFlushChecked(int core, std::uint64_t seq) {
+  SwCache& c = swcache_[static_cast<std::size_t>(core)];
+  flushed_addrs_scratch_.clear();
+  std::size_t lines = c.flushDirty(shared_dram_.data(), shared_dram_.size(),
+                                   /*count_stats=*/true, &flushed_addrs_scratch_);
+  if (flushed_addrs_scratch_.empty()) return lines;
+  // Transient DRAM corruption of a just-flushed line, then verify-and-repair
+  // restricted to the flushed set (this core's own releases — race-free
+  // under DRF, so a re-store can never clobber newer remote data). Each
+  // repair is charged as an extra write-back line transfer; re-drawing per
+  // attempt lets a corruption strike the repair itself, up to the retry
+  // budget.
+  const auto stream = static_cast<std::uint64_t>(core);
+  std::uint64_t faults_here = 0;
+  for (std::uint32_t attempt = 0; attempt <= fault_.maxRetries(); ++attempt) {
+    const std::uint64_t draw = (seq << 16) ^ attempt;
+    if (!fault_.fires(FaultClass::kSwcacheFlush, stream, draw, engine_.now())) break;
+    const std::size_t victim = fault_.pick(flushed_addrs_scratch_.size(),
+                                           FaultClass::kSwcacheFlush, stream, draw);
+    const std::uint64_t addr = flushed_addrs_scratch_[victim];
+    if (addr >= shared_dram_.size()) continue;
+    const std::size_t n =
+        std::min(config_.cache_line_bytes,
+                 static_cast<std::size_t>(shared_dram_.size() - addr));
+    fault_.corruptBytes(&shared_dram_[addr], n, FaultClass::kSwcacheFlush, stream,
+                        draw);
+    fault_.noteInjected(FaultClass::kSwcacheFlush);
+    ++faults_here;
+    const std::size_t repaired =
+        c.restoreCorrupted(flushed_addrs_scratch_, shared_dram_.data(),
+                           shared_dram_.size());
+    lines += repaired;
+    ++fault_.stats().retries;
+  }
+  // Every corruption above was repaired before the release takes effect
+  // (the repair runs inside the same reconciliation step).
+  fault_.stats().recovered[static_cast<std::size_t>(FaultClass::kSwcacheFlush)] +=
+      faults_here;
+  return lines;
 }
 
 void SccMachine::swcacheAcquire(int core) {
@@ -652,11 +868,27 @@ Tick SccMachine::coalescedCompletion(std::uint32_t resource, ResourceTimeline& t
                                            : engine_.nextEventTime();
   }
 
+  // Memory-controller stall faults: keyed by (resource id, per-resource
+  // transaction index). The transaction order per resource is identical
+  // across coalescing modes (the coalescing invariant), so the stall
+  // schedule — and therefore every Tick — is too.
+  const bool stall_armed = fault_.armed(FaultClass::kMcStall);
+
   Tick t = start;
   std::size_t n = 0;
   while (n < max_txns) {
     if (n > 0 && t >= horizon && n >= quantum) break;
-    const Tick serviced = timeline.acquire(t + issue_overhead + hop_one_way, service);
+    const Tick arrival = t + issue_overhead + hop_one_way;
+    Tick svc = service;
+    if (stall_armed) {
+      const Tick stall = fault_.stallTicks(resource, timeline.requests(), arrival, service);
+      if (stall > 0) {
+        svc += stall;
+        fault_.noteInjected(FaultClass::kMcStall);
+        fault_.stats().stall_ticks += stall;
+      }
+    }
+    const Tick serviced = timeline.acquire(arrival, svc);
     t = serviced + hop_one_way;
     ++n;
   }

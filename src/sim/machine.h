@@ -27,6 +27,7 @@
 #include "partition/execution_plan.h"
 #include "sim/cache.h"
 #include "sim/engine.h"
+#include "sim/fault/fault.h"
 #include "sim/noc.h"
 #include "sim/scc_config.h"
 #include "sim/swcache/swcache.h"
@@ -246,6 +247,19 @@ class CoreContext {
   [[nodiscard]] SyncAwaiter lockRelease(int lock_id);
 
  private:
+  /// Awaiter of an injected PERMANENT core freeze: suspends and never
+  /// schedules a resume. The task stays alive with no pending event and no
+  /// registered sync object — the engine's deadlock detector reports it as
+  /// wedged when the heap drains.
+  struct FreezeForever {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> /*h*/) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  /// Fault hook at the head of every timed shm/MPB operation: serves an
+  /// injected core freeze (transient = a simulated stall; permanent = never
+  /// resumes). Only awaited when the injector is armed.
+  SubTask faultPreOp();
   /// Shared-memory access through the software-managed cache: functional
   /// phase first (line store <-> backing), then the timed phase charges hit
   /// touches, batched line transfers, and written-through words.
@@ -269,6 +283,15 @@ class CoreContext {
   int ue_;
   int num_ues_;
   int core_;
+  // Per-UE fault-draw indices. Keyed by the UE (a stable logical id) and
+  // bumped once per *operation attempt*, independent of how many engine
+  // events the operation costs — so the fault schedule is identical across
+  // coalescing modes. Only advanced while the injector is armed; zero-fault
+  // runs never touch them.
+  std::uint64_t mpb_xfer_seq_ = 0;   ///< MPB read/write transfers issued
+  std::uint64_t shm_write_seq_ = 0;  ///< uncached/bulk shm writes issued
+  std::uint64_t flush_seq_ = 0;      ///< release-point flushes issued
+  std::uint64_t timed_op_seq_ = 0;   ///< timed ops (core-freeze draw points)
 };
 
 class SccMachine {
@@ -386,6 +409,19 @@ class SccMachine {
   /// Engine events those line transfers cost (the gap to
   /// swcacheLinesSimulated() is what fill/flush batching eliminated).
   [[nodiscard]] std::uint64_t swcacheLineEvents() const { return swcache_line_events_; }
+  /// Dirty / resident line counts of `core`'s swcache (0 when disabled) —
+  /// the accounting-invariant hooks the fault-reconciliation tests use.
+  [[nodiscard]] std::size_t swcacheDirtyLines(int core) const;
+  [[nodiscard]] std::size_t swcacheResidentLines(int core) const;
+
+  // -- fault injection & recovery (sim/fault/fault.h; docs/fault_model.md) --
+  /// The machine's draw engine over config().fault. Mutable access so the
+  /// recovery layer (CoreContext retry loops) can record stats.
+  [[nodiscard]] FaultInjector& faultInjector() { return fault_; }
+  [[nodiscard]] const FaultStats& faultStats() const { return fault_.stats(); }
+  /// Any fault class armed (the hot-path gate: false keeps every operation
+  /// on the exact pre-fault instruction path).
+  [[nodiscard]] bool faultsActive() const { return fault_.anyArmed(); }
 
   // -- swcache functional primitives (used by CoreContext) --
   /// Functional walk of one access through `core`'s swcache (data movement +
@@ -394,6 +430,14 @@ class SccMachine {
                                     bool write, void* data_out, const void* data_in);
   /// Functional release-point flush; returns line write-backs to charge.
   std::size_t swcacheFlush(int core);
+  /// Fault-checked release-point flush: flush dirty lines, then (per the
+  /// armed kSwcacheFlush schedule at draw index `seq`) corrupt one
+  /// just-flushed DRAM line, detect it by comparing the flushed set against
+  /// DRAM, and re-store it. Verification is restricted to the lines this
+  /// core itself just flushed — its own unreleased writes, race-free under
+  /// DRF — so repair can never clobber another core's newer data. Returns
+  /// total line transfers to charge (write-backs + repair re-stores).
+  std::size_t swcacheFlushChecked(int core, std::uint64_t seq);
   /// Acquire point: self-invalidate `core`'s clean lines (local tag
   /// operation — no simulated time).
   void swcacheAcquire(int core);
@@ -509,6 +553,11 @@ class SccMachine {
     bool cached;
   };
   std::vector<ShmCacheRange> shm_cache_map_;
+
+  FaultInjector fault_;  ///< built from config_.fault at construction
+  /// Scratch for swcacheFlushChecked's flushed-line addresses (reused to
+  /// keep the flush path allocation-free in steady state).
+  std::vector<std::uint64_t> flushed_addrs_scratch_;
 
   /// Instantiate the per-core swcaches if not already present (config
   /// default on, or first cacheable region registered).

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/fault/fault.h"
 #include "sim/time.h"
 
 namespace hsm::sim {
@@ -124,6 +125,19 @@ struct SccConfig {
   /// MPB counterpart of shm_fairness_quantum_words: chunks serviced per
   /// engine event inside a port contention window.
   std::uint32_t mpb_fairness_quantum_chunks = 1;
+
+  // -- fault injection & robustness (sim/fault/fault.h; docs/fault_model.md) --
+  /// Seed-driven fault schedule plus retry/backoff knobs. Disabled by
+  /// default: every fault hook is gated on one cached bool, so zero-fault
+  /// runs stay bit-identical to the pre-fault machine.
+  FaultPlan fault{};
+  /// Lock-acquire / barrier-arrival timeout in simulated ticks: a task
+  /// blocked on a sync object longer than this raises a structured
+  /// SyncTimeout from Engine::run. 0 (default) = no timeout.
+  Tick sync_timeout_ticks = 0;
+  /// Progress watchdog: more than this many consecutive engine events
+  /// without simulated time advancing raises WatchdogError. 0 = off.
+  std::uint64_t watchdog_events_per_tick = 0;
 
   // -- single-core multithread baseline (threadrt) --
   std::uint32_t context_switch_core_cycles = 4000;

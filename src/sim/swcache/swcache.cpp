@@ -117,13 +117,15 @@ SwCache::AccessPlan SwCache::access(std::uint64_t offset, std::size_t bytes,
 }
 
 std::size_t SwCache::flushDirty(std::uint8_t* dram, std::size_t dram_bytes,
-                                bool count_stats) {
+                                bool count_stats,
+                                std::vector<std::uint64_t>* flushed_addrs) {
   std::size_t stored = 0;
   if (tags_.dirtyCount() > 0) {  // sync points are frequent; sweep only if needed
     for (std::size_t i = 0; i < tags_.numLines(); ++i) {
       if (!tags_.slotValid(i) || !tags_.slotDirty(i)) continue;
       storeLine(i, dram, dram_bytes);
       tags_.markClean(i);
+      if (flushed_addrs != nullptr) flushed_addrs->push_back(tags_.slotAddr(i));
       ++stored;
       if (tags_.dirtyCount() == 0) break;  // rest of the sweep is clean
     }
@@ -133,6 +135,27 @@ std::size_t SwCache::flushDirty(std::uint8_t* dram, std::size_t dram_bytes,
     ++stats_.flushes;
   }
   return stored;
+}
+
+std::size_t SwCache::restoreCorrupted(const std::vector<std::uint64_t>& addrs,
+                                      std::uint8_t* dram, std::size_t dram_bytes) {
+  std::size_t repaired = 0;
+  for (const std::uint64_t addr : addrs) {
+    const std::size_t i = tags_.lookup(addr);
+    // The line must still be resident: it was flushed moments ago and
+    // nothing between flush and verify can evict it (the reconciliation
+    // runs before the release takes effect).
+    if (i == Cache::kNoSlot || addr >= dram_bytes) continue;
+    const std::size_t n =
+        static_cast<std::size_t>(dram_bytes - addr) < line_bytes_
+            ? static_cast<std::size_t>(dram_bytes - addr)
+            : line_bytes_;
+    if (std::memcmp(dram + addr, linePtr(i), n) == 0) continue;
+    storeLineAt(addr, i, dram, dram_bytes);
+    ++repaired;
+  }
+  stats_.writebacks += repaired;
+  return repaired;
 }
 
 std::size_t SwCache::invalidateClean() {

@@ -108,8 +108,23 @@ class SwCache {
   /// Returns the number of line write-backs the caller must charge.
   /// `count_stats=false` is the end-of-run drain (host-side convenience,
   /// untimed, not part of the protocol's measured behavior).
+  /// `flushed_addrs` (optional) receives the line-aligned addresses just
+  /// written back — the exact set fault reconciliation may verify: they are
+  /// this core's own releases, which no other core may race with under DRF,
+  /// so re-storing them can never clobber newer remote data.
   std::size_t flushDirty(std::uint8_t* dram, std::size_t dram_bytes,
-                         bool count_stats = true);
+                         bool count_stats = true,
+                         std::vector<std::uint64_t>* flushed_addrs = nullptr);
+
+  /// Fault reconciliation: compare the resident copies of `addrs` (a set
+  /// previously reported by flushDirty) against `dram` and re-store any line
+  /// that differs (a transient DRAM corruption of a just-flushed line).
+  /// Returns the number of lines repaired; the caller charges them as extra
+  /// write-back transfers. Restricted to just-flushed lines by contract —
+  /// see flushed_addrs above for why verifying arbitrary resident lines
+  /// would be unsound.
+  std::size_t restoreCorrupted(const std::vector<std::uint64_t>& addrs,
+                               std::uint8_t* dram, std::size_t dram_bytes);
 
   /// ACQUIRE: self-invalidate every clean line; dirty lines are retained
   /// (they are this core's own unreleased writes). Returns lines dropped.

@@ -13,6 +13,15 @@ const char* modeName(Mode mode) {
   return "?";
 }
 
+void recordMachineRobustness(RunResult& result, const sim::SccMachine& machine) {
+  result.mpb_scope_violations = machine.mpbScopeViolations();
+  const sim::FaultStats& f = machine.faultStats();
+  result.faults_injected = f.totalInjected();
+  result.faults_recovered = f.totalRecovered();
+  result.fault_retries = f.retries;
+  result.faults_unrecovered = f.unrecovered;
+}
+
 partition::PlacementClass resolvePlacement(const partition::ExecutionPlan* plan,
                                            const char* name, Mode mode,
                                            partition::PlacementClass mpb_default) {

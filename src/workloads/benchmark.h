@@ -43,7 +43,23 @@ struct RunResult {
   /// otherwise silently disable the plan — resolvePlacement falls back to
   /// the legacy defaults on a failed lookup. 0 when no plan was passed.
   std::uint64_t plan_regions_unrealized = 0;
+  // -- fault-tolerant run mode (config.fault armed; all zero otherwise) --
+  /// Transient faults the machine injected during the run.
+  std::uint64_t faults_injected = 0;
+  /// Injected faults the retry/verify layer detected and repaired.
+  std::uint64_t faults_recovered = 0;
+  /// Transfer re-executions the recovery layer performed.
+  std::uint64_t fault_retries = 0;
+  /// Transfers whose retry budget was exhausted with the fault unrepaired.
+  /// Non-zero voids the run's data-integrity guarantee (verified may still
+  /// be false independently).
+  std::uint64_t faults_unrecovered = 0;
 };
+
+/// Fill `result`'s machine-robustness counters (MPB scope violations plus
+/// the fault-injection/recovery stats) from a finished machine run — the
+/// one call every RCCE-mode workload makes after machine.run().
+void recordMachineRobustness(RunResult& result, const sim::SccMachine& machine);
 
 class Benchmark {
  public:

@@ -145,7 +145,7 @@ class CountPrimes final : public Benchmark {
         return primesRcce(ctx, p, acc, mpb_acc, use_mpb);
       }, plan);
       result.makespan = machine.run();
-      result.mpb_scope_violations = machine.mpbScopeViolations();
+      recordMachineRobustness(result, machine);
       result.plan_regions_unrealized = countUnrealizedRegions(plan, {"total"});
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }

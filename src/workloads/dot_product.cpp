@@ -163,7 +163,7 @@ class DotProduct final : public Benchmark {
         return dotRcce(ctx, p, a, b, acc, stage, mpb_acc, stage_ab, acc_mpb);
       }, plan);
       result.makespan = machine.run();
-      result.mpb_scope_violations = machine.mpbScopeViolations();
+      recordMachineRobustness(result, machine);
       result.plan_regions_unrealized =
           countUnrealizedRegions(plan, {"a", "b", "partial"});
       computed = acc_mpb ? *mpb_acc.hostData(0) : *acc.hostData();

@@ -167,7 +167,7 @@ class LuDecomposition final : public Benchmark {
         return luRcce(ctx, p, m, pivot_stage, use_mpb);
       }, plan);
       result.makespan = machine.run();
-      result.mpb_scope_violations = machine.mpbScopeViolations();
+      recordMachineRobustness(result, machine);
       result.plan_regions_unrealized = countUnrealizedRegions(plan, {"m"});
       verified = verifyLu(m.hostData(), p.n);
     }

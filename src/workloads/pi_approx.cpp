@@ -126,7 +126,7 @@ class PiApprox final : public Benchmark {
         return piRcce(ctx, p, acc, mpb_acc, use_mpb);
       }, plan);
       result.makespan = machine.run();
-      result.mpb_scope_violations = machine.mpbScopeViolations();
+      recordMachineRobustness(result, machine);
       result.plan_regions_unrealized = countUnrealizedRegions(plan, {"gsum"});
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }

@@ -245,7 +245,7 @@ class Stream final : public Benchmark {
         return streamRcce(ctx, p, a, b, c, stage, use_mpb);
       }, plan);
       result.makespan = machine.run();
-      result.mpb_scope_violations = machine.mpbScopeViolations();
+      recordMachineRobustness(result, machine);
       result.plan_regions_unrealized =
           countUnrealizedRegions(plan, {"a", "b", "c"});
       verified = checkArrays(a.hostData(), b.hostData(), c.hostData(), p.n);

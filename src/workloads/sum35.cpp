@@ -120,7 +120,7 @@ class Sum35 final : public Benchmark {
         return sum35Rcce(ctx, p, acc, mpb_acc, use_mpb);
       }, plan);
       result.makespan = machine.run();
-      result.mpb_scope_violations = machine.mpbScopeViolations();
+      recordMachineRobustness(result, machine);
       result.plan_regions_unrealized = countUnrealizedRegions(plan, {"partial"});
       computed = use_mpb ? *mpb_acc.hostData(0) : *acc.hostData();
     }

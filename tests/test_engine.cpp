@@ -674,5 +674,113 @@ TEST(Engine, WallClockInstrumentation) {
   EXPECT_GT(engine.eventsPerSecond(), 0.0);
 }
 
+// --- robustness / no-progress detection --------------------------------------
+
+/// Suspend forever without scheduling a resume: the task stays alive with no
+/// pending event — the shape of a wedged core or a host-woken park.
+struct ParkForever {
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> /*h*/) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+SimTask parkAfter(Engine& engine, Tick when) {
+  co_await engine.delay(when);
+  co_await ParkForever{};
+}
+
+SimTask parkOnSyncAfter(Engine& engine, std::uint32_t sync, Tick when) {
+  co_await engine.delay(when);
+  engine.blockOnSync(engine.currentTaskId(), sync);
+  co_await ParkForever{};
+}
+
+// Default behavior is unchanged: a bare Engine legitimately parks tasks
+// across run() calls (host code schedules their wakes later), so a drain
+// with unfinished tasks returns normally unless hang detection is enabled.
+TEST(Engine, ParkedTaskReturnsNormallyByDefault) {
+  Engine engine;
+  engine.spawn(parkAfter(engine, 10));
+  EXPECT_EQ(engine.run(), 10u);
+  EXPECT_EQ(engine.unfinishedTasks(), 1u);
+}
+
+TEST(Engine, HangDetectionThrowsDeadlockWithWaitForGraph) {
+  Engine engine;
+  engine.setHangDetection(true);
+  const std::uint32_t sync = engine.registerSyncObject();
+  engine.spawn(parkOnSyncAfter(engine, sync, 10));  // task 0: blocked on sync
+  engine.spawn(parkAfter(engine, 20));              // task 1: wedged, no sync
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 7, 5));        // task 2: completes
+  engine.setSyncWakers(sync, {1});
+  try {
+    engine.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_EQ(e.kind(), SimHangError::Kind::kDeadlock);
+    ASSERT_EQ(e.report().waiters.size(), 2u);  // the finished task is absent
+    const HangReport::Waiter& blocked = e.report().waiters[0];
+    EXPECT_EQ(blocked.task, 0u);
+    EXPECT_EQ(blocked.sync, sync);
+    EXPECT_EQ(blocked.blocked_since, 10u);
+    EXPECT_TRUE(blocked.wakers_known);
+    EXPECT_EQ(blocked.wakers, (std::vector<std::size_t>{1}));
+    const HangReport::Waiter& wedged = e.report().waiters[1];
+    EXPECT_EQ(wedged.task, 1u);
+    EXPECT_EQ(wedged.sync, Engine::kNoSync);
+    EXPECT_NE(std::string(e.what()).find("blocked on sync"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unknown mechanism"), std::string::npos);
+  }
+}
+
+TEST(Engine, HangDetectionPassesCleanCompletion) {
+  Engine engine;
+  engine.setHangDetection(true);
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 100));
+  EXPECT_NO_THROW(engine.run());
+}
+
+TEST(Engine, SyncTimeoutThrowsOnOverstayedPark) {
+  Engine engine;
+  engine.setSyncTimeout(50);
+  const std::uint32_t sync = engine.registerSyncObject();
+  engine.spawn(parkOnSyncAfter(engine, sync, 10));  // parks at t=10
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 100));  // events at t=100, t=200
+  // The t=100 event resumes with the park 90 ticks old: 90 > 50 ⇒ throw.
+  EXPECT_THROW(engine.run(), SyncTimeout);
+}
+
+TEST(Engine, SyncTimeoutSparesWaitsWithinBudget) {
+  Engine engine;
+  engine.setSyncTimeout(500);
+  const std::uint32_t sync = engine.registerSyncObject();
+  engine.spawn(parkOnSyncAfter(engine, sync, 10));
+  std::vector<int> log;
+  engine.spawn(recorder(engine, log, 1, 100));  // longest gap after park: 190
+  EXPECT_NO_THROW(engine.run());
+}
+
+TEST(Engine, WatchdogThrowsOnSameTickEventStorm) {
+  Engine engine;
+  engine.setWatchdogEventLimit(5);
+  std::vector<int> log;
+  // 10 tasks × 2 events each, ALL at t=100 then t=200 (recorder's two delays
+  // of 100): 19 consecutive events fire with now_ stuck at 100.
+  for (int i = 0; i < 10; ++i) engine.spawn(recorder(engine, log, i, 100));
+  EXPECT_THROW(engine.run(), WatchdogError);
+}
+
+TEST(Engine, WatchdogSparesBoundedSameTickBursts) {
+  Engine engine;
+  engine.setWatchdogEventLimit(50);  // above the 19-event burst
+  std::vector<int> log;
+  for (int i = 0; i < 10; ++i) engine.spawn(recorder(engine, log, i, 100));
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_EQ(log.size(), 20u);
+}
+
 }  // namespace
 }  // namespace hsm::sim

@@ -488,5 +488,79 @@ TEST(SwCacheMachine, ReadMostlyClearsNinetyPercentHitRate) {
   EXPECT_EQ(cores_with_traffic, 8u);
 }
 
+// --- accounting invariants under mixed cached/uncached regions ---------------
+
+SimTask mixedRegionToucher(CoreContext& ctx, std::uint64_t cached_base,
+                           std::uint64_t uncached_base, int rounds) {
+  std::uint64_t v = 0;
+  const std::uint64_t mine = cached_base + static_cast<std::uint64_t>(ctx.ue()) * 256;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      co_await ctx.shmRead(mine + w * 8, &v, 8);
+      v += w;
+      co_await ctx.shmWrite(mine + w * 8, &v, 8);
+    }
+    // Same traffic against the uncached region: must not enter any core's
+    // swcache counters.
+    co_await ctx.shmWrite(uncached_base + static_cast<std::uint64_t>(ctx.ue()) * 8,
+                          &v, 8);
+    co_await ctx.barrier();
+  }
+}
+
+// swcacheTotals() must be exactly the per-core sum of swcacheStats(core),
+// field by field, with a per-region cacheability split in effect — the
+// aggregate the bench and the fault-recovery accounting both build on.
+TEST(SwCacheMachine, TotalsEqualPerCoreSumsUnderMixedRegions) {
+  SccConfig cfg;
+  cfg.shm_swcache = false;  // default routing uncached; one region cached
+  SccMachine machine(cfg);
+  const std::uint64_t cached = machine.shmalloc(4 * 256, /*align=*/64);
+  const std::uint64_t uncached = machine.shmalloc(256);
+  machine.setShmCacheability(cached, cached + 4 * 256, true);
+  machine.launch(4, [&](CoreContext& ctx) {
+    return mixedRegionToucher(ctx, cached, uncached, 3);
+  });
+  machine.run();
+
+  SwCacheStats sum;
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    sum += machine.swcacheStats(static_cast<int>(core));
+  }
+  const SwCacheStats totals = machine.swcacheTotals();
+  EXPECT_GT(totals.word_accesses, 0u);
+  EXPECT_EQ(totals.word_accesses, sum.word_accesses);
+  EXPECT_EQ(totals.word_hits, sum.word_hits);
+  EXPECT_EQ(totals.line_fills, sum.line_fills);
+  EXPECT_EQ(totals.writebacks, sum.writebacks);
+  EXPECT_EQ(totals.flushes, sum.flushes);
+  EXPECT_EQ(totals.invalidated_lines, sum.invalidated_lines);
+  EXPECT_EQ(totals.writethrough_words, sum.writethrough_words);
+  // Each UE makes 3 rounds × 32 cached word touches; the uncached-region
+  // writes must not have leaked into the cache accounting.
+  EXPECT_EQ(totals.word_accesses, 4u * 3u * 32u);
+}
+
+// Release points flush every dirty line: after a run whose last sync op is a
+// barrier, no core may hold dirty data (the invariant the fault layer's
+// flushed-line reconciliation presumes).
+TEST(SwCacheMachine, DirtyLinesZeroAfterRelease) {
+  SccConfig cfg;
+  cfg.shm_swcache = false;
+  SccMachine machine(cfg);
+  const std::uint64_t cached = machine.shmalloc(4 * 256, /*align=*/64);
+  const std::uint64_t uncached = machine.shmalloc(256);
+  machine.setShmCacheability(cached, cached + 4 * 256, true);
+  machine.launch(4, [&](CoreContext& ctx) {
+    return mixedRegionToucher(ctx, cached, uncached, 2);
+  });
+  machine.run();
+  for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
+    EXPECT_EQ(machine.swcacheDirtyLines(static_cast<int>(core)), 0u)
+        << "core " << core;
+  }
+  EXPECT_GT(machine.swcacheTotals().writebacks, 0u);  // flushes really happened
+}
+
 }  // namespace
 }  // namespace hsm::sim
