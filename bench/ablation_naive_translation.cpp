@@ -64,9 +64,9 @@ sim::Tick runOnce(int cores, AccumulatorHome home) {
   rcce::RcceEnv env(machine);
   rcce::ShmArray<double> shm_acc(env, static_cast<std::size_t>(cores));
   rcce::MpbArray<double> mpb_acc(env, cores, 1);
-  machine.launch(cores, [&](sim::CoreContext& ctx) {
+  machine.launch(sim::LaunchSpec(cores, [&](sim::CoreContext& ctx) {
     return reduction(ctx, home, shm_acc, mpb_acc);
-  });
+  }));
   return machine.run();
 }
 

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,8 @@
 #include "partition/execution_plan.h"
 #include "rcce/rcce.h"
 #include "sim/machine.h"
+#include "workloads/benchmark.h"
+#include "workloads/kv_store.h"
 
 namespace {
 
@@ -488,10 +491,10 @@ FaultRun runFaultSweep(const sim::FaultPlan& plan, Tick sync_timeout_ticks) {
   }
   m.setShmCacheability(table, table + kUes * kWindowB, true);
   const std::uint64_t slot = env.mpbMallocSymmetric(kUes, 2 * kMpbB);
-  m.launch(kUes, [=](sim::CoreContext& ctx) {
+  m.launch(sim::LaunchSpec(kUes, [=](sim::CoreContext& ctx) {
     return faultMix(ctx, table, blocks, counter, out, slot, kRounds, kWindowB,
                     kBlockB, kMpbB);
-  });
+  }));
   FaultRun res;
   try {
     res.makespan = m.run();
@@ -559,9 +562,23 @@ int main(int argc, char** argv) {
   // sweep under sanitizers without paying for the full matrix). Skipped
   // sections leave their ok-flags true and their JSON entries absent;
   // compare_bench.py only gates full runs.
+  // --list-scenarios prints one scenario name per line and exits — the
+  // discovery hook for CI matrices and humans narrowing a --scenario run.
+  // Must track the scenario blocks below.
+  static const char* const kScenarioNames[] = {
+      "shm_words_single_ue",  "shm_words_staggered_8ue", "shm_words_synced_8ue",
+      "shm_words_contended_8ue", "rcce_ring_1k_8ue",     "mixed_shm_mpb_8ue",
+      "event_kernel_8ue",     "barrier_32ue",            "mpb_pingpong_2ue",
+      "bulk_copy_8ue",        "stencil_readmostly_8ue",  "lu_shared_cached",
+      "mixed_policy_8ue",     "fault_sweep_8ue",         "kv_zipf_8ue",
+  };
   std::string only;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--scenario") only = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list-scenarios") {
+      for (const char* name : kScenarioNames) std::puts(name);
+      return 0;
+    }
+    if (std::string(argv[i]) == "--scenario" && i + 1 < argc) only = argv[i + 1];
   }
   const auto want = [&only](const std::string& name) {
     return only.empty() || only == name;
@@ -594,31 +611,31 @@ int main(int argc, char** argv) {
       {"shm_words_single_ue", 1, 200,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(64 * kBlock);
-         m.launch(1, [=](sim::CoreContext& ctx) {
+         m.launch(sim::LaunchSpec(1, [=](sim::CoreContext& ctx) {
            return blockReader(ctx, base, 64, kBlock);
-         });
+         }));
        }},
       {"shm_words_staggered_8ue", 8, 20,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(8 * kBlock);
-         m.launch(8, [=](sim::CoreContext& ctx) {
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
            return staggeredMix(ctx, base, 16, kBlock);
-         });
+         }));
        }},
       {"shm_words_synced_8ue", 8, 30,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(8 * kBlock + 8);
          const std::uint64_t counter = m.shmalloc(8);
-         m.launch(8, [=](sim::CoreContext& ctx) {
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
            return syncedMix(ctx, base, counter, 8, kBlock);
-         });
+         }));
        }},
       {"shm_words_contended_8ue", 8, 50,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(1 << 16);
-         m.launch(8, [=](sim::CoreContext& ctx) {
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
            return wordHammer(ctx, base, 512);
-         });
+         }));
        }},
       {"rcce_ring_1k_8ue", 8, 30,
        [&](sim::SccMachine& m) {
@@ -627,9 +644,7 @@ int main(int argc, char** argv) {
          // plan's neighbor-ring pattern materializes the {ue, right} owner
          // sets the hand-built lambda used to declare.
          const std::uint64_t slot = env.mpbMallocSymmetric(8, 2 * 1024);
-         m.launch(
-             8, [=](sim::CoreContext& ctx) { return rcceRing(ctx, slot, 8, 1024); },
-             &ring_plan);
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) { return rcceRing(ctx, slot, 8, 1024); }).withPlan(&ring_plan));
        }},
       {"mixed_shm_mpb_8ue", 8, 20,
        [&](sim::SccMachine& m) {
@@ -637,12 +652,9 @@ int main(int argc, char** argv) {
          const std::uint64_t base = m.shmalloc(8 * kBlock);
          const std::uint64_t slot = env.mpbMallocSymmetric(8, 512);
          m.setShmCacheability(base, base + 8 * kBlock, false);  // plan: uncached
-         m.launch(
-             8,
-             [=](sim::CoreContext& ctx) {
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
                return mixedShmMpb(ctx, base, slot, 8, kBlock, 512);
-             },
-             &mixed_plan);
+             }).withPlan(&mixed_plan));
        }},
   };
   // Plan-driven twins of two legacy-knob word scenarios: identical kernels,
@@ -655,17 +667,17 @@ int main(int argc, char** argv) {
   ab[1].setup_plan = [&](sim::SccMachine& m) {
     const std::uint64_t base = m.shmalloc(8 * kBlock);
     m.setShmCacheability(base, base + 8 * kBlock, false);
-    m.launch(8, [=](sim::CoreContext& ctx) {
+    m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
       return staggeredMix(ctx, base, 16, kBlock);
-    }, &word_plan);
+    }).withPlan(&word_plan));
   };
   ab[2].setup_plan = [&](sim::SccMachine& m) {
     const std::uint64_t base = m.shmalloc(8 * kBlock + 8);
     const std::uint64_t counter = m.shmalloc(8);
     m.setShmCacheability(base, counter + 8, false);
-    m.launch(8, [=](sim::CoreContext& ctx) {
+    m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
       return syncedMix(ctx, base, counter, 8, kBlock);
-    }, &word_plan);
+    }).withPlan(&word_plan));
   };
 
   bool first = true;
@@ -729,22 +741,22 @@ int main(int argc, char** argv) {
   std::vector<Workload> substrate = {
       {"event_kernel_8ue", 8, 60,
        [](sim::SccMachine& m) {
-         m.launch(8, [](sim::CoreContext& ctx) { return spinner(ctx, 1000); });
+         m.launch(sim::LaunchSpec(8, [](sim::CoreContext& ctx) { return spinner(ctx, 1000); }));
        }},
       {"barrier_32ue", 32, 150,
        [](sim::SccMachine& m) {
-         m.launch(32, [](sim::CoreContext& ctx) { return barrierLoop(ctx, 64); });
+         m.launch(sim::LaunchSpec(32, [](sim::CoreContext& ctx) { return barrierLoop(ctx, 64); }));
        }},
       {"mpb_pingpong_2ue", 2, 350,
        [](sim::SccMachine& m) {
          rcce::RcceEnv env(m);
          const std::uint64_t off = env.mpbMallocSymmetric(2, 64);
-         m.launch(2, [=](sim::CoreContext& ctx) { return mpbPingPong(ctx, off, 256); });
+         m.launch(sim::LaunchSpec(2, [=](sim::CoreContext& ctx) { return mpbPingPong(ctx, off, 256); }));
        }},
       {"bulk_copy_8ue", 8, 400,
        [](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(1 << 20);
-         m.launch(8, [=](sim::CoreContext& ctx) { return bulkReader(ctx, base, 64); });
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) { return bulkReader(ctx, base, 64); }));
        }},
   };
   for (const Workload& w : substrate) {
@@ -777,9 +789,9 @@ int main(int argc, char** argv) {
            for (std::size_t i = 0; i < 8 * kWindow / 8; ++i) {
              g[i] = 0x9e3779b97f4a7c15ull * (i + 1);
            }
-           m.launch(8, [=](sim::CoreContext& ctx) {
+           m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
              return stencilReadMostly(ctx, grid, out, 4, 16, kWindow);
-           });
+           }));
          },
          /*extract_offset=*/8 * kWindow, /*extract_bytes=*/8 * 64,
          /*min_hit_rate=*/0.90},
@@ -794,9 +806,9 @@ int main(int argc, char** argv) {
                                        : 1.0 / (1.0 + static_cast<double>(i + 2 * j));
              }
            }
-           m.launch(8, [=](sim::CoreContext& ctx) {
+           m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
              return luSharedCached(ctx, m0, n, 32);
-           });
+           }));
          },
          /*extract_offset=*/0, /*extract_bytes=*/64 * 64 * 8},
     };
@@ -875,12 +887,10 @@ int main(int argc, char** argv) {
           m.setShmCacheability(cell, cell + 64, false);
           m.setShmCacheability(out, out + 8 * 64, false);
         }
-        m.launch(8,
-                 [=](sim::CoreContext& ctx) {
+        m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
                    return mixedPolicy(ctx, table, cell, out, kRounds, kSweeps,
                                       kUpdates, kWindow);
-                 },
-                 policy == 0 ? &policy_plan : nullptr);
+                 }).withPlan(policy == 0 ? &policy_plan : nullptr));
       };
       return w;
     };
@@ -1021,6 +1031,96 @@ int main(int argc, char** argv) {
         fault_ok ? "true" : "false");
     json += buf;
   }
+
+  // KV store under Zipf traffic (workloads::makeKvStore): the controller-
+  // placement A/B. Hot keys sit in the slab's lowest stripes, so an
+  // address-striped plan concentrates the skewed load on ONE controller
+  // (high controller_load_cv) while the owner-compute plan spreads it with
+  // the evenly-placed requesters (near-zero CV). Both plans must verify
+  // against the host replay, the harness and Benchmark runs of the same
+  // plan must agree on the makespan Tick, and the striped run must hot-spot
+  // materially above the placed run — all folded into kv_checks_ok and the
+  // exit code. The placed (owner-compute) run is the tracked "coalesced"
+  // configuration in the BENCH trajectory.
+  bool kv_ok = true;
+  double kv_cv_striped = 0.0;
+  double kv_cv_placed = 0.0;
+  if (want("kv_zipf_8ue")) {
+    using partition::ControllerPlacement;
+    const workloads::KvParams kvp{};  // 4096 keys, alpha 1.2, 2048 ops/UE
+    std::size_t index_cap = 1;
+    while (index_cap < 2 * kvp.num_keys) index_cap *= 2;
+    const std::size_t slab_bytes = kvp.num_keys * 4 * 8;
+    auto kvPlan = [&](ControllerPlacement cp) {
+      return ExecutionPlan{
+          {RegionPlan{"kv_index", PlacementClass::kOffChipUncached,
+                      MpbPattern::kNone, index_cap * 8, cp},
+           RegionPlan{"kv_slots", PlacementClass::kOffChipUncached,
+                      MpbPattern::kNone, slab_bytes, cp},
+           RegionPlan{"kv_checks", PlacementClass::kOffChipUncached,
+                      MpbPattern::kNone, 8 * 8}}};
+    };
+    const ExecutionPlan striped_plan = kvPlan(ControllerPlacement::kStriped);
+    const ExecutionPlan placed_plan = kvPlan(ControllerPlacement::kOwnerCompute);
+    auto kvWorkload = [&](const ExecutionPlan& plan) {
+      Workload w;
+      w.name = "kv_zipf_8ue";
+      w.ues = 8;
+      w.repetitions = 6;
+      w.setup = [&kvp, &plan](sim::SccMachine& m) {
+        workloads::setupKvRcce(m, kvp, 8, &plan);
+      };
+      return w;
+    };
+    const RunStats placed = runWorkload(kvWorkload(placed_plan), Mode{true, true, 1, true});
+    const RunStats striped = runWorkload(kvWorkload(striped_plan), Mode{true, true, 1, true});
+
+    // Verification and the per-controller load spread ride the Benchmark
+    // API (RunResult::controller_load_cv) — same kernel, same default
+    // config, so the makespans must agree Tick for Tick with the harness
+    // runs above.
+    const sim::SccConfig kv_cfg;
+    const std::unique_ptr<workloads::Benchmark> kv = workloads::makeKvStore(kvp);
+    const workloads::RunResult placed_r =
+        kv->run(workloads::Mode::RcceOffChip, 8, kv_cfg, &placed_plan);
+    const workloads::RunResult striped_r =
+        kv->run(workloads::Mode::RcceOffChip, 8, kv_cfg, &striped_plan);
+    kv_cv_placed = placed_r.controller_load_cv;
+    kv_cv_striped = striped_r.controller_load_cv;
+    kv_ok = placed_r.verified && striped_r.verified &&
+            placed_r.makespan == placed.makespan &&
+            striped_r.makespan == striped.makespan &&
+            kv_cv_placed < 0.05 && kv_cv_striped > 0.30 &&
+            kv_cv_striped > 20.0 * kv_cv_placed;
+
+    auto trafficJson = [](const std::vector<std::uint64_t>& t) {
+      std::string s = "[";
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += std::to_string(t[i]);
+      }
+      return s + "]";
+    };
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"kv_zipf_8ue\",\n";
+    printRun(&json, "coalesced", placed);
+    json += ",\n";
+    printRun(&json, "striped", striped);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"verified_placed\": %s, \"verified_striped\": %s, "
+                  "\"controller_load_cv_placed\": %.4f, "
+                  "\"controller_load_cv_striped\": %.4f,\n"
+                  "      \"controller_traffic_placed\": %s, "
+                  "\"controller_traffic_striped\": %s, \"kv_checks_ok\": %s}",
+                  placed_r.verified ? "true" : "false",
+                  striped_r.verified ? "true" : "false", kv_cv_placed,
+                  kv_cv_striped, trafficJson(placed_r.controller_traffic).c_str(),
+                  trafficJson(striped_r.controller_traffic).c_str(),
+                  kv_ok ? "true" : "false");
+    json += buf;
+  }
   json += "\n  ],\n";
 
   // Fairness-quantum error sweep: Tick error of shm_fairness_quantum_words
@@ -1066,10 +1166,17 @@ int main(int argc, char** argv) {
           ",\n";
   json += std::string("  \"fault_checks_ok\": ") + (fault_ok ? "true" : "false") +
           ",\n";
+  json += std::string("  \"kv_checks_ok\": ") + (kv_ok ? "true" : "false") + ",\n";
+  char cv_buf[128];
+  std::snprintf(cv_buf, sizeof(cv_buf),
+                "  \"controller_load_cv_striped\": %.4f,\n"
+                "  \"controller_load_cv_placed\": %.4f,\n",
+                kv_cv_striped, kv_cv_placed);
+  json += cv_buf;
   char rate_buf[64];
   std::snprintf(rate_buf, sizeof(rate_buf), "  \"fault_recovery_rate\": %.4f\n}\n",
                 fault_recovery_rate);
   json += rate_buf;
   std::fputs(json.c_str(), stdout);
-  return all_identical && swcache_ok && policy_ok && fault_ok ? 0 : 1;
+  return all_identical && swcache_ok && policy_ok && fault_ok && kv_ok ? 0 : 1;
 }

@@ -56,8 +56,8 @@ int main() {
                   result.diagnostics.c_str());
       return 1;
     }
-    std::printf("\n--- %s ---\n%s", name.c_str(),
-                result.execution_plan.format(8).c_str());
+    std::printf("\n--- %s ---\n%s\n", name.c_str(),
+                result.execution_plan.toJson(8).c_str());
   }
   return 0;
 }

@@ -58,9 +58,9 @@ int main() {
   std::vector<int> gathered(kUes, 0);
   sim::Tick scatter_done = 0;
   sim::Tick gather_done = 0;
-  machine.launch(kUes, [&](sim::CoreContext& ctx) {
+  machine.launch(sim::LaunchSpec(kUes, [&](sim::CoreContext& ctx) {
     return scatterGather(ctx, slot, &gathered, &scatter_done, &gather_done);
-  });
+  }));
   const sim::Tick makespan = machine.run();
 
   std::printf("scatter/gather across %d cores on the simulated SCC\n", kUes);

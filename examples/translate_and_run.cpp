@@ -37,7 +37,8 @@ int main() {
     std::printf("=== %s: stage-4 memory plan ===\n%s\n", bench->name().c_str(),
                 result.plan.format().c_str());
     std::printf("=== %s: ExecutionPlan (translator→runtime contract) ===\n%s\n",
-                bench->name().c_str(), result.execution_plan.format(kUnits).c_str());
+                bench->name().c_str(),
+                result.execution_plan.toJson(kUnits).c_str());
 
     // 2. Execute the simulator twin with the translated plan driving
     // placement, scope, and cacheability. A failed verification or a scope

@@ -11,6 +11,11 @@ Fails (exit 1) when:
     plan must beat both machine-wide cacheability settings on simulated
     words per simulated second, with bit-identical functional results and
     zero MPB scope violations),
+  * any KV Zipf check is violated (kv_zipf_8ue: both placement plans must
+    verify against the host replay and the striped plan must hot-spot one
+    controller while owner-compute stays flat), or the deterministic
+    controller_load_cv values shift against the baseline (striped must not
+    fall, placed must not rise),
   * a scenario present in the baseline is missing from the PR run,
   * simulator throughput of a scenario's coalesced run regresses more than
     the tolerance (default 15%, override with --tolerance) after normalizing
@@ -94,6 +99,32 @@ def main() -> int:
             "recovery, same-seed replay, the deadlock report, or the sync "
             "timeout check failed (see fault_sweep_8ue in BENCH_pr.json)"
         )
+    # Absent in pre-KV result files; present files must pass.
+    if not pr.get("kv_checks_ok", True):
+        failures.append(
+            "kv_checks_ok is false: the KV Zipf A/B lost its verification, "
+            "its harness/Benchmark makespan agreement, or the striped-vs-"
+            "placed controller_load_cv separation (see kv_zipf_8ue in "
+            "BENCH_pr.json)"
+        )
+    # Controller-load spread of the KV Zipf A/B: deterministic, so any shift
+    # beyond the formatting epsilon is a routing/accounting code change. The
+    # striped run must keep hot-spotting (CV must not fall) and the placed
+    # run must stay flat (CV must not rise).
+    for key, must_not in (
+        ("controller_load_cv_striped", "fall"),
+        ("controller_load_cv_placed", "rise"),
+    ):
+        base_cv = baseline.get(key)
+        pr_cv = pr.get(key)
+        if base_cv is None or pr_cv is None:
+            continue
+        fell = pr_cv < base_cv - RATE_EPSILON
+        rose = pr_cv > base_cv + RATE_EPSILON
+        if (must_not == "fall" and fell) or (must_not == "rise" and rose):
+            failures.append(f"{key} shifted {base_cv:.4f} -> {pr_cv:.4f}")
+        else:
+            print(f"ok {key} {base_cv:.4f} -> {pr_cv:.4f}")
     # Retry-success rate of the seeded fault sweep: deterministic, so any
     # drop below the baseline is a recovery-layer code change, not noise.
     base_recovery = baseline.get("fault_recovery_rate")

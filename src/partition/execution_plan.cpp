@@ -1,7 +1,6 @@
 #include "partition/execution_plan.h"
 
 #include <algorithm>
-#include <iomanip>
 #include <sstream>
 
 namespace hsm::partition {
@@ -36,16 +35,13 @@ void sortUnique(std::vector<int>* v) {
   v->erase(std::unique(v->begin(), v->end()), v->end());
 }
 
-std::string ownerListString(const std::vector<int>& owners, int num_ues) {
-  if (owners.size() == static_cast<std::size_t>(num_ues) && num_ues > 2) {
-    return "{all}";
+std::string jsonIntList(const std::vector<int>& values) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(values[i]);
   }
-  std::string s = "{";
-  for (std::size_t i = 0; i < owners.size(); ++i) {
-    if (i > 0) s += ",";
-    s += std::to_string(owners[i]);
-  }
-  return s + "}";
+  return s + "]";
 }
 
 }  // namespace
@@ -67,6 +63,16 @@ const char* mpbPatternName(MpbPattern p) {
     case MpbPattern::kRootFunnel: return "root-funnel";
     case MpbPattern::kRotatingBroadcast: return "rotating-broadcast";
     case MpbPattern::kNeighborRing: return "neighbor-ring";
+  }
+  return "?";
+}
+
+const char* controllerPlacementName(ControllerPlacement c) {
+  switch (c) {
+    case ControllerPlacement::kOwnerCompute: return "owner-compute";
+    case ControllerPlacement::kStriped: return "striped";
+    case ControllerPlacement::kPinned: return "pinned";
+    case ControllerPlacement::kFirstTouch: return "first-touch";
   }
   return "?";
 }
@@ -111,24 +117,36 @@ bool ExecutionPlan::anyCachedRegion() const {
   return false;
 }
 
-std::string ExecutionPlan::format(int num_ues) const {
+std::string ExecutionPlan::toJson(int num_ues) const {
   std::ostringstream os;
-  os << std::left << std::setw(14) << "Region" << std::setw(10) << "Bytes"
-     << std::setw(19) << "Placement" << std::setw(20) << "MPB pattern" << '\n';
-  os << std::string(63, '-') << '\n';
+  os << "{\n  \"regions\": [";
+  bool first = true;
   for (const RegionPlan& r : regions) {
-    os << std::left << std::setw(14) << r.name << std::setw(10) << r.bytes
-       << std::setw(19) << placementName(r.placement) << std::setw(20)
-       << mpbPatternName(r.pattern) << '\n';
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << r.name << "\", \"bytes\": " << r.bytes
+       << ", \"placement\": \"" << placementName(r.placement)
+       << "\", \"mpb_pattern\": \"" << mpbPatternName(r.pattern)
+       << "\", \"controller_placement\": \"" << controllerPlacementName(r.controller)
+       << "\"";
+    if (r.controller == ControllerPlacement::kPinned) {
+      os << ", \"pinned_controller\": " << r.pinned_controller;
+    }
+    os << "}";
   }
-  os << "per-UE MPB owner sets at " << num_ues << " UEs:\n";
+  os << "\n  ],\n  \"num_ues\": " << num_ues << ",\n  \"mpb_owner_sets\": [";
   for (int ue = 0; ue < num_ues; ++ue) {
     const OwnerSets sets = mpbOwners(ue, num_ues);
-    os << "  ue " << std::setw(2) << ue << "  put " << std::setw(12)
-       << ownerListString(sets.put, num_ues) << " get "
-       << ownerListString(sets.get, num_ues) << '\n';
+    os << (ue == 0 ? "\n" : ",\n");
+    os << "    {\"ue\": " << ue << ", \"put\": " << jsonIntList(sets.put)
+       << ", \"get\": " << jsonIntList(sets.get) << "}";
   }
+  os << "\n  ]\n}";
   return os.str();
+}
+
+std::string ExecutionPlan::format(int num_ues) const {
+  return "ExecutionPlan " + toJson(num_ues) + "\n";
 }
 
 }  // namespace hsm::partition

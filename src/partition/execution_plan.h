@@ -59,12 +59,41 @@ enum class MpbPattern : std::uint8_t {
 
 [[nodiscard]] const char* mpbPatternName(MpbPattern p);
 
+/// Which memory controller serves an off-chip region's addresses — the
+/// NUMA-placement half of the contract (docs/execution_plan.md, "Controller
+/// placement"). Only meaningful for off-chip regions; the machine consults
+/// it in the address→controller mapping of planned regions.
+enum class ControllerPlacement : std::uint8_t {
+  /// Requester-local: every access goes through the accessing core's own
+  /// quadrant controller — the machine's legacy mapping, and the DEFAULT
+  /// for unplanned regions and for plans that don't say otherwise, so
+  /// pre-existing runs stay Tick-bit-identical.
+  kOwnerCompute,
+  /// Address-interleaved: stripe `i` of the region is served by controller
+  /// `i % num_controllers` regardless of who asks. Balances capacity but
+  /// concentrates hot addresses (a Zipf-hot key lives on ONE controller).
+  kStriped,
+  /// The whole region behind one explicit controller
+  /// (RegionPlan::pinned_controller).
+  kPinned,
+  /// Each stripe is claimed by the controller of the first core to touch
+  /// it; later accesses from anywhere follow the claim. Deterministic under
+  /// the engine's (time, task_id) order.
+  kFirstTouch,
+};
+
+[[nodiscard]] const char* controllerPlacementName(ControllerPlacement c);
+
 /// Plan for one shared region (one translated variable).
 struct RegionPlan {
   std::string name;  ///< source variable name (the workload's region key)
   PlacementClass placement = PlacementClass::kOffChipUncached;
   MpbPattern pattern = MpbPattern::kNone;
   std::size_t bytes = 0;
+  /// Address→controller mapping of the region's off-chip accesses.
+  ControllerPlacement controller = ControllerPlacement::kOwnerCompute;
+  /// Serving controller when `controller == kPinned` (ignored otherwise).
+  std::uint32_t pinned_controller = 0;
 
   [[nodiscard]] bool onChip() const {
     return placement == PlacementClass::kOnChipResident ||
@@ -97,8 +126,15 @@ struct ExecutionPlan {
   [[nodiscard]] bool anyMpbTraffic() const;
   [[nodiscard]] bool anyCachedRegion() const;
 
-  /// Human-readable rendering: per-region placements plus the materialized
-  /// per-UE owner sets at `num_ues` units.
+  /// Structured rendering of the whole contract: a JSON object with one
+  /// entry per region (name, bytes, placement class, MPB pattern,
+  /// controller placement, pinned controller where relevant) plus the
+  /// materialized per-UE put/get owner sets at `num_ues` units. This is the
+  /// machine-readable form tools print (partition_explorer,
+  /// translate_and_run); `format()` is a thin log wrapper over it.
+  [[nodiscard]] std::string toJson(int num_ues) const;
+
+  /// Thin wrapper for logs: the toJson() rendering under a one-line header.
   [[nodiscard]] std::string format(int num_ues) const;
 };
 

@@ -98,7 +98,17 @@ class ShmArray {
   /// whole lines, so a cached region must never share a line with a
   /// neighboring uncached region (a whole-line write-back would clobber
   /// the neighbor's uncached updates — cross-policy false sharing).
-  ShmArray(RcceEnv& env, std::size_t count, partition::PlacementClass placement)
+  /// The optional controller placement registers the region's
+  /// address→controller mapping (SccMachine::setShmControllerPlacement).
+  /// Cached regions skip the registration: the swcache is private per core,
+  /// so its DRAM line traffic follows the requesting core regardless of
+  /// placement (the composition rule in docs/execution_plan.md) — and
+  /// kOwnerCompute registrations are dropped too, since they restate the
+  /// default and would only knock accesses off the legacy fast path.
+  ShmArray(RcceEnv& env, std::size_t count, partition::PlacementClass placement,
+           partition::ControllerPlacement controller =
+               partition::ControllerPlacement::kOwnerCompute,
+           std::uint32_t pinned_controller = 0)
       : machine_(&env.machine()), count_(count), placement_(placement) {
     const std::size_t bytes = count * sizeof(T);
     if (placement == partition::PlacementClass::kOffChipCached) {
@@ -110,6 +120,11 @@ class ShmArray {
     machine_->setShmCacheability(
         base_, base_ + bytes,
         placement == partition::PlacementClass::kOffChipCached);
+    if (placement != partition::PlacementClass::kOffChipCached &&
+        controller != partition::ControllerPlacement::kOwnerCompute) {
+      machine_->setShmControllerPlacement(base_, base_ + bytes, controller,
+                                          pinned_controller);
+    }
   }
 
   /// This region's placement attribute (kOffChipUncached for legacy

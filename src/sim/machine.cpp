@@ -142,11 +142,14 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
   }
   const std::size_t txn = machine_.config().shm_transaction_bytes;
   std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  std::uint64_t cur = offset;
   while (words > 0) {
     std::size_t serviced = 0;
-    const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
+    const Tick done =
+        machine_.shmWordsAtCompletion(core_, now(), cur, words, &serviced);
     co_await machine_.engine().resumeAt(done);
     words -= serviced;
+    cur += static_cast<std::uint64_t>(serviced) * txn;
   }
   if (out != nullptr) std::memcpy(out, machine_.shmData(offset), bytes);
 }
@@ -170,11 +173,14 @@ SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
     std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+    std::uint64_t cur = offset;
     while (words > 0) {
       std::size_t serviced = 0;
-      const Tick done = machine_.shmWordsCompletion(core_, now(), words, &serviced);
+      const Tick done =
+          machine_.shmWordsAtCompletion(core_, now(), cur, words, &serviced);
       co_await machine_.engine().resumeAt(done);
       words -= serviced;
+      cur += static_cast<std::uint64_t>(serviced) * txn;
     }
     if (!check) co_return;
     const std::uint64_t draw = (xfer << 16) ^ attempt;
@@ -504,12 +510,19 @@ SccMachine::SccMachine(SccConfig config)
   // pre-size the event heap for one pending event per core.
   core_mc_.reserve(config_.num_cores);
   core_mc_hop_ticks_.reserve(config_.num_cores);
+  core_all_mc_hop_ticks_.reserve(config_.num_cores * config_.num_mem_controllers);
   for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
     core_mc_.push_back(mesh_.controllerOfCore(c));
     core_mc_hop_ticks_.push_back(
         mesh_clock_.cycles(static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
                            mesh_.hopsToController(c)));
+    for (std::uint32_t mc = 0; mc < config_.num_mem_controllers; ++mc) {
+      core_all_mc_hop_ticks_.push_back(mesh_clock_.cycles(
+          static_cast<std::uint64_t>(config_.mesh_hop_cycles) *
+          mesh_.hopsFromCoreToController(c, mc)));
+    }
   }
+  mc_traffic_.assign(config_.num_mem_controllers, 0);
   uncached_overhead_ticks_ = core_clock_.cycles(config_.uncached_word_core_overhead_cycles);
   word_service_ticks_ = dram_clock_.cycles(config_.dram_word_service_cycles);
   mpb_overhead_ticks_ = core_clock_.cycles(config_.mpb_local_core_cycles);
@@ -621,9 +634,18 @@ void SccMachine::setupBarrier(int participants) {
                                            arrive, arrive);
 }
 
-void SccMachine::launch(int num_ues, const CoreProgram& program,
-                        const MpbScope& scope) {
-  setupBarrier(num_ues);
+void SccMachine::launch(const LaunchSpec& spec) {
+  const int num_ues = spec.num_ues;
+  if (spec.plan != nullptr && spec.plan->anyCachedRegion()) ensureSwcache();
+  // Precedence: an explicit scope wins; otherwise the plan's owner sets ARE
+  // the scope promise — including "no MPB traffic at all" (empty sets),
+  // under which any MPB access counts as a violation.
+  MpbScope scope = spec.scope;
+  if (!scope && spec.plan != nullptr) {
+    const partition::ExecutionPlan* plan = spec.plan;
+    scope = [plan](int ue, int n) { return plan->mpbScopeOwners(ue, n); };
+  }
+  setupBarrier(spec.barrier_participants);
   // Place every UE first: a scope may name owner UEs that have not been
   // iterated yet, and coreOfUe must already know their cores.
   ue_to_core_.resize(static_cast<std::size_t>(num_ues));
@@ -655,24 +677,52 @@ void SccMachine::launch(int num_ues, const CoreProgram& program,
     contexts_.push_back(
         std::make_unique<CoreContext>(*this, ue, num_ues, static_cast<int>(core)));
     task_ids.push_back(
-        engine_.spawnReaching(program(*contexts_.back()), 0, std::move(reach)));
+        engine_.spawnReaching(spec.program(*contexts_.back()), 0, std::move(reach)));
   }
   // The barrier's potential wakers are exactly the launched tasks: enables
   // the engine's sync-aware wake-chain horizon for barrier waiters.
   barrier_->setParticipantTasks(std::move(task_ids));
 }
 
-void SccMachine::launch(int num_ues, const CoreProgram& program,
-                        const partition::ExecutionPlan* plan) {
-  if (plan == nullptr) {
-    launch(num_ues, program);
-    return;
+void SccMachine::setShmControllerPlacement(std::uint64_t begin, std::uint64_t end,
+                                           partition::ControllerPlacement placement,
+                                           std::uint32_t pinned_controller) {
+  if (end <= begin) return;
+  if (pinned_controller >= config_.num_mem_controllers) pinned_controller = 0;
+  shm_ctrl_map_.push_back(ShmCtrlRange{begin, end, placement, pinned_controller});
+  // kOwnerCompute registrations are documentation only (they restate the
+  // default), so they must not knock accesses off the legacy fast path.
+  if (placement != partition::ControllerPlacement::kOwnerCompute) {
+    ctrl_placement_active_ = true;
   }
-  if (plan->anyCachedRegion()) ensureSwcache();
-  // The plan's owner sets ARE the scope promise — including "no MPB traffic
-  // at all" (empty sets), under which any MPB access counts as a violation.
-  launch(num_ues, program,
-         [plan](int ue, int n) { return plan->mpbScopeOwners(ue, n); });
+}
+
+std::uint32_t SccMachine::controllerForShmAccess(int core, std::uint64_t offset) {
+  if (ctrl_placement_active_) {
+    for (auto it = shm_ctrl_map_.rbegin(); it != shm_ctrl_map_.rend(); ++it) {
+      if (offset < it->begin || offset >= it->end) continue;
+      switch (it->placement) {
+        case partition::ControllerPlacement::kOwnerCompute:
+          return core_mc_[static_cast<std::size_t>(core)];
+        case partition::ControllerPlacement::kStriped: {
+          const std::uint64_t stripe =
+              (offset - it->begin) / config_.shm_controller_stripe_bytes;
+          return static_cast<std::uint32_t>(stripe % config_.num_mem_controllers);
+        }
+        case partition::ControllerPlacement::kPinned:
+          return it->pinned;
+        case partition::ControllerPlacement::kFirstTouch: {
+          // Claims are deterministic: the engine resumes tasks in strict
+          // (time, task_id) order, so "first" is reproducible run to run.
+          const std::uint64_t stripe = offset / config_.shm_controller_stripe_bytes;
+          return first_touch_claims_
+              .try_emplace(stripe, core_mc_[static_cast<std::size_t>(core)])
+              .first->second;
+        }
+      }
+    }
+  }
+  return core_mc_[static_cast<std::size_t>(core)];
 }
 
 Tick SccMachine::run() {
@@ -896,18 +946,50 @@ Tick SccMachine::coalescedCompletion(std::uint32_t resource, ResourceTimeline& t
   return t;
 }
 
+Tick SccMachine::shmWordsOnController(std::uint32_t mc_id, Tick hop_one_way,
+                                      Tick start, std::size_t max_words,
+                                      std::size_t* words_done) {
+  const std::size_t quantum =
+      config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
+  const Tick t = coalescedCompletion(mc_id, mc_[mc_id], config_.shm_coalescing,
+                                     quantum, uncached_overhead_ticks_, hop_one_way,
+                                     word_service_ticks_, start, max_words, words_done);
+  shm_words_ += *words_done;
+  mc_traffic_[mc_id] += *words_done;
+  ++shm_word_events_;
+  return t;
+}
+
 Tick SccMachine::shmWordsCompletion(int core, Tick start, std::size_t max_words,
                                     std::size_t* words_done) {
   const std::uint32_t mc_id = core_mc_[static_cast<std::size_t>(core)];
-  const std::size_t quantum =
-      config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
-  const Tick t = coalescedCompletion(
-      mc_id, mc_[mc_id], config_.shm_coalescing, quantum, uncached_overhead_ticks_,
-      core_mc_hop_ticks_[static_cast<std::size_t>(core)], word_service_ticks_, start,
-      max_words, words_done);
-  shm_words_ += *words_done;
-  ++shm_word_events_;
-  return t;
+  return shmWordsOnController(mc_id, core_mc_hop_ticks_[static_cast<std::size_t>(core)],
+                              start, max_words, words_done);
+}
+
+Tick SccMachine::shmWordsAtCompletion(int core, Tick start, std::uint64_t offset,
+                                      std::size_t max_words, std::size_t* words_done) {
+  if (!ctrl_placement_active_) {
+    // The exact legacy path: offset-independent requester-local routing.
+    return shmWordsCompletion(core, start, max_words, words_done);
+  }
+  const std::uint32_t mc_id = controllerForShmAccess(core, offset);
+  // Striped / first-touch regions switch controllers at stripe boundaries,
+  // so one coalesced run must not cross the current stripe's end. Accesses
+  // never straddle a region boundary (regions are whole translated
+  // variables), so a single range lookup covers the run.
+  const std::size_t txn = config_.shm_transaction_bytes;
+  const std::uint64_t stripe_bytes = config_.shm_controller_stripe_bytes;
+  const std::uint64_t stripe_end = (offset / stripe_bytes + 1) * stripe_bytes;
+  const auto to_stripe_end =
+      static_cast<std::size_t>((stripe_end - offset + txn - 1) / txn);
+  if (max_words > to_stripe_end) max_words = to_stripe_end;
+  return shmWordsOnController(
+      mc_id,
+      core_all_mc_hop_ticks_[static_cast<std::size_t>(core) *
+                                 config_.num_mem_controllers +
+                             mc_id],
+      start, max_words, words_done);
 }
 
 Tick SccMachine::swcacheLinesCompletion(int core, Tick start, std::size_t max_lines,
@@ -920,6 +1002,7 @@ Tick SccMachine::swcacheLinesCompletion(int core, Tick start, std::size_t max_li
       swcache_line_overhead_ticks_, core_mc_hop_ticks_[static_cast<std::size_t>(core)],
       line_service_ticks_, start, max_lines, lines_done);
   swcache_lines_sim_ += *lines_done;
+  mc_traffic_[mc_id] += *lines_done;
   ++swcache_line_events_;
   return t;
 }
@@ -957,11 +1040,25 @@ Tick SccMachine::mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
 Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
                                    std::size_t bytes, bool write, void* data_out,
                                    const void* data_in) {
-  // One setup round trip, then lines stream at row-buffer-hit rates.
-  ResourceTimeline& mc = mc_[core_mc_[static_cast<std::size_t>(core)]];
-  const Tick hop_one_way = core_mc_hop_ticks_[static_cast<std::size_t>(core)];
+  // One setup round trip, then lines stream at row-buffer-hit rates. A
+  // placement-routed region streams the whole burst through the controller
+  // serving its FIRST byte (one row activation, one stream — splitting a
+  // burst across controllers would forfeit the row-buffer hits the bulk
+  // path models).
+  const std::uint32_t mc_id = ctrl_placement_active_
+                                  ? controllerForShmAccess(core, offset)
+                                  : core_mc_[static_cast<std::size_t>(core)];
+  ResourceTimeline& mc = mc_[mc_id];
+  const Tick hop_one_way =
+      ctrl_placement_active_
+          ? core_all_mc_hop_ticks_[static_cast<std::size_t>(core) *
+                                       config_.num_mem_controllers +
+                                   mc_id]
+          : core_mc_hop_ticks_[static_cast<std::size_t>(core)];
   const std::size_t line = config_.cache_line_bytes;
   const std::size_t lines = (bytes + line - 1) / line;
+  shm_bulk_lines_ += lines;
+  mc_traffic_[mc_id] += lines;
   const Tick service =
       dram_clock_.cycles(config_.dram_line_service_cycles +
                          (lines > 0 ? lines - 1 : 0) * config_.dram_burst_line_service_cycles);

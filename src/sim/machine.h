@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "partition/execution_plan.h"
@@ -294,6 +295,55 @@ class CoreContext {
   std::uint64_t timed_op_seq_ = 0;   ///< timed ops (core-freeze draw points)
 };
 
+/// One launch request: everything SccMachine::launch needs, gathered into a
+/// single value with a fluent builder instead of the accreted overload set
+/// (plan overload, scope overload, separate barrier sizing) it replaces.
+///
+///   machine.launch(LaunchSpec(8, program));                    // legacy
+///   machine.launch(LaunchSpec(8, program).withPlan(&plan));    // plan-driven
+///   machine.launch(LaunchSpec(8, program).withScope(lambda));  // hand scope
+///
+/// Precedence: an explicit scope overrides the plan-derived owner sets; a
+/// plan with no explicit scope declares its mpbScopeOwners as the scope
+/// (including "no MPB traffic at all" when the plan has no MPB regions);
+/// neither means the unrestricted legacy launch. The plan pointer is
+/// borrowed — it must outlive the run.
+struct LaunchSpec {
+  using CoreProgram = std::function<SimTask(CoreContext&)>;
+  /// Optional MPB communication scope: for a UE, the owner UEs whose MPB
+  /// slices it will ever access (its put/get targets *and* its own slice if
+  /// it reads that back). Declaring a scope shrinks the task's engine reach
+  /// set to the corresponding tile ports, so traffic on unrelated tiles'
+  /// ports cannot truncate its coalesced chunk runs. The scope is a
+  /// promise; accesses outside it are still serviced but counted in
+  /// mpbScopeViolations() (they void the port-isolation guarantee).
+  using MpbScope = std::function<std::vector<int>(int ue, int num_ues)>;
+
+  LaunchSpec(int ues, CoreProgram prog)
+      : num_ues(ues), program(std::move(prog)), barrier_participants(ues) {}
+
+  LaunchSpec& withPlan(const partition::ExecutionPlan* p) {
+    plan = p;
+    return *this;
+  }
+  LaunchSpec& withScope(MpbScope s) {
+    scope = std::move(s);
+    return *this;
+  }
+  /// Size the machine barrier for `n` participants instead of num_ues (for
+  /// programs where only a subset of the launched UEs ever arrives).
+  LaunchSpec& withBarrierParticipants(int n) {
+    barrier_participants = n;
+    return *this;
+  }
+
+  int num_ues;
+  CoreProgram program;
+  const partition::ExecutionPlan* plan = nullptr;
+  MpbScope scope;
+  int barrier_participants;
+};
+
 class SccMachine {
  public:
   explicit SccMachine(SccConfig config = {});
@@ -322,27 +372,19 @@ class SccMachine {
   void reservePrivate(int core, std::size_t bytes);
 
   // -- program execution --
-  using CoreProgram = std::function<SimTask(CoreContext&)>;
-  /// Optional MPB communication scope: for a UE, the owner UEs whose MPB
-  /// slices it will ever access (its put/get targets *and* its own slice if
-  /// it reads that back). Declaring a scope shrinks the task's engine reach
-  /// set to the corresponding tile ports, so traffic on unrelated tiles'
-  /// ports cannot truncate its coalesced chunk runs. The scope is a
-  /// promise; accesses outside it are still serviced but counted in
-  /// mpbScopeViolations() (they void the port-isolation guarantee).
-  using MpbScope = std::function<std::vector<int>(int ue, int num_ues)>;
-  /// Spawn `num_ues` copies of `program`, one per core, sharing one barrier.
-  /// Without a scope every task's reach set is its memory controller plus
-  /// every MPB port (sound, but port horizons then see all tasks).
-  void launch(int num_ues, const CoreProgram& program, const MpbScope& scope = {});
-  /// Plan-driven launch: the ExecutionPlan's per-UE MPB owner sets become
-  /// the declared scope (subsuming hand-built MpbScope lambdas), and any
-  /// cached region in the plan activates the swcache instances. A null plan
-  /// is the unrestricted legacy launch. Region cacheability itself is
+  using CoreProgram = LaunchSpec::CoreProgram;
+  using MpbScope = LaunchSpec::MpbScope;
+  /// Spawn `spec.num_ues` copies of `spec.program`, one per core, sharing
+  /// one barrier. The spec's scope (explicit, or derived from its plan's
+  /// per-UE MPB owner sets) shrinks each task's engine reach set to its
+  /// controller plus the promised tile ports; without either, the reach set
+  /// is the controller plus every MPB port (sound, but port horizons then
+  /// see all tasks). A plan with any cached region activates the swcache
+  /// instances. Region cacheability/controller placement itself is
   /// registered by the plan-carrying rcce::ShmArray allocations (or
-  /// setShmCacheability directly) — the machine cannot know region offsets.
-  void launch(int num_ues, const CoreProgram& program,
-              const partition::ExecutionPlan* plan);
+  /// setShmCacheability / setShmControllerPlacement directly) — the machine
+  /// cannot know region offsets.
+  void launch(const LaunchSpec& spec);
   /// Create the machine barrier for `participants` without launching
   /// (used by runtimes that spawn their own tasks, e.g. threadrt).
   void setupBarrier(int participants);
@@ -374,6 +416,38 @@ class SccMachine {
   /// MPB accesses that fell outside the task's declared MpbScope. Any
   /// non-zero count voids the port-isolation timing guarantee of that run.
   [[nodiscard]] std::uint64_t mpbScopeViolations() const { return mpb_scope_violations_; }
+
+  // -- per-controller shared-DRAM traffic --
+  /// Shared-DRAM transactions each memory controller served: uncached
+  /// words, swcache line transfers, and bulk-copy lines (one count per
+  /// transaction, whatever its byte size). Pure accounting — recording them
+  /// never moves a Tick. Their sum equals shmWordsSimulated() +
+  /// swcacheLinesSimulated() + shmBulkLinesSimulated() by construction; the
+  /// spread across controllers is what controller placement redistributes.
+  [[nodiscard]] const std::vector<std::uint64_t>& controllerTraffic() const {
+    return mc_traffic_;
+  }
+  /// Lines moved by sequential bulk transfers (shmReadBulk/shmWriteBulk).
+  [[nodiscard]] std::uint64_t shmBulkLinesSimulated() const { return shm_bulk_lines_; }
+
+  // -- per-region controller placement (ExecutionPlan policy) --
+  /// Declare the address→controller mapping of shared-DRAM range
+  /// [begin, end): kStriped interleaves stripe-granular
+  /// (config.shm_controller_stripe_bytes) across all controllers, kPinned
+  /// puts the whole range behind `pinned_controller`, kFirstTouch lets the
+  /// first accessor's quadrant controller claim each stripe, and
+  /// kOwnerCompute is the legacy requester-local mapping — also the default
+  /// for every offset outside the map, so unplanned regions keep today's
+  /// routing bit for bit. Later registrations win on overlap. Cached
+  /// (swcache) regions keep requester-local line fills regardless of any
+  /// registration: the cache is private per core, so its DRAM traffic
+  /// follows the core (docs/execution_plan.md states the composition rule).
+  void setShmControllerPlacement(std::uint64_t begin, std::uint64_t end,
+                                 partition::ControllerPlacement placement,
+                                 std::uint32_t pinned_controller = 0);
+  /// Controller serving an access to `offset` from `core` (claims the
+  /// stripe for first-touch regions as a side effect).
+  [[nodiscard]] std::uint32_t controllerForShmAccess(int core, std::uint64_t offset);
 
   // -- software-managed shared-memory cache --
   /// Default routing for shared-DRAM offsets outside every registered
@@ -465,6 +539,14 @@ class SccMachine {
   /// per-event path bit for bit.
   Tick shmWordsCompletion(int core, Tick start, std::size_t max_words,
                           std::size_t* words_done);
+  /// Offset-aware twin of shmWordsCompletion for planned regions: routes
+  /// the run to the controller `controllerForShmAccess(core, offset)`
+  /// chooses and caps it at the current stripe boundary (striped /
+  /// first-touch regions change controllers mid-region). With no
+  /// non-default placement registered it forwards to shmWordsCompletion —
+  /// the exact legacy path, so pre-existing runs stay bit-identical.
+  Tick shmWordsAtCompletion(int core, Tick start, std::uint64_t offset,
+                            std::size_t max_words, std::size_t* words_done);
   /// MPB twin of shmWordsCompletion: service up to `max_chunks` cache-line
   /// chunks of `ue`'s transfer against owner_ue's tile port, coalescing as
   /// many as the port's horizon proves safe. Same exact recurrence, same
@@ -482,8 +564,13 @@ class SccMachine {
                          bool write, void* data_out, const void* data_in);
 
  private:
-  // (The private member block proper continues further down; this helper
-  // sits here to stay next to the completion functions it powers.)
+  // (The private member block proper continues further down; these helpers
+  // sit here to stay next to the completion functions they power.)
+  /// Word-run service against an explicit controller: the shared tail of
+  /// shmWordsCompletion (requester-local) and shmWordsAtCompletion
+  /// (placement-routed). Identical recurrence either way.
+  Tick shmWordsOnController(std::uint32_t mc_id, Tick hop_one_way, Tick start,
+                            std::size_t max_words, std::size_t* words_done);
   /// The shared engine of both coalesced paths: run up to `max_txns`
   /// back-to-back transactions of one serially-reusable `resource` —
   /// request issued `issue_overhead + hop_one_way` after the previous
@@ -510,6 +597,10 @@ class SccMachine {
   // assigned controller and the one-way mesh latency to reach it.
   std::vector<std::uint32_t> core_mc_;
   std::vector<Tick> core_mc_hop_ticks_;
+  /// One-way mesh latency from every core to EVERY controller
+  /// (core * num_mem_controllers + mc) — consulted only by placement-routed
+  /// accesses; entry [core][core_mc_[core]] equals core_mc_hop_ticks_[core].
+  std::vector<Tick> core_all_mc_hop_ticks_;
   Tick uncached_overhead_ticks_ = 0;  ///< per-word issue overhead
   Tick word_service_ticks_ = 0;       ///< controller service per word
   Tick mpb_overhead_ticks_ = 0;       ///< per-chunk core-side issue overhead
@@ -525,6 +616,8 @@ class SccMachine {
   std::uint64_t mpb_scope_violations_ = 0;
   std::uint64_t swcache_lines_sim_ = 0;
   std::uint64_t swcache_line_events_ = 0;
+  std::uint64_t shm_bulk_lines_ = 0;
+  std::vector<std::uint64_t> mc_traffic_;  ///< shared-DRAM txns per controller
 
   std::vector<std::uint8_t> shared_dram_;
   std::vector<SwCache> swcache_;                     // per core; empty if disabled
@@ -553,6 +646,20 @@ class SccMachine {
     bool cached;
   };
   std::vector<ShmCacheRange> shm_cache_map_;
+  /// Per-region controller placements; scanned newest-first like the
+  /// cacheability map. `ctrl_placement_active_` is the hot-path gate: false
+  /// (no non-default placement registered) keeps every shared-memory access
+  /// on the exact legacy requester-local instruction path.
+  struct ShmCtrlRange {
+    std::uint64_t begin;
+    std::uint64_t end;
+    partition::ControllerPlacement placement;
+    std::uint32_t pinned;
+  };
+  std::vector<ShmCtrlRange> shm_ctrl_map_;
+  bool ctrl_placement_active_ = false;
+  /// First-touch stripe claims: global stripe index → controller.
+  std::unordered_map<std::uint64_t, std::uint32_t> first_touch_claims_;
 
   FaultInjector fault_;  ///< built from config_.fault at construction
   /// Scratch for swcacheFlushChecked's flushed-line addresses (reused to

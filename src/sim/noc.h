@@ -92,6 +92,14 @@ class MeshTopology {
     return core_controller_hops_[core];
   }
 
+  /// Hops from a core to an ARBITRARY controller (same +1 port hop as
+  /// hopsToController) — the distance a controller-placed region pays when
+  /// its serving controller is not the requester's own quadrant's.
+  [[nodiscard]] std::uint32_t hopsFromCoreToController(std::uint32_t core,
+                                                      std::uint32_t mc) const {
+    return hops(tileOfCore(core), tileOfController(mc)) + 1;
+  }
+
   /// Physical core hosting logical UE `ue` when `num_ues` UEs participate.
   /// UEs are spread round-robin across the four quadrants so each memory
   /// controller serves an equal share (the paper runs 32 UEs on the 48-core

@@ -55,6 +55,13 @@ struct SccConfig {
   std::uint32_t dram_burst_line_service_cycles = 8;
   /// Bytes moved per uncached shared-memory transaction (an 8-byte FSB beat).
   std::uint32_t shm_transaction_bytes = 8;
+  /// Stripe granularity of the striped / first-touch controller placements
+  /// (partition::ControllerPlacement): consecutive stripes of a planned
+  /// region rotate across (striped) or are claimed by (first-touch) the
+  /// memory controllers. Only consulted for regions registered with a
+  /// non-default placement; unplanned regions always use the accessing
+  /// core's own quadrant controller.
+  std::size_t shm_controller_stripe_bytes = 64;
   /// Mesh hop latency (one direction, per hop).
   std::uint32_t mesh_hop_cycles = 4;
   /// Local MPB access (core to its own tile's buffer), round trip.

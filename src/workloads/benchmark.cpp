@@ -1,5 +1,6 @@
 #include "workloads/benchmark.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace hsm::workloads {
@@ -20,6 +21,21 @@ void recordMachineRobustness(RunResult& result, const sim::SccMachine& machine) 
   result.faults_recovered = f.totalRecovered();
   result.fault_retries = f.retries;
   result.faults_unrecovered = f.unrecovered;
+  result.controller_traffic = machine.controllerTraffic();
+  double sum = 0.0;
+  for (const std::uint64_t t : result.controller_traffic) {
+    sum += static_cast<double>(t);
+  }
+  if (sum > 0.0 && !result.controller_traffic.empty()) {
+    const double mean = sum / static_cast<double>(result.controller_traffic.size());
+    double var = 0.0;
+    for (const std::uint64_t t : result.controller_traffic) {
+      const double d = static_cast<double>(t) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(result.controller_traffic.size());
+    result.controller_load_cv = std::sqrt(var) / mean;
+  }
 }
 
 partition::PlacementClass resolvePlacement(const partition::ExecutionPlan* plan,
@@ -43,7 +59,9 @@ std::uint64_t countUnrealizedRegions(const partition::ExecutionPlan* plan,
   std::uint64_t unrealized = 0;
   for (const partition::RegionPlan& r : plan->regions) {
     const bool consequential =
-        r.cached() || (r.onChip() && r.pattern != partition::MpbPattern::kNone);
+        r.cached() || (r.onChip() && r.pattern != partition::MpbPattern::kNone) ||
+        (!r.onChip() &&
+         r.controller != partition::ControllerPlacement::kOwnerCompute);
     if (!consequential) continue;
     bool matched = false;
     for (const char* name : known) {

@@ -54,6 +54,15 @@ struct RunResult {
   /// Non-zero voids the run's data-integrity guarantee (verified may still
   /// be false independently).
   std::uint64_t faults_unrecovered = 0;
+  // -- per-controller shared-DRAM load (RCCE modes; empty/0 otherwise) --
+  /// Transactions each memory controller served (SccMachine::
+  /// controllerTraffic — uncached words + swcache lines + bulk lines).
+  std::vector<std::uint64_t> controller_traffic;
+  /// Coefficient of variation (population stddev / mean) of
+  /// controller_traffic — 0 is a perfectly flat spread; a skewed workload
+  /// behind an address-striped placement drives it up. 0 when no
+  /// shared-DRAM traffic was simulated.
+  double controller_load_cv = 0.0;
 };
 
 /// Fill `result`'s machine-robustness counters (MPB scope violations plus
@@ -89,11 +98,12 @@ class Benchmark {
     const partition::ExecutionPlan* plan, const char* name, Mode mode,
     partition::PlacementClass mpb_default);
 
-/// Count the plan's consequential regions (on-chip MPB pattern or cached
-/// routing) that are NOT in the workload's `known` region names — the
-/// drift detector behind RunResult::plan_regions_unrealized. Regions with
-/// no runtime behavior (off-chip-uncached, pattern-free resident scalars)
-/// don't count: failing to look them up changes nothing.
+/// Count the plan's consequential regions (on-chip MPB pattern, cached
+/// routing, or a non-default controller placement) that are NOT in the
+/// workload's `known` region names — the drift detector behind
+/// RunResult::plan_regions_unrealized. Regions with no runtime behavior
+/// (default-placed off-chip-uncached, pattern-free resident scalars) don't
+/// count: failing to look them up changes nothing.
 [[nodiscard]] std::uint64_t countUnrealizedRegions(
     const partition::ExecutionPlan* plan, std::initializer_list<const char*> known);
 
@@ -106,9 +116,12 @@ template <typename T>
                                              const partition::ExecutionPlan* plan,
                                              const char* name, Mode mode,
                                              partition::PlacementClass mpb_default) {
-  if (plan != nullptr && plan->find(name) != nullptr) {
-    return rcce::ShmArray<T>(env, count,
-                             resolvePlacement(plan, name, mode, mpb_default));
+  if (plan != nullptr) {
+    if (const partition::RegionPlan* r = plan->find(name)) {
+      return rcce::ShmArray<T>(env, count,
+                               resolvePlacement(plan, name, mode, mpb_default),
+                               r->controller, r->pinned_controller);
+    }
   }
   return rcce::ShmArray<T>(env, count);
 }

@@ -159,9 +159,9 @@ class DotProduct final : public Benchmark {
       }
       *acc.hostData() = 0.0;
       *mpb_acc.hostData(0) = 0.0;
-      machine.launch(units, [&](sim::CoreContext& ctx) {
+      machine.launch(sim::LaunchSpec(units, [&](sim::CoreContext& ctx) {
         return dotRcce(ctx, p, a, b, acc, stage, mpb_acc, stage_ab, acc_mpb);
-      }, plan);
+      }).withPlan(plan));
       result.makespan = machine.run();
       recordMachineRobustness(result, machine);
       result.plan_regions_unrealized =

@@ -163,9 +163,9 @@ class LuDecomposition final : public Benchmark {
           env, p.n * p.n, plan, "m", mode, PlacementClass::kOnChipStaged);
       rcce::MpbArray<double> pivot_stage(env, units, p.n);
       initMatrix(m.hostData(), p.n);
-      machine.launch(units, [&](sim::CoreContext& ctx) {
+      machine.launch(sim::LaunchSpec(units, [&](sim::CoreContext& ctx) {
         return luRcce(ctx, p, m, pivot_stage, use_mpb);
-      }, plan);
+      }).withPlan(plan));
       result.makespan = machine.run();
       recordMachineRobustness(result, machine);
       result.plan_regions_unrealized = countUnrealizedRegions(plan, {"m"});

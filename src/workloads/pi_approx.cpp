@@ -122,9 +122,9 @@ class PiApprox final : public Benchmark {
       rcce::MpbArray<double> mpb_acc(env, units, 1);
       *acc.hostData() = 0.0;
       *mpb_acc.hostData(0) = 0.0;
-      machine.launch(units, [&](sim::CoreContext& ctx) {
+      machine.launch(sim::LaunchSpec(units, [&](sim::CoreContext& ctx) {
         return piRcce(ctx, p, acc, mpb_acc, use_mpb);
-      }, plan);
+      }).withPlan(plan));
       result.makespan = machine.run();
       recordMachineRobustness(result, machine);
       result.plan_regions_unrealized = countUnrealizedRegions(plan, {"gsum"});

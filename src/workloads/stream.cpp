@@ -241,9 +241,9 @@ class Stream final : public Benchmark {
           makeShmArray<double>(env, p.n, plan, "c", mode, PlacementClass::kOnChipStaged);
       rcce::MpbArray<double> stage(env, units, kChunk);
       initArrays(a.hostData(), b.hostData(), c.hostData(), p.n);
-      machine.launch(units, [&](sim::CoreContext& ctx) {
+      machine.launch(sim::LaunchSpec(units, [&](sim::CoreContext& ctx) {
         return streamRcce(ctx, p, a, b, c, stage, use_mpb);
-      }, plan);
+      }).withPlan(plan));
       result.makespan = machine.run();
       recordMachineRobustness(result, machine);
       result.plan_regions_unrealized =

@@ -378,8 +378,7 @@ TEST(DeclaredScope, PlanWithoutMpbRegionsFlagsAnyMpbAccess) {
   const std::uint64_t off = env.mpbMallocSymmetric(2, 32);
   const ExecutionPlan plan{
       {RegionPlan{"x", PlacementClass::kOffChipUncached, MpbPattern::kNone, 64}}};
-  machine.launch(2, [&](sim::CoreContext& ctx) { return touchOwnMpb(ctx, off); },
-                 &plan);
+  machine.launch(sim::LaunchSpec(2, [&](sim::CoreContext& ctx) { return touchOwnMpb(ctx, off); }).withPlan(&plan));
   machine.run();
   EXPECT_GT(machine.mpbScopeViolations(), 0u);
 }
@@ -391,8 +390,7 @@ TEST(DeclaredScope, CoveringPlanCountsNoViolations) {
   const std::uint64_t off = env.mpbMallocSymmetric(2, 32);
   const ExecutionPlan plan{{RegionPlan{
       "x", PlacementClass::kOnChipResident, MpbPattern::kSelfStage, 64}}};
-  machine.launch(2, [&](sim::CoreContext& ctx) { return touchOwnMpb(ctx, off); },
-                 &plan);
+  machine.launch(sim::LaunchSpec(2, [&](sim::CoreContext& ctx) { return touchOwnMpb(ctx, off); }).withPlan(&plan));
   machine.run();
   EXPECT_EQ(machine.mpbScopeViolations(), 0u);
 }

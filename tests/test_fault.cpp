@@ -205,7 +205,7 @@ BlockRun runBlockWriters(const FaultPlan& plan, int ues, bool cached = false) {
   const std::size_t bytes = static_cast<std::size_t>(ues) * kBlocksPerUe * kBlock;
   const std::uint64_t base = m.shmalloc(bytes);
   if (cached) m.setShmCacheability(base, base + bytes, true);
-  m.launch(ues, [=](CoreContext& ctx) { return blockWriter(ctx, base); });
+  m.launch(LaunchSpec(ues, [=](CoreContext& ctx) { return blockWriter(ctx, base); }));
   BlockRun r;
   r.makespan = m.run();
   r.memory.assign(m.shmData(base), m.shmData(base) + bytes);
@@ -328,7 +328,7 @@ TEST(FaultMachine, MpbTransferFaultsDetectedAndRepaired) {
   cfg.fault = plan;
   SccMachine m(cfg);
   const std::uint64_t out = m.shmalloc(2 * kBlock);
-  m.launch(2, [=](CoreContext& ctx) { return mpbExchange(ctx, out); });
+  m.launch(LaunchSpec(2, [=](CoreContext& ctx) { return mpbExchange(ctx, out); }));
   m.run();
   const auto cls = static_cast<std::size_t>(FaultClass::kMpbTransfer);
   const FaultStats& s = m.faultStats();
@@ -362,7 +362,7 @@ TEST(FaultMachine, PermanentFreezeRaisesDeadlockNamingFrozenTask) {
   cfg.fault = plan;
   SccMachine m(cfg);
   const std::uint64_t base = m.shmalloc(64);
-  m.launch(2, [=](CoreContext& ctx) { return readThenBarrier(ctx, base); });
+  m.launch(LaunchSpec(2, [=](CoreContext& ctx) { return readThenBarrier(ctx, base); }));
   try {
     m.run();
     FAIL() << "expected DeadlockError";
@@ -404,9 +404,9 @@ TEST(FaultMachine, SyncTimeoutRaisedOnOverstayedLockWait) {
   SccConfig cfg;
   cfg.sync_timeout_ticks = 10'000;  // 10 ns: UE 0 holds for >1 ms of core time
   SccMachine m(cfg);
-  m.launch(2, [](CoreContext& ctx) {
+  m.launch(LaunchSpec(2, [](CoreContext& ctx) {
     return ctx.ue() == 0 ? holdLockLong(ctx) : contendLock(ctx);
-  });
+  }));
   try {
     m.run();
     FAIL() << "expected SyncTimeout";
@@ -424,9 +424,9 @@ TEST(FaultMachine, GenerousSyncTimeoutDoesNotFire) {
   SccConfig cfg;
   cfg.sync_timeout_ticks = static_cast<Tick>(1) << 60;
   SccMachine m(cfg);
-  m.launch(2, [](CoreContext& ctx) {
+  m.launch(LaunchSpec(2, [](CoreContext& ctx) {
     return ctx.ue() == 0 ? holdLockLong(ctx) : contendLock(ctx);
-  });
+  }));
   EXPECT_NO_THROW(m.run());
 }
 

@@ -171,7 +171,7 @@ SimTask privRoundTrip(CoreContext& ctx, bool* ok) {
 TEST(Machine, PrivateMemoryFunctional) {
   SccMachine machine;
   bool ok = false;
-  machine.launch(1, [&](CoreContext& ctx) { return privRoundTrip(ctx, &ok); });
+  machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return privRoundTrip(ctx, &ok); }));
   machine.run();
   EXPECT_TRUE(ok);
 }
@@ -191,7 +191,7 @@ TEST(Machine, SharedMemoryVisibleToAllCores) {
   SccMachine machine;
   const std::uint64_t offset = machine.shmalloc(64);
   bool ok = true;
-  machine.launch(4, [&](CoreContext& ctx) { return shmRoundTrip(ctx, offset, &ok); });
+  machine.launch(LaunchSpec(4, [&](CoreContext& ctx) { return shmRoundTrip(ctx, offset, &ok); }));
   machine.run();
   EXPECT_TRUE(ok);
 }
@@ -211,7 +211,7 @@ TEST(Machine, MpbRemoteReadSeesOwnerData) {
   const std::uint64_t off = machine.mpbMalloc(0, 16);
   for (int ue = 1; ue < 4; ++ue) ASSERT_EQ(machine.mpbMalloc(ue, 16), off);
   std::vector<int> seen(4, 0);
-  machine.launch(4, [&](CoreContext& ctx) { return mpbExchange(ctx, off, &seen); });
+  machine.launch(LaunchSpec(4, [&](CoreContext& ctx) { return mpbExchange(ctx, off, &seen); }));
   machine.run();
   for (int ue = 0; ue < 4; ++ue) {
     EXPECT_EQ(seen[static_cast<std::size_t>(ue)], ((ue + 1) % 4) * 11 + 1);
@@ -239,7 +239,7 @@ SimTask timedCompute(CoreContext& ctx) { co_await ctx.compute(100); }
 
 TEST(Machine, ComputeChargesCoreCycles) {
   SccMachine machine;
-  machine.launch(1, [&](CoreContext& ctx) { return timedCompute(ctx); });
+  machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return timedCompute(ctx); }));
   const Tick t = machine.run();
   EXPECT_EQ(t, 100u * 1250u);
 }
@@ -252,7 +252,7 @@ SimTask oneShmRead(CoreContext& ctx, std::uint64_t off) {
 TEST(Machine, UncachedWordCostsMoreThanCompute) {
   SccMachine machine;
   const std::uint64_t off = machine.shmalloc(8);
-  machine.launch(1, [&](CoreContext& ctx) { return oneShmRead(ctx, off); });
+  machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return oneShmRead(ctx, off); }));
   const Tick t = machine.run();
   // One word: issue overhead + mesh round trip + controller service.
   EXPECT_GT(t, 20000u);   // > 20 ns
@@ -279,13 +279,13 @@ TEST(Machine, BulkTransferBeatsWordTransactions) {
   {
     SccMachine machine;
     const std::uint64_t off = machine.shmalloc(4096);
-    machine.launch(1, [&](CoreContext& ctx) { return bulkVsWords(ctx, off, &bulk); });
+    machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return bulkVsWords(ctx, off, &bulk); }));
     machine.run();
   }
   {
     SccMachine machine;
     const std::uint64_t off = machine.shmalloc(4096);
-    machine.launch(1, [&](CoreContext& ctx) { return wordsPath(ctx, off, &words); });
+    machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return wordsPath(ctx, off, &words); }));
     machine.run();
   }
   EXPECT_LT(bulk * 4, words) << "bulk should be >4x more efficient per byte";
@@ -308,9 +308,9 @@ TEST(Machine, MpbAccessFasterThanUncachedDram) {
   const std::uint64_t shm_off = machine.shmalloc(8);
   Tick mpb_time = 0;
   Tick shm_time = 0;
-  machine.launch(1, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(1, [&](CoreContext& ctx) {
     return mpbLocalVsShm(ctx, mpb_off, shm_off, &mpb_time, &shm_time);
-  });
+  }));
   machine.run();
   EXPECT_LT(mpb_time, shm_time);
 }
@@ -326,7 +326,7 @@ SimTask unevenBarrier(CoreContext& ctx, std::vector<Tick>* after) {
 TEST(Machine, BarrierReleasesEveryoneTogether) {
   SccMachine machine;
   std::vector<Tick> after(6, 0);
-  machine.launch(6, [&](CoreContext& ctx) { return unevenBarrier(ctx, &after); });
+  machine.launch(LaunchSpec(6, [&](CoreContext& ctx) { return unevenBarrier(ctx, &after); }));
   machine.run();
   for (std::size_t i = 1; i < after.size(); ++i) EXPECT_EQ(after[i], after[0]);
   // Release is after the slowest arrival.
@@ -344,7 +344,7 @@ SimTask doubleBarrier(CoreContext& ctx, int* count) {
 TEST(Machine, BarrierReusableAcrossEpisodes) {
   SccMachine machine;
   int count = 0;
-  machine.launch(8, [&](CoreContext& ctx) { return doubleBarrier(ctx, &count); });
+  machine.launch(LaunchSpec(8, [&](CoreContext& ctx) { return doubleBarrier(ctx, &count); }));
   machine.run();
   EXPECT_EQ(count, 2);
   EXPECT_EQ(machine.barrier().episodes(), 2u);
@@ -365,9 +365,9 @@ TEST(Machine, TasLockProvidesMutualExclusion) {
   SccMachine machine;
   int counter = 0;
   bool race = false;
-  machine.launch(8, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(8, [&](CoreContext& ctx) {
     return criticalSection(ctx, &counter, &race);
-  });
+  }));
   machine.run();
   EXPECT_EQ(counter, 80);
   EXPECT_FALSE(race);
@@ -377,7 +377,7 @@ TEST(Machine, TasLockProvidesMutualExclusion) {
 TEST(Machine, SingleUeBarrierDoesNotDeadlock) {
   SccMachine machine;
   int count = 0;
-  machine.launch(1, [&](CoreContext& ctx) { return doubleBarrier(ctx, &count); });
+  machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return doubleBarrier(ctx, &count); }));
   machine.run();
   EXPECT_EQ(count, 2);
 }
@@ -400,7 +400,7 @@ TEST(Machine, FullyDeterministic) {
     const std::uint64_t shm = machine.shmalloc(1024);
     std::uint64_t mpb = 0;
     for (int ue = 0; ue < 12; ++ue) mpb = machine.mpbMalloc(ue, 8);
-    machine.launch(12, [&](CoreContext& ctx) { return mixedWork(ctx, shm, mpb); });
+    machine.launch(LaunchSpec(12, [&](CoreContext& ctx) { return mixedWork(ctx, shm, mpb); }));
     return machine.run();
   };
   const Tick t1 = run_once();
@@ -438,8 +438,7 @@ SimResult runStream(bool coalescing, int ues, bool per_controller = true) {
   cfg.per_resource_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(16 * 4096);
-  machine.launch(ues,
-                 [&](CoreContext& ctx) { return streamKernel(ctx, base, 16, 4096); });
+  machine.launch(LaunchSpec(ues, [&](CoreContext& ctx) { return streamKernel(ctx, base, 16, 4096); }));
   SimResult r;
   r.makespan = machine.run();
   for (int ue = 0; ue < ues; ++ue) {
@@ -503,9 +502,9 @@ SimResult runContended(bool coalescing, int ues, bool per_controller = true) {
   const std::uint64_t counter = machine.shmalloc(8);
   SimResult r;
   r.data.resize(static_cast<std::size_t>(ues), 0);
-  machine.launch(ues, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(ues, [&](CoreContext& ctx) {
     return contendedKernel(ctx, blocks, counter, &r.data);
-  });
+  }));
   r.makespan = machine.run();
   for (int ue = 0; ue < ues; ++ue) {
     r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
@@ -565,7 +564,7 @@ SimResult runStaggered(bool per_controller) {
   cfg.per_resource_horizon = per_controller;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(8 * 4096);
-  machine.launch(8, [&](CoreContext& ctx) { return staggeredKernel(ctx, base, 8); });
+  machine.launch(LaunchSpec(8, [&](CoreContext& ctx) { return staggeredKernel(ctx, base, 8); }));
   SimResult r;
   r.makespan = machine.run();
   for (int ue = 0; ue < 8; ++ue) {
@@ -621,9 +620,9 @@ std::pair<std::vector<int>, std::vector<int>> runWakeOrder(bool coalescing) {
   const std::uint64_t base = machine.shmalloc(8 * 512);
   std::vector<int> wake_order;
   std::vector<int> grant_order;
-  machine.launch(8, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(8, [&](CoreContext& ctx) {
     return wakeOrderKernel(ctx, base, &wake_order, &grant_order);
-  });
+  }));
   machine.run();
   return {wake_order, grant_order};
 }
@@ -687,9 +686,9 @@ MpbResult runMpbContended(bool coalescing, bool per_resource, int ues) {
   for (int ue = 1; ue < ues; ++ue) machine.mpbMalloc(ue, 1024);
   MpbResult r;
   r.data.resize(static_cast<std::size_t>(ues), 0);
-  machine.launch(ues, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(ues, [&](CoreContext& ctx) {
     return mpbContendedKernel(ctx, slot, 4, 1024, &r.data);
-  });
+  }));
   r.makespan = machine.run();
   for (int ue = 0; ue < ues; ++ue) {
     r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
@@ -746,12 +745,10 @@ MpbResult runPortPairs(bool per_resource) {
   std::uint64_t slot = 0;
   for (int ue = 0; ue < 4; ++ue) slot = machine.mpbMalloc(ue, 1024);
   MpbResult r;
-  machine.launch(
-      4, [&](CoreContext& ctx) { return portPairKernel(ctx, slot, 16); },
-      [](int ue, int) {
+  machine.launch(LaunchSpec(4, [&](CoreContext& ctx) { return portPairKernel(ctx, slot, 16); }).withScope([](int ue, int) {
         // Writer ue touches only its reader's slice; readers touch their own.
         return std::vector<int>{(ue == 0 || ue == 2) ? ue + 1 : ue};
-      });
+      }));
   r.makespan = machine.run();
   for (int ue = 0; ue < 4; ++ue) {
     r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
@@ -783,10 +780,7 @@ TEST(Machine, MpbScopeViolationsCounted) {
     std::uint64_t slot = 0;
     for (int ue = 0; ue < 2; ++ue) slot = machine.mpbMalloc(ue, 64);
     std::vector<std::uint8_t> sink(2);
-    machine.launch(
-        2,
-        [&](CoreContext& ctx) { return mpbContendedKernel(ctx, slot, 1, 64, &sink); },
-        [](int ue, int) { return std::vector<int>{ue}; });  // scope misses the put target
+    machine.launch(LaunchSpec(2, [&](CoreContext& ctx) { return mpbContendedKernel(ctx, slot, 1, 64, &sink); }).withScope([](int ue, int) { return std::vector<int>{ue}; }));  // scope misses the put target
     machine.run();
     EXPECT_GT(machine.mpbScopeViolations(), 0u);
   }
@@ -795,9 +789,9 @@ TEST(Machine, MpbScopeViolationsCounted) {
     std::uint64_t slot = 0;
     for (int ue = 0; ue < 2; ++ue) slot = machine.mpbMalloc(ue, 64);
     std::vector<std::uint8_t> sink(2);
-    machine.launch(2, [&](CoreContext& ctx) {
+    machine.launch(LaunchSpec(2, [&](CoreContext& ctx) {
       return mpbContendedKernel(ctx, slot, 1, 64, &sink);
-    });  // unrestricted: nothing to violate
+    }));  // unrestricted: nothing to violate
     machine.run();
     EXPECT_EQ(machine.mpbScopeViolations(), 0u);
   }
@@ -823,9 +817,9 @@ SimResult runContendedSyncAware(bool sync_aware) {
   const std::uint64_t counter = machine.shmalloc(8);
   SimResult r;
   r.data.resize(8, 0);
-  machine.launch(8, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(8, [&](CoreContext& ctx) {
     return contendedKernel(ctx, blocks, counter, &r.data);
-  });
+  }));
   r.makespan = machine.run();
   for (int ue = 0; ue < 8; ++ue) {
     r.completions.push_back(machine.engine().completionTime(static_cast<std::size_t>(ue)));
@@ -858,7 +852,7 @@ TEST(Machine, FairnessQuantumApproximationCompletes) {
     cfg.shm_fairness_quantum_words = 64;
     SccMachine machine(cfg);
     const std::uint64_t base = machine.shmalloc(8 * 1024);
-    machine.launch(8, [&](CoreContext& ctx) { return streamKernel(ctx, base, 2, 1024); });
+    machine.launch(LaunchSpec(8, [&](CoreContext& ctx) { return streamKernel(ctx, base, 2, 1024); }));
     const Tick makespan = machine.run();
     return std::pair<Tick, std::uint64_t>{makespan, machine.shmWordsSimulated()};
   };

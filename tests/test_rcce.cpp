@@ -58,7 +58,7 @@ TEST(ShmArray, TimedReadWriteRoundTrip) {
   RcceEnv env(machine);
   ShmArray<double> arr(env, 8);
   bool ok = false;
-  machine.launch(1, [&](CoreContext& ctx) { return shmArrayUser(ctx, arr, &ok); });
+  machine.launch(sim::LaunchSpec(1, [&](CoreContext& ctx) { return shmArrayUser(ctx, arr, &ok); }));
   machine.run();
   EXPECT_TRUE(ok);
 }
@@ -82,7 +82,7 @@ TEST(Rcce, PutThenGetMovesData) {
   RcceEnv env(machine);
   const std::uint64_t off = env.mpbMallocSymmetric(2, 16);
   int received = 0;
-  machine.launch(2, [&](CoreContext& ctx) { return putGetPair(ctx, off, &received); });
+  machine.launch(sim::LaunchSpec(2, [&](CoreContext& ctx) { return putGetPair(ctx, off, &received); }));
   machine.run();
   EXPECT_EQ(received, 41);
 }
@@ -102,7 +102,7 @@ TEST(Rcce, LockedSharedCounterIsExact) {
   RcceEnv env(machine);
   ShmArray<long long> acc(env, 1);
   *acc.hostData() = 0;
-  machine.launch(6, [&](CoreContext& ctx) { return lockedIncrement(ctx, acc); });
+  machine.launch(sim::LaunchSpec(6, [&](CoreContext& ctx) { return lockedIncrement(ctx, acc); }));
   machine.run();
   EXPECT_EQ(*acc.hostData(), 30);
 }
@@ -130,11 +130,9 @@ std::pair<std::vector<std::uint8_t>, sim::Tick> runRing(bool mpb_coalescing) {
   RcceEnv env(machine);
   const std::uint64_t slot = env.mpbMallocSymmetric(4, 256);
   std::vector<std::uint8_t> out(4, 0);
-  machine.launch(
-      4, [&](CoreContext& ctx) { return ringExchange(ctx, slot, 256, &out); },
-      [](int ue, int num_ues) {
+  machine.launch(sim::LaunchSpec(4, [&](CoreContext& ctx) { return ringExchange(ctx, slot, 256, &out); }).withScope([](int ue, int num_ues) {
         return std::vector<int>{ue, (ue + 1) % num_ues};
-      });
+      }));
   const sim::Tick makespan = machine.run();
   return {out, makespan};
 }
@@ -165,7 +163,7 @@ TEST(MpbArray, PerUeSlicesIndependent) {
   RcceEnv env(machine);
   MpbArray<int> arr(env, 4, 4);
   std::vector<int> out(4, 0);
-  machine.launch(4, [&](CoreContext& ctx) { return mpbArrayUser(ctx, arr, &out); });
+  machine.launch(sim::LaunchSpec(4, [&](CoreContext& ctx) { return mpbArrayUser(ctx, arr, &out); }));
   machine.run();
   for (int ue = 0; ue < 4; ++ue) {
     EXPECT_EQ(out[static_cast<std::size_t>(ue)], 100 + (ue + 1) % 4);

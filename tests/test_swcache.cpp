@@ -213,10 +213,10 @@ TEST(SwCacheMachine, BarrierMakesWritesVisibleDespiteStaleCopy) {
     SccMachine machine(cfg);
     const std::uint64_t data = machine.shmalloc(256);
     std::vector<std::uint64_t> seen;
-    machine.launch(2, [&](CoreContext& ctx) -> SimTask {
+    machine.launch(LaunchSpec(2, [&](CoreContext& ctx) -> SimTask {
       if (ctx.ue() == 0) return producer(ctx, data, 16);
       return consumer(ctx, data, 16, &seen);
-    });
+    }));
     machine.run();
     ASSERT_EQ(seen.size(), 16u) << "policy=" << policy;
     for (std::uint64_t i = 0; i < 16; ++i) {
@@ -247,7 +247,7 @@ TEST(SwCacheMachine, LockProtectedCounterIsExact) {
     cfg.shm_swcache = swcache;
     SccMachine machine(cfg);
     const std::uint64_t counter = machine.shmalloc(8);
-    machine.launch(6, [&](CoreContext& ctx) { return lockedAdder(ctx, counter, 5); });
+    machine.launch(LaunchSpec(6, [&](CoreContext& ctx) { return lockedAdder(ctx, counter, 5); }));
     machine.run();
     std::uint64_t v = 0;
     std::memcpy(&v, machine.shmData(counter), 8);
@@ -286,7 +286,7 @@ TEST(SwCacheMachine, BulkBypassStaysCoherentWithCachedLines) {
   cfg.shm_swcache = true;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(1024 + 8);
-  machine.launch(1, [&](CoreContext& ctx) { return bulkMixer(ctx, base, 1024); });
+  machine.launch(LaunchSpec(1, [&](CoreContext& ctx) { return bulkMixer(ctx, base, 1024); }));
   machine.run();
   std::uint64_t ok = 0;
   std::memcpy(&ok, machine.shmData(base + 1024), 8);
@@ -409,9 +409,9 @@ TEST(DrfEquivalence, RandomizedStressAgreesAcrossMatrix) {
     SccMachine machine(configFor(m));
     const std::uint64_t region = machine.shmalloc(kUes * kRegion);
     const std::uint64_t counters = machine.shmalloc(4 * 32);
-    machine.launch(kUes, [&](CoreContext& ctx) {
+    machine.launch(LaunchSpec(kUes, [&](CoreContext& ctx) {
       return drfStress(ctx, region, kRegion, counters, kRounds);
-    });
+    }));
     const Tick makespan = machine.run();
     const std::uint8_t* shm = machine.shmData(0);
     std::vector<std::uint8_t> mem(shm, shm + kUes * kRegion + 4 * 32);
@@ -444,7 +444,7 @@ TEST(DrfEquivalence, SwcacheTicksAreDeterministic) {
     cfg.shm_swcache = true;
     SccMachine machine(cfg);
     const std::uint64_t counter = machine.shmalloc(8);
-    machine.launch(4, [&](CoreContext& ctx) { return lockedAdder(ctx, counter, 3); });
+    machine.launch(LaunchSpec(4, [&](CoreContext& ctx) { return lockedAdder(ctx, counter, 3); }));
     machine.run();
     if (trial == 0) {
       first = machine.engine().makespan();
@@ -473,7 +473,7 @@ TEST(SwCacheMachine, ReadMostlyClearsNinetyPercentHitRate) {
   cfg.shm_swcache = true;
   SccMachine machine(cfg);
   const std::uint64_t base = machine.shmalloc(8 * 4096);
-  machine.launch(8, [&](CoreContext& ctx) { return readMostly(ctx, base, 4096, 16, 3); });
+  machine.launch(LaunchSpec(8, [&](CoreContext& ctx) { return readMostly(ctx, base, 4096, 16, 3); }));
   machine.run();
   const SwCacheStats totals = machine.swcacheTotals();
   EXPECT_GE(totals.hitRate(), 0.90) << "hits " << totals.word_hits << " / "
@@ -518,9 +518,9 @@ TEST(SwCacheMachine, TotalsEqualPerCoreSumsUnderMixedRegions) {
   const std::uint64_t cached = machine.shmalloc(4 * 256, /*align=*/64);
   const std::uint64_t uncached = machine.shmalloc(256);
   machine.setShmCacheability(cached, cached + 4 * 256, true);
-  machine.launch(4, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(4, [&](CoreContext& ctx) {
     return mixedRegionToucher(ctx, cached, uncached, 3);
-  });
+  }));
   machine.run();
 
   SwCacheStats sum;
@@ -551,9 +551,9 @@ TEST(SwCacheMachine, DirtyLinesZeroAfterRelease) {
   const std::uint64_t cached = machine.shmalloc(4 * 256, /*align=*/64);
   const std::uint64_t uncached = machine.shmalloc(256);
   machine.setShmCacheability(cached, cached + 4 * 256, true);
-  machine.launch(4, [&](CoreContext& ctx) {
+  machine.launch(LaunchSpec(4, [&](CoreContext& ctx) {
     return mixedRegionToucher(ctx, cached, uncached, 2);
-  });
+  }));
   machine.run();
   for (std::uint32_t core = 0; core < cfg.num_cores; ++core) {
     EXPECT_EQ(machine.swcacheDirtyLines(static_cast<int>(core)), 0u)
