@@ -51,6 +51,10 @@ struct Mode {
   /// Shared-memory routing: 0 = uncached words, 1 = swcache write-back,
   /// 2 = swcache write-through no-allocate.
   int swcache = 0;
+  /// Conservative-PDES worker lanes (SccConfig::engine_lanes). Runs whose
+  /// components the engine cannot prove disjoint fall back to the sequential
+  /// loop (lanes_used reports what actually ran).
+  std::uint32_t lanes = 1;
 };
 
 struct RunStats {
@@ -66,6 +70,9 @@ struct RunStats {
   std::uint64_t swcache_line_txns = 0;  ///< line fills + dirty write-backs
   std::uint64_t swcache_line_events = 0;
   std::uint64_t mpb_scope_violations = 0;  ///< accesses outside a declared plan
+  std::uint32_t engine_lanes = 1;  ///< configured worker lanes
+  std::uint32_t lanes_used = 1;    ///< lanes the engine actually ran (rep 0)
+  std::vector<std::uint64_t> lane_events;  ///< per-lane events (rep 0, parallel only)
   Tick makespan = 0;
   std::vector<Tick> completions;
   std::vector<std::uint8_t> result_bytes;  ///< extracted output region
@@ -104,6 +111,26 @@ struct RunStats {
                                    static_cast<double>(swcache_words)
                              : 0.0;
   }
+  /// Smallest / largest per-lane share of the parallel run's events
+  /// (lane_events[i] / total). Even sharding would put every lane at
+  /// 1/lanes_used; compare_bench.py flags a min share collapsing below half
+  /// of that. Zero when the run fell back to the sequential loop.
+  [[nodiscard]] double laneShareMin() const {
+    std::uint64_t total = 0, least = ~0ull;
+    for (const std::uint64_t n : lane_events) {
+      total += n;
+      least = std::min(least, n);
+    }
+    return total > 0 ? static_cast<double>(least) / static_cast<double>(total) : 0.0;
+  }
+  [[nodiscard]] double laneShareMax() const {
+    std::uint64_t total = 0, most = 0;
+    for (const std::uint64_t n : lane_events) {
+      total += n;
+      most = std::max(most, n);
+    }
+    return total > 0 ? static_cast<double>(most) / static_cast<double>(total) : 0.0;
+  }
 };
 
 struct Workload {
@@ -141,6 +168,7 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode,
     cfg.mpb_fairness_quantum_chunks = mode.quantum;
     cfg.shm_swcache = mode.swcache != 0;
     cfg.swcache_policy = mode.swcache == 2 ? 1 : 0;
+    cfg.engine_lanes = mode.lanes;
     sim::SccMachine machine(cfg);
     (plan_setup ? w.setup_plan : w.setup)(machine);
     stats.makespan = machine.run();
@@ -158,6 +186,9 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode,
     stats.swcache_line_events += machine.swcacheLineEvents();
     stats.mpb_scope_violations += machine.mpbScopeViolations();
     if (rep == 0) {
+      stats.engine_lanes = mode.lanes;
+      stats.lanes_used = machine.engine().lanesUsed();
+      stats.lane_events = machine.engine().laneEventCounts();
       for (int ue = 0; ue < w.ues; ++ue) {
         stats.completions.push_back(
             machine.engine().completionTime(static_cast<std::size_t>(ue)));
@@ -232,10 +263,45 @@ sim::SimTask syncedMix(sim::CoreContext& ctx, std::uint64_t base,
   }
 }
 
+/// Word-granular hammer against one shared 4 KB block. Expressed as uncached
+/// block reads: the run loop issues the exact per-word transaction recurrence
+/// the old read-per-word loop did (identical Ticks), but presents each pass
+/// as ONE in-flight word-run — which is what lets round-robin contention
+/// batching (SccMachine's joint solve) collapse interleaved turns into a few
+/// events per task instead of one per word.
 sim::SimTask wordHammer(sim::CoreContext& ctx, std::uint64_t base, int words) {
-  std::uint64_t value = 0;
-  for (int i = 0; i < words; ++i) {
-    co_await ctx.shmRead(base + static_cast<std::uint64_t>(i % 512) * 8, &value, 8);
+  std::vector<std::uint8_t> buf(512 * 8);
+  int left = words;
+  while (left > 0) {
+    const int pass = left < 512 ? left : 512;
+    co_await ctx.shmRead(base, buf.data(), static_cast<std::size_t>(pass) * 8);
+    left -= pass;
+  }
+}
+
+/// The conservative-PDES showcase: controller-sharing UE pairs ({ue, ue+4}
+/// land in the same mesh quadrant) that compute, read-modify-write their own
+/// disjoint block on their own quadrant controller, and synchronize only
+/// inside the pair (sync group ue%4). With an empty declared MPB scope the
+/// reach set of each pair is exactly its one controller plus its one group
+/// barrier, so the engine proves four disjoint components and shards the
+/// event heap across up to four lanes. The spin loop makes the workload
+/// event-dominated — the regime where per-lane heaps actually pay.
+sim::SimTask quadrantPairs(sim::CoreContext& ctx, std::uint64_t base, int rounds,
+                           int spins, std::size_t block_bytes) {
+  std::vector<std::uint8_t> buf(block_bytes);
+  const auto ue = static_cast<std::uint64_t>(ctx.ue());
+  const std::uint64_t mine = base + ue * block_bytes;
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < spins; ++s) {
+      co_await ctx.compute(40 + (ue % 3) + static_cast<std::uint64_t>(s % 5));
+    }
+    co_await ctx.shmRead(mine, buf.data(), block_bytes);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::uint8_t>(buf[i] + ue + static_cast<std::uint64_t>(r) + i);
+    }
+    co_await ctx.shmWrite(mine, buf.data(), block_bytes);
+    co_await ctx.barrier();  // the pair's group barrier (LaunchSpec sync groups)
   }
 }
 
@@ -547,6 +613,42 @@ void printRun(std::string* out, const char* key, const RunStats& s) {
                 s.swcacheHitRate(), s.coalescingRate(),
                 static_cast<unsigned long long>(s.makespan));
   *out += buf;
+  // Lane telemetry: configured lanes and what actually ran. Per-lane event
+  // counts and the min/max lane share only exist when the engine really
+  // sharded (a sequential fallback reports lanes_used = 1 and no lanes list).
+  std::snprintf(buf, sizeof(buf), ", \"engine_lanes\": %u, \"lanes_used\": %u",
+                s.engine_lanes, s.lanes_used);
+  out->insert(out->size() - 1, buf);
+  if (!s.lane_events.empty()) {
+    std::string lanes = ", \"lane_events\": [";
+    for (std::size_t i = 0; i < s.lane_events.size(); ++i) {
+      if (i > 0) lanes += ", ";
+      lanes += std::to_string(s.lane_events[i]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "], \"lane_utilization\": {\"min_share\": %.4f, "
+                  "\"max_share\": %.4f}",
+                  s.laneShareMin(), s.laneShareMax());
+    lanes += buf;
+    out->insert(out->size() - 1, lanes);
+  }
+}
+
+/// One scenario's lanes=1 vs lanes=N twin check: the conservative-PDES
+/// correctness contract. The parallel run (or its sequential fallback) must
+/// reproduce the makespan, every per-task completion Tick, and the extracted
+/// output region byte for byte.
+struct ParallelCheck {
+  bool identical = true;
+  double speedup = 0.0;  ///< sequential wall / parallel wall (host-dependent)
+};
+
+ParallelCheck checkParallel(const RunStats& seq, const RunStats& par) {
+  ParallelCheck c;
+  c.identical = par.makespan == seq.makespan && par.completions == seq.completions &&
+                par.result_bytes == seq.result_bytes;
+  c.speedup = par.wall_seconds > 0 ? seq.wall_seconds / par.wall_seconds : 0.0;
+  return c;
 }
 
 double relError(Tick approx, Tick exact) {
@@ -567,10 +669,11 @@ int main(int argc, char** argv) {
   // Must track the scenario blocks below.
   static const char* const kScenarioNames[] = {
       "shm_words_single_ue",  "shm_words_staggered_8ue", "shm_words_synced_8ue",
-      "shm_words_contended_8ue", "rcce_ring_1k_8ue",     "mixed_shm_mpb_8ue",
-      "event_kernel_8ue",     "barrier_32ue",            "mpb_pingpong_2ue",
-      "bulk_copy_8ue",        "stencil_readmostly_8ue",  "lu_shared_cached",
-      "mixed_policy_8ue",     "fault_sweep_8ue",         "kv_zipf_8ue",
+      "shm_words_contended_8ue", "quadrant_pairs_8ue",   "rcce_ring_1k_8ue",
+      "mixed_shm_mpb_8ue",    "event_kernel_8ue",        "barrier_32ue",
+      "mpb_pingpong_2ue",     "bulk_copy_8ue",           "stencil_readmostly_8ue",
+      "lu_shared_cached",     "mixed_policy_8ue",        "fault_sweep_8ue",
+      "kv_zipf_8ue",
   };
   std::string only;
   for (int i = 1; i < argc; ++i) {
@@ -614,14 +717,16 @@ int main(int argc, char** argv) {
          m.launch(sim::LaunchSpec(1, [=](sim::CoreContext& ctx) {
            return blockReader(ctx, base, 64, kBlock);
          }));
-       }},
+       },
+       /*extract_offset=*/0, /*extract_bytes=*/kBlock},
       {"shm_words_staggered_8ue", 8, 20,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(8 * kBlock);
          m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
            return staggeredMix(ctx, base, 16, kBlock);
          }));
-       }},
+       },
+       /*extract_offset=*/0, /*extract_bytes=*/8 * kBlock},
       {"shm_words_synced_8ue", 8, 30,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(8 * kBlock + 8);
@@ -629,14 +734,29 @@ int main(int argc, char** argv) {
          m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
            return syncedMix(ctx, base, counter, 8, kBlock);
          }));
-       }},
+       },
+       /*extract_offset=*/0, /*extract_bytes=*/8 * kBlock + 16},
       {"shm_words_contended_8ue", 8, 50,
        [&](sim::SccMachine& m) {
          const std::uint64_t base = m.shmalloc(1 << 16);
          m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
            return wordHammer(ctx, base, 512);
          }));
-       }},
+       },
+       /*extract_offset=*/0, /*extract_bytes=*/kBlock},
+      {"quadrant_pairs_8ue", 8, 12,
+       [&](sim::SccMachine& m) {
+         // Controller-sharing UE pairs with pair-local sync groups and an
+         // empty MPB scope: four provably disjoint components, the scenario
+         // the conservative-PDES lanes are built for (docs/engine_parallel.md).
+         const std::uint64_t base = m.shmalloc(8 * 256);
+         m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+                    return quadrantPairs(ctx, base, 6, 300, 256);
+                  })
+                      .withScope([](int, int) { return std::vector<int>{}; })
+                      .withSyncGroups([](int ue, int) { return ue % 4; }));
+       },
+       /*extract_offset=*/0, /*extract_bytes=*/8 * 256},
       {"rcce_ring_1k_8ue", 8, 30,
        [&](sim::SccMachine& m) {
          rcce::RcceEnv env(m);
@@ -681,6 +801,7 @@ int main(int argc, char** argv) {
   };
 
   bool first = true;
+  bool parallel_ok = true;
   std::map<std::string, RunStats> exact_stats;  // reused by the quantum sweep
   for (const Workload& w : ab) {
     if (!want(w.name)) continue;
@@ -691,6 +812,13 @@ int main(int argc, char** argv) {
     // Sync-blind: scoped horizons but the blunt any-blocked-task-goes-global
     // fallback — isolates what the wake-chain rule buys on synced phases.
     const RunStats blind = runWorkload(w, Mode{true, true, 1, false});
+    // Lanes=4 twin of the tracked configuration: the conservative-PDES
+    // bit-identity contract (runs the engine sharded when the components
+    // prove disjoint, the sequential fallback otherwise — identical either
+    // way).
+    const RunStats par = runWorkload(w, Mode{true, true, 1, true, 0, 4});
+    const ParallelCheck pc = checkParallel(on, par);
+    parallel_ok = parallel_ok && pc.identical;
     bool identical = on.makespan == off.makespan &&
                      on.completions == off.completions &&
                      global.makespan == off.makespan &&
@@ -728,12 +856,16 @@ int main(int argc, char** argv) {
     printRun(&json, "sync_blind", blind);
     json += ",\n";
     printRun(&json, "legacy", off);
-    char buf[320];
+    json += ",\n";
+    printRun(&json, "parallel", par);
+    char buf[400];
     std::snprintf(buf, sizeof(buf),
                   ",\n      \"ticks_identical\": %s, \"event_reduction\": %.4f, "
-                  "\"event_reduction_global_horizon\": %.4f, \"wall_speedup\": %.2f}",
+                  "\"event_reduction_global_horizon\": %.4f, \"wall_speedup\": %.2f, "
+                  "\"parallel_identical\": %s, \"parallel_speedup\": %.2f}",
                   identical ? "true" : "false", event_reduction,
-                  event_reduction_global, wall_speedup);
+                  event_reduction_global, wall_speedup,
+                  pc.identical ? "true" : "false", pc.speedup);
     json += buf;
   }
 
@@ -762,11 +894,20 @@ int main(int argc, char** argv) {
   for (const Workload& w : substrate) {
     if (!want(w.name)) continue;
     const RunStats s = runWorkload(w, Mode{true, true, 1});
+    const RunStats par = runWorkload(w, Mode{true, true, 1, true, 0, 4});
+    const ParallelCheck pc = checkParallel(s, par);
+    parallel_ok = parallel_ok && pc.identical;
     if (!first) json += ",\n";
     first = false;
     json += "    {\"name\": \"" + w.name + "\",\n";
     printRun(&json, "coalesced", s);
-    json += "}";
+    json += ",\n";
+    printRun(&json, "parallel", par);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"parallel_identical\": %s, \"parallel_speedup\": %.2f}",
+                  pc.identical ? "true" : "false", pc.speedup);
+    json += buf;
   }
 
   // Swcache scenarios: shared-memory routing A/B (software-managed
@@ -817,6 +958,9 @@ int main(int argc, char** argv) {
       const RunStats cached = runWorkload(w, Mode{true, true, 1, true, 1});
       const RunStats uncached = runWorkload(w, Mode{true, true, 1, true, 0});
       const RunStats wthrough = runWorkload(w, Mode{true, true, 1, true, 2});
+      const ParallelCheck pc =
+          checkParallel(cached, runWorkload(w, Mode{true, true, 1, true, 1, 4}));
+      parallel_ok = parallel_ok && pc.identical;
       const bool functional = cached.result_bytes == uncached.result_bytes &&
                               wthrough.result_bytes == uncached.result_bytes;
       const double hit_rate = cached.swcacheHitRate();
@@ -837,8 +981,10 @@ int main(int argc, char** argv) {
       std::snprintf(buf, sizeof(buf),
                     ",\n      \"functional_identical\": %s, "
                     "\"swcache_hit_rate\": %.4f, "
-                    "\"words_speedup_vs_uncached\": %.2f}",
-                    functional ? "true" : "false", hit_rate, words_speedup);
+                    "\"words_speedup_vs_uncached\": %.2f, "
+                    "\"parallel_identical\": %s}",
+                    functional ? "true" : "false", hit_rate, words_speedup,
+                    pc.identical ? "true" : "false");
       json += buf;
     }
   }
@@ -1074,6 +1220,11 @@ int main(int argc, char** argv) {
     };
     const RunStats placed = runWorkload(kvWorkload(placed_plan), Mode{true, true, 1, true});
     const RunStats striped = runWorkload(kvWorkload(striped_plan), Mode{true, true, 1, true});
+    // Lanes=4 twin (controller placement forces the sequential fallback, so
+    // this checks the fallback leaves placement runs untouched).
+    const ParallelCheck kv_pc = checkParallel(
+        placed, runWorkload(kvWorkload(placed_plan), Mode{true, true, 1, true, 0, 4}));
+    parallel_ok = parallel_ok && kv_pc.identical;
 
     // Verification and the per-controller load spread ride the Benchmark
     // API (RunResult::controller_load_cv) — same kernel, same default
@@ -1113,12 +1264,13 @@ int main(int argc, char** argv) {
                   "\"controller_load_cv_placed\": %.4f, "
                   "\"controller_load_cv_striped\": %.4f,\n"
                   "      \"controller_traffic_placed\": %s, "
-                  "\"controller_traffic_striped\": %s, \"kv_checks_ok\": %s}",
+                  "\"controller_traffic_striped\": %s, \"kv_checks_ok\": %s, "
+                  "\"parallel_identical\": %s}",
                   placed_r.verified ? "true" : "false",
                   striped_r.verified ? "true" : "false", kv_cv_placed,
                   kv_cv_striped, trafficJson(placed_r.controller_traffic).c_str(),
                   trafficJson(striped_r.controller_traffic).c_str(),
-                  kv_ok ? "true" : "false");
+                  kv_ok ? "true" : "false", kv_pc.identical ? "true" : "false");
     json += buf;
   }
   json += "\n  ],\n";
@@ -1160,6 +1312,8 @@ int main(int argc, char** argv) {
 
   json += std::string("  \"ticks_identical_all\": ") +
           (all_identical ? "true" : "false") + ",\n";
+  json += std::string("  \"parallel_checks_ok\": ") +
+          (parallel_ok ? "true" : "false") + ",\n";
   json += std::string("  \"swcache_checks_ok\": ") + (swcache_ok ? "true" : "false") +
           ",\n";
   json += std::string("  \"policy_checks_ok\": ") + (policy_ok ? "true" : "false") +
@@ -1178,5 +1332,7 @@ int main(int argc, char** argv) {
                 fault_recovery_rate);
   json += rate_buf;
   std::fputs(json.c_str(), stdout);
-  return all_identical && swcache_ok && policy_ok && fault_ok && kv_ok ? 0 : 1;
+  return all_identical && parallel_ok && swcache_ok && policy_ok && fault_ok && kv_ok
+             ? 0
+             : 1;
 }

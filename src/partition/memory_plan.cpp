@@ -155,12 +155,23 @@ ExecutionPlan deriveExecutionPlan(const analysis::AnalysisResult& analysis,
       }
     } else if (thread_read && !thread_written) {
       r.placement = PlacementClass::kOffChipCached;  // read-mostly
+      // Read-mostly data is fetched by every UE with no owner: striping the
+      // addresses spreads the line-fill bandwidth across all four
+      // controllers instead of funneling each reader's whole window through
+      // its own quadrant (docs/execution_plan.md, "Controller placement").
+      r.controller = ControllerPlacement::kStriped;
     } else if (thread_written && thread_read) {
       r.placement = PlacementClass::kOnChipStaged;
       r.pattern = program_has_barrier ? MpbPattern::kRotatingBroadcast
                                       : MpbPattern::kSelfStage;
     } else {
       r.placement = PlacementClass::kOffChipUncached;
+      // Thread-written off-chip data is owner-partitioned in this
+      // translator's model (each writer updates its own slice), so the
+      // requester-local owner-compute mapping keeps every UE's traffic on
+      // its own quadrant controller. Explicit, though it matches the
+      // default, so the derivation is visible in the emitted plan JSON.
+      if (thread_written) r.controller = ControllerPlacement::kOwnerCompute;
     }
     d.cls = r.placement;
     out.regions.push_back(std::move(r));

@@ -1,9 +1,12 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 namespace hsm::sim {
+
+thread_local Engine::Lane* Engine::active_lane_ = nullptr;
 
 std::string HangReport::format() const {
   std::string out = "no-progress report at t=" + std::to_string(at) + " ps: " +
@@ -44,13 +47,26 @@ void ResumeAt::await_suspend(std::coroutine_handle<> h) const {
 }
 
 void Engine::schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id) {
-  if (when < now_) when = now_;
+  Lane* lane = activeLane();
+  const Tick floor = lane != nullptr ? lane->now : now_;
+  if (when < floor) when = floor;
   const bool tracked = !resource_classes_.empty();
   // Host events and tasks predating registerResources have no alive-counter
   // entry: file them universal (bounding every horizon) and tally them
   // separately so the blocked computation stays exact.
   const bool counted = tracked && task_id != kNoTask && task_id >= counted_tasks_from_;
   const std::uint32_t cls = counted ? classOfTask(task_id) : kUniversalClass;
+  if (lane != nullptr &&
+      (cls == kUniversalClass || cls >= class_lane_.size() ||
+       class_lane_[cls] != lane->index)) {
+    // The lane partition proved components disjoint; an event aimed across
+    // that proof (or at an unaffined task) means the disjointness argument
+    // was wrong. Fail loudly rather than corrupt another lane's state.
+    throw std::logic_error(
+        "Engine: cross-lane or unaffined schedule during a parallel run "
+        "(task " +
+        std::to_string(task_id) + ")");
+  }
   if (tracked) {
     if (cls == kUniversalClass) {
       unaffined_pending_.push_back(when);
@@ -61,14 +77,18 @@ void Engine::schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id)
   }
   if (task_id != kNoTask && task_id < task_pending_when_.size()) {
     task_pending_when_[task_id] = when;
-    // A schedule aimed at a blocked task IS its wake: clear the park.
+    // A schedule aimed at a blocked task IS its wake: clear the park. In a
+    // parallel run the park was filed in this lane's local list (the woken
+    // task shares the scheduler's component by the partition proof).
     if (task_blocked_sync_[task_id] != kNoSync) {
+      std::vector<std::size_t>& blocked =
+          lane != nullptr ? lane->blocked_tasks : blocked_tasks_;
       task_blocked_sync_[task_id] = kNoSync;
       const std::size_t i = task_blocked_index_[task_id];
-      const std::size_t last = blocked_tasks_.back();
-      blocked_tasks_[i] = last;
+      const std::size_t last = blocked.back();
+      blocked[i] = last;
       task_blocked_index_[last] = i;
-      blocked_tasks_.pop_back();
+      blocked.pop_back();
       if (task_id >= counted_tasks_from_) {
         const std::uint32_t bcls = classOfTask(task_id);
         if (bcls == kUniversalClass) {
@@ -79,8 +99,10 @@ void Engine::schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id)
       }
     }
   }
-  events_.push_back(Event{when, task_id, next_seq_++, cls, tracked, counted, h});
-  std::push_heap(events_.begin(), events_.end(), EventAfter{});
+  std::vector<Event>& heap = lane != nullptr ? lane->events : events_;
+  std::uint64_t& seq = lane != nullptr ? lane->next_seq : next_seq_;
+  heap.push_back(Event{when, task_id, seq++, cls, tracked, counted, h});
+  std::push_heap(heap.begin(), heap.end(), EventAfter{});
 }
 
 void Engine::registerResources(std::uint32_t count) {
@@ -137,6 +159,7 @@ Tick Engine::wakeBound(std::size_t task, std::vector<std::size_t>& visited) cons
   if (sync == kNoSync || sync >= syncs_.size()) return nextEventTime();
   const SyncObject& s = syncs_[sync];
   if (!s.wakers_known) return nextEventTime();
+  const std::size_t running = currentTaskId();
 
   if (s.rule == WakerRule::kAll) {
     // Every waker must run before the wake can be scheduled: the bound is
@@ -147,7 +170,7 @@ Tick Engine::wakeBound(std::size_t task, std::vector<std::size_t>& visited) cons
     for (const std::size_t w : s.wakers) {
       if (s.episodic && s.removedThisEpisode(w)) continue;  // already arrived
       if (w == task) continue;
-      if (w == current_task_) return kNever;  // cannot arrive mid-batch
+      if (w == running) return kNever;  // cannot arrive mid-batch
       if (w < task_done_.size() && task_done_[w]) return kNever;
       const Tick pending =
           w < task_pending_when_.size() ? task_pending_when_[w] : kNever;
@@ -179,7 +202,7 @@ Tick Engine::wakeBound(std::size_t task, std::vector<std::size_t>& visited) cons
     if (s.episodic && s.removedThisEpisode(w)) continue;  // inert this episode
     if (w == task) continue;  // a task cannot wake itself
     // The running task performs no sync releases mid-batch (see header).
-    if (w == current_task_) continue;
+    if (w == running) continue;
     if (w < task_done_.size() && task_done_[w]) continue;  // finished: inert
     const Tick pending = w < task_pending_when_.size() ? task_pending_when_[w] : kNever;
     if (pending != kNever) {
@@ -211,10 +234,10 @@ Tick Engine::nextEventTimeFor(std::uint32_t resource) const {
   // blocked. A blocked task reaching this resource collapses the horizon to
   // the global one UNLESS every such task is registered against a sync
   // object whose waker chain the kernel can bound (sync_aware_).
-  const bool adjust_cur = current_task_ != kNoTask &&
-                          current_task_ >= counted_tasks_from_ &&
-                          current_task_ < task_class_.size();
-  const std::uint32_t cur_cls = adjust_cur ? task_class_[current_task_] : 0;
+  const std::size_t running = currentTaskId();
+  const bool adjust_cur = running != kNoTask && running >= counted_tasks_from_ &&
+                          running < task_class_.size();
+  const std::uint32_t cur_cls = adjust_cur ? task_class_[running] : 0;
 
   Tick horizon = kNever;
   for (const std::uint32_t cls : resource_classes_[resource]) {
@@ -242,21 +265,63 @@ Tick Engine::nextEventTimeFor(std::uint32_t resource) const {
 
   if (sync_aware_) {
     // Every registered blocked task that can reach this resource bounds the
-    // horizon by the earliest execution of its wake chain.
-    for (const std::size_t b : blocked_tasks_) {
+    // horizon by the earliest execution of its wake chain. Parallel runs
+    // file parks lane-locally, and only this lane's component can reach
+    // `resource`, so the lane list is the complete blocked set for it. The
+    // recursion scratch is thread_local (reused allocation-free per lane).
+    const Lane* lane = activeLane();
+    const std::vector<std::size_t>& blocked =
+        lane != nullptr ? lane->blocked_tasks : blocked_tasks_;
+    static thread_local std::vector<std::size_t> wake_path;
+    for (const std::size_t b : blocked) {
       const std::uint32_t cls = classOfTask(b);
       if (cls != kUniversalClass && !classReaches(cls, resource)) continue;
-      wake_path_.clear();
-      wake_path_.push_back(b);
-      horizon = std::min(horizon, wakeBound(b, wake_path_));
+      wake_path.clear();
+      wake_path.push_back(b);
+      horizon = std::min(horizon, wakeBound(b, wake_path));
     }
   }
   return horizon;
 }
 
 std::uint32_t Engine::registerSyncObject() {
+  if (parallel_running_) {
+    // The lane plan enumerated every sync object up front; a new one now
+    // would be invisible to the partition proof (and resizing syncs_ would
+    // race with the lanes reading it).
+    throw std::logic_error("Engine: registerSyncObject during a parallel run");
+  }
   syncs_.push_back({});
   return static_cast<std::uint32_t>(syncs_.size() - 1);
+}
+
+void Engine::bindSyncParticipants(std::uint32_t sync,
+                                  std::vector<std::size_t> tasks) {
+  if (sync >= syncs_.size()) return;
+  syncs_[sync].participants = std::move(tasks);
+  syncs_[sync].participants_bound = true;
+}
+
+std::size_t Engine::aliveTasksReaching(std::uint32_t resource) const {
+  constexpr std::size_t kInexact = static_cast<std::size_t>(-1);
+  if (resource_classes_.empty() || resource >= resource_classes_.size()) {
+    return kInexact;
+  }
+  // Universal-reach activity (unaffined tasks, host events, live tasks
+  // predating registerResources) could touch the resource without appearing
+  // in any class bucket — the count would under-report.
+  if (unaffined_alive_ != 0 || !unaffined_pending_.empty() ||
+      uncounted_unaffined_pending_ != 0) {
+    return kInexact;
+  }
+  for (std::size_t id = 0; id < counted_tasks_from_ && id < tasks_.size(); ++id) {
+    if (id >= task_done_.size() || !task_done_[id]) return kInexact;
+  }
+  std::int64_t n = 0;
+  for (const std::uint32_t cls : resource_classes_[resource]) {
+    n += classes_[cls].alive;
+  }
+  return n < 0 ? kInexact : static_cast<std::size_t>(n);
 }
 
 void Engine::setSyncWakers(std::uint32_t sync, std::vector<std::size_t> wakers,
@@ -339,10 +404,20 @@ void Engine::clearSyncWakers(std::uint32_t sync) {
 
 void Engine::blockOnSync(std::size_t task, std::uint32_t sync) {
   if (task == kNoTask || task >= task_blocked_sync_.size()) return;
+  Lane* lane = activeLane();
+  if (lane != nullptr &&
+      (sync >= syncs_.size() || !syncs_[sync].participants_bound)) {
+    // Parks on a sync object the lane plan never saw bound cannot be
+    // proven lane-local; the plan should have fallen back to sequential.
+    throw std::logic_error(
+        "Engine: blockOnSync on an unbound sync object during a parallel run");
+  }
+  std::vector<std::size_t>& blocked =
+      lane != nullptr ? lane->blocked_tasks : blocked_tasks_;
   if (task_blocked_sync_[task] == kNoSync) {
-    task_blocked_index_[task] = blocked_tasks_.size();
-    task_blocked_at_[task] = now_;
-    blocked_tasks_.push_back(task);
+    task_blocked_index_[task] = blocked.size();
+    task_blocked_at_[task] = lane != nullptr ? lane->now : now_;
+    blocked.push_back(task);
     if (task >= counted_tasks_from_) {
       const std::uint32_t cls = classOfTask(task);
       if (cls == kUniversalClass) {
@@ -357,6 +432,9 @@ void Engine::blockOnSync(std::size_t task, std::uint32_t sync) {
 
 std::size_t Engine::spawnReaching(SimTask task, Tick start,
                                   std::vector<std::uint32_t> reach) {
+  if (parallel_running_) {
+    throw std::logic_error("Engine: spawn during a parallel run");
+  }
   const std::size_t id = tasks_.size();
   const std::uint32_t cls = resource_classes_.empty()
                                 ? kUniversalClass
@@ -435,7 +513,192 @@ void Engine::checkSyncTimeouts() const {
   }
 }
 
+std::uint32_t Engine::planParallelRun() {
+  if (resource_classes_.empty() || classes_.empty()) return 0;
+  // Residual universal-reach activity (unaffined tasks, host events, tasks
+  // predating registerResources) couples every class.
+  if (unaffined_alive_ != 0 || !unaffined_pending_.empty() ||
+      universal_blocked_registered_ != 0 || uncounted_unaffined_pending_ != 0) {
+    return 0;
+  }
+  // The per-event no-progress machinery observes the global event order.
+  if (sync_timeout_ != 0 || watchdog_limit_ != 0) return 0;
+  // Tasks already parked entered that state outside any lane; their wakes
+  // would arrive with no lane context.
+  if (!blocked_tasks_.empty()) return 0;
+  for (std::size_t id = 0; id < counted_tasks_from_ && id < tasks_.size(); ++id) {
+    if (id >= task_done_.size() || !task_done_[id]) return 0;
+  }
+  for (const Event& ev : events_) {
+    if (!ev.counted || ev.cls == kUniversalClass || ev.cls >= classes_.size()) {
+      return 0;
+    }
+  }
+  // Every sync object must carry a lifetime participant binding: an unbound
+  // one (a lock any task may take) could couple arbitrary classes at run
+  // time, which the static partition cannot see.
+  for (const SyncObject& s : syncs_) {
+    if (!s.participants_bound) return 0;
+  }
+
+  // Union-find over reach classes: classes sharing a resource, or appearing
+  // together in a sync object's participant set, must advance on one lane.
+  std::vector<std::uint32_t> parent(classes_.size());
+  std::iota(parent.begin(), parent.end(), 0U);
+  auto find = [&parent](std::uint32_t c) {
+    while (parent[c] != c) {
+      parent[c] = parent[parent[c]];
+      c = parent[c];
+    }
+    return c;
+  };
+  auto unite = [&parent, &find](std::uint32_t a, std::uint32_t b) {
+    parent[find(a)] = find(b);
+  };
+  for (const std::vector<std::uint32_t>& sharers : resource_classes_) {
+    for (std::size_t i = 1; i < sharers.size(); ++i) {
+      unite(sharers[0], sharers[i]);
+    }
+  }
+  for (const SyncObject& s : syncs_) {
+    std::uint32_t first = kUniversalClass;
+    for (const std::size_t t : s.participants) {
+      if (t < task_done_.size() && task_done_[t] != 0) continue;  // inert forever
+      const std::uint32_t cls = classOfTask(t);
+      if (cls == kUniversalClass) return 0;  // unpartitionable participant
+      if (first == kUniversalClass) {
+        first = cls;
+      } else {
+        unite(first, cls);
+      }
+    }
+  }
+
+  // Components in class-id discovery order (deterministic); only ones with
+  // live work count. Fewer than two means sharding buys nothing.
+  std::vector<std::uint32_t> root_component(classes_.size(), kUniversalClass);
+  std::uint32_t components = 0;
+  for (std::uint32_t c = 0; c < classes_.size(); ++c) {
+    if (classes_[c].alive <= 0 && classes_[c].pending.empty()) continue;
+    const std::uint32_t root = find(c);
+    if (root_component[root] == kUniversalClass) root_component[root] = components++;
+  }
+  if (components < 2) return 0;
+  const std::uint32_t lane_count = std::min(engine_lanes_, components);
+  class_lane_.assign(classes_.size(), 0);
+  for (std::uint32_t c = 0; c < classes_.size(); ++c) {
+    const std::uint32_t comp = root_component[find(c)];
+    class_lane_[c] = comp == kUniversalClass ? 0 : comp % lane_count;
+  }
+  return lane_count;
+}
+
+void Engine::laneLoop(Lane& lane) {
+  active_lane_ = &lane;
+  try {
+    std::vector<Event>& heap = lane.events;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), EventAfter{});
+      const Event ev = heap.back();
+      heap.pop_back();
+      // Eligibility proved every event tracked and counted, so the
+      // sequential loop's uncounted-tally branch cannot arise here.
+      dropPending(ev.cls, ev.when);
+      task_pending_when_[ev.task] = kNever;
+      lane.now = ev.when;
+      lane.current_task = ev.task;
+      ++lane.events_processed;
+      ev.handle.resume();
+    }
+    lane.current_task = kNoTask;
+  } catch (...) {
+    // Structured errors (the cross-lane logic_error guards) unwind out of
+    // resume() on this lane's thread; park them for the host to re-raise.
+    lane.error = std::current_exception();
+    lane.current_task = kNoTask;
+  }
+  active_lane_ = nullptr;
+}
+
+Tick Engine::runParallel(std::uint32_t lane_count) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  struct WallGuard {
+    Engine& e;
+    std::chrono::steady_clock::time_point start;
+    ~WallGuard() {
+      e.wall_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+    }
+  } wall_guard{*this, wall_start};
+
+  std::vector<Lane> lanes(lane_count);
+  for (std::uint32_t i = 0; i < lane_count; ++i) {
+    lanes[i].engine = this;
+    lanes[i].index = i;
+    lanes[i].next_seq = next_seq_;  // fresh seqs order after every partitioned one
+    lanes[i].now = now_;
+  }
+  for (const Event& ev : events_) {
+    lanes[class_lane_[ev.cls]].events.push_back(ev);
+  }
+  events_.clear();
+  for (Lane& lane : lanes) {
+    std::make_heap(lane.events.begin(), lane.events.end(), EventAfter{});
+  }
+
+  parallel_running_ = true;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(lane_count - 1);
+    for (std::uint32_t i = 1; i < lane_count; ++i) {
+      workers.emplace_back([this, &lanes, i] { laneLoop(lanes[i]); });
+    }
+    laneLoop(lanes[0]);
+    for (std::thread& worker : workers) worker.join();
+  }
+  parallel_running_ = false;
+
+  lanes_used_ = lane_count;
+  lane_event_counts_.assign(lane_count, 0);
+  Tick end = now_;
+  for (std::uint32_t i = 0; i < lane_count; ++i) {
+    Lane& lane = lanes[i];
+    lane_event_counts_[i] = lane.events_processed;
+    events_processed_ += lane.events_processed;
+    next_seq_ = std::max(next_seq_, lane.next_seq);
+    if (lane.events_processed > 0) end = std::max(end, lane.now);
+    // Tasks still parked when the lane drained (hang detection below, or a
+    // host-driven wake across run() calls) rejoin the global blocked list.
+    for (const std::size_t task : lane.blocked_tasks) {
+      task_blocked_index_[task] = blocked_tasks_.size();
+      blocked_tasks_.push_back(task);
+    }
+    // A lane stopped by an error leaves events behind; keep them so state
+    // stays inspectable after the rethrow.
+    for (const Event& ev : lane.events) events_.push_back(ev);
+  }
+  if (!events_.empty()) {
+    std::make_heap(events_.begin(), events_.end(), EventAfter{});
+  }
+  now_ = end;
+  current_task_ = kNoTask;
+  for (const Lane& lane : lanes) {
+    if (lane.error) std::rethrow_exception(lane.error);
+  }
+  if (hang_detection_ && unfinishedTasks() > 0) {
+    throw DeadlockError(hangReport());
+  }
+  return now_;
+}
+
 Tick Engine::run() {
+  if (engine_lanes_ > 1) {
+    const std::uint32_t lane_count = planParallelRun();
+    if (lane_count > 1) return runParallel(lane_count);
+  }
+  lanes_used_ = 1;
+  lane_event_counts_.clear();
   const auto wall_start = std::chrono::steady_clock::now();
   // Accumulate host wall time on every exit path, including the structured
   // hang/timeout/watchdog throws below.

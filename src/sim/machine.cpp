@@ -12,7 +12,12 @@ namespace hsm::sim {
 
 void SyncBarrier::setParticipantTasks(std::vector<std::size_t> tasks) {
   participant_tasks_ = std::move(tasks);
-  if (participant_tasks_.empty()) return;  // unknown: engine stays conservative
+  // Lifetime binding for the engine's lane partition: these are ALL the
+  // tasks that will ever arrive here. An empty set is a real promise too —
+  // "nobody synchronizes through this barrier" (the machine-wide barrier of
+  // a sync-groups launch) — distinct from the conservative unbound state.
+  engine_.bindSyncParticipants(sync_, participant_tasks_);
+  if (participant_tasks_.empty()) return;  // wakers unknown: stays conservative
   // A waiter can only be released by a participant that has not arrived yet
   // (the last arrival schedules every wake). Declared episodically: each
   // arrival is an O(1) removeSyncWaker stamp, each release an O(1)
@@ -442,7 +447,7 @@ std::coroutine_handle<> CoreContext::SyncAwaiter::await_suspend(
     std::coroutine_handle<> h) {
   if (reconcile_) return reconcile_.await_suspend(h);
   if (op_ == Op::kBarrier) {
-    ctx_.machine_.barrier().arrive().await_suspend(h);
+    ctx_.machine_.barrierFor(ctx_.ue_).arrive().await_suspend(h);
   } else {
     ctx_.machine_.lock(lock_id_).acquire().await_suspend(h);
   }
@@ -470,7 +475,7 @@ SubTask CoreContext::barrierReconcile() {
   // A barrier is both a release (writes before it must become visible) and
   // an acquire (reads after it must not see stale lines).
   co_await swcacheRelease();
-  co_await machine_.barrier().arrive();
+  co_await machine_.barrierFor(ue_).arrive();
   machine_.swcacheAcquire(core_);
 }
 
@@ -543,6 +548,14 @@ SccMachine::SccMachine(SccConfig config)
   // calls), so hang detection is unconditional; the timeout and watchdog
   // knobs come from the config (off by default).
   fault_ = FaultInjector(config_.fault);
+  // Round-robin contention batching rides on the coalescing machinery and
+  // replays the default quantum's per-word interleaving exactly; a custom
+  // quantum is already a different (approximate) contention model, so the
+  // batch solver stays out of its way.
+  shm_word_runs_.resize(config_.num_mem_controllers);
+  shm_run_seq_.assign(config_.num_mem_controllers, 1);
+  shm_batching_ = config_.shm_contention_batching && config_.shm_coalescing &&
+                  config_.shm_fairness_quantum_words <= 1;
   engine_.setHangDetection(true);
   engine_.setSyncTimeout(config_.sync_timeout_ticks);
   engine_.setWatchdogEventLimit(config_.watchdog_events_per_tick);
@@ -654,6 +667,27 @@ void SccMachine::launch(const LaunchSpec& spec) {
   }
   ue_port_reach_.assign(static_cast<std::size_t>(num_ues), {});
   mpb_scope_declared_ = static_cast<bool>(scope);
+  // Densify the sync-group ids (first-appearance order) before spawning so
+  // group membership is known when the per-group barriers are built below.
+  group_barriers_.clear();
+  ue_group_.assign(static_cast<std::size_t>(num_ues), 0);
+  std::size_t num_groups = 0;
+  if (spec.sync_groups) {
+    std::vector<int> raw_ids;
+    for (int ue = 0; ue < num_ues; ++ue) {
+      const int raw = spec.sync_groups(ue, num_ues);
+      std::size_t dense = raw_ids.size();
+      for (std::size_t g = 0; g < raw_ids.size(); ++g) {
+        if (raw_ids[g] == raw) {
+          dense = g;
+          break;
+        }
+      }
+      if (dense == raw_ids.size()) raw_ids.push_back(raw);
+      ue_group_[static_cast<std::size_t>(ue)] = dense;
+    }
+    num_groups = raw_ids.size();
+  }
   std::vector<std::size_t> task_ids;
   task_ids.reserve(static_cast<std::size_t>(num_ues));
   for (int ue = 0; ue < num_ues; ++ue) {
@@ -678,6 +712,26 @@ void SccMachine::launch(const LaunchSpec& spec) {
         std::make_unique<CoreContext>(*this, ue, num_ues, static_cast<int>(core)));
     task_ids.push_back(
         engine_.spawnReaching(spec.program(*contexts_.back()), 0, std::move(reach)));
+  }
+  if (spec.sync_groups && num_groups > 0) {
+    // One barrier per group, sized to the group; CoreContext::barrier()
+    // routes through barrierFor. The machine-wide barrier is bound to an
+    // EMPTY participant set — a real promise that no task arrives at it —
+    // so it cannot merge the groups' reach classes into one lane component.
+    const Tick arrive = core_clock_.cycles(config_.barrier_flag_core_cycles);
+    std::vector<std::vector<std::size_t>> group_tasks(num_groups);
+    for (int ue = 0; ue < num_ues; ++ue) {
+      group_tasks[ue_group_[static_cast<std::size_t>(ue)]].push_back(
+          task_ids[static_cast<std::size_t>(ue)]);
+    }
+    group_barriers_.reserve(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      group_barriers_.push_back(std::make_unique<SyncBarrier>(
+          engine_, group_tasks[g].size(), arrive, arrive));
+      group_barriers_[g]->setParticipantTasks(std::move(group_tasks[g]));
+    }
+    barrier_->setParticipantTasks({});
+    return;
   }
   // The barrier's potential wakers are exactly the launched tasks: enables
   // the engine's sync-aware wake-chain horizon for barrier waiters.
@@ -726,6 +780,14 @@ std::uint32_t SccMachine::controllerForShmAccess(int core, std::uint64_t offset)
 }
 
 Tick SccMachine::run() {
+  // Parallel lanes partition by task reach sets, but placement-routed
+  // accesses reach controllers OUTSIDE the accessor's declared quadrant
+  // reach, and fault runs funnel draws through the shared FaultStats sink —
+  // both force the classic sequential loop (the engine additionally falls
+  // back on its own ineligibility conditions; see planParallelRun).
+  engine_.setEngineLanes(ctrl_placement_active_ || fault_.anyArmed()
+                             ? 1
+                             : config_.engine_lanes);
   engine_.run();
   // End-of-run drain: dirty lines a program never released (it should — see
   // docs/memory_model.md) are written back functionally and untimed so that
@@ -946,17 +1008,211 @@ Tick SccMachine::coalescedCompletion(std::uint32_t resource, ResourceTimeline& t
   return t;
 }
 
+bool SccMachine::consumeSolvedRun(std::uint32_t mc_id, std::size_t* words_done,
+                                  Tick* completion) {
+  auto& runs = shm_word_runs_[mc_id];
+  if (runs.empty()) return false;
+  const std::size_t task = engine_.currentTaskId();
+  if (task == Engine::kNoTask) return false;
+  const auto it = runs.find(task);
+  if (it == runs.end() || !it->second.solved) return false;
+  // The words themselves were acquired (and tallied) by the joint replay;
+  // this resume only reports them to the caller's run loop, which re-calls
+  // for any words beyond the replayed prefix. One event either way.
+  *words_done = it->second.done;
+  *completion = it->second.final_t;
+  shm_word_events_.fetch_add(1, std::memory_order_relaxed);
+  runs.erase(it);
+  return true;
+}
+
+bool SccMachine::solveContendedRuns(std::uint32_t mc_id, Tick hop_one_way,
+                                    Tick start, std::size_t max_words,
+                                    std::size_t* words_done, Tick* completion) {
+  if (max_words == 0) return false;
+  auto& runs = shm_word_runs_[mc_id];
+  if (runs.empty()) return false;
+  const std::size_t self = engine_.currentTaskId();
+  if (self == Engine::kNoTask) return false;
+  // Closure proof: every registered run must be an unsolved in-flight peer
+  // (a solved-but-unconsumed entry means that task's next move is already
+  // decided and acquired — nothing new may interleave until it resumes),
+  // and the peers plus this task must be ALL the alive tasks whose reach
+  // includes the controller. Then every pending event that can touch this
+  // timeline belongs to a member, and the joint replay below IS the engine's
+  // own schedule.
+  std::size_t peers = 0;
+  for (const auto& [tid, r] : runs) {
+    if (r.solved || r.remaining == 0) return false;
+    if (tid != self) ++peers;
+  }
+  if (peers == 0) return false;
+  if (engine_.aliveTasksReaching(mc_id) != peers + 1) return false;
+
+  struct Member {
+    std::size_t task;
+    Tick t;        ///< completion of its last word (next-event instant)
+    Tick hop;
+    std::size_t remaining;
+    std::uint64_t seq;  ///< schedule order of its pending event
+    bool is_self;
+    std::size_t done = 0;  ///< words serviced by this replay
+  };
+  std::vector<Member> members;
+  members.reserve(peers + 1);
+  for (const auto& [tid, r] : runs) {
+    if (tid != self) {
+      members.push_back({tid, r.t, r.hop, r.remaining, r.seq, false});
+    }
+  }
+  // Self is executing right now: its first acquire happens inside the live
+  // event, ahead of every pending event sharing its tick — stamp 0 (the
+  // recorded stamps start at 1) encodes that priority.
+  members.push_back({self, start, hop_one_way, max_words, 0, true});
+
+  // Replay the joint FCFS recurrence in ENGINE order on a SCRATCH timeline:
+  // the next word always belongs to the member whose pending event is
+  // earliest under the heap's own (time, schedule seq) key, and each word's
+  // acquire happens the instant its event would have fired. Arrival times,
+  // acquire order, and per-resource request indices (the kMcStall draw
+  // keys) are therefore identical to the per-event execution. The replay
+  // stops at the first completed run — beyond that instant the finished
+  // member may add traffic the joint schedule cannot see.
+  ResourceTimeline scratch = mc_[mc_id];
+  const bool stall_armed = fault_.armed(FaultClass::kMcStall);
+  std::uint64_t next_stamp = shm_run_seq_[mc_id];
+  Tick stall_total = 0;
+  std::uint64_t stalls_injected = 0;
+  std::uint64_t total_words = 0;
+  const Member* finisher = nullptr;
+  while (finisher == nullptr) {
+    std::size_t pick = members.size();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].remaining == 0) continue;
+      if (pick == members.size() || members[i].t < members[pick].t ||
+          (members[i].t == members[pick].t && members[i].seq < members[pick].seq)) {
+        pick = i;
+      }
+    }
+    Member& m = members[pick];
+    const Tick arrival = m.t + uncached_overhead_ticks_ + m.hop;
+    Tick svc = word_service_ticks_;
+    if (stall_armed) {
+      const Tick stall =
+          fault_.stallTicks(mc_id, scratch.requests(), arrival, word_service_ticks_);
+      if (stall > 0) {
+        svc += stall;
+        stall_total += stall;
+        ++stalls_injected;
+      }
+    }
+    const Tick serviced = scratch.acquire(arrival, svc);
+    m.t = serviced + m.hop;
+    // Completing a word schedules the member's next event NOW, in replay
+    // order — exactly the stamp the engine's next_seq counter would hand it.
+    m.seq = next_stamp++;
+    ++m.done;
+    ++total_words;
+    if (--m.remaining == 0) finisher = &m;
+  }
+
+  // Boundary guard: every member the replay advanced resumes through a
+  // RE-scheduled event whose heap seq reflects this execution, not the
+  // per-event one. Distinct resume ticks make that seq irrelevant; a tie
+  // could invert the acquire order, so decline (nothing committed yet —
+  // the per-event fallback is exact). Untouched members keep their
+  // original pending events and need no guard.
+  std::vector<Tick> boundary;
+  boundary.reserve(members.size());
+  for (const Member& m : members) {
+    if (m.done > 0) boundary.push_back(m.t);
+  }
+  std::sort(boundary.begin(), boundary.end());
+  if (std::adjacent_find(boundary.begin(), boundary.end()) != boundary.end()) {
+    return false;
+  }
+
+  // Commit: timeline, fault bookkeeping, stats, per-member stash.
+  mc_[mc_id] = scratch;
+  shm_run_seq_[mc_id] = next_stamp;
+  for (std::uint64_t i = 0; i < stalls_injected; ++i) {
+    fault_.noteInjected(FaultClass::kMcStall);
+  }
+  // Machine-global, non-atomic: only written when a stall actually fired,
+  // which implies an armed plan — and armed plans pin the run to one lane.
+  if (stall_total > 0) fault_.stats().stall_ticks += stall_total;
+  shm_words_.fetch_add(total_words, std::memory_order_relaxed);
+  mc_traffic_[mc_id] += total_words;
+  shm_word_events_.fetch_add(1, std::memory_order_relaxed);  // self's event
+  for (const Member& m : members) {
+    if (m.is_self) {
+      if (m.remaining == 0) {
+        runs.erase(self);  // a continuation call's own stale entry, if any
+      } else {
+        WordRun& r = runs[self];
+        r.t = m.t;
+        r.hop = m.hop;
+        r.remaining = m.remaining;
+        r.seq = m.seq;
+        r.solved = false;
+        r.done = 0;
+      }
+      *words_done = m.done;
+      *completion = m.t;
+      continue;
+    }
+    if (m.done == 0) continue;  // untouched: its pending event is still true
+    WordRun& r = runs[m.task];
+    r.solved = true;
+    r.done = m.done;
+    r.final_t = m.t;
+    r.remaining = m.remaining;
+    r.seq = m.seq;
+  }
+  return true;
+}
+
 Tick SccMachine::shmWordsOnController(std::uint32_t mc_id, Tick hop_one_way,
                                       Tick start, std::size_t max_words,
                                       std::size_t* words_done) {
+  // Round-robin contention batching (header comment at WordRun). Placement-
+  // routed runs can aim at controllers outside the accessor's reach class,
+  // which would break the closure proof — the batch layer stands down.
+  const bool batching = shm_batching_ && !ctrl_placement_active_;
+  if (batching) {
+    Tick batched = 0;
+    if (consumeSolvedRun(mc_id, words_done, &batched)) return batched;
+    if (solveContendedRuns(mc_id, hop_one_way, start, max_words, words_done,
+                           &batched)) {
+      return batched;
+    }
+  }
   const std::size_t quantum =
       config_.shm_fairness_quantum_words > 0 ? config_.shm_fairness_quantum_words : 1;
   const Tick t = coalescedCompletion(mc_id, mc_[mc_id], config_.shm_coalescing,
                                      quantum, uncached_overhead_ticks_, hop_one_way,
                                      word_service_ticks_, start, max_words, words_done);
-  shm_words_ += *words_done;
+  shm_words_.fetch_add(*words_done, std::memory_order_relaxed);
   mc_traffic_[mc_id] += *words_done;
-  ++shm_word_events_;
+  shm_word_events_.fetch_add(1, std::memory_order_relaxed);
+  if (batching) {
+    // Track the in-flight run so a peer entering later can prove the
+    // contention pattern closed and solve the joint recurrence.
+    const std::size_t task = engine_.currentTaskId();
+    if (task != Engine::kNoTask) {
+      auto& runs = shm_word_runs_[mc_id];
+      if (*words_done < max_words) {
+        WordRun& r = runs[task];
+        r.t = t;
+        r.hop = hop_one_way;
+        r.remaining = max_words - *words_done;
+        r.seq = shm_run_seq_[mc_id]++;  // continuation scheduled now, in order
+        r.solved = false;
+      } else {
+        runs.erase(task);
+      }
+    }
+  }
   return t;
 }
 
@@ -1001,9 +1257,9 @@ Tick SccMachine::swcacheLinesCompletion(int core, Tick start, std::size_t max_li
       mc_id, mc_[mc_id], config_.shm_coalescing, quantum,
       swcache_line_overhead_ticks_, core_mc_hop_ticks_[static_cast<std::size_t>(core)],
       line_service_ticks_, start, max_lines, lines_done);
-  swcache_lines_sim_ += *lines_done;
+  swcache_lines_sim_.fetch_add(*lines_done, std::memory_order_relaxed);
   mc_traffic_[mc_id] += *lines_done;
-  ++swcache_line_events_;
+  swcache_line_events_.fetch_add(1, std::memory_order_relaxed);
   return t;
 }
 
@@ -1019,7 +1275,7 @@ Tick SccMachine::mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
     // The declared scope was a promise the engine's reach sets rely on
     // (an empty declared set promises no MPB traffic at all); still service
     // the access, but flag that port isolation is void.
-    ++mpb_scope_violations_;
+    mpb_scope_violations_.fetch_add(1, std::memory_order_relaxed);
   }
   const std::uint32_t hops =
       mesh_.hopsBetweenCores(static_cast<std::uint32_t>(core), owner_core);
@@ -1032,8 +1288,8 @@ Tick SccMachine::mpbChunksCompletion(int core, int ue, int owner_ue, Tick start,
                                      quantum, mpb_overhead_ticks_, hop_one_way,
                                      chunk_service_ticks_, start, max_chunks,
                                      chunks_done);
-  mpb_chunks_ += *chunks_done;
-  ++mpb_chunk_events_;
+  mpb_chunks_.fetch_add(*chunks_done, std::memory_order_relaxed);
+  mpb_chunk_events_.fetch_add(1, std::memory_order_relaxed);
   return t;
 }
 
@@ -1057,7 +1313,7 @@ Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
           : core_mc_hop_ticks_[static_cast<std::size_t>(core)];
   const std::size_t line = config_.cache_line_bytes;
   const std::size_t lines = (bytes + line - 1) / line;
-  shm_bulk_lines_ += lines;
+  shm_bulk_lines_.fetch_add(lines, std::memory_order_relaxed);
   mc_traffic_[mc_id] += lines;
   const Tick service =
       dram_clock_.cycles(config_.dram_line_service_cycles +

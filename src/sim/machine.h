@@ -18,6 +18,7 @@
 //     chunks at core-local latencies plus mesh hops to the owning tile.
 #pragma once
 
+#include <atomic>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -319,6 +320,20 @@ struct LaunchSpec {
   /// mpbScopeViolations() (they void the port-isolation guarantee).
   using MpbScope = std::function<std::vector<int>(int ue, int num_ues)>;
 
+  /// Partition of the UEs into independent synchronization groups:
+  /// groups(ue, num_ues) names the group `ue` belongs to (any stable int;
+  /// ids are densified in first-appearance order). Each group gets its OWN
+  /// SyncBarrier sized to the group, CoreContext::barrier() routes to it,
+  /// and the machine-wide barrier is created but bound to an empty
+  /// participant set (no task ever arrives at it). Declaring groups is the
+  /// lane-partition contract for barriers: the engine then merges reach
+  /// classes per group instead of across the whole launch, so groups whose
+  /// resources are disjoint can advance on parallel lanes
+  /// (docs/engine_parallel.md). Like MpbScope this is a promise — a program
+  /// that synchronizes across groups through the machine-wide barrier
+  /// anyway deadlocks exactly as it would with mismatched participants.
+  using SyncGroups = std::function<int(int ue, int num_ues)>;
+
   LaunchSpec(int ues, CoreProgram prog)
       : num_ues(ues), program(std::move(prog)), barrier_participants(ues) {}
 
@@ -336,12 +351,17 @@ struct LaunchSpec {
     barrier_participants = n;
     return *this;
   }
+  LaunchSpec& withSyncGroups(SyncGroups g) {
+    sync_groups = std::move(g);
+    return *this;
+  }
 
   int num_ues;
   CoreProgram program;
   const partition::ExecutionPlan* plan = nullptr;
   MpbScope scope;
   int barrier_participants;
+  SyncGroups sync_groups;
 };
 
 class SccMachine {
@@ -392,6 +412,16 @@ class SccMachine {
   Tick run();
 
   [[nodiscard]] SyncBarrier& barrier() { return *barrier_; }
+  /// Barrier `ue` synchronizes through: its group's barrier when the launch
+  /// declared LaunchSpec::SyncGroups, else the machine-wide one. This is
+  /// what CoreContext::barrier() awaits.
+  [[nodiscard]] SyncBarrier& barrierFor(int ue) {
+    if (!group_barriers_.empty()) {
+      const auto i = static_cast<std::size_t>(ue);
+      if (i < ue_group_.size()) return *group_barriers_[ue_group_[i]];
+    }
+    return *barrier_;
+  }
   [[nodiscard]] TasLock& lock(int id);
 
   // -- statistics --
@@ -404,18 +434,28 @@ class SccMachine {
   [[nodiscard]] const Cache& l1(int core) const { return l1_[static_cast<std::size_t>(core)]; }
   [[nodiscard]] const Cache& l2(int core) const { return l2_[static_cast<std::size_t>(core)]; }
   /// Uncached word transactions simulated through the word-granular path.
-  [[nodiscard]] std::uint64_t shmWordsSimulated() const { return shm_words_; }
+  [[nodiscard]] std::uint64_t shmWordsSimulated() const {
+    return shm_words_.load(std::memory_order_relaxed);
+  }
   /// Engine events those words cost (== shmWordsSimulated() with coalescing
   /// off; the gap is the number of events coalescing eliminated).
-  [[nodiscard]] std::uint64_t shmWordEvents() const { return shm_word_events_; }
+  [[nodiscard]] std::uint64_t shmWordEvents() const {
+    return shm_word_events_.load(std::memory_order_relaxed);
+  }
   /// MPB chunk transactions simulated through the chunk-granular path.
-  [[nodiscard]] std::uint64_t mpbChunksSimulated() const { return mpb_chunks_; }
+  [[nodiscard]] std::uint64_t mpbChunksSimulated() const {
+    return mpb_chunks_.load(std::memory_order_relaxed);
+  }
   /// Engine events those chunks cost (== mpbChunksSimulated() with
   /// mpb_coalescing off).
-  [[nodiscard]] std::uint64_t mpbChunkEvents() const { return mpb_chunk_events_; }
+  [[nodiscard]] std::uint64_t mpbChunkEvents() const {
+    return mpb_chunk_events_.load(std::memory_order_relaxed);
+  }
   /// MPB accesses that fell outside the task's declared MpbScope. Any
   /// non-zero count voids the port-isolation timing guarantee of that run.
-  [[nodiscard]] std::uint64_t mpbScopeViolations() const { return mpb_scope_violations_; }
+  [[nodiscard]] std::uint64_t mpbScopeViolations() const {
+    return mpb_scope_violations_.load(std::memory_order_relaxed);
+  }
 
   // -- per-controller shared-DRAM traffic --
   /// Shared-DRAM transactions each memory controller served: uncached
@@ -428,7 +468,9 @@ class SccMachine {
     return mc_traffic_;
   }
   /// Lines moved by sequential bulk transfers (shmReadBulk/shmWriteBulk).
-  [[nodiscard]] std::uint64_t shmBulkLinesSimulated() const { return shm_bulk_lines_; }
+  [[nodiscard]] std::uint64_t shmBulkLinesSimulated() const {
+    return shm_bulk_lines_.load(std::memory_order_relaxed);
+  }
 
   // -- per-region controller placement (ExecutionPlan policy) --
   /// Declare the address→controller mapping of shared-DRAM range
@@ -479,10 +521,14 @@ class SccMachine {
   /// Chip-wide aggregate of the per-core counters.
   [[nodiscard]] SwCacheStats swcacheTotals() const;
   /// Swcache line transfers (fills + dirty write-backs) simulated.
-  [[nodiscard]] std::uint64_t swcacheLinesSimulated() const { return swcache_lines_sim_; }
+  [[nodiscard]] std::uint64_t swcacheLinesSimulated() const {
+    return swcache_lines_sim_.load(std::memory_order_relaxed);
+  }
   /// Engine events those line transfers cost (the gap to
   /// swcacheLinesSimulated() is what fill/flush batching eliminated).
-  [[nodiscard]] std::uint64_t swcacheLineEvents() const { return swcache_line_events_; }
+  [[nodiscard]] std::uint64_t swcacheLineEvents() const {
+    return swcache_line_events_.load(std::memory_order_relaxed);
+  }
   /// Dirty / resident line counts of `core`'s swcache (0 when disabled) —
   /// the accounting-invariant hooks the fault-reconciliation tests use.
   [[nodiscard]] std::size_t swcacheDirtyLines(int core) const;
@@ -571,6 +617,55 @@ class SccMachine {
   /// (placement-routed). Identical recurrence either way.
   Tick shmWordsOnController(std::uint32_t mc_id, Tick hop_one_way, Tick start,
                             std::size_t max_words, std::size_t* words_done);
+
+  // -- round-robin contention batching (config.shm_contention_batching) --
+  // A contended controller serves k word-runs interleaved, one word per
+  // engine event each. When the machine can prove the contention pattern is
+  // CLOSED — every alive task whose reach includes the controller is mid
+  // word-run against it (Engine::aliveTasksReaching) — the joint FCFS
+  // recurrence over all k runs is replayed inline in engine order
+  // ((completion, schedule seq), the event heap's own order), so the
+  // controller timeline sees the exact per-event acquire sequence: same
+  // arrivals, same requests() indices (fault stall draws included), same
+  // completions. The replay commits only a PREFIX of the joint schedule —
+  // it stops the moment any member's run completes, because a finished
+  // member may immediately issue fresh traffic (a write run right after a
+  // read run) that must interleave with the words beyond that point. It
+  // also declines (leaving the per-event path to run, which is always
+  // exact) when two members' post-replay resume instants land on the same
+  // tick: those resumes are re-scheduled events, and their heap seq order
+  // could otherwise disagree with the order the per-event execution would
+  // have produced. Within those guards the batch is Tick-exact by
+  // construction; only the event count drops (a handful of events per
+  // member per window instead of one per word). The closure proof also
+  // leans on the machine's task model: every UE task spawns in launch(),
+  // before run(), so no task that could reach the controller appears after
+  // the count is taken. Data ops still execute in each task's program
+  // order but no longer interleave across tasks word by word, so
+  // functional results are preserved for data-race-free programs (the same
+  // contract the swcache states in docs/memory_model.md).
+  /// One task's in-flight word-run against a controller.
+  struct WordRun {
+    Tick t = 0;        ///< completion of its last serviced word
+    Tick hop = 0;      ///< its one-way mesh latency to this controller
+    std::size_t remaining = 0;  ///< words left in the run
+    std::uint64_t seq = 0;      ///< schedule order of its pending event
+    bool solved = false;        ///< a joint replay precomputed words for it
+    std::size_t done = 0;       ///< words the replay serviced (when solved)
+    Tick final_t = 0;  ///< completion of the last replayed word (when solved)
+  };
+  /// Consume the calling task's precomputed joint-solve result, if any:
+  /// stores the full remaining word count and returns the run's completion.
+  bool consumeSolvedRun(std::uint32_t mc_id, std::size_t* words_done,
+                        Tick* completion);
+  /// Attempt the joint solve for the calling task's fresh run (`max_words`
+  /// from `start`): fires only when every other alive task reaching the
+  /// controller has an unsolved in-flight run registered. On success the
+  /// whole run is serviced (*words_done = max_words), peers' completions are
+  /// stashed for their next resume, and the completion Tick is returned.
+  bool solveContendedRuns(std::uint32_t mc_id, Tick hop_one_way, Tick start,
+                          std::size_t max_words, std::size_t* words_done,
+                          Tick* completion);
   /// The shared engine of both coalesced paths: run up to `max_txns`
   /// back-to-back transactions of one serially-reusable `resource` —
   /// request issued `issue_overhead + hop_one_way` after the previous
@@ -609,14 +704,19 @@ class SccMachine {
   Tick swcache_line_overhead_ticks_ = 0;  ///< per line-transfer issue
   Tick line_service_ticks_ = 0;       ///< controller service per 32 B line
 
-  std::uint64_t shm_words_ = 0;
-  std::uint64_t shm_word_events_ = 0;
-  std::uint64_t mpb_chunks_ = 0;
-  std::uint64_t mpb_chunk_events_ = 0;
-  std::uint64_t mpb_scope_violations_ = 0;
-  std::uint64_t swcache_lines_sim_ = 0;
-  std::uint64_t swcache_line_events_ = 0;
-  std::uint64_t shm_bulk_lines_ = 0;
+  // Machine-wide transaction tallies. Atomic (relaxed) because parallel
+  // engine lanes bump them concurrently; they are pure counters — no Tick
+  // ever depends on them, so relaxed increments keep the totals exact
+  // without ordering anything. mc_traffic_ stays plain: each controller
+  // belongs to exactly one lane's component, so its slot has one writer.
+  std::atomic<std::uint64_t> shm_words_{0};
+  std::atomic<std::uint64_t> shm_word_events_{0};
+  std::atomic<std::uint64_t> mpb_chunks_{0};
+  std::atomic<std::uint64_t> mpb_chunk_events_{0};
+  std::atomic<std::uint64_t> mpb_scope_violations_{0};
+  std::atomic<std::uint64_t> swcache_lines_sim_{0};
+  std::atomic<std::uint64_t> swcache_line_events_{0};
+  std::atomic<std::uint64_t> shm_bulk_lines_{0};
   std::vector<std::uint64_t> mc_traffic_;  ///< shared-DRAM txns per controller
 
   std::vector<std::uint8_t> shared_dram_;
@@ -630,6 +730,10 @@ class SccMachine {
   std::uint64_t shm_brk_ = 0;
   std::vector<std::uint64_t> mpb_brk_;               // per core slice
   std::unique_ptr<SyncBarrier> barrier_;
+  /// Per-group barriers of a LaunchSpec::SyncGroups launch (empty
+  /// otherwise); ue_group_ maps each UE to its densified group index.
+  std::vector<std::unique_ptr<SyncBarrier>> group_barriers_;
+  std::vector<std::size_t> ue_group_;
   std::vector<std::unique_ptr<TasLock>> locks_;
   std::vector<std::unique_ptr<CoreContext>> contexts_;
   std::vector<std::uint32_t> ue_to_core_;  ///< set at launch; identity otherwise
@@ -660,6 +764,24 @@ class SccMachine {
   bool ctrl_placement_active_ = false;
   /// First-touch stripe claims: global stripe index → controller.
   std::unordered_map<std::uint64_t, std::uint32_t> first_touch_claims_;
+
+  /// Per controller: tasks mid word-run against it (round-robin contention
+  /// batching bookkeeping; a handful of entries at most). Touched only by
+  /// the lane owning the controller's component, so lane-safe without locks.
+  std::vector<std::unordered_map<std::size_t, WordRun>> shm_word_runs_;
+  /// Per controller: monotone stamp mirroring the engine's event-schedule
+  /// order. A WordRun recorded later has a later pending event, so ties at
+  /// equal completion Ticks resolve exactly as the event heap would. Starts
+  /// at 1 so the joint replay can hand the currently-executing task stamp 0:
+  /// its first acquire happens inside the live event, ahead of every pending
+  /// event that shares its tick. Stamps are only ever compared within one
+  /// controller's run set, so a per-controller counter preserves the exact
+  /// ordering while staying lane-exclusive under parallel lanes (one shared
+  /// counter would be a cross-lane data race AND schedule-dependent).
+  std::vector<std::uint64_t> shm_run_seq_;
+  /// Cached hot-path gate: config_.shm_contention_batching AND
+  /// shm_coalescing (the off mode stays the untouched per-word reference).
+  bool shm_batching_ = false;
 
   FaultInjector fault_;  ///< built from config_.fault at construction
   /// Scratch for swcacheFlushChecked's flushed-line addresses (reused to

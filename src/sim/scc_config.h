@@ -132,6 +132,22 @@ struct SccConfig {
   /// MPB counterpart of shm_fairness_quantum_words: chunks serviced per
   /// engine event inside a port contention window.
   std::uint32_t mpb_fairness_quantum_chunks = 1;
+  /// Worker lanes for the conservative-PDES engine (docs/engine_parallel.md).
+  /// 1 (default) runs the classic single-threaded event loop. N>1 partitions
+  /// tasks into disjoint components (reach classes merged across shared
+  /// resources and sync-object participant sets) and advances up to N
+  /// components on worker threads concurrently. Ticks, final memory, and
+  /// makespans are bit-identical to lanes=1; runs whose components cannot be
+  /// proven disjoint fall back to the sequential loop automatically.
+  std::uint32_t engine_lanes = 1;
+  /// Round-robin contention batching: when every alive task that can reach a
+  /// memory controller is running an identical word-run against it (the
+  /// provably-interleaved round-robin pattern of shm_words_contended_8ue),
+  /// fold all k interleaved per-word turns into one engine event per task by
+  /// replaying the joint FCFS recurrence inline. Tick-exact by construction
+  /// (the controller timeline sees the same arrival order); exposed so the
+  /// equivalence tests and benchmarks can A/B it.
+  bool shm_contention_batching = true;
 
   // -- fault injection & robustness (sim/fault/fault.h; docs/fault_model.md) --
   /// Seed-driven fault schedule plus retry/backoff knobs. Disabled by

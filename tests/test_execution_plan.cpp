@@ -179,6 +179,66 @@ TEST(ExecutionPlanDerivation, CacheabilityMatchesSharingClassification) {
   }
 }
 
+// Controller placement — the NUMA half of the contract — also follows the
+// stage-2 sharing tables: read-mostly (cached) regions stripe their
+// addresses across all four controllers, while owner-partitioned
+// thread-written off-chip data stays on the requester-local owner-compute
+// mapping.
+TEST(ExecutionPlanDerivation, ControllerPlacementFollowsSharingTables) {
+  using partition::ControllerPlacement;
+  for (const std::string& name : workloads::pthreadSourceNames()) {
+    translator::TranslationResult r = translateBenchmark(name);
+    ASSERT_TRUE(r.ok) << name << ": " << r.diagnostics;
+    for (const RegionPlan& region : r.execution_plan.regions) {
+      if (region.cached()) {
+        EXPECT_EQ(region.controller, ControllerPlacement::kStriped)
+            << name << "." << region.name;
+      } else {
+        EXPECT_EQ(region.controller, ControllerPlacement::kOwnerCompute)
+            << name << "." << region.name;
+      }
+    }
+  }
+  // Concretely: DotProduct's thread-read-only inputs stripe, and the plan
+  // JSON names the decision for the tooling that renders it.
+  const translator::TranslationResult dot = translateBenchmark("DotProduct");
+  ASSERT_TRUE(dot.ok);
+  ASSERT_NE(dot.execution_plan.find("a"), nullptr);
+  EXPECT_EQ(dot.execution_plan.find("a")->controller, ControllerPlacement::kStriped);
+  EXPECT_NE(dot.execution_plan.toJson(8).find("\"controller_placement\": \"striped\""),
+            std::string::npos);
+}
+
+// The KV store's plan shape (bench/micro_sim's kv_zipf_8ue A/B): all three
+// regions off-chip uncached with zero MPB traffic, the index and slot slab
+// carrying the A/B'd controller placement while the per-UE check cells stay
+// owner-compute. Guards the contract the placement benchmark leans on.
+TEST(ExecutionPlan, KvStorePlanControllerPlacements) {
+  using partition::ControllerPlacement;
+  auto kvPlan = [](ControllerPlacement cp) {
+    return ExecutionPlan{
+        {RegionPlan{"kv_index", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    8192 * 8, cp},
+         RegionPlan{"kv_slots", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    4096 * 4 * 8, cp},
+         RegionPlan{"kv_checks", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    8 * 8}}};
+  };
+  for (const ControllerPlacement cp :
+       {ControllerPlacement::kStriped, ControllerPlacement::kOwnerCompute}) {
+    const ExecutionPlan plan = kvPlan(cp);
+    EXPECT_FALSE(plan.anyMpbTraffic());
+    EXPECT_FALSE(plan.anyCachedRegion());
+    for (int ue = 0; ue < 8; ++ue) {
+      EXPECT_TRUE(plan.mpbScopeOwners(ue, 8).empty());
+    }
+    ASSERT_NE(plan.find("kv_slots"), nullptr);
+    EXPECT_EQ(plan.find("kv_slots")->controller, cp);
+    EXPECT_EQ(plan.find("kv_checks")->controller, ControllerPlacement::kOwnerCompute);
+    EXPECT_NE(plan.toJson(8).find(controllerPlacementName(cp)), std::string::npos);
+  }
+}
+
 // --- plan-driven execution: owner sets cover all observed MPB traffic -------
 
 constexpr double kScale = 0.05;
