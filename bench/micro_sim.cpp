@@ -25,9 +25,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,6 +57,10 @@ struct Mode {
   /// components the engine cannot prove disjoint fall back to the sequential
   /// loop (lanes_used reports what actually ran).
   std::uint32_t lanes = 1;
+  /// Simulated-time trace recorder (SccConfig::trace_enabled). Enabled only
+  /// by the obs_trace_8ue section: the tracked runs stay untraced so their
+  /// events/sec trajectory measures the engine, not the recorder.
+  bool trace = false;
 };
 
 struct RunStats {
@@ -169,10 +175,11 @@ RunStats runWorkloadOnce(const Workload& w, const Mode& mode,
     cfg.shm_swcache = mode.swcache != 0;
     cfg.swcache_policy = mode.swcache == 2 ? 1 : 0;
     cfg.engine_lanes = mode.lanes;
+    cfg.trace_enabled = mode.trace;
     sim::SccMachine machine(cfg);
     (plan_setup ? w.setup_plan : w.setup)(machine);
     stats.makespan = machine.run();
-    stats.wall_seconds += machine.engine().wallSeconds();
+    stats.wall_seconds += machine.engine().hostWallSeconds();
     stats.events += machine.engine().eventsProcessed();
     stats.shm_words += machine.shmWordsSimulated();
     stats.shm_word_events += machine.shmWordEvents();
@@ -673,15 +680,20 @@ int main(int argc, char** argv) {
       "mixed_shm_mpb_8ue",    "event_kernel_8ue",        "barrier_32ue",
       "mpb_pingpong_2ue",     "bulk_copy_8ue",           "stencil_readmostly_8ue",
       "lu_shared_cached",     "mixed_policy_8ue",        "fault_sweep_8ue",
-      "kv_zipf_8ue",
+      "kv_zipf_8ue",          "obs_trace_8ue",
   };
+  // --trace-out FILE writes the Chrome trace-event JSON of the traced
+  // obs_trace_8ue run to FILE (the CI artifact scripts/validate_trace.py
+  // checks); it forces that run even under a --scenario filter.
   std::string only;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--list-scenarios") {
       for (const char* name : kScenarioNames) std::puts(name);
       return 0;
     }
     if (std::string(argv[i]) == "--scenario" && i + 1 < argc) only = argv[i + 1];
+    if (std::string(argv[i]) == "--trace-out" && i + 1 < argc) trace_out = argv[i + 1];
   }
   const auto want = [&only](const std::string& name) {
     return only.empty() || only == name;
@@ -1310,6 +1322,98 @@ int main(int argc, char** argv) {
   }
   json += "\n  ],\n";
 
+  // Observability section: the determinism contract of the simulated-time
+  // tracer (docs/observability.md), checked on live scenario kernels rather
+  // than unit fixtures. A traced run must export byte-identical Chrome JSON
+  // across coalescing modes and across engine_lanes=1/4 (on the sharded
+  // quadrant-pairs kernel), and enabling the trace must not move a single
+  // Tick. barrier_32ue measured traced-vs-untraced quantifies the recorder's
+  // enabled-mode wall cost as trace_overhead (>= 1.0, tracked not gated).
+  bool obs_ok = true;
+  double trace_overhead = 0.0;
+  std::uint64_t trace_events = 0;
+  if (want("obs_trace_8ue") || !trace_out.empty()) {
+    struct TracedRun {
+      Tick makespan = 0;
+      std::uint32_t lanes_used = 1;
+      std::uint64_t recorded = 0;
+      std::string json;
+    };
+    const auto runSynced = [&](bool traced, bool coalescing) {
+      sim::SccConfig cfg;
+      cfg.shm_coalescing = coalescing;
+      cfg.mpb_coalescing = coalescing;
+      cfg.trace_enabled = traced;
+      sim::SccMachine m(cfg);
+      const std::uint64_t base = m.shmalloc(8 * kBlock + 8);
+      const std::uint64_t counter = m.shmalloc(8);
+      m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+        return syncedMix(ctx, base, counter, 8, kBlock);
+      }));
+      TracedRun r;
+      r.makespan = m.run();
+      r.recorded = m.traceRecorder().recordedEvents();
+      std::ostringstream os;
+      m.writeTrace(os);
+      r.json = os.str();
+      return r;
+    };
+    const auto runPairsTraced = [&](std::uint32_t lanes) {
+      sim::SccConfig cfg;
+      cfg.trace_enabled = true;
+      cfg.engine_lanes = lanes;
+      sim::SccMachine m(cfg);
+      const std::uint64_t base = m.shmalloc(8 * 256);
+      m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+                 return quadrantPairs(ctx, base, 6, 300, 256);
+               })
+                   .withScope([](int, int) { return std::vector<int>{}; })
+                   .withSyncGroups([](int ue, int) { return ue % 4; }));
+      TracedRun r;
+      r.makespan = m.run();
+      r.lanes_used = m.engine().lanesUsed();
+      r.recorded = m.traceRecorder().recordedEvents();
+      std::ostringstream os;
+      m.writeTrace(os);
+      r.json = os.str();
+      return r;
+    };
+
+    const TracedRun traced = runSynced(true, true);
+    trace_events = traced.recorded;
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      out << traced.json;
+    }
+    if (want("obs_trace_8ue")) {
+      const TracedRun traced_off = runSynced(true, false);
+      const TracedRun untraced = runSynced(false, true);
+      const TracedRun seq = runPairsTraced(1);
+      const TracedRun par = runPairsTraced(4);
+      obs_ok = traced.recorded > 0 && traced.json == traced_off.json &&
+               traced.makespan == untraced.makespan &&
+               par.lanes_used > 1 && seq.json == par.json &&
+               seq.makespan == par.makespan;
+
+      // barrier_32ue traced vs untraced, best-of-3 walls each side.
+      const Workload* barrier = nullptr;
+      for (const Workload& w : substrate) {
+        if (w.name == "barrier_32ue") barrier = &w;
+      }
+      if (barrier != nullptr) {
+        const RunStats plain = runWorkload(*barrier, Mode{true, true, 1});
+        Mode traced_mode{true, true, 1};
+        traced_mode.trace = true;
+        const RunStats with_trace = runWorkload(*barrier, traced_mode);
+        obs_ok = obs_ok && plain.makespan == with_trace.makespan &&
+                 plain.completions == with_trace.completions;
+        trace_overhead = plain.wall_seconds > 0
+                             ? with_trace.wall_seconds / plain.wall_seconds
+                             : 0.0;
+      }
+    }
+  }
+
   json += std::string("  \"ticks_identical_all\": ") +
           (all_identical ? "true" : "false") + ",\n";
   json += std::string("  \"parallel_checks_ok\": ") +
@@ -1321,6 +1425,14 @@ int main(int argc, char** argv) {
   json += std::string("  \"fault_checks_ok\": ") + (fault_ok ? "true" : "false") +
           ",\n";
   json += std::string("  \"kv_checks_ok\": ") + (kv_ok ? "true" : "false") + ",\n";
+  json += std::string("  \"obs_checks_ok\": ") + (obs_ok ? "true" : "false") + ",\n";
+  char obs_buf[128];
+  std::snprintf(obs_buf, sizeof(obs_buf),
+                "  \"trace_overhead_barrier_32ue\": %.2f,\n"
+                "  \"trace_events_recorded\": %llu,\n",
+                trace_overhead,
+                static_cast<unsigned long long>(trace_events));
+  json += obs_buf;
   char cv_buf[128];
   std::snprintf(cv_buf, sizeof(cv_buf),
                 "  \"controller_load_cv_striped\": %.4f,\n"
@@ -1332,7 +1444,8 @@ int main(int argc, char** argv) {
                 fault_recovery_rate);
   json += rate_buf;
   std::fputs(json.c_str(), stdout);
-  return all_identical && parallel_ok && swcache_ok && policy_ok && fault_ok && kv_ok
+  return all_identical && parallel_ok && swcache_ok && policy_ok && fault_ok &&
+                 kv_ok && obs_ok
              ? 0
              : 1;
 }

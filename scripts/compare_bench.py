@@ -16,6 +16,10 @@ Fails (exit 1) when:
     makespan, completions, and extracted memory bit for bit), or a sharded
     run's lane utilization collapses (a lane's event share falling below
     half of an even split means the partition degenerated),
+  * any observability check is violated (obs_checks_ok: a traced run must
+    export byte-identical Chrome JSON across coalescing modes and across
+    engine_lanes=1/4, and enabling the trace must not move a single Tick
+    of the barrier_32ue run),
   * any KV Zipf check is violated (kv_zipf_8ue: both placement plans must
     verify against the host replay and the striped plan must hot-spot one
     controller while owner-compute stays flat), or the deterministic
@@ -135,6 +139,25 @@ def main() -> int:
                 f"ok {scenario['name']}: {lanes_used} lanes, min lane share "
                 f"{min_share:.4f} (floor {floor_share:.4f})"
             )
+    # Absent in pre-observability result files; present files must pass.
+    if not pr.get("obs_checks_ok", True):
+        failures.append(
+            "obs_checks_ok is false: a traced run's export diverged across "
+            "coalescing modes or engine lanes, or enabling the trace moved "
+            "a Tick (see docs/observability.md for the contract)"
+        )
+    # Enabled-trace wall cost on barrier_32ue (traced wall / untraced wall):
+    # tracked, not hard-gated — wall ratios are noisy across machines, so
+    # only a blow-up beyond 4x (baseline ~2x) is treated as a recorder
+    # regression rather than jitter.
+    pr_overhead = pr.get("trace_overhead_barrier_32ue", 0.0)
+    if pr_overhead > 4.0:
+        failures.append(
+            f"trace_overhead_barrier_32ue blew up to {pr_overhead:.2f}x "
+            "(traced wall / untraced wall; expected around 2x)"
+        )
+    elif pr_overhead > 0.0:
+        print(f"ok trace_overhead_barrier_32ue {pr_overhead:.2f}x (soft cap 4x)")
     # Absent in pre-KV result files; present files must pass.
     if not pr.get("kv_checks_ok", True):
         failures.append(

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "sim/obs/trace.h"
+
 namespace hsm::sim {
 
 thread_local Engine::Lane* Engine::active_lane_ = nullptr;
@@ -81,6 +83,15 @@ void Engine::schedule(Tick when, std::coroutine_handle<> h, std::size_t task_id)
     // parallel run the park was filed in this lane's local list (the woken
     // task shares the scheduler's component by the partition proof).
     if (task_blocked_sync_[task_id] != kNoSync) {
+      if (trace_ != nullptr && trace_->enabled()) {
+        // The park-clearing schedule IS the wake. `when` is the woken
+        // task's resume Tick — an operation boundary, identical across
+        // coalescing modes and lane counts.
+        trace_->record(task_id,
+                       obs::TraceEvent{when, when, task_blocked_sync_[task_id], 0, 0,
+                                       obs::kNoTraceResource,
+                                       obs::TraceEventKind::kWake});
+      }
       std::vector<std::size_t>& blocked =
           lane != nullptr ? lane->blocked_tasks : blocked_tasks_;
       task_blocked_sync_[task_id] = kNoSync;
@@ -417,6 +428,11 @@ void Engine::blockOnSync(std::size_t task, std::uint32_t sync) {
   if (task_blocked_sync_[task] == kNoSync) {
     task_blocked_index_[task] = blocked.size();
     task_blocked_at_[task] = lane != nullptr ? lane->now : now_;
+    if (trace_ != nullptr && trace_->enabled()) {
+      const Tick at = task_blocked_at_[task];
+      trace_->record(task, obs::TraceEvent{at, at, sync, 0, 0, obs::kNoTraceResource,
+                                           obs::TraceEventKind::kBlock});
+    }
     blocked.push_back(task);
     if (task >= counted_tasks_from_) {
       const std::uint32_t cls = classOfTask(task);
@@ -504,10 +520,17 @@ HangReport Engine::hangReport() const {
   return report;
 }
 
-void Engine::checkSyncTimeouts() const {
+void Engine::traceHangReport(std::uint64_t kind, Tick at) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  trace_->recordHost(obs::TraceEvent{at, at, kind, 0, 0, obs::kNoTraceResource,
+                                     obs::TraceEventKind::kReport});
+}
+
+void Engine::checkSyncTimeouts() {
   for (const std::size_t task : blocked_tasks_) {
     if (task < task_blocked_at_.size() &&
         now_ - task_blocked_at_[task] > sync_timeout_) {
+      traceHangReport(1, now_);
       throw SyncTimeout(hangReport());
     }
   }
@@ -687,6 +710,7 @@ Tick Engine::runParallel(std::uint32_t lane_count) {
     if (lane.error) std::rethrow_exception(lane.error);
   }
   if (hang_detection_ && unfinishedTasks() > 0) {
+    traceHangReport(0, now_);
     throw DeadlockError(hangReport());
   }
   return now_;
@@ -730,6 +754,7 @@ Tick Engine::run() {
       same_tick_events_ = ev.when == now_ ? same_tick_events_ + 1 : 0;
       if (same_tick_events_ > watchdog_limit_) {
         current_task_ = kNoTask;
+        traceHangReport(2, now_);
         throw WatchdogError(hangReport());
       }
     }
@@ -747,6 +772,7 @@ Tick Engine::run() {
     // Satellite fix for the silent-hang bug: the heap drained while tasks
     // were still alive (parked on a lock/barrier, or wedged). Fail loudly
     // with the wait-for graph instead of returning as if the run finished.
+    traceHangReport(0, now_);
     throw DeadlockError(hangReport());
   }
   return now_;
@@ -756,6 +782,59 @@ Tick Engine::makespan() const {
   Tick max = 0;
   for (Tick t : completion_) max = std::max(max, t);
   return max;
+}
+
+std::vector<std::uint32_t> Engine::taskComponents() const {
+  std::vector<std::uint32_t> component(tasks_.size(), 0);
+  if (classes_.empty()) return component;
+  // Same merge rule as planParallelRun — classes sharing a resource or a
+  // sync object's participant set coalesce — but over the full structure:
+  // done-ness, eligibility gates, and engine_lanes_ are ignored, so the
+  // partition (and any trace exported with it) is identical no matter how
+  // the run was executed.
+  std::vector<std::uint32_t> parent(classes_.size());
+  std::iota(parent.begin(), parent.end(), 0U);
+  auto find = [&parent](std::uint32_t c) {
+    while (parent[c] != c) {
+      parent[c] = parent[parent[c]];
+      c = parent[c];
+    }
+    return c;
+  };
+  auto unite = [&parent, &find](std::uint32_t a, std::uint32_t b) {
+    parent[find(a)] = find(b);
+  };
+  for (const std::vector<std::uint32_t>& sharers : resource_classes_) {
+    for (std::size_t i = 1; i < sharers.size(); ++i) {
+      unite(sharers[0], sharers[i]);
+    }
+  }
+  for (const SyncObject& s : syncs_) {
+    std::uint32_t first = kUniversalClass;
+    for (const std::size_t t : s.participants) {
+      const std::uint32_t cls = classOfTask(t);
+      if (cls == kUniversalClass) continue;  // universal tasks share comp 0
+      if (first == kUniversalClass) {
+        first = cls;
+      } else {
+        unite(first, cls);
+      }
+    }
+  }
+  // Dense component ids in class-id discovery order (every class counts —
+  // unlike the lane plan, live-work filtering would make the numbering
+  // depend on when the partition is taken).
+  std::vector<std::uint32_t> root_component(classes_.size(), kUniversalClass);
+  std::uint32_t components = 0;
+  for (std::uint32_t c = 0; c < classes_.size(); ++c) {
+    const std::uint32_t root = find(c);
+    if (root_component[root] == kUniversalClass) root_component[root] = components++;
+  }
+  for (std::size_t id = 0; id < tasks_.size(); ++id) {
+    const std::uint32_t cls = classOfTask(id);
+    component[id] = cls == kUniversalClass ? 0 : root_component[find(cls)];
+  }
+  return component;
 }
 
 }  // namespace hsm::sim

@@ -88,6 +88,10 @@ namespace hsm::sim {
 
 class Engine;
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 /// Snapshot of every unfinished task at a detected hang — the wait-for
 /// graph the deadlock detector, sync timeout, and watchdog all report.
 struct HangReport {
@@ -468,15 +472,34 @@ class Engine {
   [[nodiscard]] Tick makespan() const;
 
   [[nodiscard]] std::uint64_t eventsProcessed() const { return events_processed_; }
+  /// Spawned root tasks so far (ids are 0..taskCount()-1).
+  [[nodiscard]] std::size_t taskCount() const { return tasks_.size(); }
 
   // -- wall-clock instrumentation (simulator throughput, not simulated time) --
-  /// Host seconds spent inside run() so far (accumulates across runs).
-  [[nodiscard]] double wallSeconds() const { return wall_seconds_; }
-  /// Events processed per host second across all run() calls so far.
-  [[nodiscard]] double eventsPerSecond() const {
-    return wall_seconds_ > 0.0 ? static_cast<double>(events_processed_) / wall_seconds_
-                               : 0.0;
-  }
+  /// Host seconds spent inside run() so far (accumulates across runs). The
+  /// `host` prefix marks the domain: this is the ONLY wall-clock-derived
+  /// number the engine exposes, and it must never leak into simulated-time
+  /// output. Consumers report it through the obs::MetricsRegistry host
+  /// domain (obs::collectMetrics), which also derives events-per-host-second
+  /// from it — the Engine no longer offers that ratio itself.
+  [[nodiscard]] double hostWallSeconds() const { return wall_seconds_; }
+
+  // -- deterministic trace recording (sim/obs/trace.h) --
+  /// Attach (or detach, nullptr) a trace recorder. The engine records
+  /// block/wake instants and hang reports into it; platform models above
+  /// record operation spans. Callers wire the pointer only when tracing is
+  /// enabled, so the hot-path cost of the hooks is one null check.
+  void setTraceRecorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+  [[nodiscard]] obs::TraceRecorder* traceRecorder() const { return trace_; }
+
+  /// Deterministic component partition for trace export: union-find over
+  /// reach classes (tasks sharing a registered resource) and sync-object
+  /// participant sets, exactly the planParallelRun() merge rule but ignoring
+  /// done-ness, eligibility gates, and the configured lane count — so the
+  /// result (task id -> dense component id, discovery order) is identical
+  /// whether the run executed on one lane or N. Tasks with universal reach
+  /// share component 0 with the first reach class.
+  [[nodiscard]] std::vector<std::uint32_t> taskComponents() const;
 
   /// Convenience awaitable: suspend for `dt` picoseconds.
   [[nodiscard]] ResumeAt delay(Tick dt) { return ResumeAt{*this, now() + dt}; }
@@ -592,7 +615,11 @@ class Engine {
                                std::vector<std::size_t>& visited) const;
   /// Throw SyncTimeout if any registered blocked task overstayed
   /// sync_timeout_. Called per event from run(); cheap when nothing blocks.
-  void checkSyncTimeouts() const;
+  /// Non-const: it records a kReport trace instant before throwing.
+  void checkSyncTimeouts();
+  /// Record a hang-report instant (deadlock / sync timeout / watchdog) into
+  /// the attached trace recorder, if any. Out-of-line, cold.
+  void traceHangReport(std::uint64_t kind, Tick at);
   /// Decide whether this run may shard (every condition in the header
   /// comment) and, if so, union-find the reach classes into components and
   /// fill class_lane_. Returns the lane count to use (0: run sequential).
@@ -659,6 +686,11 @@ class Engine {
   Tick sync_timeout_ = 0;              ///< 0 = off
   std::uint64_t watchdog_limit_ = 0;   ///< 0 = off
   std::uint64_t same_tick_events_ = 0;  ///< events fired at now_ so far
+
+  // -- deterministic trace recording --
+  /// Non-null only while tracing is enabled (the owner wires it through
+  /// setTraceRecorder), so every engine hook is one null check when off.
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 inline Tick Engine::now() const {

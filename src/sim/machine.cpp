@@ -5,6 +5,17 @@
 #include <stdexcept>
 
 namespace hsm::sim {
+namespace {
+
+/// Hook-site gate: null when tracing is off (the recorder is only wired into
+/// the engine when SccConfig::trace_enabled), so every disabled hook costs
+/// one predictable null check — the FaultInjector discipline.
+inline obs::TraceRecorder* tracer(Engine& engine) {
+  obs::TraceRecorder* tr = engine.traceRecorder();
+  return tr != nullptr && tr->enabled() ? tr : nullptr;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SyncBarrier / TasLock
@@ -29,7 +40,7 @@ void SyncBarrier::onArrive(std::coroutine_handle<> h) {
   const Tick arrival = engine_.now() + arrive_cost_;
   if (arrival > latest_arrival_) latest_arrival_ = arrival;
   const std::size_t task = engine_.currentTaskId();
-  waiting_.push_back({h, task});
+  waiting_.push_back({h, task, arrival});
   if (task != Engine::kNoTask) engine_.blockOnSync(task, sync_);
   // Hot path: an arrived participant can no longer be the releasing waker —
   // drop it in place instead of recomputing the whole set.
@@ -40,7 +51,17 @@ void SyncBarrier::onArrive(std::coroutine_handle<> h) {
     // All wakes land at one Tick; the engine's (time, task_id) key resumes
     // them in task-id order no matter what order arrivals happened in.
     // Each schedule also clears the waiter's blocked-on-sync state.
-    for (const Waiter& w : waiting_) engine_.schedule(release, w.handle, w.task);
+    // Every waiter is a barrier participant, hence in the recording task's
+    // own lane component — cross-task trace writes here are lane-safe.
+    obs::TraceRecorder* tr = tracer(engine_);
+    for (const Waiter& w : waiting_) {
+      if (tr != nullptr) {
+        tr->record(w.task, obs::TraceEvent{w.arrived, release, sync_, episodes_, 0,
+                                           obs::kNoTraceResource,
+                                           obs::TraceEventKind::kBarrierWait});
+      }
+      engine_.schedule(release, w.handle, w.task);
+    }
     waiting_.clear();
     arrived_ = 0;
     latest_arrival_ = 0;
@@ -60,16 +81,29 @@ void TasLock::onAcquire(std::coroutine_handle<> h) {
     } else {
       engine_.clearSyncWakers(sync_);
     }
+    if (obs::TraceRecorder* tr = tracer(engine_)) {
+      // Uncontended grant: the wait span is exactly the register round trip.
+      tr->record(holder_, obs::TraceEvent{engine_.now(), engine_.now() + roundtrip_,
+                                          sync_, 0, 0, obs::kNoTraceResource,
+                                          obs::TraceEventKind::kLockWait});
+    }
     engine_.schedule(engine_.now() + roundtrip_, h);
   } else {
     ++contention_;
     const std::size_t task = engine_.currentTaskId();
-    queue_.push_back({h, task});
+    queue_.push_back({h, task, engine_.now()});
     if (task != Engine::kNoTask) engine_.blockOnSync(task, sync_);
   }
 }
 
 void TasLock::release() {
+  obs::TraceRecorder* tr = tracer(engine_);
+  if (tr != nullptr) {
+    tr->record(engine_.currentTaskId(),
+               obs::TraceEvent{engine_.now(), engine_.now(), sync_, 0, 0,
+                               obs::kNoTraceResource,
+                               obs::TraceEventKind::kLockRelease});
+  }
   if (queue_.empty()) {
     held_ = false;
     holder_ = Engine::kNoTask;
@@ -81,6 +115,14 @@ void TasLock::release() {
   const Waiter next = queue_.front();
   queue_.pop_front();
   holder_ = next.task;
+  if (tr != nullptr && next.task != Engine::kNoTask) {
+    // Contended grant: request Tick .. ownership transfer. The next holder
+    // shares this lock's sync object with the releaser, so they are in the
+    // same lane component — the cross-task write is lane-safe.
+    tr->record(next.task, obs::TraceEvent{next.arrived, engine_.now() + roundtrip_,
+                                          sync_, 1, 0, obs::kNoTraceResource,
+                                          obs::TraceEventKind::kLockWait});
+  }
   engine_.schedule(engine_.now() + roundtrip_, next.handle, next.task);
   if (holder_ != Engine::kNoTask) {
     engine_.setSyncWakers(sync_, {holder_});
@@ -104,10 +146,21 @@ SubTask CoreContext::faultPreOp() {
     // The heap eventually drains and the engine's deadlock detector reports
     // this task as frozen instead of letting the run end silently.
     inj.noteInjected(FaultClass::kCoreFreeze);
+    if (obs::TraceRecorder* tr = tracer(machine_.engine())) {
+      tr->record(machine_.engine().currentTaskId(),
+                 obs::TraceEvent{now(), now(), 1, 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFreeze});
+    }
     co_await FreezeForever{};
   } else if (freeze > 0) {
     inj.noteInjected(FaultClass::kCoreFreeze);
     ++inj.stats().freezes;
+    if (obs::TraceRecorder* tr = tracer(machine_.engine())) {
+      tr->record(machine_.engine().currentTaskId(),
+                 obs::TraceEvent{now(), now() + freeze, 0, 0, 0,
+                                 obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFreeze});
+    }
     co_await machine_.engine().delay(freeze);
   }
 }
@@ -145,8 +198,11 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
     co_await swcacheRw(offset, out, nullptr, bytes, false);
     co_return;
   }
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
   const std::size_t txn = machine_.config().shm_transaction_bytes;
-  std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  const std::size_t total_words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  std::size_t words = total_words;
   std::uint64_t cur = offset;
   while (words > 0) {
     std::size_t serviced = 0;
@@ -157,6 +213,13 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
     cur += static_cast<std::uint64_t>(serviced) * txn;
   }
   if (out != nullptr) std::memcpy(out, machine_.shmData(offset), bytes);
+  machine_.noteShmWords(core_, offset, bytes, /*write=*/false);
+  if (tr != nullptr) {
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), offset, total_words, 0,
+                               machine_.shmControllerOf(core_, offset),
+                               obs::TraceEventKind::kShmRead});
+  }
 }
 
 SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
@@ -166,7 +229,17 @@ SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t
     co_await swcacheRw(offset, nullptr, src, bytes, true);
     co_return;
   }
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
   const std::size_t txn = machine_.config().shm_transaction_bytes;
+  const std::size_t total_words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  const auto record_span = [&](std::uint32_t attempts) {
+    if (tr == nullptr) return;
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), offset, total_words, attempts,
+                               machine_.shmControllerOf(core_, offset),
+                               obs::TraceEventKind::kShmWrite});
+  };
   // Transient shared-DRAM word-flip faults: retry with checksum-verify and
   // exponential backoff. The verify (an exact compare of the landed bytes
   // against the intended payload) is modeled untimed — redundancy the MIU's
@@ -177,7 +250,7 @@ SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t
   std::uint64_t faults_here = 0;
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (src != nullptr) std::memcpy(machine_.shmData(offset), src, bytes);
-    std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+    std::size_t words = total_words;
     std::uint64_t cur = offset;
     while (words > 0) {
       std::size_t serviced = 0;
@@ -187,7 +260,11 @@ SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t
       words -= serviced;
       cur += static_cast<std::uint64_t>(serviced) * txn;
     }
-    if (!check) co_return;
+    machine_.noteShmWords(core_, offset, bytes, /*write=*/true);
+    if (!check) {
+      record_span(attempt + 1);
+      co_return;
+    }
     const std::uint64_t draw = (xfer << 16) ^ attempt;
     if (inj.fires(FaultClass::kShmWrite, static_cast<std::uint64_t>(ue_), draw,
                   now())) {
@@ -195,19 +272,35 @@ SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t
                        static_cast<std::uint64_t>(ue_), draw);
       inj.noteInjected(FaultClass::kShmWrite);
       ++faults_here;
+      if (tr != nullptr) {
+        tr->record(machine_.engine().currentTaskId(),
+                   obs::TraceEvent{now(), now(),
+                                   static_cast<std::uint64_t>(FaultClass::kShmWrite),
+                                   0, 0, obs::kNoTraceResource,
+                                   obs::TraceEventKind::kFaultInject});
+      }
     }
     if (std::memcmp(machine_.shmData(offset), src, bytes) == 0) {
       constexpr auto kCls = static_cast<std::size_t>(FaultClass::kShmWrite);
       inj.stats().recovered[kCls] += faults_here;
+      record_span(attempt + 1);
       co_return;
     }
     if (attempt >= inj.maxRetries()) {
       // Retry budget exhausted: record it for the harness to gate on (no
       // exception — coroutine frames must not throw; see engine.h).
       ++inj.stats().unrecovered;
+      record_span(attempt + 1);
       co_return;
     }
     ++inj.stats().retries;
+    if (tr != nullptr) {
+      tr->record(machine_.engine().currentTaskId(),
+                 obs::TraceEvent{now(), now(),
+                                 static_cast<std::uint64_t>(FaultClass::kShmWrite),
+                                 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFaultRetry});
+    }
     co_await machine_.engine().delay(inj.backoff(attempt));
   }
 }
@@ -218,6 +311,8 @@ SubTask CoreContext::swcacheRw(std::uint64_t offset, void* out, const void* src,
   // atomic snapshot, the same granularity the uncached path's single memcpy
   // has — racy interleavings below sync granularity are outside the DRF
   // contract either way). The plan records what to charge.
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
   const SwCache::AccessPlan plan =
       machine_.swcacheAccess(core_, offset, bytes, write, out, src);
   // Timed phase: aggregated hit-touch time first, then the batched line
@@ -238,6 +333,14 @@ SubTask CoreContext::swcacheRw(std::uint64_t offset, void* out, const void* src,
     co_await machine_.engine().resumeAt(done);
     words -= serviced;
   }
+  machine_.noteShmSwcache(core_, offset, write, plan.hit_touches, plan.line_txns);
+  if (tr != nullptr) {
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), offset, plan.hit_touches, plan.line_txns,
+                               machine_.controllerOfCore(core_),
+                               write ? obs::TraceEventKind::kSwcacheWrite
+                                     : obs::TraceEventKind::kSwcacheRead});
+  }
 }
 
 SubTask CoreContext::swcacheLines(std::size_t lines) {
@@ -251,10 +354,20 @@ SubTask CoreContext::swcacheLines(std::size_t lines) {
 
 SubTask CoreContext::swcacheRelease() {
   FaultInjector& inj = machine_.faultInjector();
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
+  std::size_t lines = 0;
   if (inj.anyArmed() && inj.armed(FaultClass::kSwcacheFlush)) {
-    co_await swcacheLines(machine_.swcacheFlushChecked(core_, flush_seq_++));
+    lines = machine_.swcacheFlushChecked(core_, flush_seq_++);
   } else {
-    co_await swcacheLines(machine_.swcacheFlush(core_));
+    lines = machine_.swcacheFlush(core_);
+  }
+  co_await swcacheLines(lines);
+  if (tr != nullptr) {
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), lines, 0, 0,
+                               machine_.controllerOfCore(core_),
+                               obs::TraceEventKind::kSwcacheFlush});
   }
 }
 
@@ -278,6 +391,18 @@ SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src
   // write: additionally drop every overlapping line — the burst supersedes
   // any cached copy, and the prior write-back keeps untouched bytes of
   // partially-overlapped lines correct.
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
+  const std::size_t line = machine_.config().cache_line_bytes;
+  const std::uint64_t total_lines = bytes == 0 ? 0 : (bytes + line - 1) / line;
+  const auto record_span = [&]() {
+    if (tr == nullptr) return;
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), offset, total_lines, 0,
+                               machine_.shmControllerOf(core_, offset),
+                               write ? obs::TraceEventKind::kShmBulkWrite
+                                     : obs::TraceEventKind::kShmBulkRead});
+  };
   if (machine_.swcacheActive()) {
     co_await swcacheLines(machine_.swcacheSyncRange(core_, offset, bytes, write));
   }
@@ -288,6 +413,7 @@ SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src
     const Tick done =
         machine_.shmBulkCompletion(core_, now(), offset, bytes, write, out, src);
     co_await machine_.engine().resumeAt(done);
+    record_span();
     co_return;
   }
   // Bulk writes share the shm_write fault class and the same verify/retry/
@@ -305,17 +431,33 @@ SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src
                        static_cast<std::uint64_t>(ue_), draw);
       inj.noteInjected(FaultClass::kShmWrite);
       ++faults_here;
+      if (tr != nullptr) {
+        tr->record(machine_.engine().currentTaskId(),
+                   obs::TraceEvent{now(), now(),
+                                   static_cast<std::uint64_t>(FaultClass::kShmWrite),
+                                   0, 0, obs::kNoTraceResource,
+                                   obs::TraceEventKind::kFaultInject});
+      }
     }
     if (std::memcmp(machine_.shmData(offset), src, bytes) == 0) {
       constexpr auto kCls = static_cast<std::size_t>(FaultClass::kShmWrite);
       inj.stats().recovered[kCls] += faults_here;
+      record_span();
       co_return;
     }
     if (attempt >= inj.maxRetries()) {
       ++inj.stats().unrecovered;
+      record_span();
       co_return;
     }
     ++inj.stats().retries;
+    if (tr != nullptr) {
+      tr->record(machine_.engine().currentTaskId(),
+                 obs::TraceEvent{now(), now(),
+                                 static_cast<std::uint64_t>(FaultClass::kShmWrite),
+                                 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFaultRetry});
+    }
     co_await machine_.engine().delay(inj.backoff(attempt));
   }
 }
@@ -325,9 +467,18 @@ CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* ou
   if (machine_.swcacheActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, out, nullptr, bytes, false));
   }
-  return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
-                                            core_, now(), offset, bytes, false, out,
-                                            nullptr));
+  const Tick t0 = now();
+  const Tick done =
+      machine_.shmBulkCompletion(core_, t0, offset, bytes, false, out, nullptr);
+  if (obs::TraceRecorder* tr = tracer(machine_.engine())) {
+    const std::size_t line = machine_.config().cache_line_bytes;
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, done, offset,
+                               bytes == 0 ? 0 : (bytes + line - 1) / line, 0,
+                               machine_.shmControllerOf(core_, offset),
+                               obs::TraceEventKind::kShmBulkRead});
+  }
+  return BulkAwaiter(machine_.engine(), done);
 }
 
 CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
@@ -335,16 +486,36 @@ CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
   if (machine_.swcacheActive() || machine_.faultsActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, nullptr, src, bytes, true));
   }
-  return BulkAwaiter(machine_.engine(), machine_.shmBulkCompletion(
-                                            core_, now(), offset, bytes, true, nullptr,
-                                            src));
+  const Tick t0 = now();
+  const Tick done =
+      machine_.shmBulkCompletion(core_, t0, offset, bytes, true, nullptr, src);
+  if (obs::TraceRecorder* tr = tracer(machine_.engine())) {
+    const std::size_t line = machine_.config().cache_line_bytes;
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, done, offset,
+                               bytes == 0 ? 0 : (bytes + line - 1) / line, 0,
+                               machine_.shmControllerOf(core_, offset),
+                               obs::TraceEventKind::kShmBulkWrite});
+  }
+  return BulkAwaiter(machine_.engine(), done);
 }
 
 SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
                              std::size_t bytes) {
   FaultInjector& inj = machine_.faultInjector();
   if (inj.anyArmed()) co_await faultPreOp();
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
   const std::size_t chunk = machine_.config().cache_line_bytes;
+  const std::size_t total_chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+  const auto record_span = [&]() {
+    if (tr == nullptr) return;
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), offset, total_chunks,
+                               static_cast<std::uint64_t>(owner_ue),
+                               machine_.mpbPortIdOf(owner_ue),
+                               obs::TraceEventKind::kMpbGet});
+  };
   // Transient MPB transfer faults (rcce::get is a thin wrapper over this
   // path): the landed destination buffer is corrupted; an untimed exact
   // compare against the MPB source detects it and the transfer retries with
@@ -354,7 +525,7 @@ SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
   const std::uint64_t xfer = check ? mpb_xfer_seq_++ : 0;
   std::uint64_t faults_here = 0;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+    std::size_t chunks = total_chunks;
     while (chunks > 0) {
       std::size_t serviced = 0;
       const Tick done =
@@ -363,7 +534,10 @@ SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
       chunks -= serviced;
     }
     if (out != nullptr) std::memcpy(out, machine_.mpbData(owner_ue, offset), bytes);
-    if (!check) co_return;
+    if (!check) {
+      record_span();
+      co_return;
+    }
     const std::uint64_t draw = (xfer << 16) ^ attempt;
     if (inj.fires(FaultClass::kMpbTransfer, static_cast<std::uint64_t>(ue_), draw,
                   now())) {
@@ -371,17 +545,33 @@ SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
                        static_cast<std::uint64_t>(ue_), draw);
       inj.noteInjected(FaultClass::kMpbTransfer);
       ++faults_here;
+      if (tr != nullptr) {
+        tr->record(machine_.engine().currentTaskId(),
+                   obs::TraceEvent{now(), now(),
+                                   static_cast<std::uint64_t>(FaultClass::kMpbTransfer),
+                                   0, 0, obs::kNoTraceResource,
+                                   obs::TraceEventKind::kFaultInject});
+      }
     }
     if (std::memcmp(out, machine_.mpbData(owner_ue, offset), bytes) == 0) {
       constexpr auto kCls = static_cast<std::size_t>(FaultClass::kMpbTransfer);
       inj.stats().recovered[kCls] += faults_here;
+      record_span();
       co_return;
     }
     if (attempt >= inj.maxRetries()) {
       ++inj.stats().unrecovered;
+      record_span();
       co_return;
     }
     ++inj.stats().retries;
+    if (tr != nullptr) {
+      tr->record(machine_.engine().currentTaskId(),
+                 obs::TraceEvent{now(), now(),
+                                 static_cast<std::uint64_t>(FaultClass::kMpbTransfer),
+                                 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFaultRetry});
+    }
     co_await machine_.engine().delay(inj.backoff(attempt));
   }
 }
@@ -390,7 +580,18 @@ SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* sr
                               std::size_t bytes) {
   FaultInjector& inj = machine_.faultInjector();
   if (inj.anyArmed()) co_await faultPreOp();
+  obs::TraceRecorder* tr = tracer(machine_.engine());
+  const Tick t0 = tr != nullptr ? now() : 0;
   const std::size_t chunk = machine_.config().cache_line_bytes;
+  const std::size_t total_chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+  const auto record_span = [&]() {
+    if (tr == nullptr) return;
+    tr->record(machine_.engine().currentTaskId(),
+               obs::TraceEvent{t0, now(), offset, total_chunks,
+                               static_cast<std::uint64_t>(owner_ue),
+                               machine_.mpbPortIdOf(owner_ue),
+                               obs::TraceEventKind::kMpbPut});
+  };
   // Transient MPB transfer faults on the put side (rcce::put wraps this):
   // the landed MPB bytes are corrupted, detected by comparing against the
   // source payload, and the transfer retries — same discipline as mpbRead.
@@ -400,7 +601,7 @@ SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* sr
   std::uint64_t faults_here = 0;
   for (std::uint32_t attempt = 0;; ++attempt) {
     if (src != nullptr) std::memcpy(machine_.mpbData(owner_ue, offset), src, bytes);
-    std::size_t chunks = bytes == 0 ? 0 : (bytes + chunk - 1) / chunk;
+    std::size_t chunks = total_chunks;
     while (chunks > 0) {
       std::size_t serviced = 0;
       const Tick done =
@@ -408,7 +609,10 @@ SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* sr
       co_await machine_.engine().resumeAt(done);
       chunks -= serviced;
     }
-    if (!check) co_return;
+    if (!check) {
+      record_span();
+      co_return;
+    }
     const std::uint64_t draw = (xfer << 16) ^ attempt;
     if (inj.fires(FaultClass::kMpbTransfer, static_cast<std::uint64_t>(ue_), draw,
                   now())) {
@@ -417,17 +621,33 @@ SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* sr
                        draw);
       inj.noteInjected(FaultClass::kMpbTransfer);
       ++faults_here;
+      if (tr != nullptr) {
+        tr->record(machine_.engine().currentTaskId(),
+                   obs::TraceEvent{now(), now(),
+                                   static_cast<std::uint64_t>(FaultClass::kMpbTransfer),
+                                   0, 0, obs::kNoTraceResource,
+                                   obs::TraceEventKind::kFaultInject});
+      }
     }
     if (std::memcmp(machine_.mpbData(owner_ue, offset), src, bytes) == 0) {
       constexpr auto kCls = static_cast<std::size_t>(FaultClass::kMpbTransfer);
       inj.stats().recovered[kCls] += faults_here;
+      record_span();
       co_return;
     }
     if (attempt >= inj.maxRetries()) {
       ++inj.stats().unrecovered;
+      record_span();
       co_return;
     }
     ++inj.stats().retries;
+    if (tr != nullptr) {
+      tr->record(machine_.engine().currentTaskId(),
+                 obs::TraceEvent{now(), now(),
+                                 static_cast<std::uint64_t>(FaultClass::kMpbTransfer),
+                                 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFaultRetry});
+    }
     co_await machine_.engine().delay(inj.backoff(attempt));
   }
 }
@@ -559,6 +779,12 @@ SccMachine::SccMachine(SccConfig config)
   engine_.setHangDetection(true);
   engine_.setSyncTimeout(config_.sync_timeout_ticks);
   engine_.setWatchdogEventLimit(config_.watchdog_events_per_tick);
+  // Observability: the recorder always exists, but the engine only learns
+  // about it when tracing is on — disabled runs short-circuit every hook on
+  // the null pointer and never reach the recorder's own enabled() check.
+  trace_.configure(config_.trace_enabled, config_.trace_ring_capacity,
+                   config_.trace_batches);
+  if (config_.trace_enabled) engine_.setTraceRecorder(&trace_);
 }
 
 void SccMachine::ensureSwcache() {
@@ -780,12 +1006,18 @@ std::uint32_t SccMachine::controllerForShmAccess(int core, std::uint64_t offset)
 }
 
 Tick SccMachine::run() {
+  // Per-task trace buffers must exist before any lane can record into them
+  // (lanes never resize the outer vector; see TraceRecorder::prepare).
+  if (trace_.enabled()) trace_.prepare(engine_.taskCount());
   // Parallel lanes partition by task reach sets, but placement-routed
   // accesses reach controllers OUTSIDE the accessor's declared quadrant
-  // reach, and fault runs funnel draws through the shared FaultStats sink —
-  // both force the classic sequential loop (the engine additionally falls
-  // back on its own ineligibility conditions; see planParallelRun).
-  engine_.setEngineLanes(ctrl_placement_active_ || fault_.anyArmed()
+  // reach, fault runs funnel draws through the shared FaultStats sink, and
+  // region profiling aggregates plain cross-lane counters — all three force
+  // the classic sequential loop (the engine additionally falls back on its
+  // own ineligibility conditions; see planParallelRun). Tracing itself does
+  // NOT pin lanes: per-task buffers are lane-exclusive by construction.
+  engine_.setEngineLanes(ctrl_placement_active_ || fault_.anyArmed() ||
+                                 region_profiling_
                              ? 1
                              : config_.engine_lanes);
   engine_.run();
@@ -866,6 +1098,16 @@ std::size_t SccMachine::swcacheFlushChecked(int core, std::uint64_t seq) {
                            shared_dram_.size());
     lines += repaired;
     ++fault_.stats().retries;
+    if (obs::TraceRecorder* tr = tracer(engine_)) {
+      const Tick at = engine_.now();
+      const auto cls = static_cast<std::uint64_t>(FaultClass::kSwcacheFlush);
+      tr->record(engine_.currentTaskId(),
+                 obs::TraceEvent{at, at, cls, 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFaultInject});
+      tr->record(engine_.currentTaskId(),
+                 obs::TraceEvent{at, at, cls, 0, 0, obs::kNoTraceResource,
+                                 obs::TraceEventKind::kFaultRetry});
+    }
   }
   // Every corruption above was repaired before the release takes effect
   // (the repair runs inside the same reconciliation step).
@@ -998,6 +1240,11 @@ Tick SccMachine::coalescedCompletion(std::uint32_t resource, ResourceTimeline& t
         svc += stall;
         fault_.noteInjected(FaultClass::kMcStall);
         fault_.stats().stall_ticks += stall;
+        if (obs::TraceRecorder* tr = tracer(engine_)) {
+          tr->record(engine_.currentTaskId(),
+                     obs::TraceEvent{arrival, arrival, stall, 0, 0, resource,
+                                     obs::TraceEventKind::kMcStall});
+        }
       }
     }
     const Tick serviced = timeline.acquire(arrival, svc);
@@ -1005,6 +1252,13 @@ Tick SccMachine::coalescedCompletion(std::uint32_t resource, ResourceTimeline& t
     ++n;
   }
   *done = n;
+  // Batch-boundary spans are inherently coalescing-mode-dependent (that is
+  // what they visualize) — opt-in and excluded from the identity contract.
+  if (trace_.batchesEnabled() && n > 1) {
+    trace_.record(engine_.currentTaskId(),
+                  obs::TraceEvent{start, t, n, 0, 0, resource,
+                                  obs::TraceEventKind::kBatch});
+  }
   return t;
 }
 
@@ -1084,6 +1338,15 @@ bool SccMachine::solveContendedRuns(std::uint32_t mc_id, Tick hop_one_way,
   Tick stall_total = 0;
   std::uint64_t stalls_injected = 0;
   std::uint64_t total_words = 0;
+  // Trace records are deferred until the replay commits: a declined replay
+  // (boundary tie below) must leave no observable side effect.
+  obs::TraceRecorder* tr = tracer(engine_);
+  struct StallRec {
+    std::size_t task;
+    Tick at;
+    Tick stall;
+  };
+  std::vector<StallRec> stall_recs;
   const Member* finisher = nullptr;
   while (finisher == nullptr) {
     std::size_t pick = members.size();
@@ -1104,6 +1367,7 @@ bool SccMachine::solveContendedRuns(std::uint32_t mc_id, Tick hop_one_way,
         svc += stall;
         stall_total += stall;
         ++stalls_injected;
+        if (tr != nullptr) stall_recs.push_back({m.task, arrival, stall});
       }
     }
     const Tick serviced = scratch.acquire(arrival, svc);
@@ -1135,6 +1399,14 @@ bool SccMachine::solveContendedRuns(std::uint32_t mc_id, Tick hop_one_way,
   // Commit: timeline, fault bookkeeping, stats, per-member stash.
   mc_[mc_id] = scratch;
   shm_run_seq_[mc_id] = next_stamp;
+  if (tr != nullptr) {
+    // Members all reach this controller, hence share one lane component —
+    // recording under peer task ids is lane-safe.
+    for (const StallRec& s : stall_recs) {
+      tr->record(s.task, obs::TraceEvent{s.at, s.at, s.stall, 0, 0, mc_id,
+                                         obs::TraceEventKind::kMcStall});
+    }
+  }
   for (std::uint64_t i = 0; i < stalls_injected; ++i) {
     fault_.noteInjected(FaultClass::kMcStall);
   }
@@ -1168,6 +1440,10 @@ bool SccMachine::solveContendedRuns(std::uint32_t mc_id, Tick hop_one_way,
     r.final_t = m.t;
     r.remaining = m.remaining;
     r.seq = m.seq;
+  }
+  if (trace_.batchesEnabled() && *words_done > 1) {
+    trace_.record(self, obs::TraceEvent{start, *completion, *words_done, 0, 0,
+                                        mc_id, obs::TraceEventKind::kBatch});
   }
   return true;
 }
@@ -1315,6 +1591,7 @@ Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
   const std::size_t lines = (bytes + line - 1) / line;
   shm_bulk_lines_.fetch_add(lines, std::memory_order_relaxed);
   mc_traffic_[mc_id] += lines;
+  if (region_profiling_) noteShmBulkImpl(offset, lines, write, mc_id);
   const Tick service =
       dram_clock_.cycles(config_.dram_line_service_cycles +
                          (lines > 0 ? lines - 1 : 0) * config_.dram_burst_line_service_cycles);
@@ -1329,6 +1606,115 @@ Tick SccMachine::shmBulkCompletion(int core, Tick start, std::uint64_t offset,
     std::memcpy(data_out, &shared_dram_[offset], bytes);
   }
   return t;
+}
+
+// ---------------------------------------------------------------------------
+// Observability: trace export + per-region profiling
+// ---------------------------------------------------------------------------
+
+obs::TraceExportMeta SccMachine::traceExportMeta() const {
+  obs::TraceExportMeta meta;
+  meta.task_component = engine_.taskComponents();
+  meta.task_completion.reserve(meta.task_component.size());
+  for (std::size_t task = 0; task < meta.task_component.size(); ++task) {
+    meta.task_completion.push_back(engine_.completionTime(task));
+  }
+  meta.num_controllers = config_.num_mem_controllers;
+  meta.final_tick = engine_.makespan();
+  return meta;
+}
+
+void SccMachine::writeTrace(std::ostream& out) const {
+  trace_.writeChromeJson(out, traceExportMeta());
+}
+
+void SccMachine::writeTraceBinary(std::ostream& out) const {
+  trace_.writeBinary(out);
+}
+
+void SccMachine::registerShmRegion(std::string name, std::uint64_t begin,
+                                   std::uint64_t end) {
+  // No-op unless the profiling knob is on: workloads register their region
+  // names unconditionally (makeShmArray), and a disabled knob must leave the
+  // hot paths with nothing to scan and the lane gate untouched.
+  if (!config_.region_metrics || end <= begin) return;
+  obs::RegionProfile region;
+  region.name = std::move(name);
+  region.begin = begin;
+  region.end = end;
+  region.controller_txns.assign(config_.num_mem_controllers, 0);
+  shm_regions_.push_back(std::move(region));
+  region_profiling_ = true;
+}
+
+obs::RegionProfile* SccMachine::regionAt(std::uint64_t offset) {
+  for (auto it = shm_regions_.rbegin(); it != shm_regions_.rend(); ++it) {
+    if (offset >= it->begin && offset < it->end) return &*it;
+  }
+  return nullptr;
+}
+
+void SccMachine::noteShmWordsImpl(int core, std::uint64_t offset, std::size_t bytes,
+                                  bool write) {
+  obs::RegionProfile* region = regionAt(offset);
+  if (region == nullptr) return;
+  const std::size_t txn = config_.shm_transaction_bytes;
+  const std::size_t words = bytes == 0 ? 0 : (bytes + txn - 1) / txn;
+  if (write) {
+    ++region->writes;
+    region->write_words += words;
+  } else {
+    ++region->reads;
+    region->read_words += words;
+  }
+  if (!ctrl_placement_active_) {
+    region->controller_txns[core_mc_[static_cast<std::size_t>(core)]] += words;
+    return;
+  }
+  // Placement-routed regions switch controllers at stripe boundaries: walk
+  // the stripes the access covers. Called post-access, so first-touch claims
+  // are already made and the controller lookup is a pure function.
+  const std::uint64_t stripe_bytes = config_.shm_controller_stripe_bytes;
+  std::uint64_t cur = offset;
+  std::size_t left = words;
+  while (left > 0) {
+    const std::uint64_t stripe_end = (cur / stripe_bytes + 1) * stripe_bytes;
+    const auto in_stripe =
+        static_cast<std::size_t>((stripe_end - cur + txn - 1) / txn);
+    const std::size_t take = std::min(left, in_stripe);
+    region->controller_txns[controllerForShmAccess(core, cur)] += take;
+    left -= take;
+    cur += static_cast<std::uint64_t>(take) * txn;
+  }
+}
+
+void SccMachine::noteShmSwcacheImpl(int core, std::uint64_t offset, bool write,
+                                    std::uint64_t hits, std::uint64_t line_txns) {
+  obs::RegionProfile* region = regionAt(offset);
+  if (region == nullptr) return;
+  if (write) {
+    ++region->writes;
+  } else {
+    ++region->reads;
+  }
+  region->hits += hits;
+  region->misses += line_txns;
+  // Cached regions fill requester-locally regardless of placement (the
+  // composition rule in docs/execution_plan.md).
+  region->controller_txns[core_mc_[static_cast<std::size_t>(core)]] += line_txns;
+}
+
+void SccMachine::noteShmBulkImpl(std::uint64_t offset, std::size_t lines, bool write,
+                                 std::uint32_t mc) {
+  obs::RegionProfile* region = regionAt(offset);
+  if (region == nullptr) return;
+  if (write) {
+    ++region->writes;
+  } else {
+    ++region->reads;
+  }
+  region->bulk_lines += lines;
+  region->controller_txns[mc] += lines;
 }
 
 }  // namespace hsm::sim

@@ -31,6 +31,8 @@
 #include "sim/engine.h"
 #include "sim/fault/fault.h"
 #include "sim/noc.h"
+#include "sim/obs/metrics.h"
+#include "sim/obs/trace.h"
 #include "sim/scc_config.h"
 #include "sim/swcache/swcache.h"
 
@@ -76,6 +78,7 @@ class SyncBarrier {
   struct Waiter {
     std::coroutine_handle<> handle;
     std::size_t task;  ///< engine task id the wake event is filed under
+    Tick arrived;      ///< arrival Tick (start of the traced wait span)
   };
   void onArrive(std::coroutine_handle<> h);
 
@@ -117,6 +120,7 @@ class TasLock {
   struct Waiter {
     std::coroutine_handle<> handle;
     std::size_t task;  ///< engine task id the grant event is filed under
+    Tick arrived;      ///< request Tick (start of the traced wait span)
   };
   void onAcquire(std::coroutine_handle<> h);
 
@@ -369,6 +373,7 @@ class SccMachine {
   explicit SccMachine(SccConfig config = {});
 
   [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
   [[nodiscard]] const SccConfig& config() const { return config_; }
   [[nodiscard]] const MeshTopology& mesh() const { return mesh_; }
 
@@ -542,6 +547,59 @@ class SccMachine {
   /// Any fault class armed (the hot-path gate: false keeps every operation
   /// on the exact pre-fault instruction path).
   [[nodiscard]] bool faultsActive() const { return fault_.anyArmed(); }
+
+  // -- deterministic observability (sim/obs/; docs/observability.md) --
+  /// The machine's trace recorder. Dormant (enabled() == false, every hook a
+  /// single cached-bool check) unless config.trace_enabled wired it into the
+  /// engine at construction.
+  [[nodiscard]] obs::TraceRecorder& traceRecorder() { return trace_; }
+  [[nodiscard]] const obs::TraceRecorder& traceRecorder() const { return trace_; }
+  /// Deterministic export context: the engine's lane-count-independent
+  /// component partition, per-task completion Ticks, and the makespan.
+  [[nodiscard]] obs::TraceExportMeta traceExportMeta() const;
+  /// Chrome trace-event JSON (Perfetto-loadable): one track per UE task,
+  /// per lane component, and per memory controller.
+  void writeTrace(std::ostream& out) const;
+  /// Compact binary ring-buffer dump (schema in docs/observability.md).
+  void writeTraceBinary(std::ostream& out) const;
+
+  /// Name shared-DRAM range [begin, end) for per-region profiling (the
+  /// plan-carrying rcce::ShmArray registers every named region). First
+  /// registration flips the region_profiling_ gate; runs with no named
+  /// regions keep the exact pre-profiling instruction path. Later
+  /// registrations win on overlap (same rule as the cacheability map).
+  void registerShmRegion(std::string name, std::uint64_t begin, std::uint64_t end);
+  /// Per-region read/write/hit/miss/controller profiles, registration order
+  /// (MetricsSnapshot::regions; consumed by the ROADMAP's plan-re-derivation
+  /// item).
+  [[nodiscard]] const std::vector<obs::RegionProfile>& shmRegionProfiles() const {
+    return shm_regions_;
+  }
+  [[nodiscard]] bool regionProfilingActive() const { return region_profiling_; }
+  /// Region-accounting hooks (CoreContext op paths). Inline gate first: a
+  /// run with no registered region pays one predictable branch per call.
+  void noteShmWords(int core, std::uint64_t offset, std::size_t bytes, bool write) {
+    if (region_profiling_) noteShmWordsImpl(core, offset, bytes, write);
+  }
+  void noteShmSwcache(int core, std::uint64_t offset, bool write, std::uint64_t hits,
+                      std::uint64_t line_txns) {
+    if (region_profiling_) noteShmSwcacheImpl(core, offset, write, hits, line_txns);
+  }
+  /// Controller that served (or would serve) an access to `offset` from
+  /// `core`. Trace/profile use only — call AFTER the access so first-touch
+  /// claims are already made and the lookup is a pure function.
+  [[nodiscard]] std::uint32_t shmControllerOf(int core, std::uint64_t offset) {
+    return ctrl_placement_active_ ? controllerForShmAccess(core, offset)
+                                  : core_mc_[static_cast<std::size_t>(core)];
+  }
+  /// `core`'s own quadrant controller (swcache fills / flush write-backs).
+  [[nodiscard]] std::uint32_t controllerOfCore(int core) const {
+    return core_mc_[static_cast<std::size_t>(core)];
+  }
+  /// Engine resource id of the MPB port serving `owner_ue`'s slice.
+  [[nodiscard]] std::uint32_t mpbPortIdOf(int owner_ue) const {
+    return mesh_.portResourceId(mesh_.tileOfCore(coreOfUe(owner_ue)));
+  }
 
   // -- swcache functional primitives (used by CoreContext) --
   /// Functional walk of one access through `core`'s swcache (data movement +
@@ -787,6 +845,23 @@ class SccMachine {
   /// Scratch for swcacheFlushChecked's flushed-line addresses (reused to
   /// keep the flush path allocation-free in steady state).
   std::vector<std::uint64_t> flushed_addrs_scratch_;
+
+  /// Trace recorder (sim/obs/trace.h). Owned here, wired into the engine
+  /// only when config_.trace_enabled — disabled runs never even pay the
+  /// recorder's enabled() check on engine hooks (null pointer short-circuit).
+  obs::TraceRecorder trace_;
+  /// Named shared-DRAM regions being profiled; newest-first lookup like the
+  /// cacheability map. region_profiling_ is the hot-path gate AND a lane
+  /// pin: the profile counters are plain (cross-region aggregation), so a
+  /// profiled run uses the sequential loop (Ticks are lane-invariant).
+  std::vector<obs::RegionProfile> shm_regions_;
+  bool region_profiling_ = false;
+  [[nodiscard]] obs::RegionProfile* regionAt(std::uint64_t offset);
+  void noteShmWordsImpl(int core, std::uint64_t offset, std::size_t bytes, bool write);
+  void noteShmSwcacheImpl(int core, std::uint64_t offset, bool write,
+                          std::uint64_t hits, std::uint64_t line_txns);
+  void noteShmBulkImpl(std::uint64_t offset, std::size_t lines, bool write,
+                       std::uint32_t mc);
 
   /// Instantiate the per-core swcaches if not already present (config
   /// default on, or first cacheable region registered).

@@ -1,0 +1,341 @@
+#include "sim/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace hsm::sim::obs {
+namespace {
+
+constexpr std::array<const char*, static_cast<std::size_t>(TraceEventKind::kNumKinds)>
+    kKindNames = {
+        "shm_read",      "shm_write",    "shm_bulk_read", "shm_bulk_write",
+        "swcache_read",  "swcache_write", "swcache_flush", "mpb_get",
+        "mpb_put",       "barrier_wait", "lock_wait",     "freeze",
+        "batch",         "block",        "wake",          "lock_release",
+        "fault_inject",  "fault_retry",  "mc_stall",      "report",
+};
+
+// Kind-specific payload rendering so exported traces are self-describing in
+// Perfetto's args pane instead of opaque a/b/c slots.
+std::string argsJson(const TraceEvent& ev) {
+  std::ostringstream out;
+  out << '{';
+  auto field = [&out, first = true](const char* name, std::uint64_t value) mutable {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << value;
+  };
+  switch (ev.kind) {
+    case TraceEventKind::kShmRead:
+      field("offset", ev.a);
+      field("words", ev.b);
+      break;
+    case TraceEventKind::kShmWrite:
+      field("offset", ev.a);
+      field("words", ev.b);
+      field("attempts", ev.c);
+      break;
+    case TraceEventKind::kShmBulkRead:
+    case TraceEventKind::kShmBulkWrite:
+      field("offset", ev.a);
+      field("lines", ev.b);
+      break;
+    case TraceEventKind::kSwcacheRead:
+    case TraceEventKind::kSwcacheWrite:
+      field("offset", ev.a);
+      field("hits", ev.b);
+      field("line_txns", ev.c);
+      break;
+    case TraceEventKind::kSwcacheFlush:
+      field("lines", ev.a);
+      break;
+    case TraceEventKind::kMpbGet:
+    case TraceEventKind::kMpbPut:
+      field("offset", ev.a);
+      field("chunks", ev.b);
+      field("owner", ev.c);
+      break;
+    case TraceEventKind::kBarrierWait:
+      field("sync", ev.a);
+      field("episode", ev.b);
+      break;
+    case TraceEventKind::kLockWait:
+    case TraceEventKind::kLockRelease:
+    case TraceEventKind::kBlock:
+    case TraceEventKind::kWake:
+      field("sync", ev.a);
+      break;
+    case TraceEventKind::kFreeze:
+      field("permanent", ev.a);
+      break;
+    case TraceEventKind::kBatch:
+      field("events", ev.a);
+      break;
+    case TraceEventKind::kFaultInject:
+    case TraceEventKind::kFaultRetry:
+      field("class", ev.a);
+      break;
+    case TraceEventKind::kMcStall:
+      field("ticks", ev.a);
+      break;
+    case TraceEventKind::kReport:
+      field("kind", ev.a);
+      break;
+    case TraceEventKind::kNumKinds:
+      break;
+  }
+  if (ev.resource != kNoTraceResource) field("resource", ev.resource);
+  out << '}';
+  return out.str();
+}
+
+void emitMeta(std::ostream& out, int pid, const char* what, std::uint64_t tid,
+              const std::string& name, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << R"({"ph":"M","pid":)" << pid << R"(,"tid":)" << tid << R"(,"name":")" << what
+      << R"(","args":{"name":")" << name << "\"}}";
+}
+
+void le64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+void le32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 4);
+}
+
+}  // namespace
+
+const char* traceEventName(TraceEventKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+bool traceEventIsSpan(TraceEventKind kind) { return kind < TraceEventKind::kBlock; }
+
+void TraceRecorder::configure(bool enabled, std::size_t ring_capacity,
+                              bool record_batches) {
+  enabled_ = enabled;
+  cap_ = ring_capacity;
+  batches_ = record_batches;
+}
+
+void TraceRecorder::prepare(std::size_t num_tasks) {
+  if (tasks_.size() < num_tasks) tasks_.resize(num_tasks);
+}
+
+void TraceRecorder::append(TaskBuf& buf, const TraceEvent& ev) {
+  ++buf.recorded;
+  if (cap_ == 0 || buf.ring.size() < cap_) {
+    buf.ring.push_back(ev);
+    return;
+  }
+  // Ring full: overwrite the oldest retained event, keep the newest window.
+  buf.ring[buf.next] = ev;
+  buf.next = (buf.next + 1) % cap_;
+  ++buf.dropped;
+}
+
+void TraceRecorder::record(std::size_t task_id, const TraceEvent& ev) {
+  append(task_id < tasks_.size() ? tasks_[task_id] : host_, ev);
+}
+
+std::uint64_t TraceRecorder::recordedEvents() const {
+  std::uint64_t total = host_.recorded;
+  for (const TaskBuf& buf : tasks_) total += buf.recorded;
+  return total;
+}
+
+std::uint64_t TraceRecorder::droppedEvents() const {
+  std::uint64_t total = host_.dropped;
+  for (const TaskBuf& buf : tasks_) total += buf.dropped;
+  return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::chronological(const TaskBuf& buf) {
+  std::vector<TraceEvent> events;
+  events.reserve(buf.ring.size());
+  // Oldest retained event sits at the overwrite cursor once wrapped.
+  for (std::size_t i = 0; i < buf.ring.size(); ++i) {
+    events.push_back(buf.ring[(buf.next + i) % buf.ring.size()]);
+  }
+  return events;
+}
+
+std::vector<TraceEvent> TraceRecorder::taskEvents(std::size_t task_id) const {
+  if (task_id >= tasks_.size()) return {};
+  return chronological(tasks_[task_id]);
+}
+
+std::vector<TraceEvent> TraceRecorder::hostEvents() const { return chronological(host_); }
+
+void TraceRecorder::writeChromeJson(std::ostream& out,
+                                    const TraceExportMeta& meta) const {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // ---- track metadata -------------------------------------------------
+  emitMeta(out, 1, "process_name", 0, "UE timelines", first);
+  emitMeta(out, 2, "process_name", 0, "lanes (reach components)", first);
+  emitMeta(out, 3, "process_name", 0, "memory controllers", first);
+  const std::size_t host_tid = tasks_.size();
+  for (std::size_t task = 0; task < tasks_.size(); ++task) {
+    emitMeta(out, 1, "thread_name", task, "ue " + std::to_string(task), first);
+  }
+  if (!host_.ring.empty()) emitMeta(out, 1, "thread_name", host_tid, "host", first);
+  std::uint32_t num_components = 0;
+  for (std::size_t task = 0; task < tasks_.size(); ++task) {
+    const std::uint32_t comp =
+        task < meta.task_component.size() ? meta.task_component[task] : 0;
+    num_components = std::max(num_components, comp + 1);
+  }
+  for (std::uint32_t comp = 0; comp < num_components; ++comp) {
+    emitMeta(out, 2, "thread_name", comp, "lane " + std::to_string(comp), first);
+  }
+  for (std::uint32_t mc = 0; mc < meta.num_controllers; ++mc) {
+    emitMeta(out, 3, "thread_name", mc, "mc " + std::to_string(mc), first);
+  }
+
+  // ---- pid 1: per-UE operation timelines ------------------------------
+  // Merge all per-task buffers into one global order. The key
+  // (start, task, in-task index) is a pure function of the recorded data,
+  // so the merged order — and therefore the output bytes — cannot depend on
+  // lane count or coalescing mode.
+  struct Merged {
+    TraceEvent ev;
+    std::size_t task;
+    std::size_t idx;
+  };
+  std::vector<Merged> merged;
+  merged.reserve(recordedEvents() - droppedEvents());
+  for (std::size_t task = 0; task <= tasks_.size(); ++task) {
+    const std::vector<TraceEvent> events =
+        task < tasks_.size() ? taskEvents(task) : hostEvents();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      merged.push_back({events[i], task, i});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const Merged& lhs, const Merged& rhs) {
+    if (lhs.ev.start != rhs.ev.start) return lhs.ev.start < rhs.ev.start;
+    if (lhs.task != rhs.task) return lhs.task < rhs.task;
+    return lhs.idx < rhs.idx;
+  });
+  for (const Merged& entry : merged) {
+    const TraceEvent& ev = entry.ev;
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":")" << traceEventName(ev.kind) << R"(","pid":1,"tid":)"
+        << entry.task << ",\"ts\":" << ev.start;
+    if (traceEventIsSpan(ev.kind)) {
+      out << R"(,"ph":"X","dur":)" << (ev.end - ev.start);
+    } else {
+      out << R"(,"ph":"i","s":"t")";
+    }
+    out << ",\"args\":" << argsJson(ev) << '}';
+  }
+
+  // ---- pid 2: task lifetimes grouped by lane component ----------------
+  // Tasks in one component are simulated-concurrent, so lifetimes on the
+  // same track overlap; async (b/e) spans keyed by task id render stacked.
+  struct Life {
+    Tick end;
+    std::size_t task;
+    std::uint32_t comp;
+  };
+  std::vector<Life> lives;
+  for (std::size_t task = 0; task < tasks_.size(); ++task) {
+    const Tick done = task < meta.task_completion.size() && meta.task_completion[task] > 0
+                          ? meta.task_completion[task]
+                          : meta.final_tick;
+    const std::uint32_t comp =
+        task < meta.task_component.size() ? meta.task_component[task] : 0;
+    lives.push_back({done, task, comp});
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":"task )" << task
+        << R"(","ph":"b","cat":"task","id":)" << task << R"(,"pid":2,"tid":)" << comp
+        << ",\"ts\":0,\"args\":{}}";
+  }
+  std::sort(lives.begin(), lives.end(), [](const Life& lhs, const Life& rhs) {
+    if (lhs.end != rhs.end) return lhs.end < rhs.end;
+    return lhs.task < rhs.task;
+  });
+  for (const Life& life : lives) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":"task )" << life.task
+        << R"(","ph":"e","cat":"task","id":)" << life.task << R"(,"pid":2,"tid":)"
+        << life.comp << ",\"ts\":" << life.end << ",\"args\":{}}";
+  }
+
+  // ---- pid 3: cumulative word/line traffic per memory controller ------
+  std::vector<std::uint64_t> cumulative(meta.num_controllers, 0);
+  for (const Merged& entry : merged) {
+    const TraceEvent& ev = entry.ev;
+    if (ev.resource >= meta.num_controllers) continue;
+    if (ev.kind == TraceEventKind::kMcStall) {
+      if (!first) out << ",\n";
+      first = false;
+      out << R"({"name":"mc_stall","ph":"i","s":"t","pid":3,"tid":)" << ev.resource
+          << ",\"ts\":" << ev.start << ",\"args\":" << argsJson(ev) << '}';
+      continue;
+    }
+    if (!traceEventIsSpan(ev.kind)) continue;
+    // Controller units: words for the uncached kinds, lines for the bulk and
+    // swcache kinds (the payload slot that holds line transactions differs
+    // per kind — see TraceEventKind).
+    std::uint64_t units = ev.b;
+    if (ev.kind == TraceEventKind::kSwcacheRead ||
+        ev.kind == TraceEventKind::kSwcacheWrite) {
+      units = ev.c;
+    } else if (ev.kind == TraceEventKind::kSwcacheFlush) {
+      units = ev.a;
+    }
+    cumulative[ev.resource] += units;
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":"mc_traffic","ph":"C","pid":3,"tid":)" << ev.resource
+        << ",\"ts\":" << ev.end << ",\"args\":{\"units\":" << cumulative[ev.resource]
+        << "}}";
+  }
+
+  out << "\n]}\n";
+}
+
+void TraceRecorder::writeBinary(std::ostream& out) const {
+  out.write("HSMTRC01", 8);
+  le32(out, 1);  // schema version
+  le32(out, static_cast<std::uint32_t>(tasks_.size()));
+  auto dump = [&out](const TaskBuf& buf) {
+    le64(out, buf.recorded);
+    le64(out, buf.dropped);
+    const std::vector<TraceEvent> events = chronological(buf);
+    le64(out, events.size());
+    for (const TraceEvent& ev : events) {
+      le64(out, ev.start);
+      le64(out, ev.end);
+      le64(out, ev.a);
+      le64(out, ev.b);
+      le64(out, ev.c);
+      le32(out, ev.resource);
+      out.put(static_cast<char>(ev.kind));
+    }
+  };
+  for (const TaskBuf& buf : tasks_) dump(buf);
+  dump(host_);
+}
+
+void TraceRecorder::clear() {
+  tasks_.clear();
+  host_ = TaskBuf{};
+}
+
+}  // namespace hsm::sim::obs

@@ -1,0 +1,161 @@
+// Deterministic simulated-time trace recorder (docs/observability.md).
+//
+// One face of src/sim/obs: typed span/instant events keyed by
+// (Tick, task_id, resource), recorded at *operation* boundaries — the entry
+// and exit Ticks of shmRead/shmWrite/swcacheRw/mpbRead/mpbWrite/bulk/sync
+// operations. Those boundary Ticks are exactly the quantities the coalescing
+// invariant (engine.h) guarantees are bit-identical across all coalescing
+// modes, and the conservative-PDES proof (docs/engine_parallel.md)
+// guarantees are bit-identical across engine_lanes=1/N. Recording at the
+// per-engine-event level instead would break both contracts: intermediate
+// event counts and ticks are mode-dependent by design. The one deliberately
+// mode-dependent category — coalesced-batch boundaries — is opt-in
+// (trace_batches) and documented as excluded from the identity contract.
+//
+// Determinism contract (a new oracle, tested in tests/test_obs.cpp):
+//   - traces contain only simulated time (Ticks), never wall clock;
+//   - with trace_batches off, an enabled trace is byte-identical across
+//     engine_lanes=1/N, all coalescing modes, and zero-rate armed fault
+//     plans (fault events are recorded only when a fault actually fires).
+//
+// Zero overhead when disabled: every hook site is gated on one cached bool
+// (enabled()), the same discipline as FaultInjector::anyArmed(). The
+// recorder is wired but dormant unless SccConfig::trace_enabled is set.
+//
+// Lane safety: events are recorded into per-task buffers. Each root task is
+// resumed only on the lane that owns its component, and every cross-task
+// recording site (barrier release, lock grant) writes only to tasks in the
+// *same* component as the recording task, so no buffer is ever touched by
+// two lanes. Buffers are pre-sized by prepare() before lanes start.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hsm::sim::obs {
+
+/// Resource slot for events not tied to a registered resource timeline.
+inline constexpr std::uint32_t kNoTraceResource = 0xffffffffu;
+
+enum class TraceEventKind : std::uint8_t {
+  // ---- spans (end >= start) ----
+  kShmRead = 0,    ///< uncached shared-DRAM read;  a=offset b=words
+  kShmWrite,       ///< uncached shared-DRAM write; a=offset b=words c=attempts
+  kShmBulkRead,    ///< DMA-style bulk read;  a=offset b=lines
+  kShmBulkWrite,   ///< DMA-style bulk write; a=offset b=lines
+  kSwcacheRead,    ///< cached read;  a=offset b=hit_touches c=line_txns
+  kSwcacheWrite,   ///< cached write; a=offset b=hit_touches c=line_txns
+  kSwcacheFlush,   ///< release flush / line ops; a=lines
+  kMpbGet,         ///< on-die MPB read;  a=offset b=chunks c=owner_ue
+  kMpbPut,         ///< on-die MPB write; a=offset b=chunks c=owner_ue
+  kBarrierWait,    ///< arrival..release per waiter; a=sync_id b=episode
+  kLockWait,       ///< request..grant; a=sync_id b=1 if the grant was queued
+  kFreeze,         ///< injected core freeze; a=1 if permanent
+  kBatch,          ///< coalesced batch (mode-dependent, opt-in); a=events
+  // ---- instants (end == start) ----
+  kBlock,          ///< task parked on a sync object; a=sync_id
+  kWake,           ///< parked task rescheduled;      a=sync_id
+  kLockRelease,    ///< lock handoff initiated;       a=sync_id
+  kFaultInject,    ///< fault fired; a=fault class
+  kFaultRetry,     ///< verify-and-retry round;       a=fault class
+  kMcStall,        ///< injected controller stall;    a=stall ticks
+  kReport,         ///< hang report; a=0 deadlock, 1 sync timeout, 2 watchdog
+  kNumKinds,
+};
+
+[[nodiscard]] const char* traceEventName(TraceEventKind kind);
+[[nodiscard]] bool traceEventIsSpan(TraceEventKind kind);
+
+/// One recorded event. Task id is implicit (the buffer it lives in); the
+/// executing lane is deliberately NOT recorded — lane identity is derived at
+/// export time from the engine's deterministic component partition so the
+/// bytes cannot depend on engine_lanes.
+struct TraceEvent {
+  Tick start = 0;
+  Tick end = 0;
+  std::uint64_t a = 0;  ///< kind-specific payload (see TraceEventKind docs)
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint32_t resource = kNoTraceResource;  ///< registered resource id
+  TraceEventKind kind = TraceEventKind::kShmRead;
+};
+
+/// Everything the exporter needs beyond the raw buffers. Built by
+/// SccMachine::traceExportMeta(); every field is a deterministic function of
+/// the run (component partition ignores lane count and done-ness).
+struct TraceExportMeta {
+  std::vector<std::uint32_t> task_component;  ///< task id -> component id
+  std::vector<Tick> task_completion;          ///< task id -> completion Tick
+  std::uint32_t num_controllers = 0;
+  Tick final_tick = 0;
+};
+
+/// Per-task ring-buffer trace store with a bounded-memory cap.
+class TraceRecorder {
+ public:
+  /// ring_capacity: max retained events per task (0 = unbounded). Overflow
+  /// keeps the newest events and counts the evicted ones in droppedEvents().
+  void configure(bool enabled, std::size_t ring_capacity, bool record_batches);
+
+  /// The one hot-path gate. Hook sites test this cached bool and nothing
+  /// else; when false the recorder costs one predictable branch per site.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Gate for the mode-dependent batch-boundary category.
+  [[nodiscard]] bool batchesEnabled() const { return enabled_ && batches_; }
+
+  /// Size per-task buffers for `num_tasks` root tasks. Must be called before
+  /// a parallel run so lanes never resize the outer vector concurrently.
+  void prepare(std::size_t num_tasks);
+
+  /// Record under a root task. Out-of-range ids (Engine::kNoTask, host
+  /// context) land in the shared host buffer — callers in parallel regions
+  /// always have a valid task id, so the host buffer stays single-threaded.
+  void record(std::size_t task_id, const TraceEvent& ev);
+  void recordHost(const TraceEvent& ev) { record(kHostSlot, ev); }
+
+  [[nodiscard]] std::uint64_t recordedEvents() const;
+  [[nodiscard]] std::uint64_t droppedEvents() const;
+  [[nodiscard]] std::size_t taskSlots() const { return tasks_.size(); }
+  /// Retained events for one task, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> taskEvents(std::size_t task_id) const;
+  [[nodiscard]] std::vector<TraceEvent> hostEvents() const;
+
+  /// Chrome trace-event JSON (catapult / Perfetto "traceEvents" array):
+  /// pid 1 = one thread per UE/task (spans + instants), pid 2 = one thread
+  /// per lane component (async task-lifetime spans), pid 3 = one counter
+  /// thread per memory controller (cumulative word transactions). Output is
+  /// a deterministic function of the recorded events and meta.
+  void writeChromeJson(std::ostream& out, const TraceExportMeta& meta) const;
+
+  /// Compact binary dump of the raw ring buffers (schema in
+  /// docs/observability.md). Little-endian, field-by-field; carries per-task
+  /// recorded/dropped accounting so truncation is visible.
+  void writeBinary(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  static constexpr std::size_t kHostSlot = static_cast<std::size_t>(-1);
+
+  struct TaskBuf {
+    std::vector<TraceEvent> ring;
+    std::size_t next = 0;          ///< overwrite cursor once the ring is full
+    std::uint64_t recorded = 0;    ///< total record() calls
+    std::uint64_t dropped = 0;     ///< evicted by the capacity cap
+  };
+
+  [[nodiscard]] static std::vector<TraceEvent> chronological(const TaskBuf& buf);
+  void append(TaskBuf& buf, const TraceEvent& ev);
+
+  std::vector<TaskBuf> tasks_;
+  TaskBuf host_;
+  std::size_t cap_ = 0;
+  bool enabled_ = false;
+  bool batches_ = false;
+};
+
+}  // namespace hsm::sim::obs

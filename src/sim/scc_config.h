@@ -149,6 +149,30 @@ struct SccConfig {
   /// equivalence tests and benchmarks can A/B it.
   bool shm_contention_batching = true;
 
+  // -- deterministic observability (sim/obs/; docs/observability.md) --
+  /// Record the simulated-time trace (operation spans, sync episodes, fault
+  /// fires, hang reports). Off by default: every hook is gated on one cached
+  /// bool — the FaultInjector discipline — so untraced runs pay one
+  /// predictable branch per operation and stay bit-identical. An enabled
+  /// trace contains only simulated Ticks and is byte-identical across
+  /// engine_lanes=1/N and all coalescing modes (see docs/observability.md).
+  bool trace_enabled = false;
+  /// Max retained trace events per task (the bounded-memory ring-buffer
+  /// mode). 0 = unbounded. Overflow keeps the newest events per task and is
+  /// accounted in TraceRecorder::droppedEvents().
+  std::size_t trace_ring_capacity = 0;
+  /// Also record coalesced-batch boundary spans. These are inherently
+  /// coalescing-mode-dependent (that is what they visualize), so they are
+  /// opt-in and EXCLUDED from the byte-identity contract.
+  bool trace_batches = false;
+  /// Aggregate per-region shared-DRAM profiles (reads/writes/hits/misses/
+  /// per-controller transactions for every named rcce::ShmArray region;
+  /// MetricsSnapshot::regions). Off by default: registration no-ops and the
+  /// access hooks stay one cached-bool branch. On, the plain cross-lane
+  /// counters pin the engine to the sequential loop (engine_lanes=1) —
+  /// Ticks are unchanged either way.
+  bool region_metrics = false;
+
   // -- fault injection & robustness (sim/fault/fault.h; docs/fault_model.md) --
   /// Seed-driven fault schedule plus retry/backoff knobs. Disabled by
   /// default: every fault hook is gated on one cached bool, so zero-fault

@@ -15,26 +15,29 @@ const char* modeName(Mode mode) {
 }
 
 void recordMachineRobustness(RunResult& result, const sim::SccMachine& machine) {
-  result.mpb_scope_violations = machine.mpbScopeViolations();
-  const sim::FaultStats& f = machine.faultStats();
-  result.faults_injected = f.totalInjected();
-  result.faults_recovered = f.totalRecovered();
-  result.fault_retries = f.retries;
-  result.faults_unrecovered = f.unrecovered;
+  result.metrics = sim::obs::collectMetrics(machine);
+  const auto counter = [&result](const char* name) -> std::uint64_t {
+    const auto it = result.metrics.sim_counters.find(name);
+    return it != result.metrics.sim_counters.end() ? it->second : 0;
+  };
+  result.mpb_scope_violations = counter("mpb_scope_violations");
+  result.faults_injected = counter("faults_injected");
+  result.faults_recovered = counter("faults_recovered");
+  result.fault_retries = counter("fault_retries");
+  result.faults_unrecovered = counter("faults_unrecovered");
   result.controller_traffic = machine.controllerTraffic();
-  double sum = 0.0;
-  for (const std::uint64_t t : result.controller_traffic) {
-    sum += static_cast<double>(t);
-  }
-  if (sum > 0.0 && !result.controller_traffic.empty()) {
-    const double mean = sum / static_cast<double>(result.controller_traffic.size());
-    double var = 0.0;
-    for (const std::uint64_t t : result.controller_traffic) {
-      const double d = static_cast<double>(t) - mean;
-      var += d * d;
-    }
-    var /= static_cast<double>(result.controller_traffic.size());
-    result.controller_load_cv = std::sqrt(var) / mean;
+  const auto cv = result.metrics.sim_gauges.find("controller_load_cv");
+  result.controller_load_cv = cv != result.metrics.sim_gauges.end() ? cv->second : 0.0;
+}
+
+void deriveDetail(RunResult& result, const std::string& value) {
+  const std::string summary = result.metrics.summary();
+  if (summary.empty()) {
+    result.detail = value;
+  } else if (value.empty()) {
+    result.detail = summary;
+  } else {
+    result.detail = value + " | " + summary;
   }
 }
 

@@ -18,6 +18,7 @@
 #include "partition/execution_plan.h"
 #include "rcce/rcce.h"
 #include "sim/machine.h"
+#include "sim/obs/metrics.h"
 #include "sim/scc_config.h"
 #include "sim/time.h"
 
@@ -33,7 +34,13 @@ struct RunResult {
   int units = 0;             ///< threads (baseline) or cores (RCCE)
   sim::Tick makespan = 0;
   bool verified = false;
-  std::string detail;        ///< human-readable result summary
+  /// "<functional value> | <sim-metric summary>" (deriveDetail): the value
+  /// part is routing-invariant, the summary is MetricsSnapshot::summary() —
+  /// sim-domain only, so the whole line reproduces bit-for-bit per config.
+  std::string detail;
+  /// Full end-of-run metrics snapshot (sim::obs::collectMetrics; RCCE modes
+  /// only — the pthread baseline has no SccMachine and leaves it empty).
+  sim::obs::MetricsSnapshot metrics;
   /// MPB accesses outside the plan's declared owner sets (RCCE modes; 0
   /// when no plan was passed). Non-zero voids the port-isolation guarantee.
   std::uint64_t mpb_scope_violations = 0;
@@ -67,8 +74,17 @@ struct RunResult {
 
 /// Fill `result`'s machine-robustness counters (MPB scope violations plus
 /// the fault-injection/recovery stats) from a finished machine run — the
-/// one call every RCCE-mode workload makes after machine.run().
+/// one call every RCCE-mode workload makes after machine.run(). Collects the
+/// full metrics snapshot first (sim::obs::collectMetrics) and reads the
+/// scalar fields back out of it, so RunResult and MetricsSnapshot can never
+/// disagree.
 void recordMachineRobustness(RunResult& result, const sim::SccMachine& machine);
+
+/// Compose RunResult::detail from the workload's functional value string and
+/// the sim-domain metric summary already collected into `result.metrics`
+/// ("<value> | <summary>"; just the value when the snapshot is empty — the
+/// pthread baseline).
+void deriveDetail(RunResult& result, const std::string& value);
 
 class Benchmark {
  public:
@@ -111,19 +127,27 @@ class Benchmark {
 /// (placement attribute + registered cacheability) when the plan names the
 /// region, legacy unmapped (config.shm_swcache governs) otherwise — so
 /// plan-less runs stay bit-identical to the pre-ExecutionPlan behavior.
+/// Every allocation also registers `name` with the machine's region
+/// profiler (SccMachine::registerShmRegion) — a no-op unless
+/// config.region_metrics is set, where it feeds the per-region profiles in
+/// MetricsSnapshot::regions.
 template <typename T>
 [[nodiscard]] rcce::ShmArray<T> makeShmArray(rcce::RcceEnv& env, std::size_t count,
                                              const partition::ExecutionPlan* plan,
                                              const char* name, Mode mode,
                                              partition::PlacementClass mpb_default) {
+  const auto registered = [&env, name, count](rcce::ShmArray<T> arr) {
+    env.machine().registerShmRegion(name, arr.byteOffset(0), arr.byteOffset(count));
+    return arr;
+  };
   if (plan != nullptr) {
     if (const partition::RegionPlan* r = plan->find(name)) {
-      return rcce::ShmArray<T>(env, count,
-                               resolvePlacement(plan, name, mode, mpb_default),
-                               r->controller, r->pinned_controller);
+      return registered(rcce::ShmArray<T>(
+          env, count, resolvePlacement(plan, name, mode, mpb_default),
+          r->controller, r->pinned_controller));
     }
   }
-  return rcce::ShmArray<T>(env, count);
+  return registered(rcce::ShmArray<T>(env, count));
 }
 
 // Factories. `scale` multiplies the default problem size (1.0 = the sizes

@@ -151,7 +151,7 @@ class CountPrimes final : public Benchmark {
     }
 
     result.verified = computed == referenceCount(p.limit);
-    result.detail = "primes=" + std::to_string(computed);
+    deriveDetail(result, "primes=" + std::to_string(computed));
     return result;
   }
 

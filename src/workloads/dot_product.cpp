@@ -171,7 +171,7 @@ class DotProduct final : public Benchmark {
 
     const double expected = referenceDot(p.n);
     result.verified = std::abs(computed - expected) < 1e-6 * std::abs(expected);
-    result.detail = "dot=" + std::to_string(computed);
+    deriveDetail(result, "dot=" + std::to_string(computed));
     return result;
   }
 

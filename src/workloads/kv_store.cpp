@@ -187,10 +187,11 @@ class KvStore final : public Benchmark {
                   computed[static_cast<std::size_t>(u)] == kvReferenceChecksum(p, u);
     }
     result.verified = checks_ok;
-    result.detail = "chk0=" + std::to_string(computed.empty() ? 0 : computed[0]) +
-                    " ops=" +
-                    std::to_string(static_cast<std::uint64_t>(p.ops_per_ue) *
-                                   static_cast<std::uint64_t>(units));
+    deriveDetail(result,
+                 "chk0=" + std::to_string(computed.empty() ? 0 : computed[0]) +
+                     " ops=" +
+                     std::to_string(static_cast<std::uint64_t>(p.ops_per_ue) *
+                                    static_cast<std::uint64_t>(units)));
     return result;
   }
 

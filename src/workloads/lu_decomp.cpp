@@ -173,7 +173,7 @@ class LuDecomposition final : public Benchmark {
     }
 
     result.verified = verified;
-    result.detail = verified ? "L*U reproduces A" : "MISMATCH";
+    deriveDetail(result, verified ? "lu=ok" : "lu=MISMATCH");
     return result;
   }
 

@@ -132,7 +132,7 @@ class PiApprox final : public Benchmark {
     }
 
     result.verified = std::abs(computed - M_PI) < 1e-5;
-    result.detail = "pi=" + std::to_string(computed);
+    deriveDetail(result, "pi=" + std::to_string(computed));
     return result;
   }
 

@@ -252,7 +252,7 @@ class Stream final : public Benchmark {
     }
 
     result.verified = verified;
-    result.detail = verified ? "arrays match reference" : "MISMATCH";
+    deriveDetail(result, verified ? "arrays=ok" : "arrays=MISMATCH");
     return result;
   }
 

@@ -126,7 +126,7 @@ class Sum35 final : public Benchmark {
     }
 
     result.verified = computed == referenceSum(p.limit);
-    result.detail = "sum=" + std::to_string(computed);
+    deriveDetail(result, "sum=" + std::to_string(computed));
     return result;
   }
 

@@ -668,10 +668,13 @@ TEST(Engine, WallClockInstrumentation) {
   Engine engine;
   std::vector<int> log;
   for (int i = 0; i < 16; ++i) engine.spawn(recorder(engine, log, i, 10 + i));
-  EXPECT_EQ(engine.wallSeconds(), 0.0);
+  EXPECT_EQ(engine.hostWallSeconds(), 0.0);
   engine.run();
-  EXPECT_GT(engine.wallSeconds(), 0.0);
-  EXPECT_GT(engine.eventsPerSecond(), 0.0);
+  // The host-domain wall clock lives on in the metrics registry as
+  // wall_seconds / events_per_second (sim/obs/metrics.h); the engine keeps
+  // only the raw seconds.
+  EXPECT_GT(engine.hostWallSeconds(), 0.0);
+  EXPECT_GT(engine.eventsProcessed(), 0u);
 }
 
 // --- robustness / no-progress detection --------------------------------------

@@ -1,0 +1,426 @@
+// Tests for src/sim/obs: the deterministic trace recorder and the unified
+// metrics registry (docs/observability.md).
+//
+// The load-bearing oracle is byte identity: an enabled trace must export the
+// exact same bytes across engine_lanes=1/N, every coalescing mode, and under
+// a zero-rate armed fault plan — and enabling the trace must not move a
+// single simulated Tick relative to an untraced run. The registry tests pin
+// the counter/gauge/histogram semantics and the sim/host domain split that
+// keeps RunResult::detail reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rcce/rcce.h"
+#include "sim/machine.h"
+#include "sim/obs/metrics.h"
+#include "sim/obs/trace.h"
+#include "workloads/benchmark.h"
+#include "workloads/kv_store.h"
+
+namespace hsm {
+namespace {
+
+using sim::SccConfig;
+using sim::SccMachine;
+using sim::Tick;
+namespace obs = sim::obs;
+
+// --- metrics registry units --------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndDomainSplit) {
+  obs::MetricsRegistry reg;
+  reg.counter("events").add(3);
+  reg.counter("events").add(2);
+  reg.counter("wall_polls", obs::MetricDomain::kHost).add(1);
+  reg.gauge("hit_rate").set(0.75);
+  reg.gauge("wall_seconds", obs::MetricDomain::kHost).set(1.5);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.sim_counters.at("events"), 5u);
+  EXPECT_EQ(snap.host_counters.at("wall_polls"), 1u);
+  EXPECT_DOUBLE_EQ(snap.sim_gauges.at("hit_rate"), 0.75);
+  EXPECT_DOUBLE_EQ(snap.host_gauges.at("wall_seconds"), 1.5);
+  EXPECT_EQ(snap.sim_counters.count("wall_polls"), 0u);
+  EXPECT_EQ(snap.host_gauges.count("hit_rate"), 0u);
+}
+
+TEST(MetricsRegistry, HistogramLog2Buckets) {
+  EXPECT_EQ(obs::Histogram::bucketFor(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketFor(0.99), 0u);
+  EXPECT_EQ(obs::Histogram::bucketFor(1.0), 1u);   // [1, 2)
+  EXPECT_EQ(obs::Histogram::bucketFor(3.0), 2u);   // [2, 4)
+  EXPECT_EQ(obs::Histogram::bucketFor(1024.0), 11u);
+
+  obs::Histogram h;
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndSummaryIsSimOnly) {
+  obs::MetricsRegistry reg;
+  reg.counter("events").add(7);
+  reg.counter("makespan_ticks").add(1234);
+  reg.gauge("wall_seconds", obs::MetricDomain::kHost).set(0.25);
+  reg.histogram("lat").observe(2.0);
+
+  const std::string a = reg.snapshot().toJson();
+  const std::string b = reg.snapshot().toJson();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"sim\""), std::string::npos);
+  EXPECT_NE(a.find("\"host\""), std::string::npos);
+
+  const std::string summary = reg.snapshot().summary();
+  EXPECT_NE(summary.find("events=7"), std::string::npos);
+  EXPECT_NE(summary.find("makespan_ticks=1234"), std::string::npos);
+  // Host-domain metrics must never leak into the reproducible result line.
+  EXPECT_EQ(summary.find("wall_seconds"), std::string::npos);
+}
+
+// --- trace recorder units ----------------------------------------------------
+
+TEST(TraceRecorder, DisabledByDefaultAndZeroAccounting) {
+  obs::TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_FALSE(rec.batchesEnabled());
+  EXPECT_EQ(rec.recordedEvents(), 0u);
+  EXPECT_EQ(rec.droppedEvents(), 0u);
+}
+
+TEST(TraceRecorder, RingKeepsNewestAndAccountsDropped) {
+  obs::TraceRecorder rec;
+  rec.configure(/*enabled=*/true, /*ring_capacity=*/2, /*record_batches=*/false);
+  rec.prepare(1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    obs::TraceEvent ev;
+    ev.start = i;
+    ev.end = i;
+    ev.a = i;
+    ev.kind = obs::TraceEventKind::kBlock;
+    rec.record(0, ev);
+  }
+  EXPECT_EQ(rec.recordedEvents(), 5u);
+  EXPECT_EQ(rec.droppedEvents(), 3u);
+  const std::vector<obs::TraceEvent> kept = rec.taskEvents(0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].a, 3u);  // oldest retained
+  EXPECT_EQ(kept[1].a, 4u);  // newest
+}
+
+// --- machine-level trace oracles --------------------------------------------
+
+/// Full-mix kernel: uncached shm block IO, an MPB deposit, a lock-guarded
+/// counter, and a global barrier per round — every traced operation family
+/// in one component (the global sync objects merge all tasks, so this runs
+/// sequential regardless of engine_lanes; the lanes oracle below uses the
+/// pair kernel instead).
+sim::SimTask obsMix(sim::CoreContext& ctx, std::uint64_t base, std::uint64_t counter,
+                    std::uint64_t slot, int rounds, std::size_t block) {
+  std::vector<std::uint8_t> buf(block);
+  const std::uint64_t mine = base + static_cast<std::uint64_t>(ctx.ue()) * block;
+  const int right = (ctx.ue() + 1) % ctx.numUes();
+  for (int r = 0; r < rounds; ++r) {
+    co_await ctx.compute(10000 + static_cast<std::uint64_t>(ctx.ue() % 3) * 7000);
+    co_await ctx.shmRead(mine, buf.data(), block);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::uint8_t>(buf[i] + static_cast<std::size_t>(r) + i);
+    }
+    co_await ctx.shmWrite(mine, buf.data(), block);
+    co_await rcce::put(ctx, right, slot, buf.data(), 256);
+    co_await ctx.lockAcquire(0);
+    std::uint64_t c = 0;
+    co_await ctx.shmRead(counter, &c, sizeof(c));
+    ++c;
+    co_await ctx.shmWrite(counter, &c, sizeof(c));
+    co_await ctx.lockRelease(0);
+    co_await ctx.barrier();
+  }
+}
+
+/// Controller-sharing UE pairs with pair-local sync groups and an empty MPB
+/// scope (the quadrant_pairs shape): four provably disjoint components, so
+/// engine_lanes=4 really shards — the regime the lane byte-identity oracle
+/// must cover.
+sim::SimTask pairKernel(sim::CoreContext& ctx, std::uint64_t base, int rounds,
+                        std::size_t block) {
+  std::vector<std::uint8_t> buf(block);
+  const auto ue = static_cast<std::uint64_t>(ctx.ue());
+  const std::uint64_t mine = base + ue * block;
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < 40; ++s) {
+      co_await ctx.compute(40 + (ue % 3) + static_cast<std::uint64_t>(s % 5));
+    }
+    co_await ctx.shmRead(mine, buf.data(), block);
+    co_await ctx.shmWrite(mine, buf.data(), block);
+    co_await ctx.barrier();  // pair-group barrier (LaunchSpec sync groups)
+  }
+}
+
+struct TraceRun {
+  Tick makespan = 0;
+  std::vector<Tick> completions;
+  std::uint32_t lanes_used = 1;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::string json;
+  std::string binary;
+};
+
+TraceRun runObsMix(const SccConfig& cfg) {
+  SccMachine m(cfg);
+  rcce::RcceEnv env(m);
+  const std::uint64_t base = m.shmalloc(8 * 512);
+  const std::uint64_t counter = m.shmalloc(64);
+  const std::uint64_t slot = env.mpbMallocSymmetric(8, 256);
+  m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+    return obsMix(ctx, base, counter, slot, 4, 512);
+  }));
+  TraceRun r;
+  r.makespan = m.run();
+  for (int ue = 0; ue < 8; ++ue) {
+    r.completions.push_back(m.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  r.lanes_used = m.engine().lanesUsed();
+  r.recorded = m.traceRecorder().recordedEvents();
+  r.dropped = m.traceRecorder().droppedEvents();
+  std::ostringstream js, bs;
+  m.writeTrace(js);
+  m.writeTraceBinary(bs);
+  r.json = js.str();
+  r.binary = bs.str();
+  return r;
+}
+
+TraceRun runPairs(const SccConfig& cfg) {
+  SccMachine m(cfg);
+  const std::uint64_t base = m.shmalloc(8 * 256);
+  m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+             return pairKernel(ctx, base, 5, 256);
+           })
+               .withScope([](int, int) { return std::vector<int>{}; })
+               .withSyncGroups([](int ue, int) { return ue % 4; }));
+  TraceRun r;
+  r.makespan = m.run();
+  r.lanes_used = m.engine().lanesUsed();
+  r.recorded = m.traceRecorder().recordedEvents();
+  std::ostringstream js, bs;
+  m.writeTrace(js);
+  m.writeTraceBinary(bs);
+  r.json = js.str();
+  r.binary = bs.str();
+  return r;
+}
+
+SccConfig tracedConfig() {
+  SccConfig cfg;
+  cfg.trace_enabled = true;
+  return cfg;
+}
+
+TEST(ObsTrace, ByteIdenticalAcrossCoalescingModes) {
+  SccConfig on = tracedConfig();
+
+  SccConfig off = tracedConfig();
+  off.shm_coalescing = false;
+  off.mpb_coalescing = false;
+  off.shm_contention_batching = false;
+
+  SccConfig global = tracedConfig();
+  global.per_resource_horizon = false;
+
+  SccConfig blind = tracedConfig();
+  blind.sync_aware_horizon = false;
+
+  const TraceRun a = runObsMix(on);
+  const TraceRun b = runObsMix(off);
+  const TraceRun c = runObsMix(global);
+  const TraceRun d = runObsMix(blind);
+  EXPECT_GT(a.recorded, 0u);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.binary, b.binary);
+  EXPECT_EQ(a.json, c.json);
+  EXPECT_EQ(a.binary, c.binary);
+  EXPECT_EQ(a.json, d.json);
+  EXPECT_EQ(a.binary, d.binary);
+}
+
+TEST(ObsTrace, ByteIdenticalAcrossSwcacheCoalescing) {
+  // Same oracle on the cached routing: swcache line transfers ride the
+  // coalesced path too, and their spans must not depend on it.
+  SccConfig on = tracedConfig();
+  on.shm_swcache = true;
+  SccConfig off = on;
+  off.shm_coalescing = false;
+  off.mpb_coalescing = false;
+
+  const TraceRun a = runObsMix(on);
+  const TraceRun b = runObsMix(off);
+  EXPECT_GT(a.recorded, 0u);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.binary, b.binary);
+}
+
+TEST(ObsTrace, ByteIdenticalAcrossEngineLanes) {
+  SccConfig seq = tracedConfig();
+  SccConfig par = tracedConfig();
+  par.engine_lanes = 4;
+
+  const TraceRun s = runPairs(seq);
+  const TraceRun p = runPairs(par);
+  EXPECT_GT(s.recorded, 0u);
+  // The parallel run must actually shard (otherwise this oracle is vacuous)…
+  EXPECT_GT(p.lanes_used, 1u);
+  // …and still export the exact same bytes.
+  EXPECT_EQ(s.makespan, p.makespan);
+  EXPECT_EQ(s.json, p.json);
+  EXPECT_EQ(s.binary, p.binary);
+}
+
+TEST(ObsTrace, ZeroRateArmedFaultPlanIsByteIdentical) {
+  SccConfig plain = tracedConfig();
+  SccConfig armed = tracedConfig();
+  armed.fault.enabled = true;  // every rate zero: must record nothing extra
+
+  const TraceRun a = runObsMix(plain);
+  const TraceRun b = runObsMix(armed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.binary, b.binary);
+}
+
+TEST(ObsTrace, EnablingTheTraceMovesNoTick) {
+  SccConfig traced = tracedConfig();
+  SccConfig untraced;  // trace_enabled = false
+
+  const TraceRun a = runObsMix(traced);
+  const TraceRun b = runObsMix(untraced);
+  EXPECT_GT(a.recorded, 0u);
+  EXPECT_EQ(b.recorded, 0u);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completions, b.completions);
+}
+
+TEST(ObsTrace, RingCapacityBoundsMemoryAndAccountsTruncation) {
+  SccConfig capped = tracedConfig();
+  capped.trace_ring_capacity = 8;
+
+  SccMachine m(capped);
+  rcce::RcceEnv env(m);
+  const std::uint64_t base = m.shmalloc(8 * 512);
+  const std::uint64_t counter = m.shmalloc(64);
+  const std::uint64_t slot = env.mpbMallocSymmetric(8, 256);
+  m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+    return obsMix(ctx, base, counter, slot, 4, 512);
+  }));
+  m.run();
+
+  const obs::TraceRecorder& rec = m.traceRecorder();
+  EXPECT_GT(rec.droppedEvents(), 0u);
+  std::uint64_t retained = 0;
+  for (std::size_t task = 0; task < rec.taskSlots(); ++task) {
+    const std::size_t kept = rec.taskEvents(task).size();
+    EXPECT_LE(kept, 8u);
+    retained += kept;
+  }
+  retained += rec.hostEvents().size();
+  EXPECT_EQ(rec.recordedEvents(), retained + rec.droppedEvents());
+}
+
+TEST(ObsTrace, BinaryFormatCarriesMagicAndJsonParsesAsTraceEvents) {
+  const TraceRun r = runObsMix(tracedConfig());
+  ASSERT_GE(r.binary.size(), 8u);
+  EXPECT_EQ(r.binary.substr(0, 8), "HSMTRC01");
+  EXPECT_EQ(r.json.find("{\"displayTimeUnit\""), 0u);
+  EXPECT_NE(r.json.find("\"traceEvents\""), std::string::npos);
+  // One track per UE plus the three process groups.
+  EXPECT_NE(r.json.find("\"ue 0\""), std::string::npos);
+  EXPECT_NE(r.json.find("\"ue 7\""), std::string::npos);
+  EXPECT_NE(r.json.find("\"lane 0\""), std::string::npos);
+  EXPECT_NE(r.json.find("\"mc 0\""), std::string::npos);
+  EXPECT_NE(r.json.find("\"barrier_wait\""), std::string::npos);
+  EXPECT_NE(r.json.find("\"lock_wait\""), std::string::npos);
+  EXPECT_NE(r.json.find("\"mpb_put\""), std::string::npos);
+}
+
+// --- machine-level metrics ---------------------------------------------------
+
+TEST(ObsMetrics, CollectMetricsAbsorbsMachineStats) {
+  SccConfig cfg = tracedConfig();
+  SccMachine m(cfg);
+  rcce::RcceEnv env(m);
+  const std::uint64_t base = m.shmalloc(8 * 512);
+  const std::uint64_t counter = m.shmalloc(64);
+  const std::uint64_t slot = env.mpbMallocSymmetric(8, 256);
+  m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+    return obsMix(ctx, base, counter, slot, 4, 512);
+  }));
+  const Tick makespan = m.run();
+
+  const obs::MetricsSnapshot snap = obs::collectMetrics(m);
+  EXPECT_EQ(snap.sim_counters.at("makespan_ticks"), static_cast<std::uint64_t>(makespan));
+  EXPECT_GT(snap.sim_counters.at("events"), 0u);
+  EXPECT_GT(snap.sim_counters.at("shm_words"), 0u);
+  EXPECT_GT(snap.sim_counters.at("mpb_chunks"), 0u);
+  EXPECT_GT(snap.sim_counters.at("trace_events_recorded"), 0u);
+  EXPECT_GT(snap.host_gauges.at("wall_seconds"), 0.0);
+  EXPECT_GT(snap.host_gauges.at("events_per_second"), 0.0);
+  // Per-controller counters exist for every controller.
+  EXPECT_EQ(snap.sim_counters.count("mc0_units"), 1u);
+  EXPECT_EQ(snap.sim_counters.count("mc3_units"), 1u);
+  EXPECT_EQ(snap.histograms.count("controller_traffic"), 1u);
+}
+
+TEST(ObsMetrics, RegionProfilingIsOffByDefault) {
+  SccConfig cfg;
+  SccMachine m(cfg);
+  m.registerShmRegion("ignored", 0, 4096);
+  EXPECT_FALSE(m.regionProfilingActive());
+  EXPECT_TRUE(m.shmRegionProfiles().empty());
+}
+
+TEST(ObsMetrics, RegionProfilesCoverAllSevenBenchmarks) {
+  SccConfig cfg;
+  cfg.region_metrics = true;
+  std::vector<std::unique_ptr<workloads::Benchmark>> suite =
+      workloads::standardSuite(0.05);
+  suite.push_back(workloads::makeKvStore(0.1));
+  ASSERT_EQ(suite.size(), 7u);
+  for (const auto& bench : suite) {
+    const workloads::RunResult r =
+        bench->run(workloads::Mode::RcceOffChip, 4, cfg);
+    EXPECT_TRUE(r.verified) << bench->name() << ": " << r.detail;
+    ASSERT_FALSE(r.metrics.regions.empty()) << bench->name();
+    std::uint64_t ops = 0;
+    std::uint64_t controller_units = 0;
+    for (const obs::RegionProfile& region : r.metrics.regions) {
+      EXPECT_FALSE(region.name.empty()) << bench->name();
+      EXPECT_EQ(region.controller_txns.size(), cfg.num_mem_controllers)
+          << bench->name();
+      ops += region.reads + region.writes;
+      for (const std::uint64_t units : region.controller_txns) {
+        controller_units += units;
+      }
+    }
+    EXPECT_GT(ops, 0u) << bench->name();
+    EXPECT_GT(controller_units, 0u) << bench->name();
+    // The acceptance surface: toJson() must carry the per-region profile.
+    const std::string json = r.metrics.toJson();
+    EXPECT_NE(json.find("\"regions\":[{\"name\""), std::string::npos)
+        << bench->name();
+  }
+}
+
+}  // namespace
+}  // namespace hsm

@@ -327,18 +327,24 @@ SccConfig configFor(const RoutingMode& m) {
 
 TEST(DrfEquivalence, CountPrimesAndDotProductAcrossRoutings) {
   using workloads::Mode;
+  // The functional value (the detail prefix before the " | " metric summary)
+  // must be identical across routings; the summary legitimately differs
+  // (events and makespan are routing-dependent by design).
+  const auto valueOf = [](const workloads::RunResult& r) {
+    return r.detail.substr(0, r.detail.find(" | "));
+  };
   for (const auto& make :
        {workloads::makeCountPrimes(0.1), workloads::makeDotProduct(0.03)}) {
-    std::string first_detail;
+    std::string first_value;
     bool first = true;
     for (const RoutingMode& m : kMatrix) {
       const workloads::RunResult r = make->run(Mode::RcceOffChip, 8, configFor(m));
       EXPECT_TRUE(r.verified) << make->name() << " " << m.name;
       if (first) {
-        first_detail = r.detail;
+        first_value = valueOf(r);
         first = false;
       } else {
-        EXPECT_EQ(r.detail, first_detail) << make->name() << " " << m.name;
+        EXPECT_EQ(valueOf(r), first_value) << make->name() << " " << m.name;
       }
     }
   }
