@@ -474,6 +474,44 @@ sim::SimTask bulkReader(sim::CoreContext& ctx, std::uint64_t base, int blocks) {
   }
 }
 
+// --- drf detector scenarios -------------------------------------------------
+
+/// The canonical data race: a lockless read-modify-write on one shared word.
+/// Every pair of increments from different UEs is unordered (no lock, no
+/// barrier), so the happens-before detector must report it in BOTH
+/// granularity modes. The per-UE compute skew spreads the accesses across
+/// simulated time — a race is a missing edge, not a same-Tick collision, and
+/// the detector must see through the skew.
+sim::SimTask racyCounter(sim::CoreContext& ctx, std::uint64_t counter_off,
+                         int iterations) {
+  const auto ue = static_cast<std::uint64_t>(ctx.ue());
+  for (int i = 0; i < iterations; ++i) {
+    co_await ctx.compute(1000 + ue * 777);
+    std::uint64_t v = 0;
+    co_await ctx.shmRead(counter_off, &v, sizeof(v));
+    ++v;
+    co_await ctx.shmWrite(counter_off, &v, sizeof(v));
+  }
+}
+
+/// The false-sharing probe: each UE read-modify-writes its OWN 8-byte slot,
+/// but four slots pack into each 32-byte line of a swcache-cached region.
+/// Word-granular mode sees disjoint words and stays silent; line-granular
+/// mode (the current swcache contract) must report a race on the shared
+/// line and flag every report FALSE-SHARING (non-overlapping byte ranges).
+sim::SimTask falseSharingSlots(sim::CoreContext& ctx, std::uint64_t base,
+                               int iterations) {
+  const auto ue = static_cast<std::uint64_t>(ctx.ue());
+  const std::uint64_t mine = base + ue * 8;
+  std::uint64_t v = ue;
+  for (int i = 0; i < iterations; ++i) {
+    co_await ctx.compute(500 + ue * 333);
+    co_await ctx.shmRead(mine, &v, sizeof(v));
+    v += ue + 1;
+    co_await ctx.shmWrite(mine, &v, sizeof(v));
+  }
+}
+
 // --- fault sweep ------------------------------------------------------------
 
 /// The fault-sweep kernel: every faultable machine path in ONE workload — a
@@ -544,14 +582,17 @@ struct FaultRun {
   bool sync_timeout = false;
   bool frozen_named = false;  ///< hang report names the permafrost task,
                               ///< parked with no sync object (wedged)
+  std::uint64_t drf_races = 0;  ///< detector reports (drf_check runs only)
 };
 
-FaultRun runFaultSweep(const sim::FaultPlan& plan, Tick sync_timeout_ticks) {
+FaultRun runFaultSweep(const sim::FaultPlan& plan, Tick sync_timeout_ticks,
+                       bool drf_check = false) {
   constexpr int kUes = 8, kRounds = 6;
   constexpr std::size_t kWindowB = 2048, kBlockB = 1024, kMpbB = 512;
   sim::SccConfig cfg;
   cfg.fault = plan;
   cfg.sync_timeout_ticks = sync_timeout_ticks;
+  cfg.drf_check = drf_check;
   sim::SccMachine m(cfg);
   rcce::RcceEnv env(m);
   const std::uint64_t table = m.shmalloc(kUes * kWindowB);
@@ -589,7 +630,51 @@ FaultRun runFaultSweep(const sim::FaultPlan& plan, Tick sync_timeout_ticks) {
   const std::uint8_t* base = m.shmData(table);
   res.memory.assign(base, base + (out + kUes * 8 - table));
   res.stats = m.faultStats();
+  if (drf_check) res.drf_races = m.drfChecker().reports().size();
   return res;
+}
+
+// --- drf run helper ---------------------------------------------------------
+
+/// One detector-instrumented run: Ticks plus the checker's verdict. The
+/// formatted report string is the byte-identity oracle — two runs that
+/// differ only in engine_lanes or coalescing mode must reproduce it exactly
+/// (docs/race_detection.md, "Determinism contract").
+struct DrfRun {
+  Tick makespan = 0;
+  std::vector<Tick> completions;
+  std::uint64_t races = 0;
+  std::uint64_t checked = 0;        ///< accesses the checker examined
+  bool false_sharing_only = true;   ///< every report carries the FS flag
+  std::string reports;              ///< DrfChecker::formatReports()
+};
+
+DrfRun runDrfOnce(bool drf, bool word_granular, std::uint32_t lanes,
+                  bool coalescing, bool per_resource, int ues,
+                  const std::function<void(sim::SccMachine&)>& setup) {
+  sim::SccConfig cfg;
+  cfg.drf_check = drf;
+  cfg.drf_word_granular = word_granular;
+  cfg.engine_lanes = lanes;
+  cfg.shm_coalescing = coalescing;
+  cfg.mpb_coalescing = coalescing;
+  cfg.per_resource_horizon = per_resource;
+  sim::SccMachine m(cfg);
+  setup(m);
+  DrfRun r;
+  r.makespan = m.run();
+  for (int ue = 0; ue < ues; ++ue) {
+    r.completions.push_back(m.engine().completionTime(static_cast<std::size_t>(ue)));
+  }
+  if (drf) {
+    r.races = m.drfChecker().reports().size();
+    r.checked = m.drfChecker().accessesChecked();
+    for (const auto& rep : m.drfChecker().reports()) {
+      r.false_sharing_only = r.false_sharing_only && rep.false_sharing;
+    }
+    r.reports = m.drfChecker().formatReports();
+  }
+  return r;
 }
 
 // --- JSON emission ----------------------------------------------------------
@@ -680,7 +765,8 @@ int main(int argc, char** argv) {
       "mixed_shm_mpb_8ue",    "event_kernel_8ue",        "barrier_32ue",
       "mpb_pingpong_2ue",     "bulk_copy_8ue",           "stencil_readmostly_8ue",
       "lu_shared_cached",     "mixed_policy_8ue",        "fault_sweep_8ue",
-      "kv_zipf_8ue",          "obs_trace_8ue",
+      "kv_zipf_8ue",          "drf_racy_8ue",            "drf_false_sharing_8ue",
+      "drf_clean_suite_8ue",  "obs_trace_8ue",
   };
   // --trace-out FILE writes the Chrome trace-event JSON of the traced
   // obs_trace_8ue run to FILE (the CI artifact scripts/validate_trace.py
@@ -1285,6 +1371,139 @@ int main(int argc, char** argv) {
                   kv_ok ? "true" : "false", kv_pc.identical ? "true" : "false");
     json += buf;
   }
+
+  // DRF detector scenarios (docs/race_detection.md). Three gated sections,
+  // all folded into drf_checks_ok and the exit code:
+  //   * drf_racy_8ue — a lockless shared counter the detector MUST flag in
+  //     both granularity modes, with byte-identical reports across
+  //     engine_lanes=1/4 and every coalescing mode, and drf_check=true must
+  //     not move a single Tick against the drf_check=false twin;
+  //   * drf_false_sharing_8ue — per-UE slots packed four to a cached line:
+  //     line-granular mode must flag it FALSE-SHARING, word-granular mode
+  //     must stay silent (the divergence that motivates the two contracts);
+  //   * drf_clean_suite_8ue — all seven paper benchmarks run detector-clean
+  //     in line mode, and the fault sweep's corruption/repair path on a
+  //     drf-checked cached region reports zero races (faults are functional
+  //     corruption, not missing happens-before edges).
+  bool drf_ok = true;
+  if (want("drf_racy_8ue")) {
+    const auto setup = [](sim::SccMachine& m) {
+      const std::uint64_t counter = m.shmalloc(64);
+      m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+        return racyCounter(ctx, counter, 4);
+      }));
+    };
+    const DrfRun line = runDrfOnce(true, false, 1, true, true, 8, setup);
+    const DrfRun word = runDrfOnce(true, true, 1, true, true, 8, setup);
+    const DrfRun off = runDrfOnce(false, false, 1, true, true, 8, setup);
+    const DrfRun lanes4 = runDrfOnce(true, false, 4, true, true, 8, setup);
+    const DrfRun global = runDrfOnce(true, false, 1, true, false, 8, setup);
+    const DrfRun nocoal = runDrfOnce(true, false, 1, false, false, 8, setup);
+    const bool detected = line.races > 0 && word.races > 0;
+    const bool deterministic =
+        lanes4.reports == line.reports && global.reports == line.reports &&
+        nocoal.reports == line.reports && lanes4.makespan == line.makespan &&
+        lanes4.completions == line.completions;
+    const bool ticks_unchanged =
+        off.makespan == line.makespan && off.completions == line.completions;
+    drf_ok = drf_ok && detected && deterministic && ticks_unchanged;
+    if (!first) json += ",\n";
+    first = false;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"drf_racy_8ue\",\n"
+                  "      \"races_line\": %llu, \"races_word\": %llu, "
+                  "\"accesses_checked\": %llu, \"detected\": %s, "
+                  "\"reports_deterministic\": %s, \"ticks_unchanged\": %s}",
+                  static_cast<unsigned long long>(line.races),
+                  static_cast<unsigned long long>(word.races),
+                  static_cast<unsigned long long>(line.checked),
+                  detected ? "true" : "false", deterministic ? "true" : "false",
+                  ticks_unchanged ? "true" : "false");
+    json += buf;
+  }
+  if (want("drf_false_sharing_8ue")) {
+    const auto setup = [](sim::SccMachine& m) {
+      // 8 UEs x 8 B slots = two 32 B lines, four slots each, swcache-cached:
+      // disjoint words, shared lines.
+      const std::uint64_t base = m.shmalloc(64);
+      m.setShmCacheability(base, base + 64, true);
+      m.launch(sim::LaunchSpec(8, [=](sim::CoreContext& ctx) {
+        return falseSharingSlots(ctx, base, 4);
+      }));
+    };
+    const DrfRun line = runDrfOnce(true, false, 1, true, true, 8, setup);
+    const DrfRun word = runDrfOnce(true, true, 1, true, true, 8, setup);
+    const DrfRun lanes4 = runDrfOnce(true, false, 4, true, true, 8, setup);
+    const DrfRun nocoal = runDrfOnce(true, false, 1, false, false, 8, setup);
+    const bool detected =
+        line.races > 0 && line.false_sharing_only && word.races == 0;
+    const bool deterministic =
+        lanes4.reports == line.reports && nocoal.reports == line.reports;
+    drf_ok = drf_ok && detected && deterministic;
+    if (!first) json += ",\n";
+    first = false;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"drf_false_sharing_8ue\",\n"
+                  "      \"races_line\": %llu, \"races_word\": %llu, "
+                  "\"all_false_sharing\": %s, \"detected\": %s, "
+                  "\"reports_deterministic\": %s}",
+                  static_cast<unsigned long long>(line.races),
+                  static_cast<unsigned long long>(word.races),
+                  line.false_sharing_only ? "true" : "false",
+                  detected ? "true" : "false", deterministic ? "true" : "false");
+    json += buf;
+  }
+  if (want("drf_clean_suite_8ue")) {
+    sim::SccConfig drf_cfg;
+    drf_cfg.drf_check = true;
+    bool suite_clean = true;
+    std::uint64_t suite_races = 0;
+    for (const auto& bench : workloads::standardSuite(0.25)) {
+      for (const workloads::Mode mode :
+           {workloads::Mode::RcceOffChip, workloads::Mode::RcceMpb}) {
+        const workloads::RunResult r = bench->run(mode, 8, drf_cfg);
+        suite_clean = suite_clean && r.verified && r.drf_races == 0;
+        suite_races += r.drf_races;
+      }
+    }
+    // The seventh benchmark: the KV store's benign canonical-value races are
+    // exempted at setup (workloads/kv_store.cpp), everything else must be
+    // ordered.
+    const workloads::KvParams kvp{};
+    const workloads::RunResult kvr = workloads::makeKvStore(kvp)->run(
+        workloads::Mode::RcceOffChip, 8, drf_cfg);
+    suite_clean = suite_clean && kvr.verified && kvr.drf_races == 0;
+    suite_races += kvr.drf_races;
+    // Fault regression: hot corruption rates on the fault-sweep kernel (its
+    // cached windows are drf-checked) — injected faults must be repaired,
+    // not misreported as races.
+    sim::FaultPlan hot{};
+    hot.enabled = true;
+    hot.mpb_transfer.rate = 0.08;
+    hot.shm_write.rate = 0.06;
+    hot.swcache_flush.rate = 0.15;
+    const FaultRun fr = runFaultSweep(hot, 0, /*drf_check=*/true);
+    const bool fault_regression_ok = !fr.deadlock && !fr.sync_timeout &&
+                                     fr.stats.totalInjected() > 0 &&
+                                     fr.stats.unrecovered == 0 && fr.drf_races == 0;
+    drf_ok = drf_ok && suite_clean && fault_regression_ok;
+    if (!first) json += ",\n";
+    first = false;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"drf_clean_suite_8ue\",\n"
+                  "      \"suite_clean\": %s, \"suite_races\": %llu, "
+                  "\"fault_faults_injected\": %llu, \"fault_drf_races\": %llu, "
+                  "\"fault_regression_ok\": %s}",
+                  suite_clean ? "true" : "false",
+                  static_cast<unsigned long long>(suite_races),
+                  static_cast<unsigned long long>(fr.stats.totalInjected()),
+                  static_cast<unsigned long long>(fr.drf_races),
+                  fault_regression_ok ? "true" : "false");
+    json += buf;
+  }
   json += "\n  ],\n";
 
   // Fairness-quantum error sweep: Tick error of shm_fairness_quantum_words
@@ -1425,6 +1644,7 @@ int main(int argc, char** argv) {
   json += std::string("  \"fault_checks_ok\": ") + (fault_ok ? "true" : "false") +
           ",\n";
   json += std::string("  \"kv_checks_ok\": ") + (kv_ok ? "true" : "false") + ",\n";
+  json += std::string("  \"drf_checks_ok\": ") + (drf_ok ? "true" : "false") + ",\n";
   json += std::string("  \"obs_checks_ok\": ") + (obs_ok ? "true" : "false") + ",\n";
   char obs_buf[128];
   std::snprintf(obs_buf, sizeof(obs_buf),
@@ -1445,7 +1665,7 @@ int main(int argc, char** argv) {
   json += rate_buf;
   std::fputs(json.c_str(), stdout);
   return all_identical && parallel_ok && swcache_ok && policy_ok && fault_ok &&
-                 kv_ok && obs_ok
+                 kv_ok && drf_ok && obs_ok
              ? 0
              : 1;
 }

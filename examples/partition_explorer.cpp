@@ -3,6 +3,7 @@
 // frequency-aware variant diverges. Mirrors the discussion in §4.4.
 #include <cstdio>
 
+#include "partition/drf_lint.h"
 #include "translator/translator.h"
 #include "workloads/benchmark.h"
 
@@ -47,6 +48,7 @@ int main() {
   // MPB put/get owner sets the runtime's port isolation relies on
   // (docs/execution_plan.md).
   std::printf("\n=== ExecutionPlan per paper benchmark (8 UEs) ===\n");
+  bool drf_lint_ok = true;
   for (const std::string& name : workloads::pthreadSourceNames()) {
     translator::Translator translator;
     const auto result =
@@ -58,6 +60,16 @@ int main() {
     }
     std::printf("\n--- %s ---\n%s\n", name.c_str(),
                 result.execution_plan.toJson(8).c_str());
+    // Static DRF lint of the sharing tables against the derived plan
+    // (partition/drf_lint.h): any violation fails the explorer, the same
+    // drf_lint_ok gate translate_and_run enforces.
+    const partition::LintResult lint =
+        partition::lintSharingTables(result.analysis, result.execution_plan);
+    if (!lint.ok()) {
+      std::printf("%s: DRF lint violations:\n%s", name.c_str(), lint.format().c_str());
+      drf_lint_ok = false;
+    }
   }
-  return 0;
+  std::printf("\ndrf_lint_ok=%s\n", drf_lint_ok ? "true" : "false");
+  return drf_lint_ok ? 0 : 1;
 }

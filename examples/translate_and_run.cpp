@@ -6,14 +6,17 @@
 // workload's realization end to end instead of hand-reasoned use_mpb bools
 // and MpbScope lambdas.
 //
-// CI smoke-runs this binary: any verification failure or any MPB access
-// outside the plan's declared owner sets exits non-zero, gating the whole
-// translator→simulator pipeline including the plan-derived port isolation
-// and per-region swcache routing.
+// CI smoke-runs this binary: any verification failure, any MPB access
+// outside the plan's declared owner sets, or any DRF lint violation
+// (partition/drf_lint.h — the drf_lint_ok gate) exits non-zero, gating the
+// whole translator→simulator pipeline including the plan-derived port
+// isolation and per-region swcache routing.
 #include <cstdio>
 
+#include "partition/drf_lint.h"
 #include "translator/translator.h"
 #include "workloads/benchmark.h"
+#include "workloads/kv_store.h"
 
 int main() {
   using namespace hsm;
@@ -21,6 +24,7 @@ int main() {
   const sim::SccConfig config;
   constexpr int kUnits = 16;
   bool all_ok = true;
+  bool drf_lint_ok = true;
 
   for (const auto& bench : workloads::standardSuite(0.4)) {
     // 1. Translate the Pthreads source.
@@ -39,6 +43,17 @@ int main() {
     std::printf("=== %s: ExecutionPlan (translator→runtime contract) ===\n%s\n",
                 bench->name().c_str(),
                 result.execution_plan.toJson(kUnits).c_str());
+
+    // 1b. Static DRF lint over the sharing tables + the derived plan: catch
+    // contract violations (unsynchronized cached writers, placement vs
+    // sharing contradictions, unaligned cached regions) before simulating.
+    const partition::LintResult lint = partition::lintSharingTables(
+        result.analysis, result.execution_plan, config.cache_line_bytes);
+    if (!lint.ok()) {
+      std::printf("=== %s: DRF LINT VIOLATIONS ===\n%s", bench->name().c_str(),
+                  lint.format().c_str());
+      drf_lint_ok = false;
+    }
 
     // 2. Execute the simulator twin with the translated plan driving
     // placement, scope, and cacheability. A failed verification or a scope
@@ -78,5 +93,34 @@ int main() {
   std::printf("=== Stream pthread-1core baseline: %.3f ms, verified=%s ===\n",
               sim::ticksToMilliseconds(base.makespan), base.verified ? "yes" : "NO");
 
-  return all_ok ? 0 : 1;
+  // 4. The seventh benchmark (KV store) has no pthread source — its plan is
+  // built programmatically — so it gets the plan-only lint: the same shape
+  // setupKvRcce realizes (bench/micro_sim.cpp's kv section).
+  {
+    using partition::ControllerPlacement;
+    using partition::ExecutionPlan;
+    using partition::MpbPattern;
+    using partition::PlacementClass;
+    using partition::RegionPlan;
+    const workloads::KvParams kvp{};
+    std::size_t index_cap = 1;
+    while (index_cap < 2 * kvp.num_keys) index_cap *= 2;
+    const ExecutionPlan kv_plan{
+        {RegionPlan{"kv_index", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    index_cap * 8, ControllerPlacement::kOwnerCompute},
+         RegionPlan{"kv_slots", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    static_cast<std::size_t>(kvp.num_keys) * 4 * 8,
+                    ControllerPlacement::kOwnerCompute},
+         RegionPlan{"kv_checks", PlacementClass::kOffChipUncached, MpbPattern::kNone,
+                    8 * 8}}};
+    const partition::LintResult kv_lint =
+        partition::lintExecutionPlan(kv_plan, config.cache_line_bytes);
+    if (!kv_lint.ok()) {
+      std::printf("=== KvStore: DRF LINT VIOLATIONS ===\n%s", kv_lint.format().c_str());
+      drf_lint_ok = false;
+    }
+  }
+
+  std::printf("=== drf_lint_ok=%s ===\n", drf_lint_ok ? "true" : "false");
+  return all_ok && drf_lint_ok ? 0 : 1;
 }

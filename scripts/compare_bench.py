@@ -166,6 +166,15 @@ def main() -> int:
             "placed controller_load_cv separation (see kv_zipf_8ue in "
             "BENCH_pr.json)"
         )
+    # Absent in pre-DRF result files; present files must pass.
+    if not pr.get("drf_checks_ok", True):
+        failures.append(
+            "drf_checks_ok is false: the race detector missed a seeded racy/"
+            "false-sharing scenario, its reports diverged across engine lanes "
+            "or coalescing modes, drf_check=true moved a Tick, or a paper "
+            "benchmark stopped running detector-clean (see the drf_* "
+            "scenarios in BENCH_pr.json and docs/race_detection.md)"
+        )
     # Controller-load spread of the KV Zipf A/B: deterministic, so any shift
     # beyond the formatting epsilon is a routing/accounting code change. The
     # striped run must keep hot-spotting (CV must not fall) and the placed

@@ -1,0 +1,273 @@
+#include "sim/drf/drf.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hsm::sim::drf {
+namespace {
+
+void appendSite(std::ostringstream& out, const RaceSite& site) {
+  out << "task " << site.task;
+  if (site.ue >= 0) out << " (ue " << site.ue << ")";
+  out << (site.write ? " wrote [" : " read [") << site.lo << "," << site.hi
+      << ") @tick " << site.tick;
+}
+
+}  // namespace
+
+std::string spaceName(std::uint32_t space) {
+  if (space == kSpaceShm) return "shm";
+  if (space == kSpacePriv) return "priv";
+  return "mpb[ue " + std::to_string(space - 2) + "]";
+}
+
+const char* raceKindName(RaceKind kind) {
+  switch (kind) {
+    case RaceKind::kWriteWrite: return "write-write";
+    case RaceKind::kReadWrite: return "read-write";
+    case RaceKind::kWriteRead: return "write-read";
+  }
+  return "?";
+}
+
+std::string RaceReport::format() const {
+  std::ostringstream out;
+  out << raceKindName(kind) << " race on " << spaceName(space) << " ["
+      << granule_begin << "," << granule_begin + granule_bytes << ") "
+      << (line_granular ? "line" : "word") << "-granular";
+  if (false_sharing) out << " FALSE-SHARING";
+  if (!region.empty()) out << " region \"" << region << "\"";
+  out << ": ";
+  appendSite(out, prior);
+  out << "  vs  ";
+  appendSite(out, current);
+  return out.str();
+}
+
+void DrfChecker::configure(bool word_granular, std::size_t line_bytes,
+                           std::size_t word_bytes) {
+  word_granular_ = word_granular;
+  if (line_bytes > 0) line_bytes_ = line_bytes;
+  if (word_bytes > 0) word_bytes_ = word_bytes;
+}
+
+void DrfChecker::registerTask(std::size_t task, int ue) {
+  VectorClock& clock = clockOf(task);
+  (void)clock;
+  task_ue_[task] = ue;
+}
+
+void DrfChecker::addShmExemptRange(std::uint64_t begin, std::uint64_t end) {
+  if (end <= begin) return;
+  shm_exempt_.push_back(Range{begin, end, true});
+}
+
+void DrfChecker::registerRegion(std::string name, std::uint64_t begin,
+                                std::uint64_t end) {
+  if (end <= begin) return;
+  regions_.push_back(Region{std::move(name), begin, end});
+}
+
+void DrfChecker::acquire(std::size_t task, std::uint64_t sync) {
+  if (sync < sync_clocks_.size()) clockOf(task).join(sync_clocks_[sync]);
+}
+
+void DrfChecker::release(std::size_t task, std::uint64_t sync) {
+  VectorClock& clock = clockOf(task);
+  if (sync >= sync_clocks_.size()) sync_clocks_.resize(sync + 1);
+  sync_clocks_[sync] = clock;
+  clock.bump(task);
+}
+
+void DrfChecker::barrierRelease(const std::size_t* tasks, std::size_t count) {
+  VectorClock joined;
+  for (std::size_t i = 0; i < count; ++i) joined.join(clockOf(tasks[i]));
+  for (std::size_t i = 0; i < count; ++i) {
+    VectorClock& clock = clockOf(tasks[i]);
+    clock = joined;
+    clock.bump(tasks[i]);
+  }
+}
+
+std::size_t DrfChecker::access(std::size_t task, std::uint32_t space,
+                               std::uint64_t offset, std::size_t bytes, bool write,
+                               bool cached, Tick tick) {
+  if (bytes == 0) return 0;
+  if (space == kSpaceShm && shmExempt(offset)) return 0;
+  ++accesses_checked_;
+  pending_reports_ = 0;
+  const VectorClock& clock = clockOf(task);
+  // Contract granularity: cached shared DRAM is line-granular unless the
+  // word-granular (future-contract) mode is on; everything else — uncached
+  // words, MPB chunks, private process memory — is word-granular always.
+  const bool line = !word_granular_ && cached && space == kSpaceShm;
+  const std::uint64_t granule =
+      static_cast<std::uint64_t>(line ? line_bytes_ : word_bytes_);
+  const std::uint64_t end = offset + bytes;
+  for (std::uint64_t gbegin = offset - offset % granule; gbegin < end;
+       gbegin += granule) {
+    const std::uint64_t lo = std::max(gbegin, offset);
+    const std::uint64_t hi = std::min(gbegin + granule, end);
+    const std::uint64_t key = (static_cast<std::uint64_t>(space) << 40) |
+                              (static_cast<std::uint64_t>(line) << 39) |
+                              (gbegin / granule);
+    checkGranule(task, clock, space, key, gbegin,
+                 static_cast<std::size_t>(granule), line, lo, hi, write, tick);
+  }
+  return pending_reports_;
+}
+
+std::string DrfChecker::formatReports() const {
+  std::ostringstream out;
+  for (const RaceReport& r : reports_) out << r.format() << '\n';
+  return out.str();
+}
+
+void DrfChecker::resetExecutionState() {
+  task_clocks_.clear();
+  task_ue_.clear();
+  sync_clocks_.clear();
+  shadow_.clear();
+  reports_.clear();
+  accesses_checked_ = 0;
+  pending_reports_ = 0;
+}
+
+VectorClock& DrfChecker::clockOf(std::size_t task) {
+  if (task >= task_clocks_.size()) {
+    task_clocks_.resize(task + 1);
+    task_ue_.resize(task + 1, -1);
+  }
+  VectorClock& clock = task_clocks_[task];
+  // Lazy init: every task's own component starts at 1, so epoch clock 0
+  // unambiguously means "no recorded access" in the shadow state.
+  if (clock.get(task) == 0) clock.set(task, 1);
+  return clock;
+}
+
+bool DrfChecker::shmExempt(std::uint64_t offset) const {
+  for (auto it = shm_exempt_.rbegin(); it != shm_exempt_.rend(); ++it) {
+    if (offset >= it->begin && offset < it->end) return it->exempt;
+  }
+  return false;
+}
+
+std::string DrfChecker::regionNameAt(std::uint64_t offset) const {
+  for (auto it = regions_.rbegin(); it != regions_.rend(); ++it) {
+    if (offset >= it->begin && offset < it->end) return it->name;
+  }
+  return {};
+}
+
+void DrfChecker::report(RaceKind kind, std::uint32_t space,
+                        std::uint64_t granule_begin, std::size_t granule_bytes,
+                        bool line_granular, const AccessInfo& prior, bool prior_write,
+                        const AccessInfo& current, bool current_write) {
+  RaceReport r;
+  r.kind = kind;
+  r.space = space;
+  r.granule_begin = granule_begin;
+  r.granule_bytes = static_cast<std::uint32_t>(granule_bytes);
+  r.line_granular = line_granular;
+  r.prior.task = prior.task;
+  r.prior.ue = prior.task < task_ue_.size() ? task_ue_[prior.task] : -1;
+  r.prior.tick = prior.tick;
+  r.prior.write = prior_write;
+  r.prior.lo = prior.lo;
+  r.prior.hi = prior.hi;
+  r.current.task = current.task;
+  r.current.ue = current.task < task_ue_.size() ? task_ue_[current.task] : -1;
+  r.current.tick = current.tick;
+  r.current.write = current_write;
+  r.current.lo = current.lo;
+  r.current.hi = current.hi;
+  r.false_sharing =
+      r.line_granular && (prior.hi <= current.lo || current.hi <= prior.lo);
+  if (space == kSpaceShm) r.region = regionNameAt(granule_begin);
+  reports_.push_back(std::move(r));
+  ++pending_reports_;
+}
+
+void DrfChecker::checkGranule(std::size_t task, const VectorClock& clock,
+                              std::uint32_t space, std::uint64_t key,
+                              std::uint64_t granule_begin, std::size_t granule_bytes,
+                              bool line_granular, std::uint64_t lo, std::uint64_t hi,
+                              bool write, Tick tick) {
+  Shadow& s = shadow_[key];
+  const AccessInfo cur{clock.get(task), static_cast<std::uint32_t>(task), tick, lo,
+                       hi};
+  const auto races_with = [&clock, task](const AccessInfo& prior) {
+    return prior.clock != 0 && prior.task != task &&
+           !clock.covers(prior.clock, prior.task);
+  };
+  // First conflict per granule only: a hot racy word must not flood the
+  // report list, and downstream consumers (trace instants, counters) want
+  // distinct races, not iterations.
+  if (!s.reported) {
+    if (races_with(s.write)) {
+      report(write ? RaceKind::kWriteWrite : RaceKind::kWriteRead, space,
+             granule_begin, granule_bytes, line_granular, s.write,
+             /*prior_write=*/true, cur, write);
+      s.reported = true;
+    }
+    if (!s.reported && write) {
+      if (s.shared_reads.empty()) {
+        if (races_with(s.read)) {
+          report(RaceKind::kReadWrite, space, granule_begin, granule_bytes,
+                 line_granular, s.read, /*prior_write=*/false, cur,
+                 /*current_write=*/true);
+          s.reported = true;
+        }
+      } else {
+        // Inflated read side: every concurrent reader must be ordered
+        // before this write. Task-ascending scan keeps the reported reader
+        // deterministic.
+        for (const AccessInfo& r : s.shared_reads) {
+          if (races_with(r)) {
+            report(RaceKind::kReadWrite, space, granule_begin, granule_bytes,
+                   line_granular, r, /*prior_write=*/false, cur,
+                   /*current_write=*/true);
+            s.reported = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Shadow update (FastTrack): a write owns the granule — the read side
+  // collapses back to the O(1) representation.
+  if (write) {
+    s.write = cur;
+    s.read = AccessInfo{};
+    s.shared_reads.clear();
+    return;
+  }
+  if (s.shared_reads.empty()) {
+    if (s.read.clock == 0 || s.read.task == cur.task ||
+        clock.covers(s.read.clock, s.read.task)) {
+      s.read = cur;  // exclusive-reader fast path: one epoch, no vector
+      return;
+    }
+    // Two concurrent readers: inflate to the per-reader list.
+    s.shared_reads.reserve(2);
+    if (s.read.task < cur.task) {
+      s.shared_reads.push_back(s.read);
+      s.shared_reads.push_back(cur);
+    } else {
+      s.shared_reads.push_back(cur);
+      s.shared_reads.push_back(s.read);
+    }
+    s.read = AccessInfo{};
+    return;
+  }
+  const auto it = std::lower_bound(
+      s.shared_reads.begin(), s.shared_reads.end(), cur.task,
+      [](const AccessInfo& a, std::uint32_t t) { return a.task < t; });
+  if (it != s.shared_reads.end() && it->task == cur.task) {
+    *it = cur;
+  } else {
+    s.shared_reads.insert(it, cur);
+  }
+}
+
+}  // namespace hsm::sim::drf

@@ -48,6 +48,14 @@ void SyncBarrier::onArrive(std::coroutine_handle<> h) {
   ++arrived_;
   if (arrived_ >= participants_) {
     const Tick release = latest_arrival_ + release_cost_;
+    // Happens-before: every arrival precedes every departure. Join all
+    // participants' vector clocks and redistribute before anyone resumes.
+    if (drf_ != nullptr && !waiting_.empty()) {
+      std::vector<std::size_t> tasks;
+      tasks.reserve(waiting_.size());
+      for (const Waiter& w : waiting_) tasks.push_back(w.task);
+      drf_->barrierRelease(tasks.data(), tasks.size());
+    }
     // All wakes land at one Tick; the engine's (time, task_id) key resumes
     // them in task-id order no matter what order arrivals happened in.
     // Each schedule also clears the waiter's blocked-on-sync state.
@@ -75,6 +83,11 @@ void TasLock::onAcquire(std::coroutine_handle<> h) {
   if (!held_) {
     held_ = true;
     holder_ = engine_.currentTaskId();
+    // Happens-before: the grant acquires this lock's sync clock (the last
+    // releaser's writes become ordered before the new holder's accesses).
+    if (drf_ != nullptr && holder_ != Engine::kNoTask) {
+      drf_->acquire(holder_, sync_);
+    }
     // While held, only the holder can start the grant chain.
     if (holder_ != Engine::kNoTask) {
       engine_.setSyncWakers(sync_, {holder_});
@@ -97,6 +110,12 @@ void TasLock::onAcquire(std::coroutine_handle<> h) {
 }
 
 void TasLock::release() {
+  // Happens-before: the releaser's clock becomes this lock's sync clock —
+  // recorded before any handoff so the next holder's acquire edge sees it.
+  if (drf_ != nullptr) {
+    const std::size_t releaser = engine_.currentTaskId();
+    if (releaser != Engine::kNoTask) drf_->release(releaser, sync_);
+  }
   obs::TraceRecorder* tr = tracer(engine_);
   if (tr != nullptr) {
     tr->record(engine_.currentTaskId(),
@@ -115,6 +134,11 @@ void TasLock::release() {
   const Waiter next = queue_.front();
   queue_.pop_front();
   holder_ = next.task;
+  // Contended handoff: the queued waiter's acquire edge lands now (its
+  // onAcquire ran before the grant, when the clock was older).
+  if (drf_ != nullptr && next.task != Engine::kNoTask) {
+    drf_->acquire(next.task, sync_);
+  }
   if (tr != nullptr && next.task != Engine::kNoTask) {
     // Contended grant: request Tick .. ownership transfer. The next holder
     // shares this lock's sync object with the releaser, so they are in the
@@ -193,6 +217,10 @@ ResumeAt CoreContext::privTouch(std::uint64_t addr, std::size_t bytes, bool writ
 }
 
 SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes) {
+  // Race check once per logical operation, at initiation (before any retry
+  // or coalescing-dependent resumption): the checked stream is identical
+  // across coalescing modes.
+  machine_.noteDrfShm(offset, bytes, /*write=*/false);
   if (machine_.faultsActive()) co_await faultPreOp();
   if (machine_.shmCached(offset)) {
     co_await swcacheRw(offset, out, nullptr, bytes, false);
@@ -223,6 +251,9 @@ SubTask CoreContext::shmRead(std::uint64_t offset, void* out, std::size_t bytes)
 }
 
 SubTask CoreContext::shmWrite(std::uint64_t offset, const void* src, std::size_t bytes) {
+  // Once at initiation — NOT per retry attempt: a fault-retried store is one
+  // logical write, and repair traffic must not look like extra accesses.
+  machine_.noteDrfShm(offset, bytes, /*write=*/true);
   FaultInjector& inj = machine_.faultInjector();
   if (inj.anyArmed()) co_await faultPreOp();
   if (machine_.shmCached(offset)) {
@@ -464,6 +495,7 @@ SubTask CoreContext::bulkFenced(std::uint64_t offset, void* out, const void* src
 
 CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* out,
                                                   std::size_t bytes) {
+  machine_.noteDrfShm(offset, bytes, /*write=*/false);
   if (machine_.swcacheActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, out, nullptr, bytes, false));
   }
@@ -483,6 +515,7 @@ CoreContext::BulkAwaiter CoreContext::shmReadBulk(std::uint64_t offset, void* ou
 
 CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
                                                    const void* src, std::size_t bytes) {
+  machine_.noteDrfShm(offset, bytes, /*write=*/true);
   if (machine_.swcacheActive() || machine_.faultsActive()) {
     return BulkAwaiter(machine_.engine(), bulkFenced(offset, nullptr, src, bytes, true));
   }
@@ -502,6 +535,7 @@ CoreContext::BulkAwaiter CoreContext::shmWriteBulk(std::uint64_t offset,
 
 SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
                              std::size_t bytes) {
+  machine_.noteDrfMpb(owner_ue, offset, bytes, /*write=*/false);
   FaultInjector& inj = machine_.faultInjector();
   if (inj.anyArmed()) co_await faultPreOp();
   obs::TraceRecorder* tr = tracer(machine_.engine());
@@ -578,6 +612,7 @@ SubTask CoreContext::mpbRead(int owner_ue, std::uint64_t offset, void* out,
 
 SubTask CoreContext::mpbWrite(int owner_ue, std::uint64_t offset, const void* src,
                               std::size_t bytes) {
+  machine_.noteDrfMpb(owner_ue, offset, bytes, /*write=*/true);
   FaultInjector& inj = machine_.faultInjector();
   if (inj.anyArmed()) co_await faultPreOp();
   obs::TraceRecorder* tr = tracer(machine_.engine());
@@ -785,6 +820,12 @@ SccMachine::SccMachine(SccConfig config)
   trace_.configure(config_.trace_enabled, config_.trace_ring_capacity,
                    config_.trace_batches);
   if (config_.trace_enabled) engine_.setTraceRecorder(&trace_);
+  // Happens-before race detection (sim/drf/): drf_active_ is the cached
+  // hot-path gate of every noteDrf* hook; sync objects get the checker
+  // pointer at creation (setupBarrier / launch / lock).
+  drf_active_ = config_.drf_check;
+  drf_.configure(config_.drf_word_granular, config_.cache_line_bytes,
+                 config_.shm_transaction_bytes);
 }
 
 void SccMachine::ensureSwcache() {
@@ -871,6 +912,7 @@ void SccMachine::setupBarrier(int participants) {
   const Tick arrive = core_clock_.cycles(config_.barrier_flag_core_cycles);
   barrier_ = std::make_unique<SyncBarrier>(engine_, static_cast<std::size_t>(participants),
                                            arrive, arrive);
+  if (drf_active_) barrier_->setDrf(&drf_);
 }
 
 void SccMachine::launch(const LaunchSpec& spec) {
@@ -938,6 +980,10 @@ void SccMachine::launch(const LaunchSpec& spec) {
         std::make_unique<CoreContext>(*this, ue, num_ues, static_cast<int>(core)));
     task_ids.push_back(
         engine_.spawnReaching(spec.program(*contexts_.back()), 0, std::move(reach)));
+    // Spawn semantics for the race detector: tasks start from untimed host
+    // context, so siblings begin mutually concurrent — registration gives
+    // each a fresh clock and the UE label used in reports.
+    if (drf_active_) drf_.registerTask(task_ids.back(), ue);
   }
   if (spec.sync_groups && num_groups > 0) {
     // One barrier per group, sized to the group; CoreContext::barrier()
@@ -954,6 +1000,7 @@ void SccMachine::launch(const LaunchSpec& spec) {
     for (std::size_t g = 0; g < num_groups; ++g) {
       group_barriers_.push_back(std::make_unique<SyncBarrier>(
           engine_, group_tasks[g].size(), arrive, arrive));
+      if (drf_active_) group_barriers_[g]->setDrf(&drf_);
       group_barriers_[g]->setParticipantTasks(std::move(group_tasks[g]));
     }
     barrier_->setParticipantTasks({});
@@ -1016,8 +1063,10 @@ Tick SccMachine::run() {
   // the classic sequential loop (the engine additionally falls back on its
   // own ineligibility conditions; see planParallelRun). Tracing itself does
   // NOT pin lanes: per-task buffers are lane-exclusive by construction.
+  // The race detector's shadow/clock state is sequential, so a drf run pins
+  // to one lane too — which also makes its reports trivially lane-invariant.
   engine_.setEngineLanes(ctrl_placement_active_ || fault_.anyArmed() ||
-                                 region_profiling_
+                                 region_profiling_ || drf_active_
                              ? 1
                              : config_.engine_lanes);
   engine_.run();
@@ -1131,6 +1180,7 @@ TasLock& SccMachine::lock(int id) {
   while (locks_.size() <= index) {
     const Tick roundtrip = core_clock_.cycles(config_.tas_core_cycles);
     locks_.push_back(std::make_unique<TasLock>(engine_, roundtrip));
+    if (drf_active_) locks_.back()->setDrf(&drf_);
   }
   return *locks_[index];
 }
@@ -1634,10 +1684,15 @@ void SccMachine::writeTraceBinary(std::ostream& out) const {
 
 void SccMachine::registerShmRegion(std::string name, std::uint64_t begin,
                                    std::uint64_t end) {
+  if (end <= begin) return;
+  // Race reports name the region containing the racy granule; the lookup is
+  // off the hot path (report construction only), so a drf run records names
+  // regardless of the profiling knob.
+  if (drf_active_) drf_.registerRegion(name, begin, end);
   // No-op unless the profiling knob is on: workloads register their region
   // names unconditionally (makeShmArray), and a disabled knob must leave the
   // hot paths with nothing to scan and the lane gate untouched.
-  if (!config_.region_metrics || end <= begin) return;
+  if (!config_.region_metrics) return;
   obs::RegionProfile region;
   region.name = std::move(name);
   region.begin = begin;
@@ -1715,6 +1770,50 @@ void SccMachine::noteShmBulkImpl(std::uint64_t offset, std::size_t lines, bool w
   }
   region->bulk_lines += lines;
   region->controller_txns[mc] += lines;
+}
+
+// -- race-detection hooks (gated by drf_active_ at the inline call sites) --
+// All untimed: they read engine_.now() but never move it, so a drf run
+// simulates the exact Ticks of the unchecked run it observes.
+
+void SccMachine::drfShmImpl(std::uint64_t offset, std::size_t bytes, bool write) {
+  const std::size_t task = engine_.currentTaskId();
+  // Untimed host-context accesses (setup/verification) are outside the
+  // happens-before model — the launch boundary orders them anyway.
+  if (task == Engine::kNoTask) return;
+  const std::size_t fresh = drf_.access(task, drf::kSpaceShm, offset, bytes, write,
+                                        shmCached(offset), engine_.now());
+  if (fresh > 0) drfEmit(fresh);
+}
+
+void SccMachine::drfMpbImpl(int owner_ue, std::uint64_t offset, std::size_t bytes,
+                            bool write) {
+  const std::size_t task = engine_.currentTaskId();
+  if (task == Engine::kNoTask) return;
+  const std::size_t fresh = drf_.access(task, drf::mpbSpace(owner_ue), offset, bytes,
+                                        write, /*cached=*/false, engine_.now());
+  if (fresh > 0) drfEmit(fresh);
+}
+
+void SccMachine::drfPrivImpl(std::uint64_t addr, std::size_t bytes, bool write) {
+  const std::size_t task = engine_.currentTaskId();
+  if (task == Engine::kNoTask) return;
+  const std::size_t fresh = drf_.access(task, drf::kSpacePriv, addr, bytes, write,
+                                        /*cached=*/false, engine_.now());
+  if (fresh > 0) drfEmit(fresh);
+}
+
+void SccMachine::drfEmit(std::size_t fresh) {
+  obs::TraceRecorder* tr = tracer(engine_);
+  if (tr == nullptr) return;
+  const std::vector<drf::RaceReport>& reports = drf_.reports();
+  for (std::size_t i = reports.size() - fresh; i < reports.size(); ++i) {
+    const drf::RaceReport& r = reports[i];
+    tr->record(engine_.currentTaskId(),
+               obs::TraceEvent{engine_.now(), engine_.now(), r.granule_begin,
+                               static_cast<std::uint64_t>(r.kind), r.prior.task,
+                               obs::kNoTraceResource, obs::TraceEventKind::kRace});
+  }
 }
 
 }  // namespace hsm::sim

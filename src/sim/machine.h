@@ -28,6 +28,7 @@
 
 #include "partition/execution_plan.h"
 #include "sim/cache.h"
+#include "sim/drf/drf.h"
 #include "sim/engine.h"
 #include "sim/fault/fault.h"
 #include "sim/noc.h"
@@ -73,6 +74,11 @@ class SyncBarrier {
   /// no per-episode O(participants) rebuild.
   void setParticipantTasks(std::vector<std::size_t> tasks);
 
+  /// Attach the machine's race detector (nullptr = detached, the default):
+  /// each release episode then joins the arrivals' vector clocks and
+  /// redistributes — arrivals happen-before every departure.
+  void setDrf(drf::DrfChecker* drf) { drf_ = drf; }
+
  private:
   friend struct Awaiter;
   struct Waiter {
@@ -92,6 +98,7 @@ class SyncBarrier {
   std::vector<Waiter> waiting_;
   std::vector<std::size_t> participant_tasks_;  ///< empty: unknown
   std::uint64_t episodes_ = 0;
+  drf::DrfChecker* drf_ = nullptr;  ///< attached when SccConfig::drf_check
 };
 
 /// A test-and-set register lock (one per core on the SCC). FIFO grant order
@@ -115,6 +122,11 @@ class TasLock {
   [[nodiscard]] bool held() const { return held_; }
   [[nodiscard]] std::uint64_t contentionEvents() const { return contention_; }
 
+  /// Attach the machine's race detector (nullptr = detached, the default):
+  /// grants then replay acquire edges and release() records release edges
+  /// against this lock's sync-object clock.
+  void setDrf(drf::DrfChecker* drf) { drf_ = drf; }
+
  private:
   friend struct Awaiter;
   struct Waiter {
@@ -131,6 +143,7 @@ class TasLock {
   std::size_t holder_ = Engine::kNoTask;  ///< sole potential waker while held
   std::deque<Waiter> queue_;  // FIFO, O(1) pop_front
   std::uint64_t contention_ = 0;
+  drf::DrfChecker* drf_ = nullptr;  ///< attached when SccConfig::drf_check
 };
 
 /// Per-UE view of the machine handed to workload coroutines.
@@ -563,6 +576,34 @@ class SccMachine {
   /// Compact binary ring-buffer dump (schema in docs/observability.md).
   void writeTraceBinary(std::ostream& out) const;
 
+  // -- happens-before race detection (sim/drf/; docs/race_detection.md) --
+  /// Detector active (config.drf_check). The inline gates below are the
+  /// cached-bool discipline: false keeps every access path on the exact
+  /// pre-drf instruction sequence, and the hooks are untimed either way so
+  /// drf_check=true simulates the exact same Ticks it merely observes.
+  [[nodiscard]] bool drfEnabled() const { return drf_active_; }
+  [[nodiscard]] const drf::DrfChecker& drfChecker() const { return drf_; }
+  [[nodiscard]] drf::DrfChecker& drfChecker() { return drf_; }
+  /// Exempt [begin, end) of shared DRAM from race checking — for deliberate
+  /// benign races a workload documents (idempotent last-writer-wins stores
+  /// of canonical values, e.g. the KV store's replicated slots).
+  void setShmDrfExempt(std::uint64_t begin, std::uint64_t end) {
+    if (drf_active_) drf_.addShmExemptRange(begin, end);
+  }
+  /// Access hooks (CoreContext / threadrt op entry). Called ONCE per logical
+  /// operation at its initiation Tick — before any retry loop or
+  /// coalescing-dependent resumption — so the checked access stream is
+  /// bit-identical across coalescing modes and fault retries.
+  void noteDrfShm(std::uint64_t offset, std::size_t bytes, bool write) {
+    if (drf_active_) drfShmImpl(offset, bytes, write);
+  }
+  void noteDrfMpb(int owner_ue, std::uint64_t offset, std::size_t bytes, bool write) {
+    if (drf_active_) drfMpbImpl(owner_ue, offset, bytes, write);
+  }
+  void noteDrfPriv(std::uint64_t addr, std::size_t bytes, bool write) {
+    if (drf_active_) drfPrivImpl(addr, bytes, write);
+  }
+
   /// Name shared-DRAM range [begin, end) for per-region profiling (the
   /// plan-carrying rcce::ShmArray registers every named region). First
   /// registration flips the region_profiling_ gate; runs with no named
@@ -862,6 +903,17 @@ class SccMachine {
                           std::uint64_t hits, std::uint64_t line_txns);
   void noteShmBulkImpl(std::uint64_t offset, std::size_t lines, bool write,
                        std::uint32_t mc);
+
+  /// Race detector (sim/drf/drf.h). drf_active_ caches config_.drf_check —
+  /// the hot-path gate of the noteDrf* hooks above — and also pins run() to
+  /// one engine lane (the detector's shadow state is sequential).
+  drf::DrfChecker drf_;
+  bool drf_active_ = false;
+  void drfShmImpl(std::uint64_t offset, std::size_t bytes, bool write);
+  void drfMpbImpl(int owner_ue, std::uint64_t offset, std::size_t bytes, bool write);
+  void drfPrivImpl(std::uint64_t addr, std::size_t bytes, bool write);
+  /// Shared tail: emit a kRace trace instant per freshly appended report.
+  void drfEmit(std::size_t fresh);
 
   /// Instantiate the per-core swcaches if not already present (config
   /// default on, or first cacheable region registered).

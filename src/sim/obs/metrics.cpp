@@ -165,6 +165,7 @@ std::string MetricsSnapshot::summary() const {
   counter("mpb_scope_violations");
   counter("faults_injected");
   counter("faults_unrecovered");
+  counter("drf_races");
   gauge("swcache_hit_rate");
   gauge("controller_load_cv");
   return out.str();
@@ -239,6 +240,12 @@ MetricsSnapshot collectMetrics(const SccMachine& machine) {
     const char* name = faultClassName(static_cast<FaultClass>(cls));
     reg.counter(std::string("fault_") + name + "_injected").add(faults.injected[cls]);
     reg.counter(std::string("fault_") + name + "_recovered").add(faults.recovered[cls]);
+  }
+
+  // ---- race detection (sim domain: simulated-time determinism holds) --
+  if (machine.drfEnabled()) {
+    reg.counter("drf_races").add(machine.drfChecker().reports().size());
+    reg.counter("drf_accesses_checked").add(machine.drfChecker().accessesChecked());
   }
 
   // ---- trace accounting (sim domain: counts of simulated events) ------

@@ -17,6 +17,7 @@ constexpr std::array<const char*, static_cast<std::size_t>(TraceEventKind::kNumK
         "mpb_put",       "barrier_wait", "lock_wait",     "freeze",
         "batch",         "block",        "wake",          "lock_release",
         "fault_inject",  "fault_retry",  "mc_stall",      "report",
+        "race",
 };
 
 // Kind-specific payload rendering so exported traces are self-describing in
@@ -84,6 +85,11 @@ std::string argsJson(const TraceEvent& ev) {
       break;
     case TraceEventKind::kReport:
       field("kind", ev.a);
+      break;
+    case TraceEventKind::kRace:
+      field("offset", ev.a);
+      field("kind", ev.b);
+      field("prior_task", ev.c);
       break;
     case TraceEventKind::kNumKinds:
       break;

@@ -64,6 +64,7 @@ enum class TraceEventKind : std::uint8_t {
   kFaultRetry,     ///< verify-and-retry round;       a=fault class
   kMcStall,        ///< injected controller stall;    a=stall ticks
   kReport,         ///< hang report; a=0 deadlock, 1 sync timeout, 2 watchdog
+  kRace,           ///< drf race detected; a=granule offset, b=RaceKind, c=prior task
   kNumKinds,
 };
 

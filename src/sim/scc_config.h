@@ -172,6 +172,21 @@ struct SccConfig {
   /// counters pin the engine to the sequential loop (engine_lanes=1) —
   /// Ticks are unchanged either way.
   bool region_metrics = false;
+  /// Happens-before data-race detection over shared-memory accesses
+  /// (sim/drf/drf.h; docs/race_detection.md). Off by default: every hook is
+  /// one cached bool and the detector is untimed, so drf_check=false runs
+  /// are bit-identical to the pre-detector machine and drf_check=true runs
+  /// simulate the exact same Ticks. On, the checker's sequential shadow
+  /// state pins the engine to one lane (engine_lanes=1) — reports are a
+  /// deterministic function of the program, byte-identical across lane
+  /// counts and coalescing modes.
+  bool drf_check = false;
+  /// Check words instead of whole cache lines on swcache-cached ranges —
+  /// the FUTURE contract of the ROADMAP's word-granular swcache item. The
+  /// default (false) enforces the current line-granular contract of
+  /// docs/memory_model.md, under which two UEs touching different words of
+  /// one cached line is a (false-sharing) race.
+  bool drf_word_granular = false;
 
   // -- fault injection & robustness (sim/fault/fault.h; docs/fault_model.md) --
   /// Seed-driven fault schedule plus retry/backoff knobs. Disabled by

@@ -33,6 +33,10 @@ sim::ResumeAt ThreadContext::computeOps(std::uint64_t count, sim::OpClass cls) {
 
 sim::ResumeAt ThreadContext::memRead(std::uint64_t addr, void* out, std::size_t bytes) {
   sim::SccMachine& m = rt_.machine();
+  // Threadrt's process memory is one shared address space across the
+  // logical threads; the sync edges come free through the machine's
+  // TasLock/SyncBarrier, which threadrt reuses.
+  m.noteDrfPriv(addr, bytes, /*write=*/false);
   const sim::Tick done = serialize(
       rt_.coreTimeline(), m.engine().now(), [&](sim::Tick start) {
         return m.privAccessCompletion(0, start, addr, bytes, false, out, nullptr);
@@ -43,6 +47,7 @@ sim::ResumeAt ThreadContext::memRead(std::uint64_t addr, void* out, std::size_t 
 sim::ResumeAt ThreadContext::memWrite(std::uint64_t addr, const void* src,
                                       std::size_t bytes) {
   sim::SccMachine& m = rt_.machine();
+  m.noteDrfPriv(addr, bytes, /*write=*/true);
   const sim::Tick done = serialize(
       rt_.coreTimeline(), m.engine().now(), [&](sim::Tick start) {
         return m.privAccessCompletion(0, start, addr, bytes, true, nullptr, src);
@@ -86,6 +91,9 @@ void SingleCoreRuntime::launch(int num_threads, const ThreadProgram& program) {
   for (int tid = 0; tid < num_threads; ++tid) {
     contexts_.push_back(std::make_unique<ThreadContext>(*this, tid, num_threads));
     task_ids.push_back(machine_.engine().spawn(program(*contexts_.back()), 0, core0_mc));
+    // Race detection: threads spawn from untimed host context, so siblings
+    // start mutually concurrent — pthread_create's visibility guarantee.
+    if (machine_.drfEnabled()) machine_.drfChecker().registerTask(task_ids.back(), tid);
   }
   // Threads are the barrier's only potential wakers: lets blocked waiters
   // keep sync-aware horizons narrow instead of forcing the global fallback.

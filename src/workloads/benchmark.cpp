@@ -25,6 +25,7 @@ void recordMachineRobustness(RunResult& result, const sim::SccMachine& machine) 
   result.faults_recovered = counter("faults_recovered");
   result.fault_retries = counter("fault_retries");
   result.faults_unrecovered = counter("faults_unrecovered");
+  result.drf_races = counter("drf_races");
   result.controller_traffic = machine.controllerTraffic();
   const auto cv = result.metrics.sim_gauges.find("controller_load_cv");
   result.controller_load_cv = cv != result.metrics.sim_gauges.end() ? cv->second : 0.0;

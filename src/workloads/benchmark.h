@@ -70,6 +70,10 @@ struct RunResult {
   /// behind an address-striped placement drives it up. 0 when no
   /// shared-DRAM traffic was simulated.
   double controller_load_cv = 0.0;
+  /// Happens-before races the drf checker reported (config.drf_check runs
+  /// only; 0 otherwise). Any non-zero count voids every granularity-
+  /// conditional guarantee of the run (docs/race_detection.md).
+  std::uint64_t drf_races = 0;
 };
 
 /// Fill `result`'s machine-robustness counters (MPB scope violations plus

@@ -228,6 +228,15 @@ KvLayout setupKvRcce(sim::SccMachine& machine, const KvParams& params, int ues,
   buildIndex(p, index.hostData(), cap);
   buildSlab(p, slots.hostData());
   std::memset(checks.hostData(), 0, static_cast<std::size_t>(ues) * 8);
+  // Deliberate benign race: PUTs store the key's CANONICAL value, so two UEs
+  // writing the same slot unsynchronized always land identical idempotent
+  // bytes (that is the workload's last-writer-wins contract, and what the
+  // GET-side checksum verifies). Exempt the slab so the race detector does
+  // not flag the contract the benchmark intentionally exercises; kv_index is
+  // read-only after setup and kv_checks is per-UE disjoint — both clean.
+  machine.setShmDrfExempt(
+      slots.byteOffset(0),
+      slots.byteOffset(0) + static_cast<std::uint64_t>(p.num_keys) * kWordsPerItem * 8);
   // launch() invokes the program lambda synchronously per context; the
   // coroutine copies the ShmArrays into its frame, so the locals may die.
   machine.launch(sim::LaunchSpec(ues, [&](sim::CoreContext& ctx) {
